@@ -1,0 +1,8 @@
+let () =
+  let program = Soc.Asm.assemble (Core.Test_programs.timer_interrupts ~ticks:3) in
+  let run = Core.Runner.run_program program in
+  Printf.printf "fault=%s instrs=%d cycles=%d\n"
+    (match run.Core.Runner.fault with None -> "none" | Some _ -> "FAULT")
+    run.Core.Runner.instructions run.Core.Runner.result.Core.Runner.cycles;
+  let ram = Soc.Platform.ram (Core.System.platform run.Core.Runner.system) in
+  Printf.printf "ticks=%d\n" (Soc.Memory.peek32 ram ~addr:Soc.Platform.Map.ram_base)
