@@ -1,0 +1,145 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (section 4), then measures the simulation kernels
+   with Bechamel (one benchmark group per table/figure).
+
+   Usage:
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- tables     -- only the paper tables
+     dune exec bench/main.exe -- micro      -- only the Bechamel runs
+     dune exec bench/main.exe -- ablations  -- only the sensitivity studies *)
+
+open Bechamel
+open Toolkit
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Paper tables and figures (measured, not sampled).                   *)
+(* ------------------------------------------------------------------ *)
+
+let print_tables () =
+  section "Section 4.1 - Verification and Evaluation";
+  let rows = Core.Experiments.run_accuracy () in
+  print_endline (Core.Experiments.render_table1 rows);
+  print_newline ();
+  print_endline (Core.Experiments.render_table2 rows);
+  section "Section 4.2 - Simulation Performance";
+  let perf = Core.Experiments.run_performance () in
+  print_endline (Core.Experiments.render_table3 perf);
+  section "Figure 6 - Energy sampling semantics of the layer-2 interface";
+  print_endline (Core.Experiments.render_figure6 (Core.Experiments.run_figure6 ()));
+  section "Section 4.3 / Figure 7 - HW/SW interface exploration (JCVM)";
+  let rows = Core.Exploration.run () in
+  print_endline (Core.Exploration.render rows)
+
+let print_ablations () =
+  section "Ablations - sensitivity of the reproduction to modelling choices";
+  print_endline (Core.Ablations.run_all ())
+
+let print_extensions () =
+  section "Extensions - cache/bus and bus-coding explorations";
+  let sort = Soc.Asm.assemble (Core.Test_programs.bubble_sort ~n:10) in
+  print_endline
+    (Core.Cache_study.render (Core.Cache_study.run ~name:"bubble-sort" sort));
+  print_newline ();
+  let exercise = Soc.Asm.assemble Core.Test_programs.bus_exercise in
+  print_endline
+    (Core.Coding_study.render
+       (Core.Coding_study.run_program ~name:"bus-exercise" exercise))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: cost of one workload unit per model.     *)
+(* ------------------------------------------------------------------ *)
+
+(* Tables 1 and 2 are produced by running the verification sequences
+   through each abstraction level. *)
+let bench_accuracy =
+  let run level () =
+    ignore (Core.Runner.run_trace ~level ~mode:`Serial Core.Verify_seqs.combined)
+  in
+  Test.make_grouped ~name:"table1+2/accuracy-stimulus"
+    [
+      Test.make ~name:"gate-level" (Staged.stage (run Core.Level.Rtl));
+      Test.make ~name:"tl-layer-1" (Staged.stage (run Core.Level.L1));
+      Test.make ~name:"tl-layer-2" (Staged.stage (run Core.Level.L2));
+    ]
+
+(* Table 3: 256 transactions of the de-Bruijn mix per run. *)
+let bench_performance =
+  let trace = Core.Workloads.table3_trace ~n:256 in
+  let run level estimate () =
+    ignore (Core.Runner.run_trace ~level ~estimate ~mode:`Serial trace)
+  in
+  Test.make_grouped ~name:"table3/256-transactions"
+    [
+      Test.make ~name:"l1-with-estimation" (Staged.stage (run Core.Level.L1 true));
+      Test.make ~name:"l1-without-estimation"
+        (Staged.stage (run Core.Level.L1 false));
+      Test.make ~name:"l2-with-estimation" (Staged.stage (run Core.Level.L2 true));
+      Test.make ~name:"l2-without-estimation"
+        (Staged.stage (run Core.Level.L2 false));
+      Test.make ~name:"gate-level" (Staged.stage (run Core.Level.Rtl true));
+    ]
+
+(* Figure 6: cycle-accurate profiling cost. *)
+let bench_figure6 =
+  Test.make_grouped ~name:"figure6/profiled-run"
+    [
+      Test.make ~name:"l1-profiled"
+        (Staged.stage (fun () -> ignore (Core.Experiments.run_figure6 ())));
+    ]
+
+(* Figure 7 / section 4.3: one applet on representative configurations. *)
+let bench_exploration =
+  let run name () =
+    let config =
+      List.find (fun c -> c.Jcvm.Configs.name = name) Jcvm.Configs.standard
+    in
+    ignore (Core.Exploration.run_one ~config Jcvm.Applets.fib)
+  in
+  Test.make_grouped ~name:"figure7/fib-applet"
+    [
+      Test.make ~name:"w16-dedicated" (Staged.stage (run "w16-dedicated"));
+      Test.make ~name:"w32-packed" (Staged.stage (run "w32-packed"));
+      Test.make ~name:"w16-cmd+data" (Staged.stage (run "w16-cmd+data"));
+    ]
+
+let run_micro () =
+  section "Bechamel micro-benchmarks (wall time per workload unit)";
+  let tests =
+    [ bench_accuracy; bench_performance; bench_figure6; bench_exploration ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg instances group in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+      |> List.sort compare
+      |> List.iter (fun (name, ols) ->
+             let ns =
+               match Analyze.OLS.estimates ols with
+               | Some [ v ] -> v
+               | Some _ | None -> nan
+             in
+             Printf.printf "  %-55s %12.1f us/run\n" name (ns /. 1000.0)))
+    tests
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "tables" -> print_tables ()
+  | "micro" -> run_micro ()
+  | "ablations" -> print_ablations ()
+  | "extensions" -> print_extensions ()
+  | _ ->
+    print_tables ();
+    run_micro ();
+    print_ablations ();
+    print_extensions ());
+  print_newline ()

@@ -1,0 +1,1 @@
+bin/smartcard.ml: Arg Buffer Bytes Cmd Cmdliner Core Ec Filename Format Fun Jcvm List Power Printf Soc Term

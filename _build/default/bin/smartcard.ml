@@ -1,0 +1,283 @@
+(* Command-line front end of the smart-card energy-estimation framework.
+
+   Subcommands map to the paper's experiments:
+     tables        - Tables 1-3 and Figure 6
+     explore       - section 4.3 HW/SW interface exploration
+     run           - assemble and run a program, report cycles and energy
+     trace         - capture or replay bus transaction traces
+     characterize  - derive and print the per-signal energy table
+     disasm        - assemble and list a program *)
+
+open Cmdliner
+
+let level_conv =
+  let parse = function
+    | "rtl" | "gate" | "gate-level" -> Ok Core.Level.Rtl
+    | "l1" | "tl1" | "layer1" -> Ok Core.Level.L1
+    | "l2" | "tl2" | "layer2" -> Ok Core.Level.L2
+    | s -> Error (`Msg (Printf.sprintf "unknown level %S (rtl|l1|l2)" s))
+  in
+  let print ppf l = Format.pp_print_string ppf (Core.Level.to_string l) in
+  Arg.conv (parse, print)
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv Core.Level.L1
+    & info [ "l"; "level" ] ~docv:"LEVEL"
+        ~doc:"Abstraction level: rtl (gate-level reference), l1 or l2.")
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (* Read to EOF rather than seeking, so pipes work too. *)
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec loop () =
+        let n = input ic chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          loop ()
+        end
+      in
+      loop ();
+      Buffer.contents buf)
+
+(* --- tables --- *)
+
+let tables_cmd =
+  let doc = "Regenerate the paper's Tables 1-3 and Figure 6." in
+  let txns =
+    Arg.(
+      value & opt int 20_000
+      & info [ "txns" ] ~docv:"N" ~doc:"Transactions for the Table 3 measurement.")
+  in
+  let run txns =
+    let rows = Core.Experiments.run_accuracy () in
+    print_endline (Core.Experiments.render_table1 rows);
+    print_newline ();
+    print_endline (Core.Experiments.render_table2 rows);
+    print_newline ();
+    print_endline
+      (Core.Experiments.render_table3 (Core.Experiments.run_performance ~txns ()));
+    print_newline ();
+    print_endline (Core.Experiments.render_figure6 (Core.Experiments.run_figure6 ()))
+  in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ txns)
+
+(* --- explore --- *)
+
+let explore_cmd =
+  let doc = "HW/SW interface exploration of the Java Card VM (section 4.3)." in
+  let applet =
+    Arg.(
+      value & opt (some string) None
+      & info [ "applet" ] ~docv:"NAME"
+          ~doc:"Restrict to one applet (wallet, crc16, sort, fib).")
+  in
+  let run level applet =
+    let applets =
+      match applet with
+      | None -> Jcvm.Applets.all
+      | Some name -> (
+        match
+          List.find_opt (fun a -> a.Jcvm.Applets.name = name) Jcvm.Applets.all
+        with
+        | Some a -> [ a ]
+        | None ->
+          Printf.eprintf "unknown applet %S\n" name;
+          exit 1)
+    in
+    print_endline (Core.Exploration.render (Core.Exploration.run ~level ~applets ()))
+  in
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ level_arg $ applet)
+
+(* --- run --- *)
+
+let pp_fault = function
+  | Soc.Cpu.Bus_error addr -> Printf.sprintf "bus error at %#x" addr
+  | Soc.Cpu.Misaligned addr -> Printf.sprintf "misaligned access at %#x" addr
+  | Soc.Cpu.Illegal_instruction w -> Printf.sprintf "illegal instruction %#010x" w
+
+let run_cmd =
+  let doc = "Assemble a program, run it on the simulated card, report stats." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s")
+  in
+  let profile =
+    Arg.(
+      value & opt (some string) None
+      & info [ "profile" ] ~docv:"CSV"
+          ~doc:"Write the per-cycle bus energy profile to $(docv).")
+  in
+  let vcd =
+    Arg.(
+      value & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:"Write a VCD waveform of the run (gate-level only).")
+  in
+  let run level file profile_out vcd_out =
+    let program = Soc.Asm.assemble (read_file file) in
+    let record_profile = profile_out <> None in
+    let result =
+      Core.Runner.run_program ~level ~record_profile ?vcd:vcd_out program
+    in
+    let r = result.Core.Runner.result in
+    Printf.printf "level:        %s\n" (Core.Level.to_string level);
+    Printf.printf "instructions: %d\n" result.Core.Runner.instructions;
+    Printf.printf "cycles:       %d (CPI %.2f)\n" r.Core.Runner.cycles
+      (float_of_int r.Core.Runner.cycles
+      /. float_of_int (max 1 result.Core.Runner.instructions));
+    Printf.printf "bus txns:     %d (%d beats)\n" r.Core.Runner.txns
+      r.Core.Runner.beats;
+    Printf.printf "bus energy:   %.1f pJ\n" r.Core.Runner.bus_pj;
+    Printf.printf "peripherals:  %.1f pJ\n" r.Core.Runner.component_pj;
+    (match result.Core.Runner.fault with
+    | None -> Printf.printf "halted normally\n"
+    | Some f -> Printf.printf "FAULT: %s\n" (pp_fault f));
+    let total_pj = r.Core.Runner.bus_pj +. r.Core.Runner.component_pj in
+    List.iter
+      (fun limit ->
+        Format.printf "budget:       %a@."
+          Power.Budget.pp_verdict
+          (Power.Budget.check limit ~energy_pj:total_pj
+             ~cycles:r.Core.Runner.cycles))
+      [ Power.Budget.gsm_contact; Power.Budget.contactless_rf ];
+    if result.Core.Runner.uart_output <> "" then
+      Printf.printf "uart: %S\n" result.Core.Runner.uart_output;
+    match profile_out, r.Core.Runner.profile with
+    | Some path, Some p ->
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) (Power.Profile.to_csv_lines p);
+      close_out oc;
+      Printf.printf "profile written to %s (%d cycles)\n" path
+        (Power.Profile.length p)
+    | Some _, None | None, _ -> ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ level_arg $ file $ profile $ vcd)
+
+(* --- trace --- *)
+
+let trace_capture_cmd =
+  let doc = "Run a program on the gate-level model and record its bus trace." in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s") in
+  let out =
+    Arg.(value & opt string "trace.txt" & info [ "o" ] ~docv:"OUT" ~doc:"Output file.")
+  in
+  let run file out =
+    let program = Soc.Asm.assemble (read_file file) in
+    let trace = Core.Runner.capture_cpu_trace program in
+    Ec.Trace.save out trace;
+    Printf.printf "captured %d transactions (%d beats) to %s\n"
+      (Ec.Trace.total_txns trace) (Ec.Trace.total_beats trace) out
+  in
+  Cmd.v (Cmd.info "capture" ~doc) Term.(const run $ file $ out)
+
+let trace_replay_cmd =
+  let doc = "Replay a recorded trace through a bus model." in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let serial =
+    Arg.(value & flag & info [ "serial" ] ~doc:"Wait for each transaction.")
+  in
+  let run level file serial =
+    let trace = Ec.Trace.load file in
+    let mode = if serial then `Serial else `Pipelined in
+    let r = Core.Runner.run_trace ~level ~mode ~init:Core.Runner.fill_memories trace in
+    Printf.printf "level:      %s\n" (Core.Level.to_string level);
+    Printf.printf "txns:       %d (%d errors)\n" r.Core.Runner.txns r.Core.Runner.errors;
+    Printf.printf "cycles:     %d\n" r.Core.Runner.cycles;
+    Printf.printf "bus energy: %.1f pJ\n" r.Core.Runner.bus_pj
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ level_arg $ file $ serial)
+
+let trace_cmd =
+  let doc = "Capture or replay bus transaction traces." in
+  Cmd.group (Cmd.info "trace" ~doc) [ trace_capture_cmd; trace_replay_cmd ]
+
+(* --- cache --- *)
+
+let cache_cmd =
+  let doc = "Instruction-cache size exploration over a program." in
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.s") in
+  let run level file =
+    let name, program =
+      match file with
+      | Some path -> (Filename.basename path, Soc.Asm.assemble (read_file path))
+      | None ->
+        ("bubble-sort", Soc.Asm.assemble (Core.Test_programs.bubble_sort ~n:10))
+    in
+    print_endline (Core.Cache_study.render (Core.Cache_study.run ~level ~name program))
+  in
+  Cmd.v (Cmd.info "cache" ~doc) Term.(const run $ level_arg $ file)
+
+(* --- coding --- *)
+
+let coding_cmd =
+  let doc = "Bus coding study (bus-invert, Gray) over a program's traffic." in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.s")
+  in
+  let run file =
+    let study =
+      match file with
+      | Some path ->
+        Core.Coding_study.run_program ~name:(Filename.basename path)
+          (Soc.Asm.assemble (read_file path))
+      | None ->
+        Core.Coding_study.run_program ~name:"bus-exercise"
+          (Soc.Asm.assemble Core.Test_programs.bus_exercise)
+    in
+    print_endline (Core.Coding_study.render study)
+  in
+  Cmd.v (Cmd.info "coding" ~doc) Term.(const run $ file)
+
+(* --- ablate --- *)
+
+let ablate_cmd =
+  let doc = "Sensitivity studies of the modelling choices (slow)." in
+  let run () = print_endline (Core.Ablations.run_all ()) in
+  Cmd.v (Cmd.info "ablate" ~doc) Term.(const run $ const ())
+
+(* --- characterize --- *)
+
+let characterize_cmd =
+  let doc =
+    "Derive the per-signal energy characterization from the gate-level model."
+  in
+  let run () =
+    let table = Core.Runner.characterize () in
+    Format.printf "%a@." Power.Characterization.pp table;
+    Format.printf "per-wire energy per transition [pJ]:@.";
+    List.iter
+      (fun id ->
+        Format.printf "  %-12s %.4f@." (Ec.Signals.to_string id)
+          (Power.Characterization.energy_per_transition table id))
+      Ec.Signals.all
+  in
+  Cmd.v (Cmd.info "characterize" ~doc) Term.(const run $ const ())
+
+(* --- disasm --- *)
+
+let disasm_cmd =
+  let doc = "Assemble a program and print the listing." in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s") in
+  let run file =
+    let program = Soc.Asm.assemble (read_file file) in
+    List.iter print_endline
+      (Soc.Asm.disassemble ~origin:program.Soc.Asm.origin program.Soc.Asm.words)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ file)
+
+let () =
+  let doc =
+    "Hierarchical bus models with energy estimation for power-aware smart cards"
+  in
+  let info = Cmd.info "smartcard" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ tables_cmd; explore_cmd; run_cmd; trace_cmd; characterize_cmd;
+            ablate_cmd; coding_cmd; cache_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/apdu_session.ml: Core Format Iso7816 List Printf Soc

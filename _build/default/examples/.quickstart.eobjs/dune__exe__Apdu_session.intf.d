@@ -1,0 +1,1 @@
+examples/apdu_session.mli:

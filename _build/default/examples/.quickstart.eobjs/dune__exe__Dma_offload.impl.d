@@ -1,0 +1,1 @@
+examples/dma_offload.ml: Buffer Core Printf Soc

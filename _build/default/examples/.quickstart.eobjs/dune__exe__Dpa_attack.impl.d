@@ -1,0 +1,1 @@
+examples/dpa_attack.ml: Array Core Ec Fun List Power Printf Sim Soc

@@ -1,0 +1,1 @@
+examples/dpa_attack.mli:

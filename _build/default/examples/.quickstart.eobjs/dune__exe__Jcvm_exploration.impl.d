@@ -1,0 +1,1 @@
+examples/jcvm_exploration.ml: Core Jcvm List Printf

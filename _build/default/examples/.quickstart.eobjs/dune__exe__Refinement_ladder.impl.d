@@ -1,0 +1,1 @@
+examples/refinement_ladder.ml: Array Core List Printf Sim Soc Tlm3

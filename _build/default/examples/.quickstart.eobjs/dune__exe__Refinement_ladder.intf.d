@@ -1,0 +1,1 @@
+examples/refinement_ladder.mli:

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Core Ec Filename Format List Power Printf Soc Sys

@@ -1,0 +1,93 @@
+(* HW/SW trade-off study: copy a block of memory in software (lw/sw loop
+   on the core) versus offloading to the DMA engine, with and without
+   burst transactions — the kind of decision the paper's energy-aware bus
+   models exist to support.
+
+   Run with:  dune exec examples/dma_offload.exe *)
+
+let words = 64
+
+(* Pure software copy (same staging table, same amount of data). *)
+let software_copy =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "  la r1, table";
+  line "  li r2, %d" Soc.Platform.Map.ram_base;
+  line "  addi r3, r0, %d" words;
+  line "stage: lw r4, 0(r1)";
+  line "  sw r4, 0(r2)";
+  line "  addi r1, r1, 4";
+  line "  addi r2, r2, 4";
+  line "  addi r3, r3, -1";
+  line "  bne r3, r0, stage";
+  (* The copy under study: RAM -> RAM+0x800, word at a time. *)
+  line "  li r1, %d" Soc.Platform.Map.ram_base;
+  line "  li r2, %d" (Soc.Platform.Map.ram_base + 0x800);
+  line "  addi r3, r0, %d" words;
+  line "copy: lw r4, 0(r1)";
+  line "  sw r4, 0(r2)";
+  line "  addi r1, r1, 4";
+  line "  addi r2, r2, 4";
+  line "  addi r3, r3, -1";
+  line "  bne r3, r0, copy";
+  line "  halt";
+  line "table:";
+  for i = 0 to words - 1 do
+    line "  .word %d" ((i * 0x01010101) land 0xFFFFFFFF)
+  done;
+  Buffer.contents b
+
+(* Software copy using the burst instructions. *)
+let software_burst_copy =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "  la r1, table";
+  line "  li r2, %d" Soc.Platform.Map.ram_base;
+  line "  addi r3, r0, %d" words;
+  line "stage: lw r4, 0(r1)";
+  line "  sw r4, 0(r2)";
+  line "  addi r1, r1, 4";
+  line "  addi r2, r2, 4";
+  line "  addi r3, r3, -1";
+  line "  bne r3, r0, stage";
+  line "  li r1, %d" Soc.Platform.Map.ram_base;
+  line "  li r2, %d" (Soc.Platform.Map.ram_base + 0x800);
+  line "  addi r3, r0, %d" (words / 4);
+  line "copy: lw4 r4, 0(r1)";
+  line "  sw4 r4, 0(r2)";
+  line "  addi r1, r1, 16";
+  line "  addi r2, r2, 16";
+  line "  addi r3, r3, -1";
+  line "  bne r3, r0, copy";
+  line "  halt";
+  line "table:";
+  for i = 0 to words - 1 do
+    line "  .word %d" ((i * 0x01010101) land 0xFFFFFFFF)
+  done;
+  Buffer.contents b
+
+let run name src =
+  let program = Soc.Asm.assemble src in
+  let run = Core.Runner.run_program ~level:Core.Level.L1 program in
+  let r = run.Core.Runner.result in
+  (match run.Core.Runner.fault with
+  | None -> ()
+  | Some _ -> failwith (name ^ ": fault"));
+  Printf.printf "%-28s cycles=%-5d bus=%8.1f pJ  peripherals=%8.1f pJ  total=%8.1f pJ\n"
+    name r.Core.Runner.cycles r.Core.Runner.bus_pj r.Core.Runner.component_pj
+    (r.Core.Runner.bus_pj +. r.Core.Runner.component_pj)
+
+let () =
+  Printf.printf "Copying %d words RAM -> RAM, five implementations:\n\n" words;
+  run "software (lw/sw)" software_copy;
+  run "software (lw4/sw4 bursts)" software_burst_copy;
+  run "dma (single transfers)" (Core.Test_programs.dma_copy ~words ~burst:false ());
+  run "dma (4-word bursts)" (Core.Test_programs.dma_copy ~words ~burst:true ());
+  run "dma (bursts + wfi sleep)"
+    (Core.Test_programs.dma_copy ~wfi:true ~words ~burst:true ());
+  print_newline ();
+  print_endline
+    "All variants stage the same table first; the difference is the copy\n\
+     itself.  The DMA engine removes the instruction-fetch traffic of the\n\
+     software loop, and bursts amortize the address phases - the bus\n\
+     models quantify both effects before any RTL exists."

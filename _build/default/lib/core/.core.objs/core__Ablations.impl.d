@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Experiments Level List Power Printf Report Rtl Runner Soc String System Test_programs Tlm2

@@ -1,0 +1,1 @@
+lib/core/cache_study.ml: Level List Power Printf Report Runner Soc

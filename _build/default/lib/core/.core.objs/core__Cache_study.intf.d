@@ -1,0 +1,1 @@
+lib/core/cache_study.mli: Level Soc

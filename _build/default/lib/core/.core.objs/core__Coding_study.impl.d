@@ -1,0 +1,1 @@
+lib/core/coding_study.ml: Ec Lazy Level List Option Power Printf Report Rtl Runner Soc System

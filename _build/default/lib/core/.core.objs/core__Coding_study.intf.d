@@ -1,0 +1,1 @@
+lib/core/coding_study.mli: Ec Power Soc

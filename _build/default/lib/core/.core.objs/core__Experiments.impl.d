@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Buffer Ec Level List Power Printf Report Runner Soc System Test_programs Verify_seqs Workloads

@@ -1,0 +1,1 @@
+lib/core/exploration.ml: Array Hashtbl Jcvm Level List Printf Report Sim String System

@@ -1,0 +1,1 @@
+lib/core/exploration.mli: Jcvm Level Power

@@ -1,0 +1,1 @@
+lib/core/report.ml: Format List Option Power Printf String

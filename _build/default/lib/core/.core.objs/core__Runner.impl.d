@@ -1,0 +1,1 @@
+lib/core/runner.ml: Ec Level List Option Power Rtl Soc System Unix Workloads

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Ec Level Power Rtl Soc System Tlm2

@@ -1,0 +1,1 @@
+lib/core/system.ml: Level Option Power Rtl Sim Soc Tlm1 Tlm2

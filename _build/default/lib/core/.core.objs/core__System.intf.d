@@ -1,0 +1,1 @@
+lib/core/system.mli: Ec Level Power Rtl Sim Soc Tlm1 Tlm2

@@ -1,0 +1,1 @@
+lib/core/test_programs.ml: Buffer List Printf Soc

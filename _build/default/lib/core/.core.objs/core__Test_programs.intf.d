@@ -1,0 +1,1 @@
+lib/core/test_programs.mli:

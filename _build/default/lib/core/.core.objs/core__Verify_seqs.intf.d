@@ -1,0 +1,1 @@
+lib/core/verify_seqs.mli: Ec

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Array Ec List Sim Soc

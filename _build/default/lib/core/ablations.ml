@@ -1,0 +1,159 @@
+type row = { label : string; value : float; note : string }
+
+(* Layer energy error (%) vs the gate-level reference over the accuracy
+   stimulus, with a specific electrical parameter set and table. *)
+let energy_error ?(level = Level.L1) ~rtl_params ~table () =
+  let segments = Experiments.accuracy_stimulus () in
+  let total lvl =
+    List.fold_left
+      (fun acc (_, trace, mode, init) ->
+        let r = Runner.run_trace ~level:lvl ~rtl_params ~table ~mode ~init trace in
+        acc +. r.Runner.bus_pj)
+      0.0 segments
+  in
+  let reference = total Level.Rtl in
+  Power.Units.pct_error ~reference (total level)
+
+let coupling_sensitivity () =
+  List.map
+    (fun ratio ->
+      let rtl_params = { Rtl.Params.default with Rtl.Params.coupling_ratio = ratio } in
+      let table = Runner.characterize ~rtl_params () in
+      {
+        label = Printf.sprintf "coupling ratio %.2f" ratio;
+        value = energy_error ~rtl_params ~table ();
+        note = (if ratio = Rtl.Params.default.Rtl.Params.coupling_ratio then "default" else "");
+      })
+    [ 0.0; 0.10; Rtl.Params.default.Rtl.Params.coupling_ratio; 0.40 ]
+
+let scale_internal (p : Rtl.Params.t) k =
+  {
+    p with
+    Rtl.Params.decoder_pj_per_addr_toggle = p.Rtl.Params.decoder_pj_per_addr_toggle *. k;
+    glitch_pj_per_hamming = p.Rtl.Params.glitch_pj_per_hamming *. k;
+    mux_pj_per_rdata_toggle = p.Rtl.Params.mux_pj_per_rdata_toggle *. k;
+    fsm_pj_per_ctrl_toggle = p.Rtl.Params.fsm_pj_per_ctrl_toggle *. k;
+    sel_pj_per_toggle = p.Rtl.Params.sel_pj_per_toggle *. k;
+    leakage_pj_per_cycle = p.Rtl.Params.leakage_pj_per_cycle *. k;
+  }
+
+let internal_nets_sensitivity () =
+  List.map
+    (fun k ->
+      let rtl_params = scale_internal Rtl.Params.default k in
+      let table = Runner.characterize ~rtl_params () in
+      {
+        label = Printf.sprintf "internal nets x%.1f" k;
+        value = energy_error ~rtl_params ~table ();
+        note = (if k = 1.0 then "default" else "");
+      })
+    [ 0.0; 0.5; 1.0; 2.0 ]
+
+let characterization_quality () =
+  let rtl_params = Rtl.Params.default in
+  let derived = Runner.characterize () in
+  [
+    {
+      label = "default capacitance table";
+      value = energy_error ~rtl_params ~table:Power.Characterization.default ();
+      note = "top-down, pre-layout";
+    };
+    {
+      label = "derived (gate-level) table";
+      value = energy_error ~rtl_params ~table:derived ();
+      note = "the paper's Diesel flow";
+    };
+  ]
+
+let l2_boundary_sensitivity () =
+  let table = Runner.characterize () in
+  let segments = Experiments.accuracy_stimulus () in
+  List.map
+    (fun bd ->
+      let params =
+        { Tlm2.Energy.default_params with Tlm2.Energy.boundary_data_toggles = bd }
+      in
+      let total_l2 =
+        List.fold_left
+          (fun acc (_, trace, mode, init) ->
+            let r =
+              Runner.run_trace ~level:Level.L2 ~table ~l2_params:params ~mode
+                ~init trace
+            in
+            acc +. r.Runner.bus_pj)
+          0.0 segments
+      in
+      let reference =
+        List.fold_left
+          (fun acc (_, trace, mode, init) ->
+            acc
+            +. (Runner.run_trace ~level:Level.Rtl ~mode ~init trace).Runner.bus_pj)
+          0.0 segments
+      in
+      {
+        label = Printf.sprintf "boundary data toggles %.1f" bd;
+        value = Power.Units.pct_error ~reference total_l2;
+        note =
+          (if bd = Tlm2.Energy.default_params.Tlm2.Energy.boundary_data_toggles
+           then "default"
+           else "");
+      })
+    [ 6.0; 10.0; Tlm2.Energy.default_params.Tlm2.Energy.boundary_data_toggles; 18.0 ]
+
+let store_buffer_effect () =
+  List.concat_map
+    (fun (name, src) ->
+      let program = Soc.Asm.assemble src in
+      let cycles ~store_buffer =
+        let system = System.create ~level:Level.L1 () in
+        let kernel = System.kernel system in
+        let platform = System.platform system in
+        Soc.Platform.load_program platform program;
+        let cpu =
+          Soc.Cpu.create ~kernel ~port:(System.port system)
+            ~pc:program.Soc.Asm.origin ~store_buffer
+            ~irq:(fun () -> Soc.Platform.irq_asserted platform)
+            ()
+        in
+        Soc.Cpu.run_to_halt cpu ~kernel ()
+      in
+      let buffered = cycles ~store_buffer:true in
+      let blocking = cycles ~store_buffer:false in
+      [
+        {
+          label = name;
+          value = float_of_int blocking /. float_of_int buffered;
+          note = Printf.sprintf "%d vs %d cycles" buffered blocking;
+        };
+      ])
+    [
+      ("memcpy", Test_programs.memcpy ~words:16);
+      ("bubble-sort", Test_programs.bubble_sort ~n:10);
+      ("bus-exercise", Test_programs.bus_exercise);
+    ]
+
+let render ~title rows =
+  let body =
+    List.map (fun r -> [ r.label; Printf.sprintf "%+.2f" r.value; r.note ]) rows
+  in
+  title ^ "\n" ^ Report.table ~header:[ "variant"; "value"; "note" ] body
+
+let run_all () =
+  String.concat "\n\n"
+    [
+      render ~title:"Ablation: reference coupling ratio -> layer-1 energy error [%]"
+        (coupling_sensitivity ());
+      render
+        ~title:"Ablation: internal-net energy scale -> layer-1 energy error [%]"
+        (internal_nets_sensitivity ());
+      render ~title:"Ablation: characterization table -> layer-1 energy error [%]"
+        (characterization_quality ());
+      render
+        ~title:
+          "Ablation: layer-2 boundary data-toggle assumption -> layer-2 error [%]"
+        (l2_boundary_sensitivity ());
+      render
+        ~title:
+          "Ablation: CPU store buffer (blocking/buffered cycle ratio per program)"
+        (store_buffer_effect ());
+    ]

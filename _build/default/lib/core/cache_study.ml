@@ -1,0 +1,60 @@
+type row = {
+  lines : int option;
+  cycles : int;
+  bus_pj : float;
+  cache_pj : float;
+  total_pj : float;
+  hit_rate_pct : float;
+}
+
+type t = { workload : string; rows : row list }
+
+let run ?(level = Level.L1) ?(sizes = [ None; Some 1; Some 2; Some 4; Some 16 ])
+    ?(name = "program") program =
+  let one lines =
+    let run = Runner.run_program ~level ?icache_lines:lines program in
+    (match run.Runner.fault with
+    | None -> ()
+    | Some _ -> failwith "Core.Cache_study: workload faulted");
+    let r = run.Runner.result in
+    let cache_pj, hit_rate_pct =
+      match run.Runner.icache with
+      | None -> (0.0, 0.0)
+      | Some c ->
+        let hits = Soc.Icache.hits c and misses = Soc.Icache.misses c in
+        let accesses = hits + misses in
+        ( Power.Component.energy_pj (Soc.Icache.component c),
+          if accesses = 0 then 0.0
+          else float_of_int hits /. float_of_int accesses *. 100.0 )
+    in
+    {
+      lines;
+      cycles = r.Runner.cycles;
+      bus_pj = r.Runner.bus_pj;
+      cache_pj;
+      total_pj = r.Runner.bus_pj +. r.Runner.component_pj +. cache_pj;
+      hit_rate_pct;
+    }
+  in
+  { workload = name; rows = List.map one sizes }
+
+let render t =
+  let body =
+    List.map
+      (fun r ->
+        [
+          (match r.lines with
+          | None -> "no cache"
+          | Some n -> Printf.sprintf "%d lines (%d B)" n (n * Soc.Icache.line_bytes));
+          string_of_int r.cycles;
+          Printf.sprintf "%.1f" r.bus_pj;
+          Printf.sprintf "%.1f" r.cache_pj;
+          Printf.sprintf "%.1f" r.total_pj;
+          Printf.sprintf "%.1f%%" r.hit_rate_pct;
+        ])
+      t.rows
+  in
+  Printf.sprintf "Instruction cache exploration: %s\n%s" t.workload
+    (Report.table
+       ~header:[ "i-cache"; "cycles"; "bus pJ"; "cache pJ"; "total pJ"; "hit rate" ]
+       body)

@@ -1,0 +1,29 @@
+(** Parametrized cache-and-bus exploration.
+
+    The paper's reference [1] (Givargis/Vahid/Henkel) evaluates power of
+    parametrized cache and bus architectures; this study reproduces that
+    flavour of experiment on our platform: sweep the instruction cache
+    size and measure, per workload, the cycles, the bus energy the cache
+    saves, the cache's own energy, and the hit rate — the classic
+    find-the-knee curve. *)
+
+type row = {
+  lines : int option;  (** [None] = no cache *)
+  cycles : int;
+  bus_pj : float;
+  cache_pj : float;
+  total_pj : float;  (** bus + cache + other peripherals *)
+  hit_rate_pct : float;
+}
+
+type t = { workload : string; rows : row list }
+
+val run :
+  ?level:Level.t ->
+  ?sizes:int option list ->
+  ?name:string ->
+  Soc.Asm.program ->
+  t
+(** Defaults: layer-1 bus; sizes [none; 1; 2; 4; 16] lines. *)
+
+val render : t -> string

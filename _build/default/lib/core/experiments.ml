@@ -1,0 +1,215 @@
+let accuracy_stimulus () =
+  let program = Soc.Asm.assemble Test_programs.bus_exercise in
+  let traced = Runner.capture_cpu_trace program in
+  let load_image system =
+    (* Pattern first, program image on top: replayed fetches then read the
+       same words the core fetched at capture time. *)
+    Runner.fill_memories system;
+    Soc.Platform.load_program (System.platform system) program
+  in
+  [
+    ( "ec-spec sequences",
+      Verify_seqs.combined,
+      (`Serial :> Soc.Trace_master.mode),
+      Runner.fill_memories );
+    ("traced test program", traced, `Pipelined, load_image);
+  ]
+
+type accuracy_row = {
+  level : Level.t;
+  cycles : int;
+  cycle_err_pct : float;
+  energy_pj : float;
+  energy_err_pct : float;
+}
+
+let run_accuracy ?table () =
+  let table = match table with Some t -> t | None -> Runner.characterize () in
+  let segments = accuracy_stimulus () in
+  let totals level =
+    List.fold_left
+      (fun (cycles, pj) (_, trace, mode, init) ->
+        let r = Runner.run_trace ~level ~table ~mode ~init trace in
+        (cycles + r.Runner.cycles, pj +. r.Runner.bus_pj))
+      (0, 0.0) segments
+  in
+  let ref_cycles, ref_pj = totals Level.Rtl in
+  let row level =
+    let cycles, pj = if level = Level.Rtl then (ref_cycles, ref_pj) else totals level in
+    {
+      level;
+      cycles;
+      cycle_err_pct =
+        float_of_int (cycles - ref_cycles) /. float_of_int ref_cycles *. 100.0;
+      energy_pj = pj;
+      energy_err_pct = (pj -. ref_pj) /. ref_pj *. 100.0;
+    }
+  in
+  List.map row Level.all
+
+let render_table1 rows =
+  let body =
+    List.map
+      (fun r ->
+        [
+          Level.to_string r.level;
+          Printf.sprintf "%d" r.cycles;
+          Report.ratio_pct
+            ~reference:(float_of_int (List.hd rows).cycles)
+            (float_of_int r.cycles);
+          (match r.level with
+          | Level.Rtl -> "-"
+          | Level.L1 | Level.L2 -> Report.pct r.cycle_err_pct);
+        ])
+      rows
+  in
+  "Table 1: timing error vs gate-level model\n"
+  ^ Report.table ~header:[ "Abstraction level"; "Cycles"; "Relative"; "Error" ] body
+
+let render_table2 rows =
+  let reference = (List.hd rows).energy_pj in
+  let body =
+    List.map
+      (fun r ->
+        [
+          Level.to_string r.level;
+          Printf.sprintf "%.1f" r.energy_pj;
+          Report.ratio_pct ~reference r.energy_pj;
+          (match r.level with
+          | Level.Rtl -> "-"
+          | Level.L1 | Level.L2 -> Report.pct r.energy_err_pct);
+        ])
+      rows
+  in
+  "Table 2: energy estimation error vs gate-level estimation\n"
+  ^ Report.table
+      ~header:[ "Abstraction level"; "Energy [pJ]"; "Relative"; "Error" ]
+      body
+
+type perf_row = {
+  label : string;
+  kilo_txns_per_s : float;
+  factor_vs_l1_estimating : float;
+}
+
+let run_performance ?(txns = 20_000) ?(repetitions = 3) () =
+  let trace = Workloads.table3_trace ~n:txns in
+  (* Transactions are issued one at a time, as the paper's testbench does:
+     all models then simulate the same cycle count and the measurement
+     isolates the per-cycle cost of each abstraction.  Best of
+     [repetitions] filters wall-clock noise. *)
+  let measure ~label ~level ~estimate =
+    let best = ref 0.0 in
+    for _ = 1 to repetitions do
+      let r = Runner.run_trace ~level ~estimate ~mode:`Serial trace in
+      let kts = Runner.txns_per_second r /. 1000.0 in
+      if kts > !best then best := kts
+    done;
+    (label, !best)
+  in
+  let raw =
+    [
+      measure ~label:"TL layer 1, with estimation" ~level:Level.L1 ~estimate:true;
+      measure ~label:"TL layer 1, without estimation" ~level:Level.L1
+        ~estimate:false;
+      measure ~label:"TL layer 2, with estimation" ~level:Level.L2 ~estimate:true;
+      measure ~label:"TL layer 2, without estimation" ~level:Level.L2
+        ~estimate:false;
+      measure ~label:"gate-level reference" ~level:Level.Rtl ~estimate:true;
+    ]
+  in
+  let base =
+    match raw with
+    | (_, kts) :: _ -> kts
+    | [] -> assert false
+  in
+  List.map
+    (fun (label, kts) ->
+      { label; kilo_txns_per_s = kts; factor_vs_l1_estimating = kts /. base })
+    raw
+
+let render_table3 rows =
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.label;
+          Printf.sprintf "%.1f" r.kilo_txns_per_s;
+          Printf.sprintf "%.2f" r.factor_vs_l1_estimating;
+        ])
+      rows
+  in
+  "Table 3: simulation performance (bus transactions per second)\n"
+  ^ Report.table ~header:[ "Model"; "kT/s"; "Factor" ] body
+
+type figure6 = {
+  l1_profile : Power.Profile.t;
+  l2_lumps : (int * float) list;
+  l1_total : float;
+  l2_total : float;
+}
+
+(* Three wait-state transactions on the EEPROM: read, write, read. *)
+let figure6_trace =
+  let base = Soc.Platform.Map.eeprom_base in
+  [
+    Ec.Trace.item (Ec.Txn.single_read ~id:0 base);
+    Ec.Trace.item (Ec.Txn.single_write ~id:0 (base + 4) ~value:0xA5A5_5A5A);
+    Ec.Trace.item (Ec.Txn.single_read ~id:0 (base + 8));
+  ]
+
+let run_figure6 () =
+  let l1 =
+    Runner.run_trace ~level:Level.L1 ~record_profile:true ~mode:`Pipelined
+      ~init:Runner.fill_memories figure6_trace
+  in
+  let l2 =
+    Runner.run_trace ~level:Level.L2 ~record_profile:true ~mode:`Pipelined
+      ~init:Runner.fill_memories figure6_trace
+  in
+  let l1_profile =
+    match l1.Runner.profile with Some p -> p | None -> assert false
+  in
+  let l2_profile =
+    match l2.Runner.profile with Some p -> p | None -> assert false
+  in
+  (* The paper samples at t1 (the first two address phases done) and t2
+     (end): find the cycle after the second phase-completion event. *)
+  let events = ref [] in
+  for i = 0 to Power.Profile.length l2_profile - 1 do
+    if Power.Profile.get l2_profile i > 0.0 then events := i :: !events
+  done;
+  let t1 =
+    match List.rev !events with
+    | _ :: second :: _ -> second + 1
+    | _ -> 2
+  in
+  {
+    l1_profile;
+    l2_lumps =
+      Power.Profile.lumped l2_profile
+        ~sample_points:[ t1; Power.Profile.length l2_profile ];
+    l1_total = l1.Runner.bus_pj;
+    l2_total = l2.Runner.bus_pj;
+  }
+
+let render_figure6 f =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 6: energy sampling using the layer-2 power interface\n";
+  Buffer.add_string buf
+    (Printf.sprintf "layer-1 cycle profile (total %.1f pJ):\n  [%s]\n"
+       f.l1_total
+       (Power.Profile.sparkline ~width:48 f.l1_profile));
+  let cycles = Power.Profile.length f.l1_profile in
+  for i = 0 to cycles - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  cycle %2d: %6.2f pJ\n" i (Power.Profile.get f.l1_profile i))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "layer-2 sampled lumps (total %.1f pJ):\n" f.l2_total);
+  List.iter
+    (fun (t, pj) ->
+      Buffer.add_string buf (Printf.sprintf "  sample@%2d: %6.2f pJ\n" t pj))
+    f.l2_lumps;
+  Buffer.contents buf

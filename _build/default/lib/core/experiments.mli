@@ -1,0 +1,66 @@
+(** Canonical definitions of the paper's experiments (section 4).
+
+    Each [run_*] executes the experiment and returns structured results;
+    each [render_*] lays them out like the paper's table.  The benchmark
+    harness and the CLI both call these, so EXPERIMENTS.md numbers are
+    reproducible from a single place. *)
+
+(** {1 Tables 1 and 2: timing and energy accuracy} *)
+
+val accuracy_stimulus :
+  unit ->
+  (string * Ec.Trace.t * Soc.Trace_master.mode * (System.t -> unit)) list
+(** The paper's two verification steps: the EC-specification sequences
+    (replayed serially) and the transactions traced from the assembly test
+    program running on the gate-level model (replayed pipelined, as the
+    core issued them). *)
+
+type accuracy_row = {
+  level : Level.t;
+  cycles : int;
+  cycle_err_pct : float;  (** vs the gate-level reference *)
+  energy_pj : float;
+  energy_err_pct : float;
+}
+
+val run_accuracy :
+  ?table:Power.Characterization.t -> unit -> accuracy_row list
+(** Characterizes on the training workload (unless [table] is given),
+    then runs the accuracy stimulus through all three levels. *)
+
+val render_table1 : accuracy_row list -> string
+val render_table2 : accuracy_row list -> string
+
+(** {1 Table 3: simulation performance} *)
+
+type perf_row = {
+  label : string;
+  kilo_txns_per_s : float;
+  factor_vs_l1_estimating : float;
+}
+
+val run_performance : ?txns:int -> ?repetitions:int -> unit -> perf_row list
+(** Replays the Table 3 mix ("all combinations between single read,
+    single write, burst read and burst write"), issued serially as in the
+    paper's testbench, through layer 1 and layer 2 — each with and
+    without energy estimation — plus the gate-level reference for the
+    acceleration context.  [txns] defaults to 20000; the best of
+    [repetitions] (default 3) wall-clock runs is reported per model. *)
+
+val render_table3 : perf_row list -> string
+
+(** {1 Figure 6: energy sampling semantics} *)
+
+type figure6 = {
+  l1_profile : Power.Profile.t;  (** cycle-accurate energy over time *)
+  l2_lumps : (int * float) list;  (** (sample cycle, energy since last) *)
+  l1_total : float;
+  l2_total : float;
+}
+
+val run_figure6 : unit -> figure6
+(** Three wait-state transactions (read, write, read): layer 1 yields the
+    true per-cycle profile; layer 2's power interface only produces
+    phase-lumped samples at the two paper sampling points. *)
+
+val render_figure6 : figure6 -> string

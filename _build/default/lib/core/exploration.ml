@@ -1,0 +1,99 @@
+type row = {
+  config : Jcvm.Configs.t;
+  applet : string;
+  level : Level.t;
+  cycles : int;
+  bus_pj : float;
+  transactions : int;
+  steps : int;
+  value : int option;
+  correct : bool;
+}
+
+let run_one ?(level = Level.L1) ?table ~config (applet : Jcvm.Applets.t) =
+  let hw = Jcvm.Hw_stack.create config in
+  let system =
+    System.create ~level ?table ~extra_slaves:[ Jcvm.Hw_stack.slave hw ] ()
+  in
+  let kernel = System.kernel system in
+  let adapter =
+    Jcvm.Master_adapter.create ~kernel ~port:(System.port system) config
+  in
+  let firewall = Jcvm.Firewall.create () in
+  let memory = Jcvm.Memmgr.create firewall in
+  Array.iteri (fun i v -> Jcvm.Memmgr.set_static memory i v) applet.Jcvm.Applets.statics;
+  let ctx = Jcvm.Firewall.new_context firewall in
+  let result =
+    Jcvm.Interp.run_methods
+      ~stack:(Jcvm.Master_adapter.ops adapter)
+      ~memory ~ctx
+      (Jcvm.Applets.method_table applet)
+  in
+  (* Drain any buffered packed push so its bus cost is accounted. *)
+  Jcvm.Master_adapter.flush adapter;
+  let reference =
+    Jcvm.Interp.run_soft ~statics:applet.Jcvm.Applets.statics
+      ~methods:applet.Jcvm.Applets.methods applet.Jcvm.Applets.program
+  in
+  {
+    config;
+    applet = applet.Jcvm.Applets.name;
+    level;
+    cycles = Sim.Kernel.now kernel;
+    bus_pj = System.bus_energy_pj system;
+    transactions = Jcvm.Master_adapter.transactions adapter;
+    steps = result.Jcvm.Interp.steps;
+    value = result.Jcvm.Interp.value;
+    correct =
+      result.Jcvm.Interp.value = reference.Jcvm.Interp.value
+      && (applet.Jcvm.Applets.expected = None
+         || result.Jcvm.Interp.value = applet.Jcvm.Applets.expected);
+  }
+
+let run ?level ?table ?(configs = Jcvm.Configs.standard)
+    ?(applets = Jcvm.Applets.all) () =
+  List.concat_map
+    (fun applet ->
+      List.map (fun config -> run_one ?level ?table ~config applet) configs)
+    applets
+
+let render rows =
+  let by_applet = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      let existing =
+        try Hashtbl.find by_applet row.applet with Not_found -> []
+      in
+      Hashtbl.replace by_applet row.applet (row :: existing))
+    rows;
+  let applet_names =
+    List.sort_uniq compare (List.map (fun r -> r.applet) rows)
+  in
+  let render_applet name =
+    let group = List.rev (Hashtbl.find by_applet name) in
+    let best =
+      List.fold_left
+        (fun acc r -> if r.correct && r.bus_pj < acc then r.bus_pj else acc)
+        infinity group
+    in
+    let body =
+      List.map
+        (fun r ->
+          [
+            (if r.correct && r.bus_pj = best then "* " ^ r.config.Jcvm.Configs.name
+             else r.config.Jcvm.Configs.name);
+            string_of_int r.cycles;
+            Printf.sprintf "%.1f" r.bus_pj;
+            string_of_int r.transactions;
+            (match r.value with Some v -> string_of_int v | None -> "-");
+            (if r.correct then "ok" else "WRONG");
+          ])
+        group
+    in
+    Printf.sprintf "applet %s (%d bytecode steps):\n%s" name
+      (match group with r :: _ -> r.steps | [] -> 0)
+      (Report.table
+         ~header:[ "configuration"; "cycles"; "bus pJ"; "bus txns"; "result"; "check" ]
+         body)
+  in
+  String.concat "\n\n" (List.map render_applet applet_names)

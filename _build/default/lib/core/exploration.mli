@@ -1,0 +1,42 @@
+(** HW/SW interface exploration of the paper's section 4.3.
+
+    For each interface configuration, the hardware stack joins the
+    platform as an extra slave, the master adapter binds the Java Card
+    interpreter's stack calls to bus transactions, and the applet runs on
+    the energy-aware transaction-level bus.  Rows report cycles, bus
+    energy, transaction count and functional correctness against the
+    software-stack reference — the data on which the "best HW/SW
+    interface between the java card interpreter and the hardware stack"
+    is chosen. *)
+
+type row = {
+  config : Jcvm.Configs.t;
+  applet : string;
+  level : Level.t;
+  cycles : int;  (** kernel cycles consumed by the applet's bus traffic *)
+  bus_pj : float;
+  transactions : int;  (** bus transactions the adapter issued *)
+  steps : int;  (** bytecode instructions interpreted *)
+  value : int option;
+  correct : bool;  (** matches the software-stack reference *)
+}
+
+val run_one :
+  ?level:Level.t ->
+  ?table:Power.Characterization.t ->
+  config:Jcvm.Configs.t ->
+  Jcvm.Applets.t ->
+  row
+
+val run :
+  ?level:Level.t ->
+  ?table:Power.Characterization.t ->
+  ?configs:Jcvm.Configs.t list ->
+  ?applets:Jcvm.Applets.t list ->
+  unit ->
+  row list
+(** Full sweep; defaults: layer 1 bus, default table, the standard
+    configuration space and all sample applets. *)
+
+val render : row list -> string
+(** One table per applet, best configuration (energy) marked. *)

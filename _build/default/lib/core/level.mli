@@ -1,0 +1,11 @@
+(** The abstraction-level hierarchy of the paper.
+
+    [Rtl] is the register-transfer/gate-level reference ("layer 0", the
+    role Diesel plays in the paper), [L1] the cycle-accurate transaction
+    level layer one, [L2] the timing-estimation layer two. *)
+
+type t = Rtl | L1 | L2
+
+val all : t list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

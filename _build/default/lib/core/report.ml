@@ -1,0 +1,40 @@
+let is_numberish s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || String.contains "+-.,%xkMG " c)
+       s
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    let cell c =
+      let text = Option.value (List.nth_opt row c) ~default:"" in
+      let w = List.nth widths c in
+      if is_numberish text then Printf.sprintf "%*s" w text
+      else Printf.sprintf "%-*s" w text
+    in
+    "| " ^ String.concat " | " (List.init cols cell) ^ " |"
+  in
+  let rule =
+    "|"
+    ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let pct v = Printf.sprintf "%+.1f%%" v
+let ratio_pct ~reference v =
+  if reference = 0.0 then "n/a" else Printf.sprintf "%.1f%%" (v /. reference *. 100.0)
+
+let pj v = Format.asprintf "%a" Power.Units.pp_pj v
+let float1 v = Printf.sprintf "%.1f" v

@@ -1,0 +1,17 @@
+(** Plain-text rendering of the paper's tables.
+
+    Fixed-width tables with a header row, matching the way results are
+    presented in the paper and in EXPERIMENTS.md. *)
+
+val table : header:string list -> string list list -> string
+(** [table ~header rows] lays out columns to the widest cell.  Cells that
+    parse as numbers are right-aligned. *)
+
+val pct : float -> string
+(** Signed percentage with one decimal ("+14.7%", "-7.8%", "0.0%"). *)
+
+val ratio_pct : reference:float -> float -> string
+(** Value as percent of a reference ("92.1%"). *)
+
+val pj : float -> string
+val float1 : float -> string

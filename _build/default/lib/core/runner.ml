@@ -1,0 +1,146 @@
+type result = {
+  level : Level.t;
+  cycles : int;
+  txns : int;
+  beats : int;
+  errors : int;
+  bus_pj : float;
+  component_pj : float;
+  transitions : int;
+  profile : Power.Profile.t option;
+  wall_seconds : float;
+}
+
+let txns_per_second r =
+  if r.wall_seconds <= 0.0 then 0.0 else float_of_int r.txns /. r.wall_seconds
+
+let collect system ~cycles ~wall_seconds =
+  {
+    level = System.level system;
+    cycles;
+    txns = System.completed_txns system;
+    beats = System.completed_beats system;
+    errors = System.error_txns system;
+    bus_pj = System.bus_energy_pj system;
+    component_pj = System.component_energy_pj system;
+    transitions = System.bus_transitions system;
+    profile = System.profile system;
+    wall_seconds;
+  }
+
+let run_trace ?level ?estimate ?record_profile ?table ?rtl_params ?l2_params
+    ?(mode = `Pipelined) ?max_cycles ?init trace =
+  let system =
+    System.create ?level ?estimate ?record_profile ?table ?rtl_params
+      ?l2_params ()
+  in
+  (match init with Some f -> f system | None -> ());
+  let kernel = System.kernel system in
+  let master =
+    Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode trace
+  in
+  let t0 = Unix.gettimeofday () in
+  let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  collect system ~cycles ~wall_seconds
+
+let run_levels ?estimate ?table ?mode ?init trace =
+  List.map
+    (fun level -> run_trace ~level ?estimate ?table ?mode ?init trace)
+    Level.all
+
+(* Deterministic content for memories read by replayed traces, so the
+   read-data bus carries realistic values instead of zeros. *)
+let fill_memories system =
+  let pattern i = (((i * 2654435761) lxor 0x0F0F_F0F0) + (i lsl 7)) land 0xFFFFFFFF in
+  let fill memory bytes =
+    for w = 0 to (bytes / 4) - 1 do
+      let base = (Soc.Memory.cfg memory).Ec.Slave_cfg.base in
+      Soc.Memory.poke32 memory ~addr:(base + (4 * w)) (pattern w)
+    done
+  in
+  let p = System.platform system in
+  fill (Soc.Platform.rom p) 4096;
+  fill (Soc.Platform.ram p) 4096;
+  fill (Soc.Platform.eeprom p) 4096;
+  fill (Soc.Platform.flash p) 4096
+
+type program_run = {
+  result : result;
+  instructions : int;
+  fault : Soc.Cpu.fault option;
+  uart_output : string;
+  system : System.t;
+  cpu : Soc.Cpu.t;
+  icache : Soc.Icache.t option;
+}
+
+let run_program ?level ?estimate ?record_profile ?table ?max_cycles
+    ?icache_lines ?vcd program =
+  let system = System.create ?level ?estimate ?record_profile ?table () in
+  let kernel = System.kernel system in
+  let vcd_dump =
+    match vcd, System.bus system with
+    | Some path, System.Rtl_bus bus ->
+      Some (path, Rtl.Vcd.create ~kernel (Rtl.Bus.wires bus))
+    | Some _, (System.L1_bus _ | System.L2_bus _) ->
+      invalid_arg "Core.Runner.run_program: vcd needs the rtl level"
+    | None, _ -> None
+  in
+  Soc.Platform.load_program (System.platform system) program;
+  let platform = System.platform system in
+  let bus_port = System.port system in
+  let icache =
+    Option.map
+      (fun lines -> Soc.Icache.create ~kernel ~lines ~inner:bus_port ())
+      icache_lines
+  in
+  let cpu_port =
+    match icache with Some c -> Soc.Icache.port c | None -> bus_port
+  in
+  let cpu =
+    Soc.Cpu.create ~kernel ~port:cpu_port ~pc:program.Soc.Asm.origin
+      ~irq:(fun () -> Soc.Platform.irq_asserted platform)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let cycles = Soc.Cpu.run_to_halt cpu ~kernel ?max_cycles () in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  (match vcd_dump with
+  | Some (path, recorder) -> Rtl.Vcd.write recorder path
+  | None -> ());
+  {
+    result = collect system ~cycles ~wall_seconds;
+    instructions = Soc.Cpu.instructions cpu;
+    fault = Soc.Cpu.fault cpu;
+    uart_output = Soc.Uart.transmitted (Soc.Platform.uart (System.platform system));
+    system;
+    cpu;
+    icache;
+  }
+
+let capture_cpu_trace ?max_cycles program =
+  let system = System.create ~level:Level.Rtl () in
+  let kernel = System.kernel system in
+  fill_memories system;
+  Soc.Platform.load_program (System.platform system) program;
+  let monitor = Soc.Monitor.create ~kernel (System.port system) in
+  let cpu =
+    Soc.Cpu.create ~kernel ~port:(Soc.Monitor.port monitor)
+      ~pc:program.Soc.Asm.origin ()
+  in
+  ignore (Soc.Cpu.run_to_halt cpu ~kernel ?max_cycles ());
+  Soc.Monitor.trace monitor
+
+let characterize ?rtl_params ?(training = Workloads.characterization_trace) () =
+  let system = System.create ~level:Level.Rtl ?rtl_params () in
+  fill_memories system;
+  let kernel = System.kernel system in
+  let master =
+    Soc.Trace_master.create ~kernel ~port:(System.port system) training
+  in
+  ignore (Soc.Trace_master.run master ~kernel ());
+  match System.bus system with
+  | System.Rtl_bus bus ->
+    Rtl.Diesel.characterize ~name:"derived(gate-level)" (Rtl.Bus.diesel bus)
+  | System.L1_bus _ | System.L2_bus _ -> assert false

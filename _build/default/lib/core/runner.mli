@@ -1,0 +1,88 @@
+(** Experiment runners: one call builds a fresh system at a given level,
+    drives a workload through it and collects the measurements the
+    paper's tables are made of. *)
+
+type result = {
+  level : Level.t;
+  cycles : int;  (** simulated clock cycles until the workload drained *)
+  txns : int;
+  beats : int;
+  errors : int;
+  bus_pj : float;
+  component_pj : float;
+  transitions : int;
+  profile : Power.Profile.t option;
+  wall_seconds : float;  (** host time spent simulating *)
+}
+
+val txns_per_second : result -> float
+(** Simulation performance in bus transactions per wall-clock second (the
+    T/s metric of Table 3). *)
+
+val run_trace :
+  ?level:Level.t ->
+  ?estimate:bool ->
+  ?record_profile:bool ->
+  ?table:Power.Characterization.t ->
+  ?rtl_params:Rtl.Params.t ->
+  ?l2_params:Tlm2.Energy.params ->
+  ?mode:Soc.Trace_master.mode ->
+  ?max_cycles:int ->
+  ?init:(System.t -> unit) ->
+  Ec.Trace.t ->
+  result
+(** [init] runs against the fresh system before simulation starts (load
+    images, fill memories). *)
+
+val run_levels :
+  ?estimate:bool ->
+  ?table:Power.Characterization.t ->
+  ?mode:Soc.Trace_master.mode ->
+  ?init:(System.t -> unit) ->
+  Ec.Trace.t ->
+  result list
+(** The same trace through the gate-level reference, layer 1 and layer 2
+    (Tables 1 and 2 in one call). *)
+
+val fill_memories : System.t -> unit
+(** Writes a deterministic pattern into the first KiBs of every memory, so
+    replayed read traffic carries realistic data values. *)
+
+type program_run = {
+  result : result;
+  instructions : int;
+  fault : Soc.Cpu.fault option;
+  uart_output : string;
+  system : System.t;
+  cpu : Soc.Cpu.t;
+  icache : Soc.Icache.t option;
+}
+
+val run_program :
+  ?level:Level.t ->
+  ?estimate:bool ->
+  ?record_profile:bool ->
+  ?table:Power.Characterization.t ->
+  ?max_cycles:int ->
+  ?icache_lines:int ->
+  ?vcd:string ->
+  Soc.Asm.program ->
+  program_run
+(** Loads the image, runs the CPU to halt.  The program must reside in a
+    memory of the Figure-1 map.  With [icache_lines] the core fetches
+    through an instruction cache of that many 16-byte lines.  [vcd]
+    writes a waveform dump of the run (gate-level systems only:
+    @raise Invalid_argument otherwise). *)
+
+val capture_cpu_trace : ?max_cycles:int -> Soc.Asm.program -> Ec.Trace.t
+(** The paper's tracing step: runs the program on the gate-level system
+    with a bus monitor and returns the recorded transaction trace. *)
+
+val characterize :
+  ?rtl_params:Rtl.Params.t ->
+  ?training:Ec.Trace.t ->
+  unit ->
+  Power.Characterization.t
+(** Runs the training workload (default
+    {!Workloads.characterization_trace}) on the gate-level reference and
+    derives the per-signal table, mirroring the Diesel-based flow. *)

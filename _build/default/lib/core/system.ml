@@ -1,0 +1,120 @@
+type bus =
+  | Rtl_bus of Rtl.Bus.t
+  | L1_bus of Tlm1.Bus.t
+  | L2_bus of Tlm2.Bus.t
+
+type t = {
+  kernel : Sim.Kernel.t;
+  platform : Soc.Platform.t;
+  bus : bus;
+  level : Level.t;
+}
+
+let create ?(level = Level.L1) ?(estimate = true) ?(record_profile = false)
+    ?(table = Power.Characterization.default) ?rtl_params ?l2_params ?seed
+    ?extra_slaves () =
+  let kernel = Sim.Kernel.create () in
+  let platform = Soc.Platform.create ~kernel ?seed ?extra_slaves () in
+  let decoder = Soc.Platform.decoder platform in
+  let bus =
+    match level with
+    | Level.Rtl ->
+      Rtl_bus (Rtl.Bus.create ~kernel ~decoder ?params:rtl_params ~record_profile ())
+    | Level.L1 ->
+      let energy =
+        if estimate then Some (Tlm1.Energy.create ~record_profile table)
+        else None
+      in
+      L1_bus (Tlm1.Bus.create ~kernel ~decoder ?energy ())
+    | Level.L2 ->
+      let energy =
+        if estimate then
+          Some (Tlm2.Energy.create ~record_profile ?params:l2_params table)
+        else None
+      in
+      L2_bus (Tlm2.Bus.create ~kernel ~decoder ?energy ())
+  in
+  let t = { kernel; platform; bus; level } in
+  let port =
+    match bus with
+    | Rtl_bus b -> Rtl.Bus.port b
+    | L1_bus b -> Tlm1.Bus.port b
+    | L2_bus b -> Tlm2.Bus.port b
+  in
+  Soc.Platform.connect_bus platform port;
+  t
+
+let kernel t = t.kernel
+let platform t = t.platform
+let bus t = t.bus
+let level t = t.level
+
+let port t =
+  match t.bus with
+  | Rtl_bus b -> Rtl.Bus.port b
+  | L1_bus b -> Tlm1.Bus.port b
+  | L2_bus b -> Tlm2.Bus.port b
+
+let bus_busy t =
+  match t.bus with
+  | Rtl_bus b -> Rtl.Bus.busy b
+  | L1_bus b -> Tlm1.Bus.busy b
+  | L2_bus b -> Tlm2.Bus.busy b
+
+let completed_txns t =
+  match t.bus with
+  | Rtl_bus b -> Rtl.Bus.completed_txns b
+  | L1_bus b -> Tlm1.Bus.completed_txns b
+  | L2_bus b -> Tlm2.Bus.completed_txns b
+
+let completed_beats t =
+  match t.bus with
+  | Rtl_bus b -> Rtl.Bus.completed_beats b
+  | L1_bus b -> Tlm1.Bus.completed_beats b
+  | L2_bus b -> Tlm2.Bus.completed_beats b
+
+let error_txns t =
+  match t.bus with
+  | Rtl_bus b -> Rtl.Bus.error_txns b
+  | L1_bus b -> Tlm1.Bus.error_txns b
+  | L2_bus b -> Tlm2.Bus.error_txns b
+
+let bus_energy_pj t =
+  match t.bus with
+  | Rtl_bus b -> Rtl.Diesel.total_pj (Rtl.Bus.diesel b)
+  | L1_bus b -> begin
+    match Tlm1.Bus.energy b with
+    | Some e -> Tlm1.Energy.total_pj e
+    | None -> 0.0
+  end
+  | L2_bus b -> begin
+    match Tlm2.Bus.energy b with
+    | Some e -> Tlm2.Energy.total_pj e
+    | None -> 0.0
+  end
+
+let bus_transitions t =
+  match t.bus with
+  | Rtl_bus b -> Rtl.Diesel.transitions_total (Rtl.Bus.diesel b)
+  | L1_bus b -> begin
+    match Tlm1.Bus.energy b with
+    | Some e -> Tlm1.Energy.transitions_total e
+    | None -> 0
+  end
+  | L2_bus _ -> 0
+
+let component_energy_pj t = Soc.Platform.components_energy_pj t.platform
+let total_energy_pj t = bus_energy_pj t +. component_energy_pj t
+
+let meter t =
+  match t.bus with
+  | Rtl_bus b -> Some (Rtl.Diesel.meter (Rtl.Bus.diesel b))
+  | L1_bus b -> Option.map Tlm1.Energy.meter (Tlm1.Bus.energy b)
+  | L2_bus b -> Option.map Tlm2.Energy.meter (Tlm2.Bus.energy b)
+
+let profile t = Option.bind (meter t) Power.Meter.profile
+
+let energy_since_last_call_pj t =
+  match meter t with
+  | Some m -> Power.Meter.since_last_call_pj m
+  | None -> 0.0

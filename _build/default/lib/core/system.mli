@@ -1,0 +1,55 @@
+(** A complete simulated smart card: the Figure-1 platform attached to a
+    bus model at a chosen abstraction level, sharing one clock. *)
+
+type bus =
+  | Rtl_bus of Rtl.Bus.t
+  | L1_bus of Tlm1.Bus.t
+  | L2_bus of Tlm2.Bus.t
+
+type t
+
+val create :
+  ?level:Level.t ->
+  ?estimate:bool ->
+  ?record_profile:bool ->
+  ?table:Power.Characterization.t ->
+  ?rtl_params:Rtl.Params.t ->
+  ?l2_params:Tlm2.Energy.params ->
+  ?seed:int ->
+  ?extra_slaves:Ec.Slave.t list ->
+  unit ->
+  t
+(** Defaults: [level = L1], energy estimation on, no profile recording,
+    the capacitance-based default characterization table for the
+    transaction-level energy models, default electrical parameters for the
+    reference estimator.  [estimate:false] runs the bus without an energy
+    model (the faster configuration of Table 3); it does not affect the
+    RTL reference, whose estimator is integral. *)
+
+val kernel : t -> Sim.Kernel.t
+val platform : t -> Soc.Platform.t
+val bus : t -> bus
+val level : t -> Level.t
+val port : t -> Ec.Port.t
+
+val bus_busy : t -> bool
+val completed_txns : t -> int
+val completed_beats : t -> int
+val error_txns : t -> int
+
+val bus_energy_pj : t -> float
+(** Estimated bus energy at this system's level (0 without estimation). *)
+
+val bus_transitions : t -> int
+(** Interface signal transitions counted by the bus energy model (0 for
+    layer 2 and for estimation-off runs). *)
+
+val component_energy_pj : t -> float
+val total_energy_pj : t -> float
+
+val profile : t -> Power.Profile.t option
+(** Per-cycle bus energy profile, when recording was requested. *)
+
+val energy_since_last_call_pj : t -> float
+(** The paper's sampling method on whichever power interface the level
+    provides. *)

@@ -1,0 +1,340 @@
+module Map = Soc.Platform.Map
+
+(* Polymorphic record field so the emitter accepts any format at each
+   call site. *)
+type emitter = { line : 'a. ('a, unit, string, unit) format4 -> 'a }
+
+let buf_program build =
+  let b = Buffer.create 1024 in
+  let emitter =
+    { line = (fun fmt -> Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt) }
+  in
+  build emitter;
+  Buffer.contents b
+
+(* A word table of deterministic but bit-diverse values. *)
+let emit_table { line } label n =
+  line "%s:" label;
+  for i = 0 to n - 1 do
+    line "  .word %d" ((((i * 0x9E3779B9) lxor 0x5A5AA5A5) + i) land 0xFFFFFFFF)
+  done
+
+let memcpy ~words =
+  buf_program (fun { line } ->
+      line "  la r1, table";
+      line "  li r2, %d" Map.ram_base;
+      line "  addi r3, r0, %d" words;
+      line "copy_loop:";
+      line "  lw r4, 0(r1)";
+      line "  sw r4, 0(r2)";
+      line "  addi r1, r1, 4";
+      line "  addi r2, r2, 4";
+      line "  addi r3, r3, -1";
+      line "  bne r3, r0, copy_loop";
+      line "  halt";
+      emit_table { line } "table" words)
+
+let checksum ~words =
+  buf_program (fun { line } ->
+      line "  la r1, table";
+      line "  li r2, %d" Map.ram_base;
+      line "  addi r3, r0, %d" words;
+      line "  add r4, r0, r0";
+      line "sum_loop:";
+      line "  lw r5, 0(r1)";
+      line "  add r4, r4, r5";
+      line "  addi r1, r1, 4";
+      line "  addi r3, r3, -1";
+      line "  bne r3, r0, sum_loop";
+      line "  sw r4, 0(r2)";
+      line "  li r6, %d" Map.uart_base;
+      line "  sb r4, 0(r6)";
+      line "  halt";
+      emit_table { line } "table" words)
+
+let bubble_sort ~n =
+  buf_program (fun { line } ->
+      line "  li r1, %d" Map.ram_base;
+      line "  addi r2, r0, %d" n;
+      line "  add r3, r0, r0";
+      line "init_loop:";
+      line "  sub r4, r2, r3";
+      line "  sll r5, r3, 2";
+      line "  add r5, r5, r1";
+      line "  sw r4, 0(r5)";
+      line "  addi r3, r3, 1";
+      line "  blt r3, r2, init_loop";
+      line "  addi r6, r2, -1";
+      line "outer:";
+      line "  beq r6, r0, sorted";
+      line "  add r3, r0, r0";
+      line "inner:";
+      line "  sll r5, r3, 2";
+      line "  add r5, r5, r1";
+      line "  lw r7, 0(r5)";
+      line "  lw r8, 4(r5)";
+      line "  bge r8, r7, no_swap";
+      line "  sw r8, 0(r5)";
+      line "  sw r7, 4(r5)";
+      line "no_swap:";
+      line "  addi r3, r3, 1";
+      line "  blt r3, r6, inner";
+      line "  addi r6, r6, -1";
+      line "  j outer";
+      line "sorted:";
+      line "  halt")
+
+let burst_copy ~blocks =
+  buf_program (fun { line } ->
+      line "  la r1, btable";
+      line "  li r2, %d" Map.ram_base;
+      line "  addi r3, r0, %d" blocks;
+      line "burst_loop:";
+      line "  lw4 r4, 0(r1)";
+      line "  sw4 r4, 0(r2)";
+      line "  addi r1, r1, 16";
+      line "  addi r2, r2, 16";
+      line "  addi r3, r3, -1";
+      line "  bne r3, r0, burst_loop";
+      line "  halt";
+      emit_table { line } "btable" (4 * blocks))
+
+let crypto_key = 0x01020304
+
+let crypto_run ~plaintexts =
+  buf_program (fun { line } ->
+      line "  li r1, %d" Map.crypto_base;
+      line "  li r2, %d" crypto_key;
+      line "  sw r2, 0(r1)";
+      line "  li r9, %d" Map.ram_base;
+      List.iteri
+        (fun i pt ->
+          line "  li r3, %d" pt;
+          line "  sw r3, 4(r1)";
+          line "  addi r4, r0, 1";
+          line "  sw r4, 8(r1)";
+          line "wait_%d:" i;
+          line "  lw r5, 12(r1)";
+          line "  andi r5, r5, 2";
+          line "  beq r5, r0, wait_%d" i;
+          line "  lw r6, 16(r1)";
+          line "  sw r6, 0(r9)";
+          line "  addi r9, r9, 4")
+        plaintexts;
+      line "  halt")
+
+let peripherals_tour =
+  buf_program (fun { line } ->
+      (* Timer channel 0: enable, busy-wait, sample, disable. *)
+      line "  li r1, %d" Map.timer_base;
+      line "  addi r2, r0, 1";
+      line "  sw r2, 8(r1)";
+      line "  addi r3, r0, 20";
+      line "spin:";
+      line "  addi r3, r3, -1";
+      line "  bne r3, r0, spin";
+      line "  lw r4, 0(r1)";
+      line "  sw r0, 8(r1)";
+      line "  li r5, %d" Map.ram_base;
+      line "  sw r4, 0(r5)";
+      (* TRNG: poll ready, fetch two words. *)
+      line "  li r1, %d" Map.trng_base;
+      line "trng_1:";
+      line "  lw r6, 4(r1)";
+      line "  beq r6, r0, trng_1";
+      line "  lw r7, 0(r1)";
+      line "  sw r7, 4(r5)";
+      line "trng_2:";
+      line "  lw r6, 4(r1)";
+      line "  beq r6, r0, trng_2";
+      line "  lw r8, 0(r1)";
+      line "  sw r8, 8(r5)";
+      (* EEPROM read-modify-write (slow write wait states). *)
+      line "  li r1, %d" Map.eeprom_base;
+      line "  lw r9, 0(r1)";
+      line "  addi r9, r9, 1";
+      line "  sw r9, 0(r1)";
+      (* Sub-word merge patterns on RAM. *)
+      line "  li r1, %d" Map.ram_base;
+      line "  addi r2, r0, 171";
+      line "  sb r2, 17(r1)";
+      line "  lbu r3, 17(r1)";
+      line "  li r2, 0x1234";
+      line "  sh r2, 18(r1)";
+      line "  lhu r4, 18(r1)";
+      (* UART: print "OK". *)
+      line "  li r1, %d" Map.uart_base;
+      line "  addi r2, r0, 79";
+      line "  sb r2, 0(r1)";
+      line "  addi r2, r0, 75";
+      line "  sb r2, 0(r1)";
+      line "  halt")
+
+let timer_interrupts ~ticks =
+  buf_program (fun { line } ->
+      line "  j main";
+      line "  .org 0x40";
+      (* Handler: count the tick in RAM, acknowledge timer and intc. *)
+      line "vector:";
+      line "  li r20, %d" Map.ram_base;
+      line "  lw r21, 0(r20)";
+      line "  addi r21, r21, 1";
+      line "  sw r21, 0(r20)";
+      line "  li r22, %d" Map.timer_base;
+      line "  addi r23, r0, 1";
+      line "  sw r23, 12(r22)";
+      line "  li r22, %d" Map.intc_base;
+      line "  addi r23, r0, 1";
+      line "  sw r23, 0(r22)";
+      line "  eret";
+      line "main:";
+      (* Timer channel 0: overflow every 64 cycles, auto reload. *)
+      line "  li r1, %d" Map.timer_base;
+      line "  li r2, 0xFFC0";
+      line "  sw r2, 0(r1)";
+      line "  sw r2, 4(r1)";
+      line "  addi r3, r0, 3";
+      line "  sw r3, 8(r1)";
+      (* Unmask line 0 at the controller and in the core. *)
+      line "  li r4, %d" Map.intc_base;
+      line "  addi r5, r0, 1";
+      line "  sw r5, 4(r4)";
+      line "  ei";
+      line "  li r6, %d" Map.ram_base;
+      line "wait_ticks:";
+      line "  lw r7, 0(r6)";
+      line "  slti r8, r7, %d" ticks;
+      line "  bne r8, r0, wait_ticks";
+      line "  di";
+      line "  sw r0, 8(r1)";
+      line "  halt")
+
+let dma_copy ?(wfi = false) ~words ~burst () =
+  buf_program (fun { line } ->
+      (* Stage source data into RAM (the DMA reads it back to a second
+         RAM region). *)
+      line "  la r1, dma_table";
+      line "  li r2, %d" Map.ram_base;
+      line "  addi r3, r0, %d" words;
+      line "stage:";
+      line "  lw r4, 0(r1)";
+      line "  sw r4, 0(r2)";
+      line "  addi r1, r1, 4";
+      line "  addi r2, r2, 4";
+      line "  addi r3, r3, -1";
+      line "  bne r3, r0, stage";
+      (* Program the engine: RAM base -> RAM base + 0x800. *)
+      line "  li r5, %d" Map.dma_base;
+      line "  li r6, %d" Map.ram_base;
+      line "  sw r6, 0(r5)";
+      line "  li r7, %d" (Map.ram_base + 0x800);
+      line "  sw r7, 4(r5)";
+      line "  addi r8, r0, %d" words;
+      line "  sw r8, 8(r5)";
+      line "  addi r9, r0, %d" (if burst then 3 else 1);
+      line "  sw r9, 12(r5)";
+      (* Wait for completion. *)
+      if wfi then begin
+        (* Sleep until the DMA line asserts at the controller (interrupts
+           stay disabled at the core, so execution continues inline), then
+           acknowledge. *)
+        line "  li r11, %d" Map.intc_base;
+        line "  addi r12, r0, %d" (1 lsl 4);
+        line "  sw r12, 4(r11)";
+        line "dma_wait:";
+        line "  lw r10, 16(r5)";
+        line "  andi r10, r10, 2";
+        line "  bne r10, r0, dma_done";
+        line "  wfi";
+        line "  j dma_wait";
+        line "dma_done:";
+        line "  sw r12, 0(r11)";
+        line "  halt"
+      end
+      else begin
+        line "dma_wait:";
+        line "  lw r10, 16(r5)";
+        line "  andi r10, r10, 2";
+        line "  beq r10, r0, dma_wait";
+        line "  halt"
+      end;
+      emit_table { line } "dma_table" words)
+
+(* Chains the interesting traffic shapes into the single traced test
+   program of the accuracy tables. *)
+let bus_exercise =
+  buf_program (fun { line } ->
+      (* Word copy loop ROM -> RAM (reads overlap buffered stores). *)
+      line "  la r1, xtable";
+      line "  li r2, %d" Map.ram_base;
+      line "  addi r3, r0, 12";
+      line "x_copy:";
+      line "  lw r4, 0(r1)";
+      line "  sw r4, 0(r2)";
+      line "  addi r1, r1, 4";
+      line "  addi r2, r2, 4";
+      line "  addi r3, r3, -1";
+      line "  bne r3, r0, x_copy";
+      (* Burst copy. *)
+      line "  la r1, xtable";
+      line "  li r2, %d" (Map.ram_base + 0x100);
+      line "  addi r3, r0, 3";
+      line "x_burst:";
+      line "  lw4 r4, 0(r1)";
+      line "  sw4 r4, 0(r2)";
+      line "  addi r1, r1, 16";
+      line "  addi r2, r2, 16";
+      line "  addi r3, r3, -1";
+      line "  bne r3, r0, x_burst";
+      (* Sub-word traffic. *)
+      line "  li r1, %d" (Map.ram_base + 0x200);
+      line "  addi r2, r0, 90";
+      line "  sb r2, 1(r1)";
+      line "  sb r2, 2(r1)";
+      line "  lbu r3, 1(r1)";
+      line "  li r2, 0x4321";
+      line "  sh r2, 4(r1)";
+      line "  lh r4, 4(r1)";
+      (* Wait-state slaves: FLASH reads, EEPROM read-modify-write. *)
+      line "  li r1, %d" Map.flash_base;
+      line "  lw r5, 0(r1)";
+      line "  lw r6, 4(r1)";
+      line "  li r1, %d" Map.eeprom_base;
+      line "  lw r7, 0(r1)";
+      line "  add r7, r7, r5";
+      line "  sw r7, 0(r1)";
+      (* Crypto operation. *)
+      line "  li r1, %d" Map.crypto_base;
+      line "  li r2, %d" crypto_key;
+      line "  sw r2, 0(r1)";
+      line "  li r3, 0x61626364";
+      line "  sw r3, 4(r1)";
+      line "  addi r4, r0, 1";
+      line "  sw r4, 8(r1)";
+      line "x_wait:";
+      line "  lw r5, 12(r1)";
+      line "  andi r5, r5, 2";
+      line "  beq r5, r0, x_wait";
+      line "  lw r6, 16(r1)";
+      line "  li r2, %d" Map.ram_base;
+      line "  sw r6, 16(r2)";
+      (* UART byte. *)
+      line "  li r1, %d" Map.uart_base;
+      line "  addi r2, r0, 33";
+      line "  sb r2, 0(r1)";
+      line "  halt";
+      emit_table { line } "xtable" 16)
+
+let all =
+  [
+    ("memcpy", memcpy ~words:16);
+    ("checksum", checksum ~words:16);
+    ("bubble-sort", bubble_sort ~n:10);
+    ("burst-copy", burst_copy ~blocks:4);
+    ("crypto-run", crypto_run ~plaintexts:[ 0x00112233; 0x44556677 ]);
+    ("peripherals-tour", peripherals_tour);
+    ("timer-interrupts", timer_interrupts ~ticks:3);
+    ("dma-copy", dma_copy ~words:16 ~burst:true ());
+    ("dma-copy-wfi", dma_copy ~wfi:true ~words:16 ~burst:true ());
+    ("bus-exercise", bus_exercise);
+  ]

@@ -1,0 +1,31 @@
+(** Synthetic workload generators.
+
+    Random but reproducible traffic for characterization (the training run
+    behind {!Runner.characterize}), for the simulation-performance
+    measurements of Table 3 ("all combinations between single read, single
+    write, burst read, and burst write transactions"), and for
+    property-based tests. *)
+
+val random_trace :
+  rng:Sim.Rng.t ->
+  n:int ->
+  ?max_gap:int ->
+  ?write_ratio:float ->
+  ?burst_ratio:float ->
+  ?subword_ratio:float ->
+  ?instr_ratio:float ->
+  unit ->
+  Ec.Trace.t
+(** [n] transactions over the Figure-1 memory map, error-free by
+    construction (writes only target writable slaves, fetches executable
+    ones).  Ratios default to 0.4 writes, 0.25 bursts, 0.2 sub-word
+    singles, 0.2 instruction fetches among reads; gaps uniform in
+    [0, max_gap] (default 3). *)
+
+val characterization_trace : Ec.Trace.t
+(** The standard training workload (seeded, 2000 transactions). *)
+
+val table3_trace : n:int -> Ec.Trace.t
+(** Deterministic mix cycling through every ordered pair of {single read,
+    single write, burst read, burst write}, zero gaps — the Table 3
+    stimulus. *)

@@ -1,0 +1,1 @@
+lib/ec/decoder.ml: Array Printf Slave Slave_cfg Txn

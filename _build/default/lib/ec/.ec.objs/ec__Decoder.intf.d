@@ -1,0 +1,1 @@
+lib/ec/decoder.mli: Slave Txn

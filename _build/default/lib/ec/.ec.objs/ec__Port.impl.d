@@ -1,0 +1,1 @@
+lib/ec/port.ml: Format Txn

@@ -1,0 +1,1 @@
+lib/ec/port.mli: Txn

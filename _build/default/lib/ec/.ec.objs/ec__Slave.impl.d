@@ -1,0 +1,1 @@
+lib/ec/slave.ml: Array Slave_cfg Txn

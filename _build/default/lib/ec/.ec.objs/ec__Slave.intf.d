@@ -1,0 +1,1 @@
+lib/ec/slave.mli: Slave_cfg Txn

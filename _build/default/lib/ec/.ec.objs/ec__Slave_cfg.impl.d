@@ -1,0 +1,1 @@
+lib/ec/slave_cfg.ml: Format Printf Txn

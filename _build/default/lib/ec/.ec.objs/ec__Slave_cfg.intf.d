@@ -1,0 +1,1 @@
+lib/ec/slave_cfg.mli: Format Txn

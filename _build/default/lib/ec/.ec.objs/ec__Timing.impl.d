@@ -1,0 +1,1 @@
+lib/ec/timing.ml: Slave_cfg Txn

@@ -1,0 +1,1 @@
+lib/ec/timing.mli: Slave_cfg Txn

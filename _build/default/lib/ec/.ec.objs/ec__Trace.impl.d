@@ -1,0 +1,1 @@
+lib/ec/trace.ml: Array Buffer Fun List Printf String Txn

@@ -1,0 +1,1 @@
+lib/ec/txn.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/ec/txn.mli: Format

@@ -1,0 +1,34 @@
+(** The non-blocking master interface shared by every bus model.
+
+    The paper's master interfaces are non-blocking: the master invokes the
+    bus every clock cycle until the bus answers ok or error.  We split the
+    paper's single repeated call into [try_submit] (the first call, whose
+    answer is the [Request]/[Wait] acceptance) and [poll] (the repeated
+    calls, whose answer is [Wait]/[Ok]/[Error]).  Masters written against
+    this record run unchanged on the RTL, layer-1 and layer-2 models. *)
+
+type poll = Pending | Done | Failed
+
+type t = {
+  try_submit : Txn.t -> bool;
+      (** [true] when the request was accepted (queue space available in
+          its outstanding category); the master must retry next cycle
+          otherwise. *)
+  poll : int -> poll;
+      (** Completion state of an accepted transaction by id.  For reads,
+          [Done] implies the transaction's data array has been filled.
+          Non-destructive: keeps answering until {!field-retire}. *)
+  retire : int -> unit;
+      (** Releases the bus-side completion record of a finished
+          transaction.  Masters call it once they have consumed the
+          result, keeping the bus bookkeeping bounded. *)
+}
+
+val submit_exn : t -> Txn.t -> unit
+(** Submit that raises on back-pressure, for traffic known to fit. *)
+
+val completed : t -> int -> bool
+(** [completed p id] is true once [poll] answers [Done] or [Failed]. *)
+
+val take : t -> int -> poll
+(** [take p id] polls and, when finished, retires in one step. *)

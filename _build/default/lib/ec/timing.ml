@@ -1,0 +1,10 @@
+let addr_phase_cycles (cfg : Slave_cfg.t) = cfg.addr_wait + 1
+
+let data_wait (cfg : Slave_cfg.t) (txn : Txn.t) =
+  match txn.dir with Txn.Read -> cfg.read_wait | Txn.Write -> cfg.write_wait
+
+let data_phase_extra cfg (txn : Txn.t) =
+  let w = data_wait cfg txn in
+  w + ((txn.burst - 1) * (w + 1))
+
+let isolated_latency cfg txn = addr_phase_cycles cfg + data_phase_extra cfg txn

@@ -1,0 +1,105 @@
+type item = { gap : int; txn : Txn.t }
+type t = item list
+
+let item ?(gap = 0) txn =
+  if gap < 0 then invalid_arg "Ec.Trace.item: negative gap";
+  { gap; txn }
+
+let instantiate gen it =
+  let txn = it.txn in
+  let data =
+    match txn.Txn.dir with
+    | Txn.Write -> Some (Array.copy txn.Txn.data)
+    | Txn.Read -> None
+  in
+  let txn =
+    Txn.create ~id:(Txn.Id_gen.fresh gen) ~kind:txn.Txn.kind ~dir:txn.Txn.dir
+      ~width:txn.Txn.width ~addr:txn.Txn.addr ~burst:txn.Txn.burst ?data ()
+  in
+  { it with txn }
+
+let total_txns t = List.length t
+let total_beats t = List.fold_left (fun acc it -> acc + it.txn.Txn.burst) 0 t
+
+let dir_char = function Txn.Read -> 'R' | Txn.Write -> 'W'
+let kind_char = function Txn.Instruction -> 'I' | Txn.Data -> 'D'
+
+let width_code = function Txn.W8 -> 8 | Txn.W16 -> 16 | Txn.W32 -> 32
+
+let width_of_code = function
+  | 8 -> Txn.W8
+  | 16 -> Txn.W16
+  | 32 -> Txn.W32
+  | w -> failwith (Printf.sprintf "Ec.Trace: bad width %d" w)
+
+let item_to_line it =
+  let txn = it.txn in
+  let buf = Buffer.create 48 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %c%c %d 0x%x %d" it.gap (dir_char txn.Txn.dir)
+       (kind_char txn.Txn.kind) (width_code txn.Txn.width) txn.Txn.addr
+       txn.Txn.burst);
+  if txn.Txn.dir = Txn.Write then
+    Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf " 0x%x" v))
+      txn.Txn.data;
+  Buffer.contents buf
+
+let to_lines t = List.map item_to_line t
+
+let item_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | gap :: dk :: width :: addr :: burst :: rest when String.length dk = 2 ->
+    let fail msg = failwith (Printf.sprintf "Ec.Trace: %s in %S" msg line) in
+    let gap = int_of_string gap in
+    let dir =
+      match dk.[0] with
+      | 'R' -> Txn.Read
+      | 'W' -> Txn.Write
+      | _ -> fail "bad direction"
+    in
+    let kind =
+      match dk.[1] with
+      | 'I' -> Txn.Instruction
+      | 'D' -> Txn.Data
+      | _ -> fail "bad kind"
+    in
+    let width = width_of_code (int_of_string width) in
+    let addr = int_of_string addr in
+    let burst = int_of_string burst in
+    let data =
+      match dir with
+      | Txn.Read -> if rest <> [] then fail "payload on read" else None
+      | Txn.Write -> Some (Array.of_list (List.map int_of_string rest))
+    in
+    item ~gap (Txn.create ~id:0 ~kind ~dir ~width ~addr ~burst ?data ())
+  | _ -> failwith (Printf.sprintf "Ec.Trace: malformed line %S" line)
+
+let of_lines lines =
+  let keep line =
+    let line = String.trim line in
+    String.length line > 0 && line.[0] <> '#'
+  in
+  List.map item_of_line (List.filter keep lines)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line -> loop (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      of_lines (loop []))

@@ -1,0 +1,1 @@
+lib/iso7816/apdu.mli: Format

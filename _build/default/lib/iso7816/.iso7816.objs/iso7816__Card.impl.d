@@ -1,0 +1,1 @@
+lib/iso7816/card.ml: Apdu List Option

@@ -1,0 +1,1 @@
+lib/iso7816/card.mli: Apdu

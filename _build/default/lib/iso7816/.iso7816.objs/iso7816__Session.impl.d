@@ -1,0 +1,1 @@
+lib/iso7816/session.ml: Apdu Array Card Char Ec List Sim Soc String

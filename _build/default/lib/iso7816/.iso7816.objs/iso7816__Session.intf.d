@@ -1,0 +1,1 @@
+lib/iso7816/session.mli: Apdu Card Ec Sim Soc

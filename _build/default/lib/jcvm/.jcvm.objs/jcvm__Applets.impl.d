@@ -1,0 +1,1 @@
+lib/jcvm/applets.ml: Array Bytecode Hashtbl List

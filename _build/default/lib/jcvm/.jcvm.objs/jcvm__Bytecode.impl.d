@@ -1,0 +1,1 @@
+lib/jcvm/bytecode.ml: Array Buffer Bytes List Printf

@@ -1,0 +1,1 @@
+lib/jcvm/bytecode.mli: Bytes Result

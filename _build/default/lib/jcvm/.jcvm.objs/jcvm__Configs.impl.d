@@ -1,0 +1,1 @@
+lib/jcvm/configs.ml: Ec Format Soc

@@ -1,0 +1,1 @@
+lib/jcvm/configs.mli: Ec Format

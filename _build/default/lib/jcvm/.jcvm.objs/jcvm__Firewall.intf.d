@@ -1,0 +1,1 @@
+lib/jcvm/firewall.mli:

@@ -1,0 +1,1 @@
+lib/jcvm/hw_stack.ml: Array Configs Ec List

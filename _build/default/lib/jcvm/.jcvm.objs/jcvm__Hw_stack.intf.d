@@ -1,0 +1,1 @@
+lib/jcvm/hw_stack.mli: Configs Ec

@@ -1,0 +1,1 @@
+lib/jcvm/interp.ml: Array Bytecode Firewall List Memmgr Printf Soft_stack Stack_intf

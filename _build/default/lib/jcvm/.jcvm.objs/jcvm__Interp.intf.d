@@ -1,0 +1,1 @@
+lib/jcvm/interp.mli: Bytecode Firewall Memmgr Stack_intf

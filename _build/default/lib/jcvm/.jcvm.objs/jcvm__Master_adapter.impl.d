@@ -1,0 +1,1 @@
+lib/jcvm/master_adapter.ml: Array Configs Ec Sim Stack_intf

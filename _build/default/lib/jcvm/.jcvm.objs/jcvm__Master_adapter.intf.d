@@ -1,0 +1,1 @@
+lib/jcvm/master_adapter.mli: Configs Ec Sim Stack_intf

@@ -1,0 +1,1 @@
+lib/jcvm/memmgr.ml: Array Firewall Hashtbl Printf

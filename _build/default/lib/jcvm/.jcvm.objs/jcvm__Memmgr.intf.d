@@ -1,0 +1,1 @@
+lib/jcvm/memmgr.mli: Firewall

@@ -1,0 +1,1 @@
+lib/jcvm/soft_stack.ml: Array List Stack_intf

@@ -1,0 +1,1 @@
+lib/jcvm/soft_stack.mli: Stack_intf

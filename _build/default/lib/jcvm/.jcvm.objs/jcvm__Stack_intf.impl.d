@@ -1,0 +1,1 @@
+lib/jcvm/stack_intf.ml:

@@ -1,0 +1,240 @@
+(* The builder lists below read like bytecode listings; open the
+   instruction constructors wholesale. *)
+open Bytecode
+
+type t = {
+  name : string;
+  program : Bytecode.t array;
+  methods : Bytecode.t array array;
+  statics : int array;
+  expected : int option;
+}
+
+let method_table t = Array.append [| t.program |] t.methods
+
+(* Tiny label-resolving builder so applets stay readable: [L] defines a
+   label, [I] emits an instruction, [B] emits a branch to a label. *)
+type piece =
+  | L of string
+  | I of Bytecode.t
+  | B of (int -> Bytecode.t) * string
+
+let build pieces =
+  let labels = Hashtbl.create 16 in
+  let index = ref 0 in
+  List.iter
+    (fun piece ->
+      match piece with
+      | L name ->
+        if Hashtbl.mem labels name then
+          invalid_arg ("Jcvm.Applets: duplicate label " ^ name);
+        Hashtbl.replace labels name !index
+      | I _ | B _ -> incr index)
+    pieces;
+  let resolve name =
+    match Hashtbl.find_opt labels name with
+    | Some i -> i
+    | None -> invalid_arg ("Jcvm.Applets: undefined label " ^ name)
+  in
+  let emit = function
+    | L _ -> None
+    | I instr -> Some instr
+    | B (make, name) -> Some (make (resolve name))
+  in
+  Array.of_list (List.filter_map emit pieces)
+
+let wallet =
+  let program =
+    build
+      [
+        I (Sspush 0); I (Sstore 0);
+        L "loop";
+        I (Sload 0); I (Sspush 10); B ((fun l -> If_scmpge l), "end");
+        (* balance += 25 *)
+        I (Getstatic 0); I (Sspush 25); I Sadd; I (Putstatic 0);
+        (* if balance >= 200 then balance -= 60 *)
+        I (Getstatic 0); I (Sspush 200); B ((fun l -> If_scmplt l), "skip");
+        I (Getstatic 0); I (Sspush 60); I Ssub; I (Putstatic 0);
+        L "skip";
+        I (Sinc (0, 1)); B ((fun l -> Goto l), "loop");
+        L "end";
+        I (Getstatic 0); I Sreturn;
+      ]
+  in
+  { name = "wallet"; program; methods = [||]; statics = [| 100 |];
+    expected = Some 170 }
+
+let to_short v =
+  let v = v land 0xFFFF in
+  if v > 32767 then v - 65536 else v
+
+let crc16_message = List.init 16 (fun i -> ((i * 31) + 7) land 0xFF)
+
+let crc16_reference bytes =
+  let crc = ref 0xFFFF in
+  List.iter
+    (fun b ->
+      crc := (!crc lxor (b lsl 8)) land 0xFFFF;
+      for _ = 1 to 8 do
+        if !crc land 0x8000 <> 0 then crc := (!crc lsl 1) lxor 0x1021 land 0xFFFF
+        else crc := !crc lsl 1
+      done;
+      crc := !crc land 0xFFFF)
+    bytes;
+  to_short !crc
+
+let crc16 =
+  let program =
+    build
+      [
+        (* locals: 0 crc, 1 array ref, 2 fill index, 3 byte index, 4 bit *)
+        I (Sspush 16); I Newarray; I (Sstore 1);
+        I (Sspush 0); I (Sstore 2);
+        L "fill";
+        I (Sload 2); I (Sspush 16); B ((fun l -> If_scmpge l), "fill_done");
+        I (Sload 1); I (Sload 2);
+        I (Sload 2); I (Sspush 31); I Smul; I (Sspush 7); I Sadd;
+        I (Sspush 255); I Sand;
+        I Sastore;
+        I (Sinc (2, 1)); B ((fun l -> Goto l), "fill");
+        L "fill_done";
+        I (Sspush (-1)); I (Sstore 0);
+        I (Sspush 0); I (Sstore 3);
+        L "crc_loop";
+        I (Sload 3); I (Sspush 16); B ((fun l -> If_scmpge l), "crc_done");
+        I (Sload 1); I (Sload 3); I Saload; I (Sspush 8); I Sshl;
+        I (Sload 0); I Sxor; I (Sstore 0);
+        I (Sspush 0); I (Sstore 4);
+        L "bit";
+        I (Sload 4); I (Sspush 8); B ((fun l -> If_scmpge l), "bit_done");
+        I (Sload 0); I (Sspush (-32768)); I Sand;
+        B ((fun l -> Ifeq l), "no_xor");
+        I (Sload 0); I (Sspush 1); I Sshl; I (Sspush 4129); I Sxor;
+        I (Sstore 0); B ((fun l -> Goto l), "bit_next");
+        L "no_xor";
+        I (Sload 0); I (Sspush 1); I Sshl; I (Sstore 0);
+        L "bit_next";
+        I (Sinc (4, 1)); B ((fun l -> Goto l), "bit");
+        L "bit_done";
+        I (Sinc (3, 1)); B ((fun l -> Goto l), "crc_loop");
+        L "crc_done";
+        I (Sload 0); I Sreturn;
+      ]
+  in
+  {
+    name = "crc16";
+    program;
+    methods = [||];
+    statics = [||];
+    expected = Some (crc16_reference crc16_message);
+  }
+
+let sort_fill i = to_short (((i * 211) land 63) - 20)
+
+let sort_reference () =
+  let a = Array.init 12 sort_fill in
+  Array.sort compare a;
+  let sum = ref 0 in
+  Array.iteri (fun i v -> sum := to_short (!sum + to_short (v * (i + 1)))) a;
+  !sum
+
+let sort_applet =
+  let program =
+    build
+      [
+        (* locals: 0 checksum, 1 ref, 2 i, 3 j, 4 key *)
+        I (Sspush 12); I Newarray; I (Sstore 1);
+        I (Sspush 0); I (Sstore 2);
+        L "fill";
+        I (Sload 2); I (Sspush 12); B ((fun l -> If_scmpge l), "fill_done");
+        I (Sload 1); I (Sload 2);
+        I (Sload 2); I (Sspush 211); I Smul; I (Sspush 63); I Sand;
+        I (Sspush 20); I Ssub;
+        I Sastore;
+        I (Sinc (2, 1)); B ((fun l -> Goto l), "fill");
+        L "fill_done";
+        I (Sspush 1); I (Sstore 2);
+        L "outer";
+        I (Sload 2); I (Sspush 12); B ((fun l -> If_scmpge l), "outer_done");
+        I (Sload 1); I (Sload 2); I Saload; I (Sstore 4);
+        I (Sload 2); I (Sspush 1); I Ssub; I (Sstore 3);
+        L "inner";
+        I (Sload 3); B ((fun l -> Iflt l), "insert");
+        I (Sload 4); I (Sload 1); I (Sload 3); I Saload;
+        B ((fun l -> If_scmpge l), "insert");
+        (* a[j+1] <- a[j] *)
+        I (Sload 1); I (Sload 3); I (Sspush 1); I Sadd;
+        I (Sload 1); I (Sload 3); I Saload;
+        I Sastore;
+        I (Sinc (3, -1)); B ((fun l -> Goto l), "inner");
+        L "insert";
+        I (Sload 1); I (Sload 3); I (Sspush 1); I Sadd; I (Sload 4); I Sastore;
+        I (Sinc (2, 1)); B ((fun l -> Goto l), "outer");
+        L "outer_done";
+        I (Sspush 0); I (Sstore 0);
+        I (Sspush 0); I (Sstore 2);
+        L "check";
+        I (Sload 2); I (Sspush 12); B ((fun l -> If_scmpge l), "check_done");
+        I (Sload 1); I (Sload 2); I Saload;
+        I (Sload 2); I (Sspush 1); I Sadd; I Smul;
+        I (Sload 0); I Sadd; I (Sstore 0);
+        I (Sinc (2, 1)); B ((fun l -> Goto l), "check");
+        L "check_done";
+        I (Sload 0); I Sreturn;
+      ]
+  in
+  {
+    name = "sort";
+    program;
+    methods = [||];
+    statics = [||];
+    expected = Some (sort_reference ());
+  }
+
+let fib =
+  let program =
+    build
+      [
+        I (Sspush 0); I (Sstore 0);
+        I (Sspush 1); I (Sstore 1);
+        I (Sspush 0); I (Sstore 2);
+        L "loop";
+        I (Sload 2); I (Sspush 20); B ((fun l -> If_scmpge l), "done");
+        I (Sload 0); I (Sload 1); I Sadd; I (Sstore 3);
+        I (Sload 1); I (Sstore 0);
+        I (Sload 3); I (Sstore 1);
+        I (Sinc (2, 1)); B ((fun l -> Goto l), "loop");
+        L "done";
+        I (Sload 0); I Sreturn;
+      ]
+  in
+  { name = "fib"; program; methods = [||]; statics = [||]; expected = Some 6765 }
+
+(* Recursive Euclid through a static method: exercises call frames over
+   the shared (possibly hardware) operand stack. *)
+let gcd =
+  let helper =
+    build
+      [
+        (* locals: 0 = a, 1 = b; arguments arrive b on top. *)
+        I (Sstore 1); I (Sstore 0);
+        I (Sload 1); B ((fun l -> Ifeq l), "base");
+        (* recurse: gcd(b, a - (a/b)*b) *)
+        I (Sload 1);
+        I (Sload 0);
+        I (Sload 0); I (Sload 1); I Sdiv;
+        I (Sload 1); I Smul;
+        I Ssub;
+        I (Invokestatic 1);
+        I Sreturn;
+        L "base";
+        I (Sload 0); I Sreturn;
+      ]
+  in
+  let program =
+    build [ I (Sspush 1071); I (Sspush 462); I (Invokestatic 1); I Sreturn ]
+  in
+  { name = "gcd"; program; methods = [| helper |]; statics = [||];
+    expected = Some 21 }
+
+let all = [ wallet; crc16; sort_applet; fib; gcd ]

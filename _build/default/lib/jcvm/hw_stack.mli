@@ -1,0 +1,23 @@
+(** The hardware operand stack: an EC bus slave whose special function
+    registers expose push/pop to the refined Java Card VM.
+
+    This is the paper's "slave adapter + functional stack model" in one
+    unit: bus accesses are decoded according to the interface
+    {!Configs.t} and forwarded to an internal stack storage.  Underflow
+    and overflow do not raise across the bus; they set sticky status
+    counters that the exploration checks afterwards. *)
+
+type t
+
+val create : ?capacity:int -> Configs.t -> t
+val config : t -> Configs.t
+
+val slave : t -> Ec.Slave.t
+(** Slave with the configuration's SFR window (zero wait states). *)
+
+val depth : t -> int
+val contents : t -> int list  (** top first *)
+
+val underflows : t -> int
+val overflows : t -> int
+val bus_accesses : t -> int

@@ -1,0 +1,27 @@
+type ops = {
+  push : int -> unit;
+  pop : unit -> int;
+  depth : unit -> int;
+  reset : unit -> unit;
+}
+
+exception Overflow
+exception Underflow
+
+let counted ops =
+  let pushes = ref 0 and pops = ref 0 in
+  let wrapped =
+    {
+      push =
+        (fun v ->
+          incr pushes;
+          ops.push v);
+      pop =
+        (fun () ->
+          incr pops;
+          ops.pop ());
+      depth = ops.depth;
+      reset = ops.reset;
+    }
+  in
+  (wrapped, fun () -> (!pushes, !pops))

@@ -1,0 +1,21 @@
+(** The operand stack interface of the Java Card VM model.
+
+    The paper's exploration refines exactly this boundary: "the bytecode
+    interpreter invokes the same interface functions as in the pure
+    functional model" — once backed by the software stack ({!Soft_stack}),
+    once by the master adapter that turns each call into bus transactions
+    towards the hardware stack. *)
+
+type ops = {
+  push : int -> unit;
+  pop : unit -> int;
+  depth : unit -> int;
+  reset : unit -> unit;
+}
+
+exception Overflow
+exception Underflow
+
+val counted : ops -> ops * (unit -> int * int)
+(** [counted ops] wraps [ops]; the second component reports the
+    accumulated (pushes, pops). *)

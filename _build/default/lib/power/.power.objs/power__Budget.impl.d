@@ -1,0 +1,1 @@
+lib/power/budget.ml: Format

@@ -1,0 +1,1 @@
+lib/power/characterization.ml: Array Ec Format List Printf Units

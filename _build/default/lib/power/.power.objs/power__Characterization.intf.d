@@ -1,0 +1,1 @@
+lib/power/characterization.mli: Ec Format

@@ -1,0 +1,1 @@
+lib/power/coding.ml: Array Sim

@@ -1,0 +1,1 @@
+lib/power/dpa.ml: Array Float Hashtbl List Sim

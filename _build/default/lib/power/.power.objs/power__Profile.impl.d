@@ -1,0 +1,1 @@
+lib/power/profile.ml: Array List Printf String

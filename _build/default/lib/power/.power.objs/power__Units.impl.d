@@ -1,0 +1,1 @@
+lib/power/units.ml: Float Format

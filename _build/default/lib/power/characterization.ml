@@ -1,0 +1,53 @@
+type t = { name : string; per_signal : float array }
+
+let name t = t.name
+
+let make ~name f =
+  { name; per_signal = Array.init Ec.Signals.count (fun i -> f (Ec.Signals.of_index i)) }
+
+let default =
+  make ~name:"default(capacitance)" (fun id ->
+      Units.pj_per_transition
+        ~capacitance_ff:(Ec.Signals.default_capacitance_ff id)
+        ~vdd:Ec.Signals.vdd)
+
+let derive ~name ~energy_pj ~transitions =
+  if Array.length energy_pj <> Ec.Signals.count
+     || Array.length transitions <> Ec.Signals.count
+  then invalid_arg "Power.Characterization.derive: bad array length";
+  let per_signal =
+    Array.init Ec.Signals.count (fun i ->
+        if transitions.(i) = 0 then default.per_signal.(i)
+        else energy_pj.(i) /. float_of_int transitions.(i))
+  in
+  { name; per_signal }
+
+let energy_per_transition t id = t.per_signal.(Ec.Signals.index id)
+
+let scale t k =
+  { name = Printf.sprintf "%s*%.3f" t.name k;
+    per_signal = Array.map (fun e -> e *. k) t.per_signal }
+
+let avg_over t ids =
+  match ids with
+  | [] -> 0.0
+  | _ ->
+    let sum = List.fold_left (fun acc id -> acc +. energy_per_transition t id) 0.0 ids in
+    sum /. float_of_int (List.length ids)
+
+let avg_addr_bit t =
+  avg_over t (List.init Ec.Signals.addr_wires (fun i -> Ec.Signals.Addr i))
+
+let avg_wdata_bit t =
+  avg_over t (List.init Ec.Signals.data_wires (fun i -> Ec.Signals.Wdata i))
+
+let avg_rdata_bit t =
+  avg_over t (List.init Ec.Signals.data_wires (fun i -> Ec.Signals.Rdata i))
+
+let avg_be_bit t =
+  avg_over t (List.init Ec.Signals.be_wires (fun i -> Ec.Signals.Be i))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>characterization %s:@ addr %.3f pJ/t  wdata %.3f  rdata %.3f  be %.3f@]"
+    t.name (avg_addr_bit t) (avg_wdata_bit t) (avg_rdata_bit t) (avg_be_bit t)

@@ -1,0 +1,47 @@
+(** Per-signal energy characterization tables.
+
+    The paper characterizes the bus with the Diesel gate-level power
+    estimator and abstracts "the average energy per transition for each
+    signal considered for our power estimation".  A table maps every EC
+    interface wire to that average (picojoules); the layer-1 and layer-2
+    energy models consume nothing else.
+
+    Tables come from two sources: {!default} computes them from the wire
+    capacitances of {!Ec.Signals} (top-down estimation before layout data
+    exist), and {!derive} plays the role of the Diesel flow by averaging a
+    reference-model measurement over a training workload. *)
+
+type t
+
+val name : t -> string
+
+val default : t
+(** [0.5 * C * Vdd^2] per wire from {!Ec.Signals.default_capacitance_ff}. *)
+
+val make : name:string -> (Ec.Signals.id -> float) -> t
+
+val derive : name:string -> energy_pj:float array -> transitions:int array -> t
+(** [derive ~name ~energy_pj ~transitions] averages measured per-wire
+    energy over measured per-wire transition counts (both indexed by
+    {!Ec.Signals.index}).  Wires that never toggled in the training run
+    fall back to the {!default} value.
+
+    @raise Invalid_argument if the arrays are not of length
+    {!Ec.Signals.count}. *)
+
+val energy_per_transition : t -> Ec.Signals.id -> float
+(** Average energy per transition of one wire, picojoules. *)
+
+val scale : t -> float -> t
+(** [scale t k] multiplies every entry (for sensitivity studies). *)
+
+val avg_over : t -> Ec.Signals.id list -> float
+(** Mean energy per transition over a wire group. *)
+
+val avg_addr_bit : t -> float
+val avg_wdata_bit : t -> float
+val avg_rdata_bit : t -> float
+val avg_be_bit : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Summary rendering (per-group averages). *)

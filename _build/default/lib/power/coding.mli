@@ -1,0 +1,38 @@
+(** Low-power bus coding analysis.
+
+    The paper's related work surveys bus optimization "based on varying
+    the bus width and bus coding scheme" (Benini et al.).  This module
+    evaluates the two classic schemes offline, over value sequences
+    sampled from the simulated buses, so their energy benefit can be
+    judged per workload before committing hardware:
+
+    - {e bus-invert}: transmit the complement (plus one invert line)
+      whenever that toggles fewer wires;
+    - {e Gray coding}: for in-order address streams, consecutive values
+      differ in one bit. *)
+
+val transitions : width:int -> int array -> int
+(** Total bit transitions of a value sequence on a [width]-bit bus. *)
+
+val bus_invert : width:int -> int array -> int * int
+(** [(transitions, inversions)] under bus-invert coding: per word the
+    encoder picks plain or complemented transmission, whichever toggles
+    fewer of the [width] data wires; the invert line's own transitions
+    are included in the count. *)
+
+val gray_encode : int -> int
+val gray_decode : int -> int
+
+val gray_transitions : width:int -> int array -> int
+(** Transitions if the values were Gray encoded before transmission. *)
+
+type report = {
+  plain : int;
+  bus_inverted : int;
+  gray : int;
+  bus_invert_savings_pct : float;
+  gray_savings_pct : float;
+}
+
+val analyze : width:int -> int array -> report
+(** @raise Invalid_argument on an empty sequence. *)

@@ -1,0 +1,57 @@
+type params = {
+  idle_pj_per_cycle : float;
+  active_pj_per_cycle : float;
+  access_pj : float;
+}
+
+let params ?(idle_pj_per_cycle = 0.0) ?(active_pj_per_cycle = 0.0)
+    ?(access_pj = 0.0) () =
+  if idle_pj_per_cycle < 0.0 || active_pj_per_cycle < 0.0 || access_pj < 0.0
+  then invalid_arg "Power.Component.params: negative energy";
+  { idle_pj_per_cycle; active_pj_per_cycle; access_pj }
+
+type t = {
+  name : string;
+  p : params;
+  mutable active_cycles : int;
+  mutable idle_cycles : int;
+  mutable accesses : int;
+}
+
+let create ~name p = { name; p; active_cycles = 0; idle_cycles = 0; accesses = 0 }
+let name t = t.name
+
+let tick t ~active =
+  if active then t.active_cycles <- t.active_cycles + 1
+  else t.idle_cycles <- t.idle_cycles + 1
+
+let access t = t.accesses <- t.accesses + 1
+
+let energy_pj t =
+  (float_of_int t.active_cycles *. t.p.active_pj_per_cycle)
+  +. (float_of_int t.idle_cycles *. t.p.idle_pj_per_cycle)
+  +. (float_of_int t.accesses *. t.p.access_pj)
+
+let active_cycles t = t.active_cycles
+let idle_cycles t = t.idle_cycles
+let accesses t = t.accesses
+
+let reset t =
+  t.active_cycles <- 0;
+  t.idle_cycles <- 0;
+  t.accesses <- 0
+
+module Presets = struct
+  (* Synthetic but smart-card plausible magnitudes (0.18u, 1.8 V core):
+     non-volatile memories cost much more per access than SRAM; the flash
+     charge pump dominates when writing; the crypto datapath burns the most
+     while active. *)
+  let rom = params ~idle_pj_per_cycle:0.05 ~active_pj_per_cycle:0.4 ~access_pj:6.0 ()
+  let eeprom = params ~idle_pj_per_cycle:0.08 ~active_pj_per_cycle:0.9 ~access_pj:25.0 ()
+  let flash = params ~idle_pj_per_cycle:0.08 ~active_pj_per_cycle:1.1 ~access_pj:18.0 ()
+  let sram = params ~idle_pj_per_cycle:0.03 ~active_pj_per_cycle:0.25 ~access_pj:2.2 ()
+  let uart = params ~idle_pj_per_cycle:0.02 ~active_pj_per_cycle:0.35 ~access_pj:1.5 ()
+  let timer = params ~idle_pj_per_cycle:0.04 ~active_pj_per_cycle:0.12 ~access_pj:1.0 ()
+  let trng = params ~idle_pj_per_cycle:0.10 ~active_pj_per_cycle:0.8 ~access_pj:3.0 ()
+  let crypto = params ~idle_pj_per_cycle:0.06 ~active_pj_per_cycle:4.5 ~access_pj:2.5 ()
+end

@@ -1,0 +1,51 @@
+(** State-based energy models for smart card peripherals.
+
+    The paper's conclusion announces extending the bus model "to allow an
+    early energy estimation for several different typical smart card
+    components, like random number generators, UARTs or timers".  This
+    module implements that extension: a component dissipates a baseline
+    energy per cycle depending on whether it is idle or active, plus a
+    fixed energy per bus access. *)
+
+type params = {
+  idle_pj_per_cycle : float;
+  active_pj_per_cycle : float;
+  access_pj : float;  (** per bus read or write hitting the component *)
+}
+
+val params :
+  ?idle_pj_per_cycle:float ->
+  ?active_pj_per_cycle:float ->
+  ?access_pj:float ->
+  unit ->
+  params
+(** All default to 0. @raise Invalid_argument on negative values. *)
+
+type t
+
+val create : name:string -> params -> t
+val name : t -> string
+
+val tick : t -> active:bool -> unit
+(** Accounts one clock cycle in the given state. *)
+
+val access : t -> unit
+(** Accounts one bus access. *)
+
+val energy_pj : t -> float
+val active_cycles : t -> int
+val idle_cycles : t -> int
+val accesses : t -> int
+val reset : t -> unit
+
+(** Typical parameter presets (synthetic, smart-card scale). *)
+module Presets : sig
+  val rom : params
+  val eeprom : params
+  val flash : params
+  val sram : params
+  val uart : params
+  val timer : params
+  val trng : params
+  val crypto : params
+end

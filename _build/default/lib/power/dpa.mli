@@ -1,0 +1,53 @@
+(** Power-analysis toolkit (SPA/DPA).
+
+    The paper motivates cycle-accurate energy estimation partly by power
+    analysis attacks: "Estimation of power consumption over time is
+    important to reduce the probability of a successful power analysis
+    attack".  This module implements the classic attacks over simulated
+    per-cycle energy profiles, so interface alternatives can be judged by
+    attack success as well as by energy. *)
+
+type trace = float array
+(** One power trace: energy per cycle for one operation. *)
+
+val difference_of_means :
+  traces:trace list -> select:(int -> bool) -> trace
+(** [difference_of_means ~traces ~select] partitions trace [i] by
+    [select i] and returns (mean of selected) - (mean of others), per
+    cycle.  Ragged traces are truncated to the shortest.
+
+    @raise Invalid_argument if either partition is empty. *)
+
+val peak_abs : trace -> int * float
+(** Index and value of the sample with the largest magnitude. *)
+
+val dpa_attack :
+  traces:trace list ->
+  inputs:int list ->
+  model:(key:int -> input:int -> bool) ->
+  guesses:int list ->
+  (int * float) list
+(** Difference-of-means DPA: for every key guess, partition traces by the
+    predicted selection bit [model ~key ~input] and score the guess by the
+    peak differential.  Returns guesses with scores sorted best first. *)
+
+val pearson : float array -> float array -> float
+(** Correlation coefficient; 0 when either vector is constant. *)
+
+val cpa_attack :
+  traces:trace list ->
+  inputs:int list ->
+  model:(key:int -> input:int -> float) ->
+  guesses:int list ->
+  (int * float) list
+(** Correlation power analysis: scores each guess by the largest absolute
+    per-cycle Pearson correlation between the hypothetical leakage
+    [model ~key ~input] and the measured samples. *)
+
+val hamming_weight : int -> int
+val hamming_distance : int -> int -> int
+
+val snr : traces:trace list -> groups:int list -> float
+(** Signal-to-noise ratio of the traces grouped by the given labels:
+    variance of group means over mean of group variances, averaged across
+    cycles.  A crude leakage metric for countermeasure comparisons. *)

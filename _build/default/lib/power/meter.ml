@@ -1,0 +1,40 @@
+type t = {
+  mutable current : float;
+  mutable total : float;
+  mutable last_cycle : float;
+  mutable marker : float;
+  mutable cycles : int;
+  profile : Profile.t option;
+}
+
+let create ?(record_profile = false) () =
+  {
+    current = 0.0;
+    total = 0.0;
+    last_cycle = 0.0;
+    marker = 0.0;
+    cycles = 0;
+    profile = (if record_profile then Some (Profile.create ()) else None);
+  }
+
+let add t e = t.current <- t.current +. e
+
+let end_cycle t =
+  t.total <- t.total +. t.current;
+  t.last_cycle <- t.current;
+  (match t.profile with
+  | Some p -> Profile.push p t.current
+  | None -> ());
+  t.current <- 0.0;
+  t.cycles <- t.cycles + 1
+
+let total_pj t = t.total
+let cycles t = t.cycles
+let last_cycle_pj t = t.last_cycle
+
+let since_last_call_pj t =
+  let delta = t.total -. t.marker in
+  t.marker <- t.total;
+  delta
+
+let profile t = t.profile

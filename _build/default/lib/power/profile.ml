@@ -1,0 +1,79 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create () = { data = Array.make 256 0.0; len = 0 }
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Power.Profile.get";
+  t.data.(i)
+
+let total t =
+  let sum = ref 0.0 in
+  for i = 0 to t.len - 1 do
+    sum := !sum +. t.data.(i)
+  done;
+  !sum
+
+let max_value t =
+  let m = ref 0.0 in
+  for i = 0 to t.len - 1 do
+    if t.data.(i) > !m then m := t.data.(i)
+  done;
+  !m
+
+let to_array t = Array.sub t.data 0 t.len
+
+let window_sum t ~lo ~hi =
+  let lo = max 0 lo and hi = min t.len hi in
+  let sum = ref 0.0 in
+  for i = lo to hi - 1 do
+    sum := !sum +. t.data.(i)
+  done;
+  !sum
+
+let lumped t ~sample_points =
+  let points = List.sort_uniq compare (List.filter (fun p -> p > 0) sample_points) in
+  let points =
+    match List.rev points with
+    | last :: _ when last >= t.len -> points
+    | _ -> points @ [ t.len ]
+  in
+  let rec loop lo = function
+    | [] -> []
+    | p :: rest -> (p, window_sum t ~lo ~hi:p) :: loop p rest
+  in
+  loop 0 points
+
+let to_csv_lines t =
+  let line i = Printf.sprintf "%d,%.6f" i t.data.(i) in
+  "cycle,energy_pj" :: List.init t.len line
+
+let sparkline ?(width = 64) t =
+  if t.len = 0 then ""
+  else begin
+    let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+    let buckets = min width t.len in
+    let per = float_of_int t.len /. float_of_int buckets in
+    let bucket_avg b =
+      let lo = int_of_float (float_of_int b *. per) in
+      let hi = max (lo + 1) (int_of_float (float_of_int (b + 1) *. per)) in
+      window_sum t ~lo ~hi /. float_of_int (hi - lo)
+    in
+    let values = Array.init buckets bucket_avg in
+    let peak = Array.fold_left max 0.0 values in
+    let glyph v =
+      if peak = 0.0 then glyphs.(0)
+      else glyphs.(min 7 (int_of_float (v /. peak *. 7.99)))
+    in
+    String.init buckets (fun b -> glyph values.(b))
+  end

@@ -1,0 +1,15 @@
+let pj_per_transition ~capacitance_ff ~vdd =
+  0.5 *. capacitance_ff *. 1e-3 *. vdd *. vdd
+
+let uw_of_pj_per_cycle ~pj ~cycles ~clock_hz =
+  if cycles = 0 then 0.0
+  else pj *. 1e-12 /. (float_of_int cycles /. clock_hz) *. 1e6
+
+let pct_error ~reference v =
+  if reference = 0.0 then invalid_arg "Power.Units.pct_error: zero reference";
+  (v -. reference) /. reference *. 100.0
+
+let pp_pj ppf pj =
+  if Float.abs pj >= 1e6 then Format.fprintf ppf "%.3f uJ" (pj /. 1e6)
+  else if Float.abs pj >= 1e3 then Format.fprintf ppf "%.3f nJ" (pj /. 1e3)
+  else Format.fprintf ppf "%.3f pJ" pj

@@ -1,0 +1,20 @@
+(** Energy bookkeeping conventions.
+
+    All energies in this repository are [float] picojoules; all times are
+    integer clock cycles.  This module provides the conversions and the
+    formatting helpers shared by reports. *)
+
+val pj_per_transition : capacitance_ff:float -> vdd:float -> float
+(** Dynamic energy of one full output transition attributed per edge:
+    [0.5 * C * Vdd^2], femtofarads in, picojoules out. *)
+
+val uw_of_pj_per_cycle : pj:float -> cycles:int -> clock_hz:float -> float
+(** Average power in microwatts of [pj] dissipated over [cycles] at
+    [clock_hz]. *)
+
+val pct_error : reference:float -> float -> float
+(** [pct_error ~reference v] is [(v - reference) / reference * 100].
+    @raise Invalid_argument if [reference = 0]. *)
+
+val pp_pj : Format.formatter -> float -> unit
+(** Adaptive pJ/nJ/uJ rendering. *)

@@ -1,0 +1,1 @@
+lib/rtl/bus.ml: Array Diesel Ec Hashtbl Queue Sim Wires

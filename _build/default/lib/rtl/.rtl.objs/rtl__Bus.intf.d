@@ -1,0 +1,1 @@
+lib/rtl/bus.mli: Diesel Ec Params Sim Wires

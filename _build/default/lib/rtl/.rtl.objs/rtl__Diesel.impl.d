@@ -1,0 +1,1 @@
+lib/rtl/diesel.ml: Array Ec List Params Power Sim Wires

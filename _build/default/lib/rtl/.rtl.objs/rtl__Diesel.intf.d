@@ -1,0 +1,1 @@
+lib/rtl/diesel.mli: Params Power Wires

@@ -1,0 +1,1 @@
+lib/rtl/params.ml: Ec

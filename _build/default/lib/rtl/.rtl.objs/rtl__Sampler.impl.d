@@ -1,0 +1,1 @@
+lib/rtl/sampler.ml: Array Sim Wires

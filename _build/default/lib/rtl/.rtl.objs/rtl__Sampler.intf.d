@@ -1,0 +1,1 @@
+lib/rtl/sampler.mli: Sim Wires

@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Buffer Char Fun Hashtbl List Printf Sim String Wires

@@ -1,0 +1,1 @@
+lib/rtl/wires.ml: Array Ec List Sim

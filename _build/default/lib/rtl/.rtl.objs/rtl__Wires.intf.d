@@ -1,0 +1,1 @@
+lib/rtl/wires.mli: Ec Sim

@@ -1,0 +1,267 @@
+type addr_job = {
+  a_txn : Ec.Txn.t;
+  a_sel : int;
+  a_slave : Ec.Slave.t;
+  mutable a_wait : int;
+}
+
+type data_job = {
+  d_txn : Ec.Txn.t;
+  d_slave : Ec.Slave.t;
+  d_wait_states : int;  (* per beat *)
+  mutable d_beat : int;
+  mutable d_wait : int;
+}
+
+type t = {
+  decoder : Ec.Decoder.t;
+  wires : Wires.t;
+  diesel : Diesel.t;
+  requests : Ec.Txn.t Queue.t;
+  read_q : data_job Queue.t;
+  write_q : data_job Queue.t;
+  mutable addr_cur : addr_job option;
+  mutable read_cur : data_job option;
+  mutable write_cur : data_job option;
+  outstanding : int array;  (* per Txn.category *)
+  finished : (int, Ec.Port.poll) Hashtbl.t;
+  mutable completed_txns : int;
+  mutable completed_beats : int;
+  mutable error_txns : int;
+  mutable busy_cycles : int;
+}
+
+let cat_index = function
+  | Ec.Txn.Cat_instr_read -> 0
+  | Ec.Txn.Cat_data_read -> 1
+  | Ec.Txn.Cat_write -> 2
+
+let max_outstanding = 4
+
+let pop_opt q = if Queue.is_empty q then None else Some (Queue.pop q)
+
+let release t (txn : Ec.Txn.t) outcome =
+  let c = cat_index (Ec.Txn.category txn) in
+  t.outstanding.(c) <- t.outstanding.(c) - 1;
+  Hashtbl.replace t.finished txn.Ec.Txn.id outcome;
+  (match outcome with
+  | Ec.Port.Done ->
+    t.completed_txns <- t.completed_txns + 1;
+    t.completed_beats <- t.completed_beats + txn.Ec.Txn.burst
+  | Ec.Port.Failed -> t.error_txns <- t.error_txns + 1
+  | Ec.Port.Pending -> assert false)
+
+(* Drive the address-group wires with a transaction's attributes. *)
+let drive_addr_wires t (txn : Ec.Txn.t) =
+  let w = t.wires in
+  Sim.Signal.set (Wires.addr w) (txn.Ec.Txn.addr lsr 2);
+  Sim.Signal.set (Wires.be w) (Ec.Txn.byte_enables txn 0);
+  Wires.set_ctrl w Ec.Signals.Avalid true;
+  Wires.set_ctrl w Ec.Signals.Instr (txn.Ec.Txn.kind = Ec.Txn.Instruction);
+  Wires.set_ctrl w Ec.Signals.Write (txn.Ec.Txn.dir = Ec.Txn.Write);
+  Wires.set_ctrl w Ec.Signals.Burst (txn.Ec.Txn.burst > 1)
+
+let dispatch t (job : addr_job) =
+  let txn = job.a_txn and slave = job.a_slave in
+  let cfg = slave.Ec.Slave.cfg in
+  let make wait_states =
+    { d_txn = txn; d_slave = slave; d_wait_states = wait_states; d_beat = 0;
+      d_wait = wait_states }
+  in
+  match txn.Ec.Txn.dir with
+  | Ec.Txn.Read -> Queue.push (make cfg.Ec.Slave_cfg.read_wait) t.read_q
+  | Ec.Txn.Write -> Queue.push (make cfg.Ec.Slave_cfg.write_wait) t.write_q
+
+let addr_phase t =
+  let w = t.wires in
+  let progressed = ref false in
+  let complete job =
+    Wires.set_ctrl w Ec.Signals.Ardy true;
+    Sim.Signal.set (Wires.sel w) (1 lsl job.a_sel);
+    dispatch t job;
+    t.addr_cur <- None;
+    progressed := true
+  in
+  (match t.addr_cur with
+  | Some job ->
+    if job.a_wait > 0 then begin
+      job.a_wait <- job.a_wait - 1;
+      progressed := true
+    end
+    else complete job
+  | None -> ());
+  if t.addr_cur = None && not !progressed then begin
+    match pop_opt t.requests with
+    | None -> ()
+    | Some txn -> begin
+      progressed := true;
+      drive_addr_wires t txn;
+      match Ec.Decoder.check t.decoder txn with
+      | Ec.Decoder.Unmapped | Ec.Decoder.Rights_violation _ ->
+        (* Bus error: the controller terminates the transaction in its
+           initiation cycle with the matching error strobe. *)
+        Wires.set_ctrl w Ec.Signals.Ardy true;
+        let err =
+          match txn.Ec.Txn.dir with
+          | Ec.Txn.Read -> Ec.Signals.Rberr
+          | Ec.Txn.Write -> Ec.Signals.Wberr
+        in
+        Wires.set_ctrl w err true;
+        release t txn Ec.Port.Failed
+      | Ec.Decoder.Mapped (i, slave) ->
+        let job =
+          { a_txn = txn; a_sel = i; a_slave = slave;
+            a_wait = slave.Ec.Slave.cfg.Ec.Slave_cfg.addr_wait }
+        in
+        (* The pop cycle is the first wait cycle, so an address phase
+           occupies exactly addr_wait + 1 cycles. *)
+        if job.a_wait = 0 then complete job
+        else begin
+          job.a_wait <- job.a_wait - 1;
+          t.addr_cur <- Some job
+        end
+    end
+  end;
+  !progressed
+
+let read_phase t =
+  let w = t.wires in
+  if t.read_cur = None then t.read_cur <- pop_opt t.read_q;
+  match t.read_cur with
+  | None -> false
+  | Some job ->
+    if job.d_wait > 0 then job.d_wait <- job.d_wait - 1
+    else begin
+      let txn = job.d_txn in
+      let value = Ec.Slave.read_beat job.d_slave txn job.d_beat in
+      Ec.Txn.set_beat txn job.d_beat value;
+      Sim.Signal.set (Wires.rdata w) value;
+      Wires.set_ctrl w Ec.Signals.Rdval true;
+      if txn.Ec.Txn.burst > 1 then begin
+        if job.d_beat = 0 then Wires.set_ctrl w Ec.Signals.Bfirst true;
+        if job.d_beat = txn.Ec.Txn.burst - 1 then
+          Wires.set_ctrl w Ec.Signals.Blast true
+      end;
+      job.d_beat <- job.d_beat + 1;
+      if job.d_beat = txn.Ec.Txn.burst then begin
+        release t txn Ec.Port.Done;
+        t.read_cur <- None
+      end
+      else job.d_wait <- job.d_wait_states
+    end;
+    true
+
+let write_phase t =
+  let w = t.wires in
+  if t.write_cur = None then begin
+    t.write_cur <- pop_opt t.write_q;
+    match t.write_cur with
+    | Some job -> Sim.Signal.set (Wires.wdata w) job.d_txn.Ec.Txn.data.(0)
+    | None -> ()
+  end;
+  match t.write_cur with
+  | None -> false
+  | Some job ->
+    if job.d_wait > 0 then job.d_wait <- job.d_wait - 1
+    else begin
+      let txn = job.d_txn in
+      Sim.Signal.set (Wires.wdata w) txn.Ec.Txn.data.(job.d_beat);
+      Wires.set_ctrl w Ec.Signals.Wdrdy true;
+      Ec.Slave.write_beat job.d_slave txn job.d_beat;
+      if txn.Ec.Txn.burst > 1 then begin
+        if job.d_beat = 0 then Wires.set_ctrl w Ec.Signals.Bfirst true;
+        if job.d_beat = txn.Ec.Txn.burst - 1 then
+          Wires.set_ctrl w Ec.Signals.Blast true
+      end;
+      job.d_beat <- job.d_beat + 1;
+      if job.d_beat = txn.Ec.Txn.burst then begin
+        release t txn Ec.Port.Done;
+        t.write_cur <- None
+      end
+      else begin
+        job.d_wait <- job.d_wait_states;
+        (* The master presents the next beat's data during its waits. *)
+        Sim.Signal.set (Wires.wdata w) txn.Ec.Txn.data.(job.d_beat)
+      end
+    end;
+    true
+
+let strobe_defaults t =
+  let w = t.wires in
+  Wires.set_ctrl w Ec.Signals.Avalid false;
+  Wires.set_ctrl w Ec.Signals.Ardy false;
+  Wires.set_ctrl w Ec.Signals.Rdval false;
+  Wires.set_ctrl w Ec.Signals.Wdrdy false;
+  Wires.set_ctrl w Ec.Signals.Rberr false;
+  Wires.set_ctrl w Ec.Signals.Wberr false;
+  Wires.set_ctrl w Ec.Signals.Bfirst false;
+  Wires.set_ctrl w Ec.Signals.Blast false
+
+let cycle t _kernel =
+  strobe_defaults t;
+  (match t.addr_cur with
+  | Some _ -> Wires.set_ctrl t.wires Ec.Signals.Avalid true
+  | None -> ());
+  let a = addr_phase t in
+  let r = read_phase t in
+  let wr = write_phase t in
+  if a || r || wr then t.busy_cycles <- t.busy_cycles + 1;
+  Diesel.observe_and_commit t.diesel
+
+let create ~kernel ~decoder ?params ?record_profile () =
+  let wires = Wires.create ~n_slaves:(max 1 (Ec.Decoder.count decoder)) in
+  let diesel = Diesel.create ?params ?record_profile wires in
+  let t =
+    {
+      decoder;
+      wires;
+      diesel;
+      requests = Queue.create ();
+      read_q = Queue.create ();
+      write_q = Queue.create ();
+      addr_cur = None;
+      read_cur = None;
+      write_cur = None;
+      outstanding = Array.make 3 0;
+      finished = Hashtbl.create 64;
+      completed_txns = 0;
+      completed_beats = 0;
+      error_txns = 0;
+      busy_cycles = 0;
+    }
+  in
+  Sim.Kernel.on_falling kernel ~name:"rtl-bus" (cycle t);
+  t
+
+let port t =
+  let try_submit txn =
+    let c = cat_index (Ec.Txn.category txn) in
+    if t.outstanding.(c) >= max_outstanding then false
+    else begin
+      t.outstanding.(c) <- t.outstanding.(c) + 1;
+      Queue.push txn t.requests;
+      true
+    end
+  in
+  let poll id =
+    match Hashtbl.find_opt t.finished id with
+    | None -> Ec.Port.Pending
+    | Some outcome -> outcome
+  in
+  let retire id = Hashtbl.remove t.finished id in
+  { Ec.Port.try_submit; poll; retire }
+
+let wires t = t.wires
+let diesel t = t.diesel
+let decoder t = t.decoder
+
+let busy t =
+  t.addr_cur <> None || t.read_cur <> None || t.write_cur <> None
+  || not (Queue.is_empty t.requests)
+  || not (Queue.is_empty t.read_q)
+  || not (Queue.is_empty t.write_q)
+
+let completed_txns t = t.completed_txns
+let completed_beats t = t.completed_beats
+let error_txns t = t.error_txns
+let busy_cycles t = t.busy_cycles

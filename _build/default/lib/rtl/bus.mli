@@ -1,0 +1,40 @@
+(** Register-transfer-level EC bus controller (reference, "layer 0").
+
+    Implements the micro-protocol of DESIGN.md section 3 cycle by cycle
+    over the physical wire set: a serialized address channel with slave
+    wait states, independent in-order read and write data engines (one
+    beat per cycle each, separate buses), per-category outstanding limits
+    of four, pipelined address/data phases, and bus errors on unmapped or
+    right-violating accesses.  The attached {!Diesel} estimator provides
+    the golden timing and energy reference for the transaction-level
+    models.
+
+    The bus process runs on the falling clock edge; masters drive the
+    {!Ec.Port.t} on the rising edge. *)
+
+type t
+
+val create :
+  kernel:Sim.Kernel.t ->
+  decoder:Ec.Decoder.t ->
+  ?params:Params.t ->
+  ?record_profile:bool ->
+  unit ->
+  t
+(** Creates the bus, its wires and its estimator, and registers the bus
+    process with [kernel]. *)
+
+val port : t -> Ec.Port.t
+val wires : t -> Wires.t
+val diesel : t -> Diesel.t
+val decoder : t -> Ec.Decoder.t
+
+val busy : t -> bool
+(** True while any transaction is queued or in flight. *)
+
+val completed_txns : t -> int
+val completed_beats : t -> int
+val error_txns : t -> int
+
+val busy_cycles : t -> int
+(** Cycles in which at least one phase made progress. *)

@@ -1,0 +1,130 @@
+type t = {
+  params : Params.t;
+  wires : Wires.t;
+  meter : Power.Meter.t;
+  per_signal_pj : float array;
+  per_signal_transitions : int array;
+  mutable interface_pj : float;
+  mutable internal_pj : float;
+}
+
+let create ?(params = Params.default) ?(record_profile = false) wires =
+  {
+    params;
+    wires;
+    meter = Power.Meter.create ~record_profile ();
+    per_signal_pj = Array.make Ec.Signals.count 0.0;
+    per_signal_transitions = Array.make Ec.Signals.count 0;
+    interface_pj = 0.0;
+    internal_pj = 0.0;
+  }
+
+(* Self energy of one edge on one wire. *)
+let edge_pj t id ~rising =
+  let base =
+    Power.Units.pj_per_transition
+      ~capacitance_ff:(Ec.Signals.default_capacitance_ff id)
+      ~vdd:t.params.Params.vdd
+  in
+  base *. (if rising then t.params.Params.slope_rise else t.params.Params.slope_fall)
+
+(* Coupling energy between one adjacent wire pair of a bus.  [a] and [b]
+   are -1 (falling), 0 (stable) or 1 (rising). *)
+let coupling_pj t id a b =
+  if a = 0 && b = 0 then 0.0
+  else begin
+    let self =
+      Power.Units.pj_per_transition
+        ~capacitance_ff:(Ec.Signals.default_capacitance_ff id)
+        ~vdd:t.params.Params.vdd
+    in
+    let lateral = self *. t.params.Params.coupling_ratio in
+    if a <> 0 && b <> 0 then
+      if a = b then lateral *. t.params.Params.same_relief
+      else lateral *. t.params.Params.opposite_factor
+    else lateral
+  end
+
+(* Per-bit movement of a signal before commit: -1, 0 or 1 per bit. *)
+let movements signal =
+  let cur = Sim.Signal.current signal and nxt = Sim.Signal.next signal in
+  let w = Sim.Signal.width signal in
+  Array.init w (fun i ->
+      let c = (cur lsr i) land 1 and n = (nxt lsr i) land 1 in
+      n - c)
+
+let add_interface t index pj =
+  t.per_signal_pj.(index) <- t.per_signal_pj.(index) +. pj;
+  t.interface_pj <- t.interface_pj +. pj;
+  Power.Meter.add t.meter pj
+
+let observe_group t (base_id, signal) =
+  let base = Ec.Signals.index base_id in
+  let moves = movements signal in
+  let w = Array.length moves in
+  let transitions = ref 0 in
+  for i = 0 to w - 1 do
+    if moves.(i) <> 0 then begin
+      incr transitions;
+      t.per_signal_transitions.(base + i) <- t.per_signal_transitions.(base + i) + 1;
+      add_interface t (base + i)
+        (edge_pj t (Ec.Signals.of_index (base + i)) ~rising:(moves.(i) > 0))
+    end
+  done;
+  (* Lateral coupling between adjacent wires of multi-bit buses, half
+     attributed to each wire of the pair. *)
+  if w > 1 then
+    for i = 0 to w - 2 do
+      let pj = coupling_pj t (Ec.Signals.of_index (base + i)) moves.(i) moves.(i + 1) in
+      if pj > 0.0 then begin
+        add_interface t (base + i) (pj /. 2.0);
+        add_interface t (base + i + 1) (pj /. 2.0)
+      end
+    done;
+  !transitions
+
+let add_internal t pj =
+  t.internal_pj <- t.internal_pj +. pj;
+  Power.Meter.add t.meter pj
+
+let observe_and_commit t =
+  let p = t.params in
+  let groups = Wires.interface_groups t.wires in
+  let addr_toggles = ref 0 and rdata_toggles = ref 0 and ctrl_toggles = ref 0 in
+  List.iter
+    (fun ((id, _) as group) ->
+      let n = observe_group t group in
+      match id with
+      | Ec.Signals.Addr _ -> addr_toggles := !addr_toggles + n
+      | Ec.Signals.Rdata _ -> rdata_toggles := !rdata_toggles + n
+      | Ec.Signals.Ctrl _ -> ctrl_toggles := !ctrl_toggles + n
+      | Ec.Signals.Be _ | Ec.Signals.Wdata _ -> ())
+    groups;
+  (* Internal nets: decoder activity plus transient glitching follow the
+     address bus, the read mux follows the read data bus, the control FSM
+     follows the handshake wires, the select lines are explicit. *)
+  add_internal t
+    (float_of_int !addr_toggles
+    *. (p.Params.decoder_pj_per_addr_toggle +. p.Params.glitch_pj_per_hamming));
+  add_internal t (float_of_int !rdata_toggles *. p.Params.mux_pj_per_rdata_toggle);
+  add_internal t (float_of_int !ctrl_toggles *. p.Params.fsm_pj_per_ctrl_toggle);
+  let sel = Wires.sel t.wires in
+  let sel_toggles =
+    Sim.Signal.popcount (Sim.Signal.current sel lxor Sim.Signal.next sel)
+  in
+  add_internal t (float_of_int sel_toggles *. p.Params.sel_pj_per_toggle);
+  add_internal t p.Params.leakage_pj_per_cycle;
+  Wires.commit_all t.wires;
+  Power.Meter.end_cycle t.meter
+
+let total_pj t = t.interface_pj +. t.internal_pj
+let interface_pj t = t.interface_pj
+let internal_pj t = t.internal_pj
+let meter t = t.meter
+let per_signal_energy_pj t = Array.copy t.per_signal_pj
+let per_signal_transitions t = Array.copy t.per_signal_transitions
+let transitions_total t = Array.fold_left ( + ) 0 t.per_signal_transitions
+
+let characterize ~name t =
+  Power.Characterization.derive ~name ~energy_pj:t.per_signal_pj
+    ~transitions:t.per_signal_transitions

@@ -1,0 +1,42 @@
+(** Gate-level-style power estimator (substitute for the Diesel tool).
+
+    Observes the RTL wire set once per cycle, just before the commit, and
+    attributes energy per wire: slope-dependent edge energies from the wire
+    capacitances, lateral coupling between adjacent wires of the same bus,
+    internal decoder/mux/FSM net activity, address decoder glitches and
+    static leakage.  The internal contributions are deliberately invisible
+    to the transaction-level characterization — they are the systematic
+    part of the layer-1 estimation error the paper measures. *)
+
+type t
+
+val create : ?params:Params.t -> ?record_profile:bool -> Wires.t -> t
+
+val observe_and_commit : t -> unit
+(** Performs the per-cycle estimation over the old/new values of every
+    wire, then commits the wires and closes the meter cycle. *)
+
+val total_pj : t -> float
+(** Interface plus internal plus leakage energy. *)
+
+val interface_pj : t -> float
+(** Energy attributed to EC interface wires only (self + coupling). *)
+
+val internal_pj : t -> float
+(** Energy of internal nets, glitches and leakage. *)
+
+val meter : t -> Power.Meter.t
+(** Cycle-accurate meter over the total energy. *)
+
+val per_signal_energy_pj : t -> float array
+(** Accumulated interface energy per wire, indexed by
+    {!Ec.Signals.index}. *)
+
+val per_signal_transitions : t -> int array
+
+val transitions_total : t -> int
+(** Total committed interface wire transitions. *)
+
+val characterize : name:string -> t -> Power.Characterization.t
+(** Derives a characterization table from the accumulated measurement, the
+    equivalent of the paper's Diesel-based flow. *)

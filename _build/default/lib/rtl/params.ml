@@ -1,0 +1,46 @@
+type t = {
+  vdd : float;
+  slope_rise : float;
+  slope_fall : float;
+  coupling_ratio : float;
+  opposite_factor : float;
+  same_relief : float;
+  decoder_pj_per_addr_toggle : float;
+  glitch_pj_per_hamming : float;
+  mux_pj_per_rdata_toggle : float;
+  fsm_pj_per_ctrl_toggle : float;
+  sel_pj_per_toggle : float;
+  leakage_pj_per_cycle : float;
+}
+
+let default =
+  {
+    vdd = Ec.Signals.vdd;
+    slope_rise = 1.04;
+    slope_fall = 0.94;
+    coupling_ratio = 0.22;
+    opposite_factor = 2.0;
+    same_relief = 0.35;
+    decoder_pj_per_addr_toggle = 0.059;
+    glitch_pj_per_hamming = 0.033;
+    mux_pj_per_rdata_toggle = 0.072;
+    fsm_pj_per_ctrl_toggle = 0.039;
+    sel_pj_per_toggle = 0.130;
+    leakage_pj_per_cycle = 0.039;
+  }
+
+let ideal =
+  {
+    vdd = Ec.Signals.vdd;
+    slope_rise = 1.0;
+    slope_fall = 1.0;
+    coupling_ratio = 0.0;
+    opposite_factor = 0.0;
+    same_relief = 0.0;
+    decoder_pj_per_addr_toggle = 0.0;
+    glitch_pj_per_hamming = 0.0;
+    mux_pj_per_rdata_toggle = 0.0;
+    fsm_pj_per_ctrl_toggle = 0.0;
+    sel_pj_per_toggle = 0.0;
+    leakage_pj_per_cycle = 0.0;
+  }

@@ -1,0 +1,44 @@
+(** Electrical parameters of the Diesel-substitute power estimator.
+
+    The gate-level tool the paper uses "distinguishes between all
+    combinations of signal transitions with regard to their signal slopes"
+    and "considers capacitance and resistance of every wire and between
+    every wire and ground".  These parameters control our model of those
+    effects: slope-dependent edge energies, lateral coupling between
+    adjacent bus wires, glitching inside the address decoder, activity of
+    internal (non-interface) nets, and leakage. *)
+
+type t = {
+  vdd : float;  (** supply voltage, volts *)
+  slope_rise : float;  (** energy factor of a rising edge *)
+  slope_fall : float;  (** energy factor of a falling edge *)
+  coupling_ratio : float;
+      (** lateral capacitance between adjacent bus wires as a fraction of
+          the wire's self capacitance *)
+  opposite_factor : float;
+      (** multiplier on the coupling energy when adjacent wires switch in
+          opposite directions (Miller effect) *)
+  same_relief : float;
+      (** multiplier on the coupling energy when adjacent wires switch in
+          the same direction (< 1) *)
+  decoder_pj_per_addr_toggle : float;
+      (** internal decoder net energy per address wire transition *)
+  glitch_pj_per_hamming : float;
+      (** transient glitch energy per bit of address Hamming distance *)
+  mux_pj_per_rdata_toggle : float;
+      (** read data mux internal energy per read-data wire transition *)
+  fsm_pj_per_ctrl_toggle : float;
+      (** bus control FSM energy per control wire transition *)
+  sel_pj_per_toggle : float;  (** slave select line energy per transition *)
+  leakage_pj_per_cycle : float;
+}
+
+val default : t
+(** Calibrated so that interface-invisible energy (internal nets, glitches)
+    is roughly 8% of the total on mixed traffic, matching the layer-1
+    underestimation band the paper reports. *)
+
+val ideal : t
+(** No coupling, symmetric slopes, no internal nets, no leakage: with this
+    parameter set the reference degenerates to exactly the layer-1 model's
+    view; used by tests to show the abstraction error vanishes. *)

@@ -1,0 +1,84 @@
+type process = { name : string; body : t -> unit }
+
+and t = {
+  mutable now : int;
+  mutable rising_rev : process list;
+  mutable falling_rev : process list;
+  (* Caches rebuilt when the process lists change, so the hot loop only
+     iterates over arrays. *)
+  mutable rising : process array;
+  mutable falling : process array;
+  mutable dirty : bool;
+  mutable stop_requested : bool;
+}
+
+let create () =
+  {
+    now = 0;
+    rising_rev = [];
+    falling_rev = [];
+    rising = [||];
+    falling = [||];
+    dirty = false;
+    stop_requested = false;
+  }
+
+let now k = k.now
+
+let on_rising k ~name body =
+  k.rising_rev <- { name; body } :: k.rising_rev;
+  k.dirty <- true
+
+let on_falling k ~name body =
+  k.falling_rev <- { name; body } :: k.falling_rev;
+  k.dirty <- true
+
+let stop k = k.stop_requested <- true
+let stopped k = k.stop_requested
+
+let refresh k =
+  if k.dirty then begin
+    k.rising <- Array.of_list (List.rev k.rising_rev);
+    k.falling <- Array.of_list (List.rev k.falling_rev);
+    k.dirty <- false
+  end
+
+let step k =
+  refresh k;
+  let rising = k.rising and falling = k.falling in
+  for i = 0 to Array.length rising - 1 do
+    (Array.unsafe_get rising i).body k
+  done;
+  for i = 0 to Array.length falling - 1 do
+    (Array.unsafe_get falling i).body k
+  done;
+  k.now <- k.now + 1
+
+let run k ~cycles =
+  let rec loop remaining =
+    if remaining > 0 && not k.stop_requested then begin
+      step k;
+      loop (remaining - 1)
+    end
+  in
+  loop cycles
+
+let run_until k ?(max_cycles = 1_000_000) done_ =
+  let start = k.now in
+  let rec loop () =
+    if done_ () || k.stop_requested then k.now - start
+    else if k.now - start >= max_cycles then
+      failwith
+        (Printf.sprintf "Sim.Kernel.run_until: no completion after %d cycles"
+           max_cycles)
+    else begin
+      step k;
+      loop ()
+    end
+  in
+  loop ()
+
+let process_names k =
+  refresh k;
+  List.map (fun p -> p.name) (Array.to_list k.rising)
+  @ List.map (fun p -> p.name) (Array.to_list k.falling)

@@ -1,0 +1,51 @@
+(** Cycle-based simulation kernel.
+
+    A minimal substitute for the SystemC 2.0 kernel used in the paper: the
+    only scheduling semantics the bus models need are clocked processes
+    sensitive to the rising or the falling edge of a single system clock
+    ([SC_METHOD] style, re-evaluated on every edge), plus run control.
+
+    Each simulated clock cycle executes all rising-edge processes (masters
+    and slaves in the paper's models), then all falling-edge processes (the
+    bus processes).  Processes registered on the same edge run in
+    registration order. *)
+
+type t
+(** A simulation kernel instance with its own clock. *)
+
+val create : unit -> t
+(** [create ()] is a fresh kernel at time 0 with no processes. *)
+
+val now : t -> int
+(** [now k] is the number of completed clock cycles. *)
+
+val on_rising : t -> name:string -> (t -> unit) -> unit
+(** [on_rising k ~name f] registers [f] to run on every rising clock edge.
+    [name] is used in diagnostics only. *)
+
+val on_falling : t -> name:string -> (t -> unit) -> unit
+(** Same as {!on_rising} for the falling edge. *)
+
+val stop : t -> unit
+(** [stop k] requests run termination; the current cycle still completes. *)
+
+val stopped : t -> bool
+(** [stopped k] is [true] once {!stop} has been called. *)
+
+val step : t -> unit
+(** [step k] simulates one full clock cycle (rising then falling edge) and
+    advances time by one. *)
+
+val run : t -> cycles:int -> unit
+(** [run k ~cycles] simulates at most [cycles] cycles, stopping early if
+    {!stop} is requested. *)
+
+val run_until : t -> ?max_cycles:int -> (unit -> bool) -> int
+(** [run_until k ~max_cycles done_] steps until [done_ ()] holds, [stop]
+    is requested, or [max_cycles] (default [1_000_000]) elapse.  Returns
+    the number of cycles simulated by this call.
+
+    @raise Failure if [max_cycles] elapse before [done_ ()] holds. *)
+
+val process_names : t -> string list
+(** Registered process names, rising edge first, in registration order. *)

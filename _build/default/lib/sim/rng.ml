@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64, Steele et al.; result truncated to OCaml's 63-bit int. *)
+let next_raw t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Keep 62 bits so the result always fits OCaml's native non-negative
+   int range. *)
+let next64 t = Int64.to_int (Int64.shift_right_logical (next_raw t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Sim.Rng.int: bound <= 0";
+  next64 t mod bound
+
+let bits t n =
+  if n < 1 || n > 62 then invalid_arg "Sim.Rng.bits";
+  next64 t land ((1 lsl n) - 1)
+
+let bool t = next64 t land 1 = 1
+let float t = float_of_int (next64 t) /. 4611686018427387904.0
+
+let split t = { state = next_raw t }

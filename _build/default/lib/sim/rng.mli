@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All stochastic parts of the repository (workload generators, the TRNG
+    peripheral, DPA plaintexts) draw from explicit [Rng.t] instances so
+    that every experiment is reproducible from its seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val next64 : t -> int
+(** Next raw 62-bit value (OCaml native [int], non-negative). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val bits : t -> int -> int
+(** [bits t n] is a uniform [n]-bit value, [1 <= n <= 62]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val split : t -> t
+(** Derives an independent generator (useful for parallel workloads). *)

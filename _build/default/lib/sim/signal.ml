@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  width : int;
+  mask : int;
+  mutable cur : int;
+  mutable nxt : int;
+  mutable rises : int;
+  mutable falls : int;
+  per_bit : int array;
+}
+
+let popcount v =
+  let rec loop v acc = if v = 0 then acc else loop (v lsr 1) (acc + (v land 1)) in
+  loop v 0
+
+let create ~name ~width =
+  if width < 1 || width > 62 then
+    invalid_arg (Printf.sprintf "Sim.Signal.create %s: width %d" name width);
+  let mask = (1 lsl width) - 1 in
+  { name; width; mask; cur = 0; nxt = 0; rises = 0; falls = 0;
+    per_bit = Array.make width 0 }
+
+let name s = s.name
+let width s = s.width
+let current s = s.cur
+let next s = s.nxt
+let set s v = s.nxt <- v land s.mask
+
+let commit s =
+  let changed = s.cur lxor s.nxt in
+  if changed <> 0 then begin
+    let rose = changed land s.nxt and fell = changed land s.cur in
+    s.rises <- s.rises + popcount rose;
+    s.falls <- s.falls + popcount fell;
+    let rec mark bits i =
+      if bits <> 0 then begin
+        if bits land 1 = 1 then s.per_bit.(i) <- s.per_bit.(i) + 1;
+        mark (bits lsr 1) (i + 1)
+      end
+    in
+    mark changed 0
+  end;
+  s.cur <- s.nxt;
+  popcount changed
+
+let rises s = s.rises
+let falls s = s.falls
+let transitions s = s.rises + s.falls
+let bit_transitions s = Array.copy s.per_bit
+
+let reset_counters s =
+  s.rises <- 0;
+  s.falls <- 0;
+  Array.fill s.per_bit 0 s.width 0

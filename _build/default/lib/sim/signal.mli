@@ -1,0 +1,49 @@
+(** Multi-bit hardware signals with two-phase (next/commit) update and
+    per-bit transition accounting.
+
+    Used by the register-transfer-level reference model: during a cycle,
+    drivers write the {e next} value; at the end of the cycle the kernel
+    commits it, at which point rising and falling bit transitions are
+    recorded.  The power estimator inspects [current]/[next] pairs just
+    before the commit to attribute energy per transition. *)
+
+type t
+
+val create : name:string -> width:int -> t
+(** [create ~name ~width] is a signal of [width] bits (1..62), initially 0.
+
+    @raise Invalid_argument if [width] is outside 1..62. *)
+
+val name : t -> string
+val width : t -> int
+
+val current : t -> int
+(** Value visible during the present cycle. *)
+
+val next : t -> int
+(** Value scheduled for the next cycle (defaults to [current]). *)
+
+val set : t -> int -> unit
+(** [set s v] schedules [v] (masked to the signal width) as next value. *)
+
+val commit : t -> int
+(** [commit s] makes the next value current and returns the number of bits
+    that toggled.  Updates transition counters. *)
+
+val rises : t -> int
+(** Total number of 0 to 1 bit transitions committed so far. *)
+
+val falls : t -> int
+(** Total number of 1 to 0 bit transitions committed so far. *)
+
+val transitions : t -> int
+(** [transitions s] is [rises s + falls s]. *)
+
+val bit_transitions : t -> int array
+(** Per-bit committed transition counts (length [width s]). *)
+
+val reset_counters : t -> unit
+(** Zeroes all transition counters (values are preserved). *)
+
+val popcount : int -> int
+(** Number of set bits in a non-negative [int]. *)

@@ -1,0 +1,1 @@
+lib/soc/asm.ml: Array Hashtbl Isa List Printf String

@@ -1,0 +1,1 @@
+lib/soc/cpu.ml: Array Ec Isa Sim

@@ -1,0 +1,1 @@
+lib/soc/cpu.mli: Ec Sim

@@ -1,0 +1,1 @@
+lib/soc/crypto.ml: Array Ec Power Sim

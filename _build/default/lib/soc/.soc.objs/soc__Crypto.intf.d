@@ -1,0 +1,1 @@
+lib/soc/crypto.mli: Ec Power Sim

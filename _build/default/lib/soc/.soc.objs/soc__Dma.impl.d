@@ -1,0 +1,1 @@
+lib/soc/dma.ml: Array Ec Power Sim

@@ -1,0 +1,1 @@
+lib/soc/dma.mli: Ec Power Sim

@@ -1,0 +1,1 @@
+lib/soc/icache.ml: Array Ec Hashtbl Power Sim

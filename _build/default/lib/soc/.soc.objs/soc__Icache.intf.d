@@ -1,0 +1,1 @@
+lib/soc/icache.mli: Ec Power Sim

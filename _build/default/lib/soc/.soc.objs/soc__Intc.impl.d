@@ -1,0 +1,1 @@
+lib/soc/intc.ml: Ec Power Sim

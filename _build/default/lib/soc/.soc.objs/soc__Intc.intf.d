@@ -1,0 +1,1 @@
+lib/soc/intc.mli: Ec Power Sim

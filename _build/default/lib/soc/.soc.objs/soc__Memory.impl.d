@@ -1,0 +1,1 @@
+lib/soc/memory.ml: Array Asm Bytes Ec Int32 Power Sim

@@ -1,0 +1,1 @@
+lib/soc/memory.mli: Asm Ec Power Sim

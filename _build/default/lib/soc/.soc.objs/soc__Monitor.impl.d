@@ -1,0 +1,1 @@
+lib/soc/monitor.ml: Ec List Sim

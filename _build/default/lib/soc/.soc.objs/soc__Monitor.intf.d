@@ -1,0 +1,1 @@
+lib/soc/monitor.mli: Ec Sim

@@ -1,0 +1,1 @@
+lib/soc/platform.ml: Asm Crypto Dma Ec Intc List Memory Power Printf Timer Trng Uart

@@ -1,0 +1,1 @@
+lib/soc/platform.mli: Asm Crypto Dma Ec Intc Memory Power Sim Timer Trng Uart

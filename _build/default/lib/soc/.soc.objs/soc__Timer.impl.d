@@ -1,0 +1,1 @@
+lib/soc/timer.ml: Array Ec Power Sim

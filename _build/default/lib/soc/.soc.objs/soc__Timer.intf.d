@@ -1,0 +1,1 @@
+lib/soc/timer.mli: Ec Power Sim

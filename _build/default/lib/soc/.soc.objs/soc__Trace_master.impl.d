@@ -1,0 +1,1 @@
+lib/soc/trace_master.ml: Ec Hashtbl List Sim

@@ -1,0 +1,1 @@
+lib/soc/trng.ml: Ec Power Sim

@@ -1,0 +1,1 @@
+lib/soc/trng.mli: Ec Power Sim

@@ -1,0 +1,1 @@
+lib/soc/uart.ml: Buffer Char Ec Power Queue Sim

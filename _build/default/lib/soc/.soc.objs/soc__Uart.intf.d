@@ -1,0 +1,1 @@
+lib/soc/uart.mli: Ec Power Sim

@@ -1,0 +1,263 @@
+type program = {
+  origin : int;
+  words : int array;
+  labels : (string * int) list;
+}
+
+exception Error of string
+
+let error lineno fmt =
+  Printf.ksprintf (fun msg -> raise (Error (Printf.sprintf "line %d: %s" lineno msg))) fmt
+
+(* A statement after pass 1: its size is known, its encoding may still
+   need label resolution in pass 2. *)
+type stmt =
+  | Instr of Isa.t
+  | Branch of string * (Isa.reg * Isa.reg) * string  (* mnemonic, regs, label *)
+  | Jump of string * string  (* j/jal, label *)
+  | La of Isa.reg * string
+  | Li of Isa.reg * int
+  | Word of int
+  | Space of int  (* words *)
+  | Org of int  (* byte address; resolved to a Space in pass 1 *)
+
+let stmt_words = function
+  | Instr _ | Branch _ | Jump _ | Word _ -> 1
+  | La _ | Li _ -> 2
+  | Space n -> n
+  | Org _ -> assert false  (* rewritten before sizing *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_int lineno s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> error lineno "bad integer %S" s
+
+let parse_reg lineno s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && (s.[0] = 'r' || s.[0] = 'R') then
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some r when r >= 0 && r <= 31 -> r
+    | Some _ | None -> error lineno "bad register %S" s
+  else error lineno "bad register %S" s
+
+(* Either "imm(base)" or "imm" / label is rejected for memory operands. *)
+let parse_mem lineno s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+    let off = if i = 0 then 0 else parse_int lineno (String.sub s 0 i) in
+    let base = parse_reg lineno (String.sub s (i + 1) (String.length s - i - 2)) in
+    (off, base)
+  | Some _ | None -> error lineno "bad memory operand %S (want off(base))" s
+
+let is_label_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_label s =
+  String.length s > 0
+  && (let c = s.[0] in (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all is_label_char s
+
+let split_operands s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_statement lineno mnemonic operands =
+  let reg = parse_reg lineno and int_ = parse_int lineno in
+  let mem = parse_mem lineno in
+  let three f = function
+    | [ a; b; c ] -> Instr (f (reg a) (reg b) (reg c))
+    | _ -> error lineno "%s wants 3 registers" mnemonic
+  in
+  let shift f = function
+    | [ a; b; c ] -> Instr (f (reg a) (reg b) (int_ c))
+    | _ -> error lineno "%s wants rd, rs, shamt" mnemonic
+  in
+  let immediate f = function
+    | [ a; b; c ] -> Instr (f (reg a) (reg b) (int_ c))
+    | _ -> error lineno "%s wants rd, rs, imm" mnemonic
+  in
+  let load_store f = function
+    | [ a; b ] ->
+      let off, base = mem b in
+      Instr (f (reg a) off base)
+    | _ -> error lineno "%s wants rd, off(base)" mnemonic
+  in
+  let branch f = function
+    | [ a; b; c ] ->
+      if is_label c then Branch (mnemonic, (reg a, reg b), c)
+      else Instr (f (reg a) (reg b) (int_ c))
+    | _ -> error lineno "%s wants ra, rb, target" mnemonic
+  in
+  match mnemonic, operands with
+  | "nop", [] -> Instr Isa.Nop
+  | "halt", [] -> Instr Isa.Halt
+  | "ei", [] -> Instr Isa.Ei
+  | "di", [] -> Instr Isa.Di
+  | "eret", [] -> Instr Isa.Eret
+  | "wfi", [] -> Instr Isa.Wfi
+  | "add", ops -> three (fun a b c -> Isa.Add (a, b, c)) ops
+  | "sub", ops -> three (fun a b c -> Isa.Sub (a, b, c)) ops
+  | "and", ops -> three (fun a b c -> Isa.And (a, b, c)) ops
+  | "or", ops -> three (fun a b c -> Isa.Or (a, b, c)) ops
+  | "xor", ops -> three (fun a b c -> Isa.Xor (a, b, c)) ops
+  | "slt", ops -> three (fun a b c -> Isa.Slt (a, b, c)) ops
+  | "mul", ops -> three (fun a b c -> Isa.Mul (a, b, c)) ops
+  | "sll", ops -> shift (fun a b c -> Isa.Sll (a, b, c)) ops
+  | "srl", ops -> shift (fun a b c -> Isa.Srl (a, b, c)) ops
+  | "addi", ops -> immediate (fun a b c -> Isa.Addi (a, b, c)) ops
+  | "andi", ops -> immediate (fun a b c -> Isa.Andi (a, b, c)) ops
+  | "ori", ops -> immediate (fun a b c -> Isa.Ori (a, b, c)) ops
+  | "xori", ops -> immediate (fun a b c -> Isa.Xori (a, b, c)) ops
+  | "slti", ops -> immediate (fun a b c -> Isa.Slti (a, b, c)) ops
+  | "lui", [ a; b ] -> Instr (Isa.Lui (reg a, int_ b))
+  | "lw", ops -> load_store (fun a o b -> Isa.Lw (a, o, b)) ops
+  | "lh", ops -> load_store (fun a o b -> Isa.Lh (a, o, b)) ops
+  | "lhu", ops -> load_store (fun a o b -> Isa.Lhu (a, o, b)) ops
+  | "lb", ops -> load_store (fun a o b -> Isa.Lb (a, o, b)) ops
+  | "lbu", ops -> load_store (fun a o b -> Isa.Lbu (a, o, b)) ops
+  | "sw", ops -> load_store (fun a o b -> Isa.Sw (a, o, b)) ops
+  | "sh", ops -> load_store (fun a o b -> Isa.Sh (a, o, b)) ops
+  | "sb", ops -> load_store (fun a o b -> Isa.Sb (a, o, b)) ops
+  | "lw4", ops -> load_store (fun a o b -> Isa.Lw4 (a, o, b)) ops
+  | "sw4", ops -> load_store (fun a o b -> Isa.Sw4 (a, o, b)) ops
+  | "beq", ops -> branch (fun a b o -> Isa.Beq (a, b, o)) ops
+  | "bne", ops -> branch (fun a b o -> Isa.Bne (a, b, o)) ops
+  | "blt", ops -> branch (fun a b o -> Isa.Blt (a, b, o)) ops
+  | "bge", ops -> branch (fun a b o -> Isa.Bge (a, b, o)) ops
+  | "b", [ target ] ->
+    if is_label target then Branch ("beq", (0, 0), target)
+    else Instr (Isa.Beq (0, 0, int_ target))
+  | "j", [ target ] ->
+    if is_label target then Jump ("j", target) else Instr (Isa.J (int_ target))
+  | "jal", [ target ] ->
+    if is_label target then Jump ("jal", target)
+    else Instr (Isa.Jal (int_ target))
+  | "jr", [ s ] -> Instr (Isa.Jr (reg s))
+  | "move", [ a; b ] -> Instr (Isa.Add (reg a, reg b, 0))
+  | "li", [ a; b ] -> Li (reg a, int_ b)
+  | "la", [ a; b ] ->
+    if is_label b then La (reg a, b) else Li (reg a, int_ b)
+  | ".word", [ v ] -> Word (int_ v land 0xFFFFFFFF)
+  | ".space", [ n ] ->
+    let bytes = int_ n in
+    if bytes <= 0 || bytes mod 4 <> 0 then
+      error lineno ".space wants a positive multiple of 4";
+    Space (bytes / 4)
+  | ".org", [ a ] -> Org (int_ a)
+  | _ -> error lineno "cannot parse %S with %d operand(s)" mnemonic (List.length operands)
+
+let assemble_lines ?(origin = 0) lines =
+  if origin mod 4 <> 0 then raise (Error "origin not word aligned");
+  (* Pass 1: parse, collect statements and label addresses. *)
+  let stmts = ref [] and labels = Hashtbl.create 16 and word_count = ref 0 in
+  let handle_line lineno raw =
+    let line = String.trim (strip_comment raw) in
+    let line =
+      match String.index_opt line ':' with
+      | Some i ->
+        let name = String.trim (String.sub line 0 i) in
+        if not (is_label name) then error lineno "bad label %S" name;
+        if Hashtbl.mem labels name then error lineno "duplicate label %S" name;
+        Hashtbl.add labels name (origin + (4 * !word_count));
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      | None -> line
+    in
+    if line <> "" then begin
+      let mnemonic, rest =
+        match String.index_opt line ' ' with
+        | Some i ->
+          ( String.lowercase_ascii (String.sub line 0 i),
+            String.sub line i (String.length line - i) )
+        | None -> (String.lowercase_ascii line, "")
+      in
+      let stmt =
+        match parse_statement lineno mnemonic (split_operands rest) with
+        | Org addr ->
+          (* Advance the location counter with zero fill. *)
+          if addr mod 4 <> 0 then error lineno ".org %#x not word aligned" addr;
+          let target = (addr - origin) / 4 in
+          if target < !word_count then
+            error lineno ".org %#x behind location counter" addr;
+          Space (target - !word_count)
+        | stmt -> stmt
+      in
+      if stmt <> Space 0 then begin
+        stmts := (lineno, !word_count, stmt) :: !stmts;
+        word_count := !word_count + stmt_words stmt
+      end
+    end
+  in
+  List.iteri (fun i raw -> handle_line (i + 1) raw) lines;
+  let stmts = List.rev !stmts in
+  (* Pass 2: resolve labels and encode. *)
+  let words = Array.make !word_count 0 in
+  let find_label lineno name =
+    match Hashtbl.find_opt labels name with
+    | Some addr -> addr
+    | None -> error lineno "undefined label %S" name
+  in
+  let emit (lineno, index, stmt) =
+    let here_pc = origin + (4 * index) in
+    match stmt with
+    | Instr i -> words.(index) <- Isa.encode i
+    | Word v -> words.(index) <- v
+    | Space n -> Array.fill words index n 0
+    | Org _ -> assert false  (* rewritten to Space in pass 1 *)
+    | Branch (mnemonic, (a, b), label) ->
+      let target = find_label lineno label in
+      let offset = (target - (here_pc + 4)) / 4 in
+      let instr =
+        match mnemonic with
+        | "beq" -> Isa.Beq (a, b, offset)
+        | "bne" -> Isa.Bne (a, b, offset)
+        | "blt" -> Isa.Blt (a, b, offset)
+        | "bge" -> Isa.Bge (a, b, offset)
+        | _ -> assert false
+      in
+      (try words.(index) <- Isa.encode instr
+       with Invalid_argument _ -> error lineno "branch to %S out of range" label)
+    | Jump (mnemonic, label) ->
+      let target = find_label lineno label lsr 2 in
+      let instr = match mnemonic with
+        | "j" -> Isa.J target
+        | "jal" -> Isa.Jal target
+        | _ -> assert false
+      in
+      (try words.(index) <- Isa.encode instr
+       with Invalid_argument _ -> error lineno "jump to %S out of range" label)
+    | La (rd, label) ->
+      let v = find_label lineno label in
+      words.(index) <- Isa.encode (Isa.Lui (rd, (v lsr 16) land 0xFFFF));
+      words.(index + 1) <- Isa.encode (Isa.Ori (rd, rd, v land 0xFFFF))
+    | Li (rd, v) ->
+      let v = v land 0xFFFFFFFF in
+      words.(index) <- Isa.encode (Isa.Lui (rd, (v lsr 16) land 0xFFFF));
+      words.(index + 1) <- Isa.encode (Isa.Ori (rd, rd, v land 0xFFFF))
+  in
+  List.iter emit stmts;
+  { origin; words; labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [] }
+
+let assemble ?origin text =
+  assemble_lines ?origin (String.split_on_char '\n' text)
+
+let label_addr p name = List.assoc name p.labels
+
+let disassemble ?(origin = 0) words =
+  Array.to_list
+    (Array.mapi
+       (fun i w ->
+         let text =
+           match Isa.decode w with
+           | instr -> Isa.to_string instr
+           | exception Failure _ -> Printf.sprintf ".word %#x" w
+         in
+         Printf.sprintf "%#08x: %s" (origin + (4 * i)) text)
+       words)

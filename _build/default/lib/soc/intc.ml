@@ -1,0 +1,58 @@
+let lines = 16
+let pending_off = 0x0
+let enable_off = 0x4
+let active_off = 0x8
+
+type t = {
+  cfg : Ec.Slave_cfg.t;
+  component : Power.Component.t;
+  mutable pending : int;
+  mutable enable : int;
+  mutable raised_total : int;
+}
+
+let create ?(component = Power.Component.params ~idle_pj_per_cycle:0.02
+                ~active_pj_per_cycle:0.15 ~access_pj:1.0 ()) ?kernel cfg =
+  let t =
+    {
+      cfg;
+      component = Power.Component.create ~name:cfg.Ec.Slave_cfg.name component;
+      pending = 0;
+      enable = 0;
+      raised_total = 0;
+    }
+  in
+  (match kernel with
+  | Some k ->
+    Sim.Kernel.on_rising k ~name:(cfg.Ec.Slave_cfg.name ^ "-power") (fun _ ->
+        Power.Component.tick t.component ~active:(t.pending land t.enable <> 0))
+  | None -> ());
+  t
+
+let raise_line t n =
+  if n < 0 || n >= lines then invalid_arg "Soc.Intc.raise_line";
+  t.pending <- t.pending lor (1 lsl n);
+  t.raised_total <- t.raised_total + 1
+
+let asserted t = t.pending land t.enable <> 0
+
+let read t ~addr ~width:_ =
+  Power.Component.access t.component;
+  match addr - t.cfg.Ec.Slave_cfg.base with
+  | off when off = pending_off -> t.pending
+  | off when off = enable_off -> t.enable
+  | off when off = active_off -> t.pending land t.enable
+  | _ -> 0
+
+let write t ~addr ~width:_ ~value =
+  Power.Component.access t.component;
+  match addr - t.cfg.Ec.Slave_cfg.base with
+  | off when off = pending_off -> t.pending <- t.pending land lnot value
+  | off when off = enable_off -> t.enable <- value land ((1 lsl lines) - 1)
+  | _ -> ()
+
+let slave t = Ec.Slave.make ~cfg:t.cfg ~read:(read t) ~write:(write t)
+let component t = t.component
+let pending t = t.pending
+let enabled t = t.enable
+let raised_total t = t.raised_total

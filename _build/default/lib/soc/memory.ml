@@ -1,0 +1,80 @@
+type t = {
+  cfg : Ec.Slave_cfg.t;
+  bytes : Bytes.t;
+  component : Power.Component.t;
+  mutable accessed_this_cycle : bool;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ?kernel ?(component = Power.Component.params ()) cfg =
+  let t =
+    {
+      cfg;
+      bytes = Bytes.make cfg.Ec.Slave_cfg.size '\000';
+      component = Power.Component.create ~name:cfg.Ec.Slave_cfg.name component;
+      accessed_this_cycle = false;
+      reads = 0;
+      writes = 0;
+    }
+  in
+  (match kernel with
+  | Some k ->
+    Sim.Kernel.on_rising k ~name:(cfg.Ec.Slave_cfg.name ^ "-power")
+      (fun _ ->
+        Power.Component.tick t.component ~active:t.accessed_this_cycle;
+        t.accessed_this_cycle <- false)
+  | None -> ());
+  t
+
+let offset t addr =
+  let off = addr - t.cfg.Ec.Slave_cfg.base in
+  assert (off >= 0 && off < t.cfg.Ec.Slave_cfg.size);
+  off
+
+let poke8 t ~addr v = Bytes.set_uint8 t.bytes (offset t addr) (v land 0xFF)
+let peek8 t ~addr = Bytes.get_uint8 t.bytes (offset t addr)
+
+let poke32 t ~addr v =
+  assert (addr mod 4 = 0);
+  Bytes.set_int32_le t.bytes (offset t addr) (Int32.of_int (v land 0xFFFFFFFF))
+
+let peek32 t ~addr =
+  assert (addr mod 4 = 0);
+  Int32.to_int (Bytes.get_int32_le t.bytes (offset t addr)) land 0xFFFFFFFF
+
+let load_words t ~addr words =
+  Array.iteri (fun i w -> poke32 t ~addr:(addr + (4 * i)) w) words
+
+let load_program t (p : Asm.program) = load_words t ~addr:p.Asm.origin p.Asm.words
+
+let mark_access t =
+  t.accessed_this_cycle <- true;
+  Power.Component.access t.component
+
+let bus_read t ~addr ~width =
+  mark_access t;
+  t.reads <- t.reads + 1;
+  match (width : Ec.Txn.width) with
+  | Ec.Txn.W8 -> peek8 t ~addr
+  | Ec.Txn.W16 ->
+    assert (addr mod 2 = 0);
+    peek8 t ~addr lor (peek8 t ~addr:(addr + 1) lsl 8)
+  | Ec.Txn.W32 -> peek32 t ~addr
+
+let bus_write t ~addr ~width ~value =
+  mark_access t;
+  t.writes <- t.writes + 1;
+  match (width : Ec.Txn.width) with
+  | Ec.Txn.W8 -> poke8 t ~addr value
+  | Ec.Txn.W16 ->
+    assert (addr mod 2 = 0);
+    poke8 t ~addr (value land 0xFF);
+    poke8 t ~addr:(addr + 1) ((value lsr 8) land 0xFF)
+  | Ec.Txn.W32 -> poke32 t ~addr value
+
+let slave t = Ec.Slave.make ~cfg:t.cfg ~read:(bus_read t) ~write:(bus_write t)
+let cfg t = t.cfg
+let component t = t.component
+let reads t = t.reads
+let writes t = t.writes

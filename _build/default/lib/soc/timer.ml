@@ -1,0 +1,79 @@
+let channels = 2
+
+type channel = {
+  mutable count : int;
+  mutable reload : int;
+  mutable enable : bool;
+  mutable auto_reload : bool;
+  mutable overflow : bool;
+}
+
+type t = {
+  cfg : Ec.Slave_cfg.t;
+  component : Power.Component.t;
+  irq : int -> unit;
+  chan : channel array;
+}
+
+let create ~kernel ?(component = Power.Component.Presets.timer)
+    ?(irq = fun _ -> ()) cfg =
+  let fresh_channel () =
+    { count = 0; reload = 0; enable = false; auto_reload = false;
+      overflow = false }
+  in
+  let t =
+    {
+      cfg;
+      component = Power.Component.create ~name:cfg.Ec.Slave_cfg.name component;
+      irq;
+      chan = Array.init channels (fun _ -> fresh_channel ());
+    }
+  in
+  let tick _ =
+    let any_enabled = ref false in
+    Array.iteri
+      (fun ch c ->
+        if c.enable then begin
+          any_enabled := true;
+          c.count <- c.count + 1;
+          if c.count > 0xFFFF then begin
+            c.overflow <- true;
+            c.count <- (if c.auto_reload then c.reload else 0);
+            t.irq ch
+          end
+        end)
+      t.chan;
+    Power.Component.tick t.component ~active:!any_enabled
+  in
+  Sim.Kernel.on_rising kernel ~name:(cfg.Ec.Slave_cfg.name ^ "-tick") tick;
+  t
+
+let locate t addr =
+  let off = addr - t.cfg.Ec.Slave_cfg.base in
+  let ch = off / 0x10 and reg = off mod 0x10 in
+  if ch >= 0 && ch < channels then Some (t.chan.(ch), reg) else None
+
+let read t ~addr ~width:_ =
+  Power.Component.access t.component;
+  match locate t addr with
+  | Some (c, 0x0) -> c.count
+  | Some (c, 0x4) -> c.reload
+  | Some (c, 0x8) -> (if c.enable then 1 else 0) lor if c.auto_reload then 2 else 0
+  | Some (c, 0xC) -> if c.overflow then 1 else 0
+  | Some _ | None -> 0
+
+let write t ~addr ~width:_ ~value =
+  Power.Component.access t.component;
+  match locate t addr with
+  | Some (c, 0x0) -> c.count <- value land 0xFFFF
+  | Some (c, 0x4) -> c.reload <- value land 0xFFFF
+  | Some (c, 0x8) ->
+    c.enable <- value land 1 = 1;
+    c.auto_reload <- value land 2 = 2
+  | Some (c, 0xC) -> if value land 1 = 1 then c.overflow <- false
+  | Some _ | None -> ()
+
+let slave t = Ec.Slave.make ~cfg:t.cfg ~read:(read t) ~write:(write t)
+let component t = t.component
+let count t ch = t.chan.(ch).count
+let overflowed t ch = t.chan.(ch).overflow

@@ -1,0 +1,97 @@
+type mode = [ `Serial | `Pipelined ]
+
+type t = {
+  port : Ec.Port.t;
+  mode : mode;
+  keep_results : bool;
+  ids : Ec.Txn.Id_gen.gen;
+  mutable remaining : Ec.Trace.item list;
+  mutable gap_left : int;
+  mutable to_submit : Ec.Txn.t option;  (* instantiated, not yet accepted *)
+  outstanding : (int, Ec.Txn.t) Hashtbl.t;
+  mutable issued : int;
+  mutable completed : int;
+  mutable errors : int;
+  mutable results_rev : Ec.Txn.t list;
+}
+
+let finished t =
+  t.remaining = [] && t.to_submit = None && Hashtbl.length t.outstanding = 0
+
+let record_completion t txn outcome =
+  t.completed <- t.completed + 1;
+  (match outcome with
+  | Ec.Port.Failed -> t.errors <- t.errors + 1
+  | Ec.Port.Done | Ec.Port.Pending -> ());
+  if t.keep_results then t.results_rev <- txn :: t.results_rev
+
+(* Collect finished outstanding transactions. *)
+let sweep t =
+  let done_ids =
+    Hashtbl.fold
+      (fun id txn acc ->
+        match Ec.Port.take t.port id with
+        | Ec.Port.Pending -> acc
+        | (Ec.Port.Done | Ec.Port.Failed) as outcome ->
+          record_completion t txn outcome;
+          id :: acc)
+      t.outstanding []
+  in
+  List.iter (Hashtbl.remove t.outstanding) done_ids
+
+(* Load the next trace item into the submit slot, arming its gap. *)
+let advance t =
+  match t.remaining with
+  | [] -> ()
+  | item :: rest ->
+    t.remaining <- rest;
+    let it = Ec.Trace.instantiate t.ids item in
+    t.gap_left <- it.Ec.Trace.gap;
+    t.to_submit <- Some it.Ec.Trace.txn
+
+let try_submit t =
+  match t.to_submit with
+  | None -> ()
+  | Some txn ->
+    if t.gap_left > 0 then t.gap_left <- t.gap_left - 1
+    else if t.port.Ec.Port.try_submit txn then begin
+      Hashtbl.replace t.outstanding txn.Ec.Txn.id txn;
+      t.issued <- t.issued + 1;
+      t.to_submit <- None;
+      advance t
+    end
+
+let step t _kernel =
+  sweep t;
+  match t.mode with
+  | `Pipelined -> try_submit t
+  | `Serial -> if Hashtbl.length t.outstanding = 0 then try_submit t
+
+let create ~kernel ~port ?(mode = `Pipelined) ?(keep_results = false) trace =
+  let t =
+    {
+      port;
+      mode;
+      keep_results;
+      ids = Ec.Txn.Id_gen.create ();
+      remaining = trace;
+      gap_left = 0;
+      to_submit = None;
+      outstanding = Hashtbl.create 8;
+      issued = 0;
+      completed = 0;
+      errors = 0;
+      results_rev = [];
+    }
+  in
+  advance t;
+  Sim.Kernel.on_rising kernel ~name:"trace-master" (step t);
+  t
+
+let issued t = t.issued
+let completed t = t.completed
+let errors t = t.errors
+let results t = List.rev t.results_rev
+
+let run t ~kernel ?(max_cycles = 2_000_000) () =
+  Sim.Kernel.run_until kernel ~max_cycles (fun () -> finished t)

@@ -1,0 +1,65 @@
+let data_off = 0x0
+let status_off = 0x4
+let ctrl_off = 0x8
+
+type t = {
+  cfg : Ec.Slave_cfg.t;
+  component : Power.Component.t;
+  rng : Sim.Rng.t;
+  refill_cycles : int;
+  mutable current : int;
+  mutable refill_left : int;
+  mutable enabled : bool;
+  mutable delivered : int;
+}
+
+let create ~kernel ?(component = Power.Component.Presets.trng) ?(seed = 0x5EED)
+    ?(refill_cycles = 8) cfg =
+  let rng = Sim.Rng.create ~seed in
+  let t =
+    {
+      cfg;
+      component = Power.Component.create ~name:cfg.Ec.Slave_cfg.name component;
+      rng;
+      refill_cycles;
+      current = Sim.Rng.bits rng 32;
+      refill_left = 0;
+      enabled = true;
+      delivered = 0;
+    }
+  in
+  let tick _ =
+    if t.enabled && t.refill_left > 0 then begin
+      t.refill_left <- t.refill_left - 1;
+      if t.refill_left = 0 then t.current <- Sim.Rng.bits t.rng 32
+    end;
+    Power.Component.tick t.component ~active:(t.enabled && t.refill_left > 0)
+  in
+  Sim.Kernel.on_rising kernel ~name:(cfg.Ec.Slave_cfg.name ^ "-tick") tick;
+  t
+
+let ready t = t.refill_left = 0
+
+let read t ~addr ~width:_ =
+  Power.Component.access t.component;
+  match addr - t.cfg.Ec.Slave_cfg.base with
+  | off when off = data_off ->
+    let v = t.current in
+    if ready t && t.enabled then begin
+      t.refill_left <- t.refill_cycles;
+      t.delivered <- t.delivered + 1
+    end;
+    v
+  | off when off = status_off -> if ready t then 1 else 0
+  | off when off = ctrl_off -> if t.enabled then 1 else 0
+  | _ -> 0
+
+let write t ~addr ~width:_ ~value =
+  Power.Component.access t.component;
+  match addr - t.cfg.Ec.Slave_cfg.base with
+  | off when off = ctrl_off -> t.enabled <- value land 1 = 1
+  | _ -> ()
+
+let slave t = Ec.Slave.make ~cfg:t.cfg ~read:(read t) ~write:(write t)
+let component t = t.component
+let words_delivered t = t.delivered

@@ -1,0 +1,86 @@
+let data_off = 0x0
+let status_off = 0x4
+let ctrl_off = 0x8
+let baud_off = 0xC
+let tx_fifo_capacity = 16
+
+type t = {
+  cfg : Ec.Slave_cfg.t;
+  component : Power.Component.t;
+  rx_irq : unit -> unit;
+  tx_fifo : int Queue.t;
+  rx_fifo : int Queue.t;
+  out : Buffer.t;
+  mutable enabled : bool;
+  mutable baud : int;
+  mutable shifting : int option;  (* byte on the wire *)
+  mutable bit_cycles_left : int;
+}
+
+let create ~kernel ?(component = Power.Component.Presets.uart)
+    ?(rx_irq = fun () -> ()) cfg =
+  let t =
+    {
+      cfg;
+      component = Power.Component.create ~name:cfg.Ec.Slave_cfg.name component;
+      rx_irq;
+      tx_fifo = Queue.create ();
+      rx_fifo = Queue.create ();
+      out = Buffer.create 64;
+      enabled = true;
+      baud = 16;
+      shifting = None;
+      bit_cycles_left = 0;
+    }
+  in
+  let tick _ =
+    (match t.shifting with
+    | Some byte ->
+      t.bit_cycles_left <- t.bit_cycles_left - 1;
+      if t.bit_cycles_left <= 0 then begin
+        Buffer.add_char t.out (Char.chr (byte land 0xFF));
+        t.shifting <- None
+      end
+    | None ->
+      if t.enabled && not (Queue.is_empty t.tx_fifo) then begin
+        t.shifting <- Some (Queue.pop t.tx_fifo);
+        t.bit_cycles_left <- 10 * t.baud
+      end);
+    Power.Component.tick t.component ~active:(t.shifting <> None)
+  in
+  Sim.Kernel.on_rising kernel ~name:(cfg.Ec.Slave_cfg.name ^ "-tick") tick;
+  t
+
+let status t =
+  (if t.shifting <> None then 1 else 0)
+  lor (if not (Queue.is_empty t.rx_fifo) then 2 else 0)
+  lor if Queue.length t.tx_fifo >= tx_fifo_capacity then 4 else 0
+
+let read t ~addr ~width:_ =
+  Power.Component.access t.component;
+  match addr - t.cfg.Ec.Slave_cfg.base with
+  | off when off = data_off ->
+    if Queue.is_empty t.rx_fifo then 0 else Queue.pop t.rx_fifo
+  | off when off = status_off -> status t
+  | off when off = ctrl_off -> if t.enabled then 1 else 0
+  | off when off = baud_off -> t.baud
+  | _ -> 0
+
+let write t ~addr ~width:_ ~value =
+  Power.Component.access t.component;
+  match addr - t.cfg.Ec.Slave_cfg.base with
+  | off when off = data_off ->
+    if Queue.length t.tx_fifo < tx_fifo_capacity then
+      Queue.push (value land 0xFF) t.tx_fifo
+  | off when off = ctrl_off -> t.enabled <- value land 1 = 1
+  | off when off = baud_off -> t.baud <- max 1 (value land 0xFFFF)
+  | _ -> ()
+
+let slave t = Ec.Slave.make ~cfg:t.cfg ~read:(read t) ~write:(write t)
+let component t = t.component
+let inject_rx t byte =
+  Queue.push (byte land 0xFF) t.rx_fifo;
+  t.rx_irq ()
+let transmitted t = Buffer.contents t.out
+let tx_busy t = t.shifting <> None
+let rx_pending t = Queue.length t.rx_fifo

@@ -1,0 +1,1 @@
+lib/tlm1/bus.ml: Array Ec Energy Hashtbl Queue Sim

@@ -1,0 +1,1 @@
+lib/tlm1/bus.mli: Ec Energy Sim

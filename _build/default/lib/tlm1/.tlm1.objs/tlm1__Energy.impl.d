@@ -1,0 +1,1 @@
+lib/tlm1/energy.ml: Array Ec List Power

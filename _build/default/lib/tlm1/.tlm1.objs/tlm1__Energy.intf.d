@@ -1,0 +1,1 @@
+lib/tlm1/energy.mli: Ec Power

@@ -1,0 +1,113 @@
+type t = {
+  (* Old (committed) and new values per signal group; control signals are
+     packed into one bit set ordered like Ec.Signals.all_ctrl. *)
+  mutable old_addr : int;
+  mutable new_addr : int;
+  mutable old_be : int;
+  mutable new_be : int;
+  mutable old_wdata : int;
+  mutable new_wdata : int;
+  mutable old_rdata : int;
+  mutable new_rdata : int;
+  mutable old_ctrl : int;
+  mutable new_ctrl : int;
+  (* Energy per transition per bit, precomputed from the table. *)
+  addr_pj : float array;
+  be_pj : float array;
+  wdata_pj : float array;
+  rdata_pj : float array;
+  ctrl_pj : float array;
+  meter : Power.Meter.t;
+  mutable transitions : int;
+}
+
+let ctrl_bit c =
+  let rec loop i = function
+    | [] -> assert false
+    | c' :: rest -> if c = c' then i else loop (i + 1) rest
+  in
+  loop 0 Ec.Signals.all_ctrl
+
+let create ?(record_profile = false) table =
+  let per id = Power.Characterization.energy_per_transition table id in
+  {
+    old_addr = 0;
+    new_addr = 0;
+    old_be = 0;
+    new_be = 0;
+    old_wdata = 0;
+    new_wdata = 0;
+    old_rdata = 0;
+    new_rdata = 0;
+    old_ctrl = 0;
+    new_ctrl = 0;
+    addr_pj = Array.init Ec.Signals.addr_wires (fun i -> per (Ec.Signals.Addr i));
+    be_pj = Array.init Ec.Signals.be_wires (fun i -> per (Ec.Signals.Be i));
+    wdata_pj = Array.init Ec.Signals.data_wires (fun i -> per (Ec.Signals.Wdata i));
+    rdata_pj = Array.init Ec.Signals.data_wires (fun i -> per (Ec.Signals.Rdata i));
+    ctrl_pj = Array.of_list (List.map (fun c -> per (Ec.Signals.Ctrl c)) Ec.Signals.all_ctrl);
+    meter = Power.Meter.create ~record_profile ();
+    transitions = 0;
+  }
+
+let set_ctrl_bit t c v =
+  let bit = 1 lsl ctrl_bit c in
+  if v then t.new_ctrl <- t.new_ctrl lor bit
+  else t.new_ctrl <- t.new_ctrl land lnot bit
+
+let drive_addr_phase t (txn : Ec.Txn.t) =
+  t.new_addr <- txn.Ec.Txn.addr lsr 2;
+  t.new_be <- Ec.Txn.byte_enables txn 0;
+  set_ctrl_bit t Ec.Signals.Avalid true;
+  set_ctrl_bit t Ec.Signals.Instr (txn.Ec.Txn.kind = Ec.Txn.Instruction);
+  set_ctrl_bit t Ec.Signals.Write (txn.Ec.Txn.dir = Ec.Txn.Write);
+  set_ctrl_bit t Ec.Signals.Burst (txn.Ec.Txn.burst > 1)
+
+let strobe t c = set_ctrl_bit t c true
+let set_avalid t v = set_ctrl_bit t Ec.Signals.Avalid v
+let drive_rdata t v = t.new_rdata <- v land 0xFFFFFFFF
+let drive_wdata t v = t.new_wdata <- v land 0xFFFFFFFF
+
+(* Energy of the toggled bits of one signal group. *)
+let group_energy t changed per_bit =
+  let rec loop bits i acc n =
+    if bits = 0 then (acc, n)
+    else begin
+      let acc, n = if bits land 1 = 1 then (acc +. per_bit.(i), n + 1) else (acc, n) in
+      loop (bits lsr 1) (i + 1) acc n
+    end
+  in
+  let pj, n = loop changed 0 0.0 0 in
+  t.transitions <- t.transitions + n;
+  pj
+
+let strobes_mask =
+  List.fold_left
+    (fun acc c -> acc lor (1 lsl ctrl_bit c))
+    0
+    [ Ec.Signals.Ardy; Ec.Signals.Rdval; Ec.Signals.Wdrdy; Ec.Signals.Rberr;
+      Ec.Signals.Wberr; Ec.Signals.Bfirst; Ec.Signals.Blast ]
+
+let end_cycle t =
+  let pj =
+    group_energy t (t.old_addr lxor t.new_addr) t.addr_pj
+    +. group_energy t (t.old_be lxor t.new_be) t.be_pj
+    +. group_energy t (t.old_wdata lxor t.new_wdata) t.wdata_pj
+    +. group_energy t (t.old_rdata lxor t.new_rdata) t.rdata_pj
+    +. group_energy t (t.old_ctrl lxor t.new_ctrl) t.ctrl_pj
+  in
+  Power.Meter.add t.meter pj;
+  Power.Meter.end_cycle t.meter;
+  t.old_addr <- t.new_addr;
+  t.old_be <- t.new_be;
+  t.old_wdata <- t.new_wdata;
+  t.old_rdata <- t.new_rdata;
+  t.old_ctrl <- t.new_ctrl;
+  (* One-cycle strobes fall back to zero unless re-asserted next cycle. *)
+  t.new_ctrl <- t.new_ctrl land lnot strobes_mask
+
+let energy_last_cycle_pj t = Power.Meter.last_cycle_pj t.meter
+let energy_since_last_call_pj t = Power.Meter.since_last_call_pj t.meter
+let total_pj t = Power.Meter.total_pj t.meter
+let meter t = t.meter
+let transitions_total t = t.transitions

@@ -1,0 +1,43 @@
+(** Layer-1 energy model (paper section 3.3, Figure 5).
+
+    "The power estimation unit is implemented as a dedicated module.  It
+    defines for each bus interface signal a member variable for the new
+    and old value.  The new values for all signals are set by the
+    different bus phases.  The bus process calls the energy calculation
+    method after the write phase" — at which point bit transitions are
+    recognized and multiplied with the characterized average energy per
+    transition per signal.
+
+    Only the EC interface signals are modelled: internal controller nets
+    (decoder, select, FSM) and analog effects (slopes, coupling
+    combinations) are invisible at this layer, which is precisely the
+    systematic error against the gate-level reference. *)
+
+type t
+
+val create : ?record_profile:bool -> Power.Characterization.t -> t
+
+(** Signal-update methods invoked by the bus phases. *)
+
+val drive_addr_phase : t -> Ec.Txn.t -> unit
+(** Address, byte enables, AValid/Instr/Write/Burst attributes. *)
+
+val strobe : t -> Ec.Signals.ctrl -> unit
+(** Asserts a one-cycle control strobe (ARdy, RdVal, WDRdy, errors,
+    BFirst/BLast). *)
+
+val set_avalid : t -> bool -> unit
+val drive_rdata : t -> int -> unit
+val drive_wdata : t -> int -> unit
+
+val end_cycle : t -> unit
+(** The energy calculation method: counts transitions between the old and
+    new signal values, accumulates energy, re-arms the strobes. *)
+
+(** The paper's power interface. *)
+
+val energy_last_cycle_pj : t -> float
+val energy_since_last_call_pj : t -> float
+val total_pj : t -> float
+val meter : t -> Power.Meter.t
+val transitions_total : t -> int

@@ -1,0 +1,1 @@
+lib/tlm2/bus.ml: Array Ec Energy Hashtbl Queue Sim

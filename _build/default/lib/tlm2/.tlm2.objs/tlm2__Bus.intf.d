@@ -1,0 +1,1 @@
+lib/tlm2/bus.mli: Ec Energy Sim

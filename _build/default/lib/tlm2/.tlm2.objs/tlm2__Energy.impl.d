@@ -1,0 +1,1 @@
+lib/tlm2/energy.ml: Array Ec List Power Sim

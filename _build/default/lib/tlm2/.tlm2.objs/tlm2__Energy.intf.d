@@ -1,0 +1,1 @@
+lib/tlm2/energy.mli: Ec Power

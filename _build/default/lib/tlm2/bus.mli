@@ -1,0 +1,33 @@
+(** EC bus model at transaction level layer 2 (paper section 3.2).
+
+    Timed but not cycle accurate: a burst is a single transaction, data is
+    passed by pointer, and the detailed timing of layer 1 is replaced by
+    wait-state counters snapshot from the slave "when the transaction is
+    created during the first interface call".  The bus process decrements
+    the address wait counter each cycle, then the data wait counter; at
+    the end of the data phase the slave's block interface is invoked once
+    for the whole transaction.
+
+    Two deliberate abstractions produce the small timing error of Table 1:
+    data phases of all transactions are serialized in one engine (layer 1
+    overlaps independent read and write data phases), while address phases
+    still pipeline ahead of data phases. *)
+
+type t
+
+val create :
+  kernel:Sim.Kernel.t ->
+  decoder:Ec.Decoder.t ->
+  ?energy:Energy.t ->
+  unit ->
+  t
+
+val port : t -> Ec.Port.t
+val energy : t -> Energy.t option
+val decoder : t -> Ec.Decoder.t
+
+val busy : t -> bool
+val completed_txns : t -> int
+val completed_beats : t -> int
+val error_txns : t -> int
+val busy_cycles : t -> int

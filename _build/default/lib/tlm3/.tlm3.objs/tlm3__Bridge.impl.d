@@ -1,0 +1,1 @@
+lib/tlm3/bridge.ml: Array Channel Ec Sim

@@ -1,0 +1,1 @@
+lib/tlm3/bridge.mli: Channel Ec Sim

@@ -1,0 +1,1 @@
+lib/tlm3/channel.ml: Array Ec

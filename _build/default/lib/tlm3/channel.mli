@@ -1,0 +1,29 @@
+(** Transaction level layer 3 — the message layer.
+
+    Per the OCP white paper the related work builds on (Haverinen et al.),
+    layer-3 systems are untimed and event-driven; "data representation may
+    be of a very abstract data type and several data items can be
+    transferred by a single transaction".  This channel delivers whole
+    messages of arbitrary word counts directly against the slave
+    behaviours — zero simulated time, no protocol, no energy — and is the
+    natural home of functional partitioning and algorithm-level
+    experiments before any refinement. *)
+
+type message = {
+  addr : int;
+  words : int;  (** any positive count; no burst restrictions *)
+}
+
+type outcome = Ok_data of int array | Bus_error
+
+type t
+
+val create : Ec.Decoder.t -> t
+
+val read : t -> message -> outcome
+val write : t -> addr:int -> int array -> outcome
+(** Rights and mapping are still checked (the decoder is shared with the
+    timed models); everything else is abstracted away. *)
+
+val messages : t -> int
+val words_moved : t -> int

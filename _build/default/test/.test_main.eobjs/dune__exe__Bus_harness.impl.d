@@ -1,0 +1,1 @@
+test/bus_harness.ml: Ec List Power Rtl Sim Soc Tlm1 Tlm2

@@ -1,0 +1,1 @@
+test/suite_bus.ml: Alcotest Array Bus_harness Ec Format List Printf Rtl Sim Soc Tlm1

@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Core Ec Float Format Hashtbl List Power Printf Sim Soc String

@@ -1,0 +1,1 @@
+test/suite_ec.ml: Alcotest Array Ec Filename Fun Hashtbl List Sys

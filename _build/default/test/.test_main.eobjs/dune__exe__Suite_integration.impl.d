@@ -1,0 +1,1 @@
+test/suite_integration.ml: Alcotest Array Core Ec Fun Jcvm Lazy List Power Printf Sim Soc

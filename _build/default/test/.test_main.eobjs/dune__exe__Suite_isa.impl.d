@@ -1,0 +1,1 @@
+test/suite_isa.ml: Alcotest Array Bus_harness List Printf Sim Soc String

@@ -1,0 +1,1 @@
+test/suite_iso7816.ml: Alcotest Core Fun Iso7816 List Soc

@@ -1,0 +1,1 @@
+test/suite_jcvm.ml: Alcotest Array Bytes Ec Jcvm List Printf Sim Tlm1

@@ -1,0 +1,1 @@
+test/suite_levels.ml: Alcotest Array Bus_harness Core Ec Filename Float Fun List Power Printf Rtl Sim Soc String Sys

@@ -1,0 +1,1 @@
+test/suite_power.ml: Alcotest Array Core Ec Fun List Power Sim Soc String

@@ -1,0 +1,1 @@
+test/suite_props.ml: Array Bus_harness Core Ec Float Format Iso7816 Jcvm List Power QCheck QCheck_alcotest Sim Soc String Tlm1 Tlm3

@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest List Sim

@@ -1,0 +1,1 @@
+test/suite_soc.ml: Alcotest Array Bus_harness Char Core Ec List Printf Sim Soc

@@ -1,0 +1,1 @@
+test/suite_tlm3.ml: Alcotest Array Bus_harness Ec Sim Soc Tlm3

@@ -1,0 +1,218 @@
+(* ISO 7816: APDU codecs, card OS dispatch, and the bus-level session. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let wallet_aid = [ 0xA0; 0x00; 0x00; 0x00; 0x02 ]
+let echo_aid = [ 0xA0; 0x00; 0x00; 0x00; 0x01 ]
+
+let select aid =
+  Iso7816.Apdu.command ~ins:Iso7816.Apdu.ins_select ~p1:0x04 ~data:aid ()
+
+(* --- APDU codec --- *)
+
+let roundtrip c =
+  match Iso7816.Apdu.decode_command (Iso7816.Apdu.encode_command c) with
+  | Ok back -> back = c
+  | Error _ -> false
+
+let test_apdu_cases_roundtrip () =
+  (* Case 1: header only. *)
+  check_bool "case 1" true (roundtrip (Iso7816.Apdu.command ~ins:0x10 ()));
+  (* Case 2: Le only. *)
+  check_bool "case 2" true (roundtrip (Iso7816.Apdu.command ~ins:0x11 ~le:4 ()));
+  (* Case 3: data only. *)
+  check_bool "case 3" true
+    (roundtrip (Iso7816.Apdu.command ~ins:0x12 ~data:[ 1; 2; 3 ] ()));
+  (* Case 4: data + Le. *)
+  check_bool "case 4" true
+    (roundtrip (Iso7816.Apdu.command ~ins:0x13 ~data:[ 9 ] ~le:8 ()))
+
+let test_apdu_le_256 () =
+  let c = Iso7816.Apdu.command ~ins:0x20 ~le:256 () in
+  (* Le = 256 is wire byte 0. *)
+  (match List.rev (Iso7816.Apdu.encode_command c) with
+  | 0 :: _ -> ()
+  | _ -> Alcotest.fail "Le 256 must encode as 0");
+  check_bool "roundtrip" true (roundtrip c)
+
+let test_apdu_decode_errors () =
+  let bad bytes =
+    match Iso7816.Apdu.decode_command bytes with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  check_bool "short header" true (bad [ 0; 1; 2 ]);
+  check_bool "lc mismatch" true (bad [ 0; 1; 2; 3; 5; 1; 2 ])
+
+let test_apdu_validation () =
+  let invalid f =
+    check_bool "rejected" true
+      (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  invalid (fun () -> Iso7816.Apdu.command ~ins:0x100 ());
+  invalid (fun () -> Iso7816.Apdu.command ~ins:0x10 ~data:[ 300 ] ());
+  invalid (fun () -> Iso7816.Apdu.command ~ins:0x10 ~le:300 ());
+  invalid (fun () -> Iso7816.Apdu.command ~ins:0x10 ~data:(List.init 256 Fun.id) ())
+
+let test_response_roundtrip () =
+  let r = Iso7816.Apdu.response ~data:[ 0xDE; 0xAD ] Iso7816.Apdu.sw_ok in
+  (match Iso7816.Apdu.decode_response (Iso7816.Apdu.encode_response r) with
+  | Ok back -> check_bool "roundtrip" true (back = r)
+  | Error msg -> Alcotest.fail msg);
+  check_bool "too short" true
+    (match Iso7816.Apdu.decode_response [ 0x90 ] with
+    | Ok _ -> false
+    | Error _ -> true)
+
+(* --- card OS --- *)
+
+let fresh_card () =
+  Iso7816.Card.create
+    [ Iso7816.Card.echo_applet; Iso7816.Card.wallet_applet ~initial:10 () ]
+
+let test_card_select_and_dispatch () =
+  let card = fresh_card () in
+  check_bool "nothing selected" true (Iso7816.Card.selected card = None);
+  (* Command before selection. *)
+  let r = Iso7816.Card.handle card (Iso7816.Apdu.command ~ins:0x32 ()) in
+  check_int "needs selection" Iso7816.Apdu.sw_conditions_not_satisfied
+    r.Iso7816.Apdu.sw;
+  let r = Iso7816.Card.handle card (select wallet_aid) in
+  check_int "selected ok" Iso7816.Apdu.sw_ok r.Iso7816.Apdu.sw;
+  check_bool "wallet current" true (Iso7816.Card.selected card = Some wallet_aid);
+  let r = Iso7816.Card.handle card (select [ 1; 2; 3; 4; 5 ]) in
+  check_int "unknown aid" Iso7816.Apdu.sw_file_not_found r.Iso7816.Apdu.sw;
+  (* Failed select keeps the previous applet (our card's behaviour). *)
+  let r = Iso7816.Card.handle card (Iso7816.Apdu.command ~ins:0x32 ~le:2 ()) in
+  check_int "wallet still answers" Iso7816.Apdu.sw_ok r.Iso7816.Apdu.sw
+
+let test_card_cla_check () =
+  let card = fresh_card () in
+  let r = Iso7816.Card.handle card (Iso7816.Apdu.command ~cla:0xFF ~ins:0x00 ()) in
+  check_int "cla rejected" Iso7816.Apdu.sw_cla_not_supported r.Iso7816.Apdu.sw
+
+let test_card_echo () =
+  let card = fresh_card () in
+  ignore (Iso7816.Card.handle card (select echo_aid));
+  let r =
+    Iso7816.Card.handle card (Iso7816.Apdu.command ~ins:0x42 ~data:[ 7; 8; 9 ] ())
+  in
+  Alcotest.(check (list int)) "echoed" [ 7; 8; 9 ] r.Iso7816.Apdu.data
+
+let wallet_balance card =
+  let r = Iso7816.Card.handle card (Iso7816.Apdu.command ~ins:0x32 ~le:2 ()) in
+  check_int "balance sw" Iso7816.Apdu.sw_ok r.Iso7816.Apdu.sw;
+  match r.Iso7816.Apdu.data with
+  | [ hi; lo ] -> (hi lsl 8) lor lo
+  | _ -> Alcotest.fail "two balance bytes expected"
+
+let test_wallet_semantics () =
+  let card = fresh_card () in
+  ignore (Iso7816.Card.handle card (select wallet_aid));
+  check_int "initial" 10 (wallet_balance card);
+  let credit n = Iso7816.Card.handle card (Iso7816.Apdu.command ~ins:0x30 ~data:[ n ] ()) in
+  let debit n = Iso7816.Card.handle card (Iso7816.Apdu.command ~ins:0x31 ~data:[ n ] ()) in
+  check_int "credit ok" Iso7816.Apdu.sw_ok (credit 200).Iso7816.Apdu.sw;
+  check_int "after credit" 210 (wallet_balance card);
+  check_int "debit ok" Iso7816.Apdu.sw_ok (debit 10).Iso7816.Apdu.sw;
+  check_int "after debit" 200 (wallet_balance card);
+  check_int "insufficient funds" Iso7816.Apdu.sw_conditions_not_satisfied
+    (debit 255).Iso7816.Apdu.sw;
+  check_int "balance untouched" 200 (wallet_balance card);
+  let r = Iso7816.Card.handle card (Iso7816.Apdu.command ~ins:0x30 ~data:[ 1; 2 ] ()) in
+  check_int "wrong length" Iso7816.Apdu.sw_wrong_length r.Iso7816.Apdu.sw;
+  let r = Iso7816.Card.handle card (Iso7816.Apdu.command ~ins:0x55 ()) in
+  check_int "unknown ins" Iso7816.Apdu.sw_ins_not_supported r.Iso7816.Apdu.sw
+
+let test_card_validation () =
+  let invalid f =
+    check_bool "rejected" true
+      (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  invalid (fun () -> Iso7816.Card.applet ~aid:[ 1; 2 ] (fun _ -> assert false));
+  invalid (fun () ->
+      Iso7816.Card.create [ Iso7816.Card.echo_applet; Iso7816.Card.echo_applet ])
+
+(* --- bus-level session --- *)
+
+let run_session ?(level = Core.Level.L1) commands =
+  let system = Core.System.create ~level () in
+  let kernel = Core.System.kernel system in
+  let platform = Core.System.platform system in
+  let card = fresh_card () in
+  let stats =
+    Iso7816.Session.run ~kernel ~port:(Core.System.port system)
+      ~uart:(Soc.Platform.uart platform)
+      ~energy_probe:(fun () -> Core.System.energy_since_last_call_pj system)
+      ~card commands
+  in
+  (stats, card)
+
+let test_session_matches_functional_model () =
+  let commands =
+    [
+      select wallet_aid;
+      Iso7816.Apdu.command ~ins:0x30 ~data:[ 42 ] ();
+      Iso7816.Apdu.command ~ins:0x31 ~data:[ 2 ] ();
+      Iso7816.Apdu.command ~ins:0x32 ~le:2 ();
+      Iso7816.Apdu.command ~ins:0x99 ();
+    ]
+  in
+  let stats, _ = run_session commands in
+  (* The pure functional card on the same command list must agree. *)
+  let reference = fresh_card () in
+  List.iter2
+    (fun command (x : Iso7816.Session.exchange) ->
+      let expected = Iso7816.Card.handle reference command in
+      check_bool "same response over the bus" true
+        (expected = x.Iso7816.Session.response))
+    commands stats.Iso7816.Session.exchanges;
+  check_bool "cycles accounted" true (stats.Iso7816.Session.total_cycles > 0);
+  check_bool "firmware used the bus" true (stats.Iso7816.Session.firmware_txns > 20);
+  List.iter
+    (fun (x : Iso7816.Session.exchange) ->
+      check_bool "per-exchange energy" true (x.Iso7816.Session.energy_pj > 0.0))
+    stats.Iso7816.Session.exchanges
+
+let test_session_longer_data_costs_more () =
+  let short = Iso7816.Apdu.command ~ins:0x42 ~data:[ 1 ] () in
+  let long = Iso7816.Apdu.command ~ins:0x42 ~data:(List.init 32 Fun.id) () in
+  let stats, _ = run_session [ select echo_aid; short; select echo_aid; long ] in
+  match stats.Iso7816.Session.exchanges with
+  | [ _; s; _; l ] ->
+    check_bool "longer frame takes longer" true
+      (l.Iso7816.Session.cycles > s.Iso7816.Session.cycles);
+    check_bool "longer frame costs more" true
+      (l.Iso7816.Session.energy_pj > s.Iso7816.Session.energy_pj)
+  | _ -> Alcotest.fail "four exchanges expected"
+
+let test_session_works_on_l2 () =
+  let stats, _ =
+    run_session ~level:Core.Level.L2 [ select wallet_aid; Iso7816.Apdu.command ~ins:0x32 ~le:2 () ]
+  in
+  match stats.Iso7816.Session.exchanges with
+  | [ sel; bal ] ->
+    check_int "select ok" Iso7816.Apdu.sw_ok sel.Iso7816.Session.response.Iso7816.Apdu.sw;
+    Alcotest.(check (list int)) "balance bytes" [ 0; 10 ]
+      bal.Iso7816.Session.response.Iso7816.Apdu.data
+  | _ -> Alcotest.fail "two exchanges expected"
+
+let suite =
+  [
+    Alcotest.test_case "apdu case 1-4 roundtrips" `Quick test_apdu_cases_roundtrip;
+    Alcotest.test_case "apdu le=256" `Quick test_apdu_le_256;
+    Alcotest.test_case "apdu decode errors" `Quick test_apdu_decode_errors;
+    Alcotest.test_case "apdu validation" `Quick test_apdu_validation;
+    Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+    Alcotest.test_case "card select and dispatch" `Quick test_card_select_and_dispatch;
+    Alcotest.test_case "card cla check" `Quick test_card_cla_check;
+    Alcotest.test_case "card echo applet" `Quick test_card_echo;
+    Alcotest.test_case "wallet semantics" `Quick test_wallet_semantics;
+    Alcotest.test_case "card validation" `Quick test_card_validation;
+    Alcotest.test_case "session matches functional model" `Quick
+      test_session_matches_functional_model;
+    Alcotest.test_case "session data length scales cost" `Quick
+      test_session_longer_data_costs_more;
+    Alcotest.test_case "session on layer 2" `Quick test_session_works_on_l2;
+  ]

@@ -1,0 +1,518 @@
+(* Property-based tests (qcheck): protocol invariants, model equivalence,
+   codec roundtrips. *)
+
+open Bus_harness
+
+module Gen = QCheck.Gen
+
+(* --- generators --- *)
+
+let gen_width = Gen.oneofl [ Ec.Txn.W8; Ec.Txn.W16; Ec.Txn.W32 ]
+
+(* A valid transaction over the harness memory map; writes avoid the ROM. *)
+let gen_txn =
+  let open Gen in
+  let* dir = oneofl [ Ec.Txn.Read; Ec.Txn.Write ] in
+  let* base =
+    match dir with
+    | Ec.Txn.Read -> oneofl [ fast_base; slow_base; rom_base ]
+    | Ec.Txn.Write -> oneofl [ fast_base; slow_base ]
+  in
+  let* burst = frequency [ (3, return 1); (1, return 4) ] in
+  if burst = 4 then
+    let* slot = int_bound 30 in
+    let addr = base + (16 * slot) in
+    match dir with
+    | Ec.Txn.Read -> return (Ec.Txn.burst_read ~id:0 addr)
+    | Ec.Txn.Write ->
+      let* values = array_size (return 4) (int_bound 0xFFFFFF) in
+      return (Ec.Txn.burst_write ~id:0 addr ~values)
+  else
+    let* width = gen_width in
+    let align = match width with Ec.Txn.W8 -> 1 | Ec.Txn.W16 -> 2 | Ec.Txn.W32 -> 4 in
+    let* slot = int_bound (0x400 / align) in
+    let addr = base + (align * slot) in
+    match dir with
+    | Ec.Txn.Read ->
+      let* kind =
+        if base = rom_base && width = Ec.Txn.W32 then
+          oneofl [ Ec.Txn.Data; Ec.Txn.Instruction ]
+        else return Ec.Txn.Data
+      in
+      return (Ec.Txn.single_read ~id:0 ~kind ~width addr)
+    | Ec.Txn.Write ->
+      let* value = int_bound 0xFFFFFF in
+      return (Ec.Txn.single_write ~id:0 ~width addr ~value)
+
+let gen_trace =
+  let open Gen in
+  list_size (int_range 1 40)
+    (let* gap = int_bound 3 in
+     let* txn = gen_txn in
+     return (Ec.Trace.item ~gap txn))
+
+let arb_trace =
+  QCheck.make gen_trace
+    ~print:(fun t -> String.concat "\n" (Ec.Trace.to_lines t))
+
+(* --- protocol equivalence properties --- *)
+
+let prop_l1_equals_rtl_cycles =
+  QCheck.Test.make ~name:"L1 cycles = RTL cycles on any traffic" ~count:60
+    arb_trace (fun trace ->
+      let _, rtl = run_trace Rtl_l trace in
+      let _, l1 = run_trace L1_l trace in
+      rtl = l1)
+
+let prop_l1_equals_rtl_transitions =
+  QCheck.Test.make ~name:"L1 transitions = RTL transitions" ~count:40 arb_trace
+    (fun trace ->
+      let h_rtl, _ = run_trace Rtl_l trace in
+      let h_l1, _ = run_trace L1_l trace in
+      h_rtl.transitions () = h_l1.transitions ())
+
+let prop_l2_serial_equals_l1 =
+  QCheck.Test.make ~name:"L2 cycles = L1 cycles on serial traffic" ~count:40
+    arb_trace (fun trace ->
+      let _, l1 = run_trace ~mode:`Serial L1_l trace in
+      let _, l2 = run_trace ~mode:`Serial L2_l trace in
+      l1 = l2)
+
+let prop_l2_never_faster_pipelined =
+  QCheck.Test.make ~name:"L2 cycles >= L1 cycles pipelined" ~count:40 arb_trace
+    (fun trace ->
+      let _, l1 = run_trace ~mode:`Pipelined L1_l trace in
+      let _, l2 = run_trace ~mode:`Pipelined L2_l trace in
+      l2 >= l1)
+
+let prop_all_complete_no_errors =
+  QCheck.Test.make ~name:"every valid transaction completes without error"
+    ~count:40 arb_trace (fun trace ->
+      List.for_all
+        (fun level ->
+          let h, _ = run_trace level trace in
+          h.completed () = List.length trace && h.errors () = 0 && not (h.busy ()))
+        all_levels)
+
+let prop_energy_monotone_with_estimation =
+  QCheck.Test.make ~name:"RTL energy strictly above L1 (internal nets)"
+    ~count:25 arb_trace (fun trace ->
+      let h_rtl, _ = run_trace Rtl_l trace in
+      let h_l1, _ = run_trace L1_l trace in
+      h_rtl.energy_pj () > h_l1.energy_pj ())
+
+let prop_isolated_latency =
+  QCheck.Test.make ~name:"isolated latency matches analytic timing" ~count:80
+    (QCheck.make gen_txn ~print:(Format.asprintf "%a" Ec.Txn.pp))
+    (fun txn ->
+      let cfg_for addr =
+        if addr >= rom_base then
+          Ec.Slave_cfg.make ~name:"rom" ~base:rom_base ~size:0x1000
+            ~writable:false ~executable:true ()
+        else if addr >= slow_base then
+          Ec.Slave_cfg.make ~name:"slow" ~base:slow_base ~size:0x1000
+            ~addr_wait:1 ~read_wait:2 ~write_wait:4 ()
+        else Ec.Slave_cfg.make ~name:"fast" ~base:fast_base ~size:0x1000 ()
+      in
+      let expected = Ec.Timing.isolated_latency (cfg_for txn.Ec.Txn.addr) txn in
+      List.for_all
+        (fun level ->
+          let h = build level in
+          let txn = Ec.Trace.(instantiate ids (item txn)).Ec.Trace.txn in
+          run_one h txn = expected)
+        all_levels)
+
+(* --- data transport properties --- *)
+
+let prop_write_read_roundtrip =
+  QCheck.Test.make ~name:"write then read returns the value (all levels)"
+    ~count:50
+    QCheck.(pair (QCheck.make gen_width) (int_bound 0xFFFFFF))
+    (fun (width, value) ->
+      let align = match width with Ec.Txn.W8 -> 1 | Ec.Txn.W16 -> 2 | Ec.Txn.W32 -> 4 in
+      let addr = fast_base + (64 * align) in
+      let bits = Ec.Txn.width_bits width in
+      let masked = value land ((1 lsl bits) - 1) in
+      List.for_all
+        (fun level ->
+          let h = build level in
+          ignore (run_one h (write ~width addr masked));
+          let r = read ~width addr in
+          ignore (run_one h r);
+          r.Ec.Txn.data.(0) = masked)
+        all_levels)
+
+(* --- codec roundtrips --- *)
+
+let prop_trace_text_roundtrip =
+  QCheck.Test.make ~name:"trace text serialization roundtrip" ~count:100
+    arb_trace (fun trace ->
+      let back = Ec.Trace.of_lines (Ec.Trace.to_lines trace) in
+      List.length back = List.length trace
+      && List.for_all2
+           (fun a b ->
+             a.Ec.Trace.gap = b.Ec.Trace.gap
+             && Ec.Txn.equal_payload a.Ec.Trace.txn b.Ec.Trace.txn)
+           trace back)
+
+let gen_instr =
+  let open Gen in
+  let reg = int_bound 31 in
+  let imm = int_range (-32768) 32767 in
+  let uimm = int_bound 0xFFFF in
+  let sh = int_bound 31 in
+  let target = int_bound 0x3FFFFFF in
+  oneof
+    [
+      return Soc.Isa.Nop;
+      return Soc.Isa.Halt;
+      map3 (fun a b c -> Soc.Isa.Add (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Soc.Isa.Sub (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Soc.Isa.Xor (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Soc.Isa.Mul (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Soc.Isa.Sll (a, b, c)) reg reg sh;
+      map3 (fun a b c -> Soc.Isa.Addi (a, b, c)) reg reg imm;
+      map3 (fun a b c -> Soc.Isa.Ori (a, b, c)) reg reg uimm;
+      map2 (fun a b -> Soc.Isa.Lui (a, b)) reg uimm;
+      map3 (fun a b c -> Soc.Isa.Lw (a, b, c)) reg imm reg;
+      map3 (fun a b c -> Soc.Isa.Sb (a, b, c)) reg imm reg;
+      map3 (fun a b c -> Soc.Isa.Lw4 (a, b, c)) reg imm reg;
+      map3 (fun a b c -> Soc.Isa.Beq (a, b, c)) reg reg imm;
+      map (fun t -> Soc.Isa.J t) target;
+      map (fun r -> Soc.Isa.Jr r) reg;
+    ]
+
+let prop_isa_roundtrip =
+  QCheck.Test.make ~name:"isa encode/decode roundtrip" ~count:300
+    (QCheck.make gen_instr ~print:Soc.Isa.to_string)
+    (fun instr -> Soc.Isa.decode (Soc.Isa.encode instr) = instr)
+
+let gen_bytecode =
+  let open Gen in
+  let u16 = int_bound 0xFFFF in
+  let s16 = int_range (-32768) 32767 in
+  let s8 = int_range (-128) 127 in
+  oneof
+    [
+      return Jcvm.Bytecode.Nop;
+      return Jcvm.Bytecode.Sadd;
+      return Jcvm.Bytecode.Sdiv;
+      return Jcvm.Bytecode.Dup;
+      return Jcvm.Bytecode.Sastore;
+      map (fun v -> Jcvm.Bytecode.Sspush v) s16;
+      map (fun v -> Jcvm.Bytecode.Bspush v) s8;
+      map (fun v -> Jcvm.Bytecode.Sload v) u16;
+      map2 (fun i v -> Jcvm.Bytecode.Sinc (i, v)) u16 s8;
+      map (fun v -> Jcvm.Bytecode.Goto v) u16;
+      map (fun v -> Jcvm.Bytecode.If_scmplt v) u16;
+      map (fun v -> Jcvm.Bytecode.Getstatic v) u16;
+      return Jcvm.Bytecode.Sreturn;
+    ]
+
+let prop_bytecode_roundtrip =
+  QCheck.Test.make ~name:"bytecode encode/decode roundtrip" ~count:100
+    (QCheck.make (Gen.array_size (Gen.int_range 1 30) gen_bytecode))
+    (fun program ->
+      Jcvm.Bytecode.decode (Jcvm.Bytecode.encode program) = program)
+
+(* --- short arithmetic semantics --- *)
+
+let to_short v =
+  let v = v land 0xFFFF in
+  if v > 32767 then v - 65536 else v
+
+let prop_interp_binops_match_reference =
+  let ops =
+    [
+      (Jcvm.Bytecode.Sadd, ( + ));
+      (Jcvm.Bytecode.Ssub, ( - ));
+      (Jcvm.Bytecode.Smul, ( * ));
+      (Jcvm.Bytecode.Sand, ( land ));
+      (Jcvm.Bytecode.Sor, ( lor ));
+      (Jcvm.Bytecode.Sxor, ( lxor ));
+    ]
+  in
+  QCheck.Test.make ~name:"interpreter binops = OCaml reference mod 2^16"
+    ~count:200
+    QCheck.(triple (int_bound 5) (int_range (-32768) 32767) (int_range (-32768) 32767))
+    (fun (op_idx, a, b) ->
+      let instr, f = List.nth ops op_idx in
+      let r =
+        Jcvm.Interp.run_soft
+          [| Jcvm.Bytecode.Sspush a; Jcvm.Bytecode.Sspush b; instr;
+             Jcvm.Bytecode.Sreturn |]
+      in
+      r.Jcvm.Interp.value = Some (to_short (f a b)))
+
+(* --- stack refinement: random op streams on the packed configuration --- *)
+
+let prop_packed_adapter_equals_soft =
+  QCheck.Test.make ~name:"packed hw stack = soft stack on random op streams"
+    ~count:30
+    QCheck.(list_of_size (Gen.int_range 1 120) (option (int_range (-32768) 32767)))
+    (fun script ->
+      (* [Some v] pushes, [None] pops when non-empty. *)
+      let config =
+        List.find
+          (fun c -> c.Jcvm.Configs.name = "w32-packed")
+          Jcvm.Configs.standard
+      in
+      let kernel = Sim.Kernel.create () in
+      let hw = Jcvm.Hw_stack.create config in
+      let bus =
+        Tlm1.Bus.create ~kernel
+          ~decoder:(Ec.Decoder.create [ Jcvm.Hw_stack.slave hw ])
+          ()
+      in
+      let adapter =
+        Jcvm.Master_adapter.create ~kernel ~port:(Tlm1.Bus.port bus) config
+      in
+      let hw_ops = Jcvm.Master_adapter.ops adapter in
+      let soft = Jcvm.Soft_stack.create ~capacity:256 () in
+      let soft_ops = Jcvm.Soft_stack.ops soft in
+      List.for_all
+        (fun step ->
+          match step with
+          | Some v ->
+            if soft_ops.Jcvm.Stack_intf.depth () >= 250 then true
+            else begin
+              hw_ops.Jcvm.Stack_intf.push v;
+              soft_ops.Jcvm.Stack_intf.push v;
+              true
+            end
+          | None ->
+            if soft_ops.Jcvm.Stack_intf.depth () = 0 then true
+            else hw_ops.Jcvm.Stack_intf.pop () = soft_ops.Jcvm.Stack_intf.pop ())
+        script
+      && hw_ops.Jcvm.Stack_intf.depth () = soft_ops.Jcvm.Stack_intf.depth ())
+
+(* --- misc invariants --- *)
+
+let prop_signal_commit_counts =
+  QCheck.Test.make ~name:"signal commit counts = popcount(xor)" ~count:200
+    QCheck.(pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF))
+    (fun (a, b) ->
+      let s = Sim.Signal.create ~name:"p" ~width:32 in
+      Sim.Signal.set s a;
+      ignore (Sim.Signal.commit s);
+      Sim.Signal.set s b;
+      let toggles = Sim.Signal.commit s in
+      toggles = Sim.Signal.popcount (a lxor b)
+      && Sim.Signal.transitions s = Sim.Signal.popcount a + toggles)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:200
+    QCheck.(pair (int_bound 1000) (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create ~seed in
+      let v = Sim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_profile_lumps_cover =
+  QCheck.Test.make ~name:"lumped samples always sum to profile total"
+    ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_bound_inclusive 10.0))
+              (list_of_size (Gen.int_range 0 5) (int_bound 60)))
+    (fun (values, points) ->
+      let p = Power.Profile.create () in
+      List.iter (Power.Profile.push p) values;
+      let lumps = Power.Profile.lumped p ~sample_points:points in
+      let sum = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 lumps in
+      Float.abs (sum -. Power.Profile.total p) < 1e-9)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_l1_equals_rtl_cycles;
+      prop_l1_equals_rtl_transitions;
+      prop_l2_serial_equals_l1;
+      prop_l2_never_faster_pipelined;
+      prop_all_complete_no_errors;
+      prop_energy_monotone_with_estimation;
+      prop_isolated_latency;
+      prop_write_read_roundtrip;
+      prop_trace_text_roundtrip;
+      prop_isa_roundtrip;
+      prop_bytecode_roundtrip;
+      prop_interp_binops_match_reference;
+      prop_packed_adapter_equals_soft;
+      prop_signal_commit_counts;
+      prop_rng_int_bounds;
+      prop_profile_lumps_cover;
+    ]
+
+(* --- extension properties --- *)
+
+let gen_apdu =
+  let open Gen in
+  let byte = int_bound 0xFF in
+  let* ins = byte in
+  let* p1 = byte in
+  let* p2 = byte in
+  let* data = list_size (int_bound 20) byte in
+  let* le = option (int_range 1 256) in
+  return (Iso7816.Apdu.command ~ins ~p1 ~p2 ~data ?le ())
+
+let prop_apdu_roundtrip =
+  QCheck.Test.make ~name:"APDU encode/decode roundtrip (cases 1-4)" ~count:300
+    (QCheck.make gen_apdu
+       ~print:(Format.asprintf "%a" Iso7816.Apdu.pp_command))
+    (fun c ->
+      match Iso7816.Apdu.decode_command (Iso7816.Apdu.encode_command c) with
+      | Ok back -> back = c
+      | Error _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"APDU response roundtrip" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_bound 16) (int_bound 0xFF)) (int_bound 0xFFFF))
+    (fun (data, sw) ->
+      let r = Iso7816.Apdu.response ~data sw in
+      match Iso7816.Apdu.decode_response (Iso7816.Apdu.encode_response r) with
+      | Ok back -> back = r
+      | Error _ -> false)
+
+let prop_bridge_matches_channel =
+  QCheck.Test.make ~name:"layer-3 bridge data = layer-3 channel data" ~count:30
+    QCheck.(pair (int_bound 60) (int_range 1 12))
+    (fun (slot, words) ->
+      let h = build L1_l in
+      for w = 0 to 127 do
+        Soc.Memory.poke32 h.fast ~addr:(fast_base + (4 * w)) ((w * 1103) land 0xFFFFF)
+      done;
+      let addr = fast_base + (4 * slot) in
+      let decoder =
+        Ec.Decoder.create
+          [ Soc.Memory.slave h.fast; Soc.Memory.slave h.slow; Soc.Memory.slave h.rom ]
+      in
+      let ch = Tlm3.Channel.create decoder in
+      let bridge = Tlm3.Bridge.create ~kernel:h.kernel ~port:h.port in
+      match
+        ( Tlm3.Channel.read ch { Tlm3.Channel.addr; words },
+          Tlm3.Bridge.read bridge ~addr ~words )
+      with
+      | Tlm3.Channel.Ok_data a, (Tlm3.Channel.Ok_data b, _) -> a = b
+      | _, _ -> false)
+
+let prop_gray_coding_neighbours =
+  QCheck.Test.make ~name:"gray codes of consecutive ints differ in one bit"
+    ~count:300
+    QCheck.(int_bound 100000)
+    (fun v ->
+      Sim.Signal.popcount
+        (Power.Coding.gray_encode v lxor Power.Coding.gray_encode (v + 1))
+      = 1)
+
+let prop_budget_scales_linearly =
+  QCheck.Test.make ~name:"budget current scales linearly with energy" ~count:100
+    QCheck.(pair (float_bound_inclusive 1e6) (int_range 1 100000))
+    (fun (pj, cycles) ->
+      let i1 =
+        Power.Budget.average_current_ma ~energy_pj:pj ~cycles ~clock_hz:1e7
+          ~supply_v:5.0
+      in
+      let i2 =
+        Power.Budget.average_current_ma ~energy_pj:(2.0 *. pj) ~cycles
+          ~clock_hz:1e7 ~supply_v:5.0
+      in
+      Float.abs (i2 -. (2.0 *. i1)) < 1e-9 *. Float.max 1.0 i2)
+
+let extension_props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_apdu_roundtrip;
+      prop_response_roundtrip;
+      prop_bridge_matches_channel;
+      prop_gray_coding_neighbours;
+      prop_budget_scales_linearly;
+    ]
+
+let suite = suite @ extension_props
+
+(* --- CPU semantics: random straight-line programs vs a pure reference --- *)
+
+let gen_alu_instr =
+  let open Gen in
+  (* Registers r1..r7, so r0's zero-wiring is also exercised as source. *)
+  let reg = int_range 1 7 in
+  let src = int_range 0 7 in
+  let imm = int_range (-1000) 1000 in
+  let uimm = int_bound 0xFFFF in
+  oneof
+    [
+      map3 (fun d a b -> Soc.Isa.Add (d, a, b)) reg src src;
+      map3 (fun d a b -> Soc.Isa.Sub (d, a, b)) reg src src;
+      map3 (fun d a b -> Soc.Isa.And (d, a, b)) reg src src;
+      map3 (fun d a b -> Soc.Isa.Or (d, a, b)) reg src src;
+      map3 (fun d a b -> Soc.Isa.Xor (d, a, b)) reg src src;
+      map3 (fun d a b -> Soc.Isa.Slt (d, a, b)) reg src src;
+      map3 (fun d a b -> Soc.Isa.Mul (d, a, b)) reg src src;
+      map3 (fun d a sh -> Soc.Isa.Sll (d, a, sh)) reg src (int_bound 31);
+      map3 (fun d a sh -> Soc.Isa.Srl (d, a, sh)) reg src (int_bound 31);
+      map3 (fun d a i -> Soc.Isa.Addi (d, a, i)) reg src imm;
+      map3 (fun d a i -> Soc.Isa.Xori (d, a, i)) reg src uimm;
+      map2 (fun d i -> Soc.Isa.Lui (d, i)) reg uimm;
+      map3 (fun d a i -> Soc.Isa.Slti (d, a, i)) reg src imm;
+    ]
+
+(* Pure reference semantics of the ALU subset. *)
+let reference_alu regs instr =
+  let mask32 v = v land 0xFFFFFFFF in
+  let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v in
+  let get r = if r = 0 then 0 else regs.(r) in
+  let set r v = if r <> 0 then regs.(r) <- mask32 v in
+  match instr with
+  | Soc.Isa.Add (d, a, b) -> set d (get a + get b)
+  | Soc.Isa.Sub (d, a, b) -> set d (get a - get b)
+  | Soc.Isa.And (d, a, b) -> set d (get a land get b)
+  | Soc.Isa.Or (d, a, b) -> set d (get a lor get b)
+  | Soc.Isa.Xor (d, a, b) -> set d (get a lxor get b)
+  | Soc.Isa.Slt (d, a, b) -> set d (if signed (get a) < signed (get b) then 1 else 0)
+  | Soc.Isa.Mul (d, a, b) -> set d (get a * get b)
+  | Soc.Isa.Sll (d, a, sh) -> set d (get a lsl sh)
+  | Soc.Isa.Srl (d, a, sh) -> set d (get a lsr sh)
+  | Soc.Isa.Addi (d, a, i) -> set d (get a + i)
+  | Soc.Isa.Xori (d, a, i) -> set d (get a lxor i)
+  | Soc.Isa.Lui (d, i) -> set d (i lsl 16)
+  | Soc.Isa.Slti (d, a, i) -> set d (if signed (get a) < i then 1 else 0)
+  | _ -> assert false
+
+let prop_cpu_matches_reference =
+  QCheck.Test.make ~name:"CPU register semantics = pure reference" ~count:60
+    (QCheck.make
+       (Gen.list_size (Gen.int_range 1 40) gen_alu_instr)
+       ~print:(fun instrs ->
+         String.concat "\n" (List.map Soc.Isa.to_string instrs)))
+    (fun instrs ->
+      (* Reference execution. *)
+      let expected = Array.make 8 0 in
+      List.iter (reference_alu expected) instrs;
+      (* Simulated execution over the bus. *)
+      let h = build L1_l in
+      let words =
+        Array.of_list (List.map Soc.Isa.encode instrs @ [ Soc.Isa.encode Soc.Isa.Halt ])
+      in
+      Soc.Memory.load_words h.fast ~addr:fast_base words;
+      let cpu = Soc.Cpu.create ~kernel:h.kernel ~port:h.port () in
+      ignore (Soc.Cpu.run_to_halt cpu ~kernel:h.kernel ());
+      List.for_all (fun r -> Soc.Cpu.reg cpu r = expected.(r)) [ 1; 2; 3; 4; 5; 6; 7 ])
+
+let prop_icache_transparent =
+  QCheck.Test.make ~name:"icache is architecturally transparent" ~count:12
+    QCheck.(pair (int_bound 3) (int_range 4 10))
+    (fun (size_idx, n) ->
+      let lines = [| 1; 2; 8; 32 |].(size_idx) in
+      let program = Soc.Asm.assemble (Core.Test_programs.bubble_sort ~n) in
+      let dump icache_lines =
+        let run = Core.Runner.run_program ?icache_lines program in
+        let ram = Soc.Platform.ram (Core.System.platform run.Core.Runner.system) in
+        ( run.Core.Runner.fault,
+          List.init n (fun i ->
+              Soc.Memory.peek32 ram ~addr:(Soc.Platform.Map.ram_base + (4 * i))) )
+      in
+      dump None = dump (Some lines))
+
+let cpu_props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cpu_matches_reference; prop_icache_transparent ]
+
+let suite = suite @ cpu_props

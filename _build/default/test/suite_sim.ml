@@ -1,0 +1,175 @@
+(* Simulation kernel, signals and RNG. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_kernel_time_advances () =
+  let k = Sim.Kernel.create () in
+  check_int "starts at 0" 0 (Sim.Kernel.now k);
+  Sim.Kernel.run k ~cycles:7;
+  check_int "after 7" 7 (Sim.Kernel.now k)
+
+let test_kernel_edge_order () =
+  let k = Sim.Kernel.create () in
+  let log = ref [] in
+  Sim.Kernel.on_falling k ~name:"f" (fun _ -> log := "f" :: !log);
+  Sim.Kernel.on_rising k ~name:"r" (fun _ -> log := "r" :: !log);
+  Sim.Kernel.step k;
+  Alcotest.(check (list string)) "rising then falling" [ "r"; "f" ] (List.rev !log)
+
+let test_kernel_registration_order () =
+  let k = Sim.Kernel.create () in
+  let log = ref [] in
+  Sim.Kernel.on_rising k ~name:"a" (fun _ -> log := 1 :: !log);
+  Sim.Kernel.on_rising k ~name:"b" (fun _ -> log := 2 :: !log);
+  Sim.Kernel.step k;
+  Alcotest.(check (list int)) "in registration order" [ 1; 2 ] (List.rev !log)
+
+let test_kernel_stop_mid_run () =
+  let k = Sim.Kernel.create () in
+  Sim.Kernel.on_rising k ~name:"stopper" (fun k ->
+      if Sim.Kernel.now k = 4 then Sim.Kernel.stop k);
+  Sim.Kernel.run k ~cycles:100;
+  check_bool "stopped" true (Sim.Kernel.stopped k);
+  check_int "stopped after cycle 4 completed" 5 (Sim.Kernel.now k)
+
+let test_kernel_run_until () =
+  let k = Sim.Kernel.create () in
+  let count = ref 0 in
+  Sim.Kernel.on_rising k ~name:"count" (fun _ -> incr count);
+  let consumed = Sim.Kernel.run_until k (fun () -> !count >= 10) in
+  check_int "ten cycles" 10 consumed
+
+let test_kernel_run_until_raises () =
+  let k = Sim.Kernel.create () in
+  Alcotest.check_raises "timeout"
+    (Failure "Sim.Kernel.run_until: no completion after 5 cycles")
+    (fun () -> ignore (Sim.Kernel.run_until k ~max_cycles:5 (fun () -> false)))
+
+let test_kernel_late_registration () =
+  let k = Sim.Kernel.create () in
+  let hits = ref 0 in
+  Sim.Kernel.run k ~cycles:3;
+  Sim.Kernel.on_rising k ~name:"late" (fun _ -> incr hits);
+  Sim.Kernel.run k ~cycles:2;
+  check_int "late process runs" 2 !hits
+
+let test_kernel_process_names () =
+  let k = Sim.Kernel.create () in
+  Sim.Kernel.on_rising k ~name:"r1" (fun _ -> ());
+  Sim.Kernel.on_falling k ~name:"f1" (fun _ -> ());
+  Alcotest.(check (list string)) "names" [ "r1"; "f1" ] (Sim.Kernel.process_names k)
+
+let test_signal_initial () =
+  let s = Sim.Signal.create ~name:"s" ~width:8 in
+  check_int "current 0" 0 (Sim.Signal.current s);
+  check_int "next 0" 0 (Sim.Signal.next s);
+  check_int "no transitions" 0 (Sim.Signal.transitions s)
+
+let test_signal_commit_counts () =
+  let s = Sim.Signal.create ~name:"s" ~width:8 in
+  Sim.Signal.set s 0xFF;
+  check_int "eight toggles" 8 (Sim.Signal.commit s);
+  check_int "rises" 8 (Sim.Signal.rises s);
+  check_int "falls" 0 (Sim.Signal.falls s);
+  Sim.Signal.set s 0x0F;
+  ignore (Sim.Signal.commit s);
+  check_int "falls after clearing high nibble" 4 (Sim.Signal.falls s)
+
+let test_signal_masking () =
+  let s = Sim.Signal.create ~name:"s" ~width:4 in
+  Sim.Signal.set s 0xFF;
+  ignore (Sim.Signal.commit s);
+  check_int "masked to width" 0xF (Sim.Signal.current s)
+
+let test_signal_idempotent_commit () =
+  let s = Sim.Signal.create ~name:"s" ~width:8 in
+  Sim.Signal.set s 0xA5;
+  ignore (Sim.Signal.commit s);
+  check_int "no change, no toggle" 0 (Sim.Signal.commit s)
+
+let test_signal_per_bit () =
+  let s = Sim.Signal.create ~name:"s" ~width:4 in
+  Sim.Signal.set s 0b0101;
+  ignore (Sim.Signal.commit s);
+  Sim.Signal.set s 0b0110;
+  ignore (Sim.Signal.commit s);
+  Alcotest.(check (array int)) "per bit" [| 2; 1; 1; 0 |] (Sim.Signal.bit_transitions s)
+
+let test_signal_reset_counters () =
+  let s = Sim.Signal.create ~name:"s" ~width:8 in
+  Sim.Signal.set s 0xFF;
+  ignore (Sim.Signal.commit s);
+  Sim.Signal.reset_counters s;
+  check_int "cleared" 0 (Sim.Signal.transitions s);
+  check_int "value preserved" 0xFF (Sim.Signal.current s)
+
+let test_signal_width_validation () =
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Sim.Signal.create s: width 0") (fun () ->
+      ignore (Sim.Signal.create ~name:"s" ~width:0));
+  Alcotest.check_raises "width 63"
+    (Invalid_argument "Sim.Signal.create s: width 63") (fun () ->
+      ignore (Sim.Signal.create ~name:"s" ~width:63))
+
+let test_popcount () =
+  check_int "zero" 0 (Sim.Signal.popcount 0);
+  check_int "one bit" 1 (Sim.Signal.popcount 0x8000);
+  check_int "byte" 8 (Sim.Signal.popcount 0xFF);
+  check_int "alternating" 16 (Sim.Signal.popcount 0xAAAAAAAA)
+
+let test_rng_determinism () =
+  let a = Sim.Rng.create ~seed:42 and b = Sim.Rng.create ~seed:42 in
+  for _ = 1 to 50 do
+    check_int "same stream" (Sim.Rng.next64 a) (Sim.Rng.next64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  check_bool "different seeds diverge" true
+    (Sim.Rng.next64 a <> Sim.Rng.next64 b)
+
+let test_rng_bounds () =
+  let rng = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int rng 10 in
+    check_bool "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.bits rng 12 in
+    check_bool "bits in range" true (v >= 0 && v < 4096)
+  done;
+  for _ = 1 to 100 do
+    let f = Sim.Rng.float rng in
+    check_bool "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create ~seed:9 in
+  let b = Sim.Rng.split a in
+  check_bool "split diverges from parent" true
+    (Sim.Rng.next64 a <> Sim.Rng.next64 b)
+
+let suite =
+  [
+    Alcotest.test_case "kernel time advances" `Quick test_kernel_time_advances;
+    Alcotest.test_case "kernel rising before falling" `Quick test_kernel_edge_order;
+    Alcotest.test_case "kernel registration order" `Quick test_kernel_registration_order;
+    Alcotest.test_case "kernel stop mid run" `Quick test_kernel_stop_mid_run;
+    Alcotest.test_case "kernel run_until" `Quick test_kernel_run_until;
+    Alcotest.test_case "kernel run_until timeout" `Quick test_kernel_run_until_raises;
+    Alcotest.test_case "kernel late registration" `Quick test_kernel_late_registration;
+    Alcotest.test_case "kernel process names" `Quick test_kernel_process_names;
+    Alcotest.test_case "signal initial state" `Quick test_signal_initial;
+    Alcotest.test_case "signal commit counts edges" `Quick test_signal_commit_counts;
+    Alcotest.test_case "signal masks to width" `Quick test_signal_masking;
+    Alcotest.test_case "signal idempotent commit" `Quick test_signal_idempotent_commit;
+    Alcotest.test_case "signal per-bit counters" `Quick test_signal_per_bit;
+    Alcotest.test_case "signal reset counters" `Quick test_signal_reset_counters;
+    Alcotest.test_case "signal width validation" `Quick test_signal_width_validation;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+  ]

@@ -1,0 +1,586 @@
+(* SoC peripherals: memories, UART, timers, TRNG, crypto, platform. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mem_cfg ?(writable = true) () =
+  Ec.Slave_cfg.make ~name:"m" ~base:0x1000 ~size:0x100 ~writable ()
+
+let test_memory_endianness () =
+  let m = Soc.Memory.create (mem_cfg ()) in
+  Soc.Memory.poke32 m ~addr:0x1000 0x11223344;
+  check_int "byte 0 is LSB" 0x44 (Soc.Memory.peek8 m ~addr:0x1000);
+  check_int "byte 3 is MSB" 0x11 (Soc.Memory.peek8 m ~addr:0x1003)
+
+let test_memory_bus_widths () =
+  let m = Soc.Memory.create (mem_cfg ()) in
+  let s = Soc.Memory.slave m in
+  s.Ec.Slave.write ~addr:0x1010 ~width:Ec.Txn.W32 ~value:0xAABBCCDD;
+  check_int "w8 lane 1" 0xCC (s.Ec.Slave.read ~addr:0x1011 ~width:Ec.Txn.W8);
+  check_int "w16 high" 0xAABB (s.Ec.Slave.read ~addr:0x1012 ~width:Ec.Txn.W16);
+  s.Ec.Slave.write ~addr:0x1011 ~width:Ec.Txn.W8 ~value:0xEE;
+  check_int "byte merge" 0xAABBEEDD (s.Ec.Slave.read ~addr:0x1010 ~width:Ec.Txn.W32);
+  s.Ec.Slave.write ~addr:0x1012 ~width:Ec.Txn.W16 ~value:0x1234;
+  check_int "half merge" 0x1234EEDD (s.Ec.Slave.read ~addr:0x1010 ~width:Ec.Txn.W32)
+
+let test_memory_load_program () =
+  let m = Soc.Memory.create (mem_cfg ()) in
+  let program = Soc.Asm.assemble ~origin:0x1000 "addi r1, r0, 5\nhalt" in
+  Soc.Memory.load_program m program;
+  check_int "first word" (Soc.Isa.encode (Soc.Isa.Addi (1, 0, 5)))
+    (Soc.Memory.peek32 m ~addr:0x1000)
+
+let test_memory_stats () =
+  let m = Soc.Memory.create (mem_cfg ()) in
+  let s = Soc.Memory.slave m in
+  ignore (s.Ec.Slave.read ~addr:0x1000 ~width:Ec.Txn.W32);
+  s.Ec.Slave.write ~addr:0x1000 ~width:Ec.Txn.W32 ~value:0;
+  check_int "reads" 1 (Soc.Memory.reads m);
+  check_int "writes" 1 (Soc.Memory.writes m)
+
+let with_kernel make =
+  let kernel = Sim.Kernel.create () in
+  (kernel, make kernel)
+
+let uart_cfg = Ec.Slave_cfg.make ~name:"uart" ~base:0 ~size:0x20 ()
+
+let test_uart_transmit () =
+  let kernel, uart = with_kernel (fun kernel -> Soc.Uart.create ~kernel uart_cfg) in
+  let s = Soc.Uart.slave uart in
+  (* Speed the line up. *)
+  s.Ec.Slave.write ~addr:0xC ~width:Ec.Txn.W32 ~value:1;
+  s.Ec.Slave.write ~addr:0x0 ~width:Ec.Txn.W8 ~value:(Char.code 'H');
+  s.Ec.Slave.write ~addr:0x0 ~width:Ec.Txn.W8 ~value:(Char.code 'i');
+  Sim.Kernel.run kernel ~cycles:25;
+  Alcotest.(check string) "transmitted" "Hi" (Soc.Uart.transmitted uart);
+  check_bool "idle afterwards" false (Soc.Uart.tx_busy uart)
+
+let test_uart_status_and_rx () =
+  let kernel, uart = with_kernel (fun kernel -> Soc.Uart.create ~kernel uart_cfg) in
+  let s = Soc.Uart.slave uart in
+  check_int "empty status" 0 (s.Ec.Slave.read ~addr:0x4 ~width:Ec.Txn.W32);
+  Soc.Uart.inject_rx uart 0x41;
+  check_int "rx available" 2
+    (s.Ec.Slave.read ~addr:0x4 ~width:Ec.Txn.W32 land 2);
+  check_int "rx byte" 0x41 (s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W8);
+  check_int "rx drained" 0 (s.Ec.Slave.read ~addr:0x4 ~width:Ec.Txn.W32 land 2);
+  ignore kernel
+
+let test_uart_busy_while_shifting () =
+  let kernel, uart = with_kernel (fun kernel -> Soc.Uart.create ~kernel uart_cfg) in
+  let s = Soc.Uart.slave uart in
+  s.Ec.Slave.write ~addr:0x0 ~width:Ec.Txn.W8 ~value:0x55;
+  Sim.Kernel.run kernel ~cycles:3;
+  check_bool "busy" true (Soc.Uart.tx_busy uart);
+  check_int "status busy bit" 1 (s.Ec.Slave.read ~addr:0x4 ~width:Ec.Txn.W32 land 1);
+  (* Default baud 16: 160 cycles per byte. *)
+  Sim.Kernel.run kernel ~cycles:200;
+  Alcotest.(check string) "done" "\x55" (Soc.Uart.transmitted uart)
+
+let timer_cfg = Ec.Slave_cfg.make ~name:"timer" ~base:0 ~size:0x20 ()
+
+let test_timer_counts () =
+  let kernel, timer = with_kernel (fun kernel -> Soc.Timer.create ~kernel timer_cfg) in
+  let s = Soc.Timer.slave timer in
+  s.Ec.Slave.write ~addr:0x8 ~width:Ec.Txn.W32 ~value:1;
+  Sim.Kernel.run kernel ~cycles:10;
+  check_int "counted" 10 (s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W32);
+  s.Ec.Slave.write ~addr:0x8 ~width:Ec.Txn.W32 ~value:0;
+  Sim.Kernel.run kernel ~cycles:5;
+  check_int "frozen" 10 (s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W32)
+
+let test_timer_channels_independent () =
+  let kernel, timer = with_kernel (fun kernel -> Soc.Timer.create ~kernel timer_cfg) in
+  let s = Soc.Timer.slave timer in
+  s.Ec.Slave.write ~addr:0x18 ~width:Ec.Txn.W32 ~value:1;
+  Sim.Kernel.run kernel ~cycles:4;
+  check_int "ch0 idle" 0 (Soc.Timer.count timer 0);
+  check_int "ch1 counts" 4 (Soc.Timer.count timer 1)
+
+let test_timer_overflow_reload () =
+  let kernel, timer = with_kernel (fun kernel -> Soc.Timer.create ~kernel timer_cfg) in
+  let s = Soc.Timer.slave timer in
+  s.Ec.Slave.write ~addr:0x4 ~width:Ec.Txn.W32 ~value:0xFFF0;
+  s.Ec.Slave.write ~addr:0x8 ~width:Ec.Txn.W32 ~value:3;  (* enable + auto *)
+  (* Count from 0 up to overflow once: 0x10000 steps, too slow; preload by
+     poking through reload: first overflow needs full range, so instead
+     run a bounded number of cycles after forcing count high via reload
+     semantics: disable, set reload, enable and run past 0xFFFF. *)
+  Sim.Kernel.run kernel ~cycles:70000;
+  check_bool "overflowed" true (Soc.Timer.overflowed timer 0);
+  check_bool "reloaded above 0xFFF0" true (Soc.Timer.count timer 0 >= 0xFFF0 || Soc.Timer.count timer 0 < 0x10000);
+  s.Ec.Slave.write ~addr:0xC ~width:Ec.Txn.W32 ~value:1;
+  check_bool "flag cleared" false (Soc.Timer.overflowed timer 0)
+
+let trng_cfg = Ec.Slave_cfg.make ~name:"trng" ~base:0 ~size:0x10 ()
+
+let test_trng_ready_and_refill () =
+  let kernel, trng =
+    with_kernel (fun kernel -> Soc.Trng.create ~kernel ~seed:1 ~refill_cycles:4 trng_cfg)
+  in
+  let s = Soc.Trng.slave trng in
+  check_int "ready" 1 (s.Ec.Slave.read ~addr:0x4 ~width:Ec.Txn.W32);
+  let first = s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W32 in
+  check_int "consumed" 0 (s.Ec.Slave.read ~addr:0x4 ~width:Ec.Txn.W32);
+  check_int "stale until refill" first (s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W32);
+  Sim.Kernel.run kernel ~cycles:5;
+  check_int "ready again" 1 (s.Ec.Slave.read ~addr:0x4 ~width:Ec.Txn.W32);
+  let second = s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W32 in
+  check_bool "fresh word" true (first <> second);
+  check_int "delivered" 2 (Soc.Trng.words_delivered trng)
+
+let test_trng_determinism () =
+  let run () =
+    let kernel, trng =
+      with_kernel (fun kernel -> Soc.Trng.create ~kernel ~seed:99 ~refill_cycles:1 trng_cfg)
+    in
+    let s = Soc.Trng.slave trng in
+    List.init 5 (fun _ ->
+        let v = s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W32 in
+        Sim.Kernel.run kernel ~cycles:2;
+        v)
+  in
+  Alcotest.(check (list int)) "same seed same stream" (run ()) (run ())
+
+let crypto_cfg = Ec.Slave_cfg.make ~name:"crypto" ~base:0 ~size:0x40 ()
+
+let test_crypto_sbox_properties () =
+  (* The AES S-box is a bijection with no fixed point at 0. *)
+  let seen = Array.make 256 false in
+  for b = 0 to 255 do
+    let v = Soc.Crypto.sbox b in
+    check_bool "in byte range" true (v >= 0 && v <= 255);
+    check_bool "bijective" false seen.(v);
+    seen.(v) <- true
+  done;
+  check_int "sbox(0)" 0x63 (Soc.Crypto.sbox 0)
+
+let test_crypto_reference () =
+  check_int "known value"
+    (Soc.Crypto.sbox 0x00 lor (Soc.Crypto.sbox 0xFF lsl 8))
+    (Soc.Crypto.reference ~key:0x0000FF00 (0x0000FF00 lxor 0x0000FF00) land 0xFFFF)
+
+let test_crypto_operation () =
+  let kernel, crypto =
+    with_kernel (fun kernel -> Soc.Crypto.create ~kernel ~latency:8 crypto_cfg)
+  in
+  let s = Soc.Crypto.slave crypto in
+  s.Ec.Slave.write ~addr:0x00 ~width:Ec.Txn.W32 ~value:0x01020304;
+  s.Ec.Slave.write ~addr:0x04 ~width:Ec.Txn.W32 ~value:0xAABBCCDD;
+  s.Ec.Slave.write ~addr:0x08 ~width:Ec.Txn.W32 ~value:1;
+  Sim.Kernel.run kernel ~cycles:2;
+  check_int "busy" 1 (s.Ec.Slave.read ~addr:0x0C ~width:Ec.Txn.W32 land 1);
+  Sim.Kernel.run kernel ~cycles:10;
+  check_int "done" 2 (s.Ec.Slave.read ~addr:0x0C ~width:Ec.Txn.W32 land 2);
+  check_int "ciphertext"
+    (Soc.Crypto.reference ~key:0x01020304 0xAABBCCDD)
+    (s.Ec.Slave.read ~addr:0x10 ~width:Ec.Txn.W32);
+  check_int "operations" 1 (Soc.Crypto.operations crypto)
+
+let test_crypto_masked_readout () =
+  let kernel, crypto =
+    with_kernel (fun kernel -> Soc.Crypto.create ~kernel ~latency:4 crypto_cfg)
+  in
+  let s = Soc.Crypto.slave crypto in
+  s.Ec.Slave.write ~addr:0x00 ~width:Ec.Txn.W32 ~value:0xDEADBEEF;
+  s.Ec.Slave.write ~addr:0x04 ~width:Ec.Txn.W32 ~value:0x00112233;
+  s.Ec.Slave.write ~addr:0x08 ~width:Ec.Txn.W32 ~value:0b11;  (* start+mask *)
+  Sim.Kernel.run kernel ~cycles:6;
+  let masked = s.Ec.Slave.read ~addr:0x10 ~width:Ec.Txn.W32 in
+  let mask = s.Ec.Slave.read ~addr:0x14 ~width:Ec.Txn.W32 in
+  check_int "mask recombines"
+    (Soc.Crypto.reference ~key:0xDEADBEEF 0x00112233)
+    (masked lxor mask);
+  (* A second read uses a fresh mask. *)
+  let masked2 = s.Ec.Slave.read ~addr:0x10 ~width:Ec.Txn.W32 in
+  check_bool "fresh mask" true (masked2 <> masked)
+
+let test_platform_decoder_complete () =
+  let kernel = Sim.Kernel.create () in
+  let p = Soc.Platform.create ~kernel () in
+  let d = Soc.Platform.decoder p in
+  check_int "ten slaves" 10 (Ec.Decoder.count d);
+  List.iter
+    (fun (addr, name) ->
+      match Ec.Decoder.find d addr with
+      | Some (_, s) -> Alcotest.(check string) "mapped" name s.Ec.Slave.cfg.Ec.Slave_cfg.name
+      | None -> Alcotest.fail ("unmapped " ^ name))
+    [
+      (Soc.Platform.Map.rom_base, "rom");
+      (Soc.Platform.Map.ram_base, "ram");
+      (Soc.Platform.Map.eeprom_base, "eeprom");
+      (Soc.Platform.Map.flash_base, "flash");
+      (Soc.Platform.Map.uart_base, "uart");
+      (Soc.Platform.Map.timer_base, "timer");
+      (Soc.Platform.Map.trng_base, "trng");
+      (Soc.Platform.Map.crypto_base, "crypto");
+      (Soc.Platform.Map.intc_base, "intc");
+      (Soc.Platform.Map.dma_base, "dma");
+    ]
+
+let test_platform_components_energy () =
+  let kernel = Sim.Kernel.create () in
+  let p = Soc.Platform.create ~kernel () in
+  check_int "ten components" 10 (List.length (Soc.Platform.components p));
+  Sim.Kernel.run kernel ~cycles:100;
+  (* Idle leakage accumulates even without traffic. *)
+  check_bool "idle energy" true (Soc.Platform.components_energy_pj p > 0.0)
+
+let test_platform_load_program_routing () =
+  let kernel = Sim.Kernel.create () in
+  let p = Soc.Platform.create ~kernel () in
+  let rom_prog = Soc.Asm.assemble ~origin:0 "halt" in
+  Soc.Platform.load_program p rom_prog;
+  check_int "in rom" (Soc.Isa.encode Soc.Isa.Halt)
+    (Soc.Memory.peek32 (Soc.Platform.rom p) ~addr:0);
+  let bad = Soc.Asm.assemble ~origin:0x900000 "halt" in
+  check_bool "outside memories rejected" true
+    (match Soc.Platform.load_program p bad with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "memory endianness" `Quick test_memory_endianness;
+    Alcotest.test_case "memory bus widths" `Quick test_memory_bus_widths;
+    Alcotest.test_case "memory load program" `Quick test_memory_load_program;
+    Alcotest.test_case "memory stats" `Quick test_memory_stats;
+    Alcotest.test_case "uart transmit" `Quick test_uart_transmit;
+    Alcotest.test_case "uart status and rx" `Quick test_uart_status_and_rx;
+    Alcotest.test_case "uart busy while shifting" `Quick test_uart_busy_while_shifting;
+    Alcotest.test_case "timer counts" `Quick test_timer_counts;
+    Alcotest.test_case "timer channels independent" `Quick
+      test_timer_channels_independent;
+    Alcotest.test_case "timer overflow+reload" `Slow test_timer_overflow_reload;
+    Alcotest.test_case "trng ready/refill" `Quick test_trng_ready_and_refill;
+    Alcotest.test_case "trng determinism" `Quick test_trng_determinism;
+    Alcotest.test_case "crypto sbox bijective" `Quick test_crypto_sbox_properties;
+    Alcotest.test_case "crypto reference" `Quick test_crypto_reference;
+    Alcotest.test_case "crypto operation over bus regs" `Quick test_crypto_operation;
+    Alcotest.test_case "crypto masked readout" `Quick test_crypto_masked_readout;
+    Alcotest.test_case "platform decoder" `Quick test_platform_decoder_complete;
+    Alcotest.test_case "platform component energy" `Quick
+      test_platform_components_energy;
+    Alcotest.test_case "platform program routing" `Quick
+      test_platform_load_program_routing;
+  ]
+
+(* Interrupt controller and CPU interrupt handling. *)
+
+let intc_cfg = Ec.Slave_cfg.make ~name:"intc" ~base:0 ~size:0x10 ()
+
+let test_intc_mask_and_ack () =
+  let intc = Soc.Intc.create intc_cfg in
+  let s = Soc.Intc.slave intc in
+  check_bool "quiet initially" false (Soc.Intc.asserted intc);
+  Soc.Intc.raise_line intc 3;
+  check_bool "pending but masked" false (Soc.Intc.asserted intc);
+  check_int "pending readable" 0b1000 (s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W32);
+  s.Ec.Slave.write ~addr:0x4 ~width:Ec.Txn.W32 ~value:0b1000;
+  check_bool "asserted once enabled" true (Soc.Intc.asserted intc);
+  check_int "active = pending&enable" 0b1000
+    (s.Ec.Slave.read ~addr:0x8 ~width:Ec.Txn.W32);
+  (* Write-one-to-clear acknowledges only the given lines. *)
+  Soc.Intc.raise_line intc 0;
+  s.Ec.Slave.write ~addr:0x0 ~width:Ec.Txn.W32 ~value:0b1000;
+  check_int "line 0 still pending" 0b0001
+    (s.Ec.Slave.read ~addr:0x0 ~width:Ec.Txn.W32);
+  check_bool "line 0 masked" false (Soc.Intc.asserted intc);
+  check_int "raised counted" 2 (Soc.Intc.raised_total intc)
+
+let test_intc_line_validation () =
+  let intc = Soc.Intc.create intc_cfg in
+  check_bool "bad line rejected" true
+    (match Soc.Intc.raise_line intc 16 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_cpu_interrupt_program () =
+  let program = Soc.Asm.assemble (Core.Test_programs.timer_interrupts ~ticks:4) in
+  let run = Core.Runner.run_program program in
+  check_bool "clean halt" true (run.Core.Runner.fault = None);
+  let ram = Soc.Platform.ram (Core.System.platform run.Core.Runner.system) in
+  check_bool "at least 4 ticks" true
+    (Soc.Memory.peek32 ram ~addr:Soc.Platform.Map.ram_base >= 4)
+
+let test_cpu_interrupt_requires_ei () =
+  (* Without ei the handler never runs; the program must spin forever. *)
+  let src =
+    Printf.sprintf
+      "li r1, %d\n\
+       li r2, 0xFFF0\n\
+       sw r2, 0(r1)\n\
+       sw r2, 4(r1)\n\
+       addi r3, r0, 3\n\
+       sw r3, 8(r1)\n\
+       li r4, %d\n\
+       addi r5, r0, 1\n\
+       sw r5, 4(r4)\n\
+       # no ei\n\
+       spin_forever: j spin_forever"
+      Soc.Platform.Map.timer_base Soc.Platform.Map.intc_base
+  in
+  let program = Soc.Asm.assemble src in
+  let system = Core.System.create () in
+  let kernel = Core.System.kernel system in
+  let platform = Core.System.platform system in
+  Soc.Platform.load_program platform program;
+  let cpu =
+    Soc.Cpu.create ~kernel ~port:(Core.System.port system)
+      ~irq:(fun () -> Soc.Platform.irq_asserted platform)
+      ()
+  in
+  Sim.Kernel.run kernel ~cycles:2000;
+  check_bool "still spinning" false (Soc.Cpu.halted cpu);
+  check_int "no interrupts taken" 0 (Soc.Cpu.interrupts_taken cpu);
+  (* The line is pending at the controller nonetheless. *)
+  check_bool "controller asserted" true (Soc.Platform.irq_asserted platform)
+
+let test_cpu_interrupt_no_nesting () =
+  (* While in the handler, a still-asserted line must not re-enter. *)
+  let program = Soc.Asm.assemble (Core.Test_programs.timer_interrupts ~ticks:2) in
+  let system = Core.System.create () in
+  let kernel = Core.System.kernel system in
+  let platform = Core.System.platform system in
+  Soc.Platform.load_program platform program;
+  let cpu =
+    Soc.Cpu.create ~kernel ~port:(Core.System.port system)
+      ~irq:(fun () -> Soc.Platform.irq_asserted platform)
+      ()
+  in
+  let max_nested = ref 0 in
+  let nested = ref 0 in
+  Sim.Kernel.on_rising kernel ~name:"nesting-watch" (fun _ ->
+      if Soc.Cpu.in_interrupt cpu then incr nested else nested := 0;
+      if !nested > !max_nested then max_nested := !nested);
+  ignore (Soc.Cpu.run_to_halt cpu ~kernel ());
+  check_bool "interrupts happened" true (Soc.Cpu.interrupts_taken cpu >= 2);
+  check_bool "handler bounded (no runaway nesting)" true (!max_nested < 200)
+
+let interrupt_suite =
+  [
+    Alcotest.test_case "intc mask and ack" `Quick test_intc_mask_and_ack;
+    Alcotest.test_case "intc line validation" `Quick test_intc_line_validation;
+    Alcotest.test_case "cpu interrupt program" `Quick test_cpu_interrupt_program;
+    Alcotest.test_case "interrupts require ei" `Quick test_cpu_interrupt_requires_ei;
+    Alcotest.test_case "no interrupt nesting" `Quick test_cpu_interrupt_no_nesting;
+  ]
+
+let suite = suite @ interrupt_suite
+
+(* DMA engine. *)
+
+let test_dma_copies_data () =
+  List.iter
+    (fun burst ->
+      let program =
+        Soc.Asm.assemble (Core.Test_programs.dma_copy ~words:12 ~burst ())
+      in
+      let run = Core.Runner.run_program program in
+      check_bool "clean" true (run.Core.Runner.fault = None);
+      let platform = Core.System.platform run.Core.Runner.system in
+      let ram = Soc.Platform.ram platform in
+      for w = 0 to 11 do
+        check_int
+          (Printf.sprintf "word %d (burst=%b)" w burst)
+          (Soc.Memory.peek32 ram ~addr:(Soc.Platform.Map.ram_base + (4 * w)))
+          (Soc.Memory.peek32 ram
+             ~addr:(Soc.Platform.Map.ram_base + 0x800 + (4 * w)))
+      done;
+      check_int "words counted" 12 (Soc.Dma.words_copied (Soc.Platform.dma platform));
+      check_int "one transfer" 1 (Soc.Dma.transfers_done (Soc.Platform.dma platform)))
+    [ true; false ]
+
+let test_dma_burst_beats_single () =
+  let cycles burst =
+    let program =
+      Soc.Asm.assemble (Core.Test_programs.dma_copy ~words:32 ~burst ())
+    in
+    (Core.Runner.run_program program).Core.Runner.result.Core.Runner.cycles
+  in
+  let burst = cycles true and single = cycles false in
+  check_bool
+    (Printf.sprintf "burst (%d) < single (%d)" burst single)
+    true (burst < single)
+
+let test_dma_unconnected_errors () =
+  let kernel = Sim.Kernel.create () in
+  let dma =
+    Soc.Dma.create ~kernel
+      (Ec.Slave_cfg.make ~name:"dma" ~base:0 ~size:0x20 ())
+  in
+  let s = Soc.Dma.slave dma in
+  s.Ec.Slave.write ~addr:0x08 ~width:Ec.Txn.W32 ~value:4;
+  s.Ec.Slave.write ~addr:0x0C ~width:Ec.Txn.W32 ~value:1;
+  Sim.Kernel.run kernel ~cycles:3;
+  check_int "error flag" 4 (s.Ec.Slave.read ~addr:0x10 ~width:Ec.Txn.W32 land 4);
+  check_bool "not busy" false (Soc.Dma.busy dma)
+
+let test_dma_bad_address_errors () =
+  (* Copy targeting the ROM (not writable): the engine must stop with the
+     error flag, not wedge the bus. *)
+  let system = Core.System.create () in
+  let kernel = Core.System.kernel system in
+  let platform = Core.System.platform system in
+  let dma = Soc.Platform.dma platform in
+  let s = Soc.Dma.slave dma in
+  s.Ec.Slave.write ~addr:(Soc.Platform.Map.dma_base + 0x00) ~width:Ec.Txn.W32
+    ~value:Soc.Platform.Map.ram_base;
+  s.Ec.Slave.write ~addr:(Soc.Platform.Map.dma_base + 0x04) ~width:Ec.Txn.W32
+    ~value:Soc.Platform.Map.rom_base;
+  s.Ec.Slave.write ~addr:(Soc.Platform.Map.dma_base + 0x08) ~width:Ec.Txn.W32
+    ~value:4;
+  s.Ec.Slave.write ~addr:(Soc.Platform.Map.dma_base + 0x0C) ~width:Ec.Txn.W32
+    ~value:1;
+  ignore (Sim.Kernel.run_until kernel ~max_cycles:1000 (fun () -> not (Soc.Dma.busy dma)));
+  check_int "error flag" 4
+    (s.Ec.Slave.read ~addr:(Soc.Platform.Map.dma_base + 0x10) ~width:Ec.Txn.W32
+    land 4)
+
+let test_dma_raises_irq () =
+  let system = Core.System.create () in
+  let kernel = Core.System.kernel system in
+  let platform = Core.System.platform system in
+  let dma = Soc.Platform.dma platform in
+  Soc.Memory.poke32 (Soc.Platform.ram platform) ~addr:Soc.Platform.Map.ram_base 7;
+  let s = Soc.Dma.slave dma in
+  s.Ec.Slave.write ~addr:(Soc.Platform.Map.dma_base + 0x00) ~width:Ec.Txn.W32
+    ~value:Soc.Platform.Map.ram_base;
+  s.Ec.Slave.write ~addr:(Soc.Platform.Map.dma_base + 0x04) ~width:Ec.Txn.W32
+    ~value:(Soc.Platform.Map.ram_base + 0x100);
+  s.Ec.Slave.write ~addr:(Soc.Platform.Map.dma_base + 0x08) ~width:Ec.Txn.W32
+    ~value:1;
+  s.Ec.Slave.write ~addr:(Soc.Platform.Map.dma_base + 0x0C) ~width:Ec.Txn.W32
+    ~value:1;
+  ignore (Sim.Kernel.run_until kernel ~max_cycles:1000 (fun () -> not (Soc.Dma.busy dma)));
+  check_int "dma line pending" (1 lsl Soc.Platform.dma_irq_line)
+    (Soc.Intc.pending (Soc.Platform.intc platform)
+    land (1 lsl Soc.Platform.dma_irq_line))
+
+let dma_suite =
+  [
+    Alcotest.test_case "dma copies data" `Quick test_dma_copies_data;
+    Alcotest.test_case "dma burst beats single" `Quick test_dma_burst_beats_single;
+    Alcotest.test_case "dma unconnected errors" `Quick test_dma_unconnected_errors;
+    Alcotest.test_case "dma bad address errors" `Quick test_dma_bad_address_errors;
+    Alcotest.test_case "dma raises irq" `Quick test_dma_raises_irq;
+  ]
+
+let suite = suite @ dma_suite
+
+(* Instruction cache. *)
+
+let test_icache_correctness_preserved () =
+  (* Same architectural results with and without the cache. *)
+  let program = Soc.Asm.assemble (Core.Test_programs.bubble_sort ~n:8) in
+  let ram_dump icache_lines =
+    let run = Core.Runner.run_program ?icache_lines program in
+    check_bool "clean" true (run.Core.Runner.fault = None);
+    let ram = Soc.Platform.ram (Core.System.platform run.Core.Runner.system) in
+    List.init 8 (fun i ->
+        Soc.Memory.peek32 ram ~addr:(Soc.Platform.Map.ram_base + (4 * i)))
+  in
+  Alcotest.(check (list int)) "results equal" (ram_dump None) (ram_dump (Some 8))
+
+let test_icache_hits_cut_bus_traffic () =
+  let program = Soc.Asm.assemble (Core.Test_programs.bubble_sort ~n:8) in
+  let without = Core.Runner.run_program program in
+  let cached = Core.Runner.run_program ~icache_lines:16 program in
+  check_bool "fewer bus transactions" true
+    (cached.Core.Runner.result.Core.Runner.txns
+    < without.Core.Runner.result.Core.Runner.txns);
+  check_bool "less bus energy" true
+    (cached.Core.Runner.result.Core.Runner.bus_pj
+    < without.Core.Runner.result.Core.Runner.bus_pj);
+  match cached.Core.Runner.icache with
+  | Some c ->
+    check_bool "high hit rate" true
+      (float_of_int (Soc.Icache.hits c)
+      /. float_of_int (Soc.Icache.hits c + Soc.Icache.misses c)
+      > 0.9)
+  | None -> Alcotest.fail "icache expected"
+
+let test_icache_invalidation_on_write () =
+  (* Self-modifying code: a store over a cached instruction must refetch. *)
+  let h = Bus_harness.build Bus_harness.L1_l in
+  let icache =
+    Soc.Icache.create ~kernel:h.Bus_harness.kernel ~lines:8
+      ~inner:h.Bus_harness.port ()
+  in
+  let port = Soc.Icache.port icache in
+  Soc.Memory.poke32 h.Bus_harness.fast ~addr:0x100 0xAAAA;
+  let ids = Ec.Txn.Id_gen.create () in
+  let fetch () =
+    let txn =
+      Ec.Txn.single_read ~id:(Ec.Txn.Id_gen.fresh ids) ~kind:Ec.Txn.Instruction
+        0x100
+    in
+    assert (port.Ec.Port.try_submit txn);
+    ignore
+      (Sim.Kernel.run_until h.Bus_harness.kernel ~max_cycles:100 (fun () ->
+           Ec.Port.completed port txn.Ec.Txn.id));
+    port.Ec.Port.retire txn.Ec.Txn.id;
+    txn.Ec.Txn.data.(0)
+  in
+  check_int "miss then value" 0xAAAA (fetch ());
+  check_int "hit same value" 0xAAAA (fetch ());
+  check_int "one miss so far" 1 (Soc.Icache.misses icache);
+  (* Write through the cached line. *)
+  let w = Ec.Txn.single_write ~id:(Ec.Txn.Id_gen.fresh ids) 0x100 ~value:0xBBBB in
+  assert (port.Ec.Port.try_submit w);
+  ignore
+    (Sim.Kernel.run_until h.Bus_harness.kernel ~max_cycles:100 (fun () ->
+         Ec.Port.completed port w.Ec.Txn.id));
+  port.Ec.Port.retire w.Ec.Txn.id;
+  check_int "invalidated" 1 (Soc.Icache.invalidations icache);
+  check_int "refetched new value" 0xBBBB (fetch ());
+  check_int "second miss" 2 (Soc.Icache.misses icache)
+
+let test_icache_flush () =
+  let h = Bus_harness.build Bus_harness.L1_l in
+  let icache =
+    Soc.Icache.create ~kernel:h.Bus_harness.kernel ~lines:4
+      ~inner:h.Bus_harness.port ()
+  in
+  let port = Soc.Icache.port icache in
+  let ids = Ec.Txn.Id_gen.create () in
+  let fetch () =
+    let txn =
+      Ec.Txn.single_read ~id:(Ec.Txn.Id_gen.fresh ids) ~kind:Ec.Txn.Instruction 0x0
+    in
+    assert (port.Ec.Port.try_submit txn);
+    ignore
+      (Sim.Kernel.run_until h.Bus_harness.kernel ~max_cycles:100 (fun () ->
+           Ec.Port.completed port txn.Ec.Txn.id));
+    port.Ec.Port.retire txn.Ec.Txn.id
+  in
+  fetch ();
+  fetch ();
+  check_int "one miss" 1 (Soc.Icache.misses icache);
+  Soc.Icache.flush icache;
+  fetch ();
+  check_int "miss after flush" 2 (Soc.Icache.misses icache)
+
+let test_icache_validation () =
+  let h = Bus_harness.build Bus_harness.L1_l in
+  check_bool "non power of two rejected" true
+    (match
+       Soc.Icache.create ~kernel:h.Bus_harness.kernel ~lines:3
+         ~inner:h.Bus_harness.port ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let icache_suite =
+  [
+    Alcotest.test_case "icache preserves results" `Quick
+      test_icache_correctness_preserved;
+    Alcotest.test_case "icache cuts bus traffic" `Quick
+      test_icache_hits_cut_bus_traffic;
+    Alcotest.test_case "icache invalidation on write" `Quick
+      test_icache_invalidation_on_write;
+    Alcotest.test_case "icache flush" `Quick test_icache_flush;
+    Alcotest.test_case "icache validation" `Quick test_icache_validation;
+  ]
+
+let suite = suite @ icache_suite

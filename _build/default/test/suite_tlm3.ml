@@ -1,0 +1,113 @@
+(* Layer 3 (message layer) and the layer-3 to cycle-accurate bridge. *)
+
+open Bus_harness
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fixture () =
+  let h = build L1_l in
+  for w = 0 to 63 do
+    Soc.Memory.poke32 h.fast ~addr:(fast_base + (4 * w)) ((w * 7) land 0xFFFF)
+  done;
+  h
+
+let decoder_of h =
+  Ec.Decoder.create
+    [ Soc.Memory.slave h.fast; Soc.Memory.slave h.slow; Soc.Memory.slave h.rom ]
+
+let test_channel_read_any_size () =
+  let h = fixture () in
+  let ch = Tlm3.Channel.create (decoder_of h) in
+  (* 7 words: no legal EC transaction could do this in one go. *)
+  match Tlm3.Channel.read ch { Tlm3.Channel.addr = fast_base; words = 7 } with
+  | Tlm3.Channel.Ok_data data ->
+    check_int "seven words" 7 (Array.length data);
+    check_int "third word" (2 * 7) data.(2);
+    check_int "one message" 1 (Tlm3.Channel.messages ch);
+    check_int "words counted" 7 (Tlm3.Channel.words_moved ch)
+  | Tlm3.Channel.Bus_error -> Alcotest.fail "mapped read failed"
+
+let test_channel_write_then_read () =
+  let h = fixture () in
+  let ch = Tlm3.Channel.create (decoder_of h) in
+  let payload = Array.init 5 (fun i -> 0x1000 + i) in
+  (match Tlm3.Channel.write ch ~addr:(fast_base + 0x80) payload with
+  | Tlm3.Channel.Ok_data _ -> ()
+  | Tlm3.Channel.Bus_error -> Alcotest.fail "write failed");
+  check_int "landed" 0x1003 (Soc.Memory.peek32 h.fast ~addr:(fast_base + 0x8C))
+
+let test_channel_untimed () =
+  let h = fixture () in
+  let ch = Tlm3.Channel.create (decoder_of h) in
+  ignore (Tlm3.Channel.read ch { Tlm3.Channel.addr = fast_base; words = 32 });
+  check_int "zero simulated time" 0 (Sim.Kernel.now h.kernel)
+
+let test_channel_errors () =
+  let h = fixture () in
+  let ch = Tlm3.Channel.create (decoder_of h) in
+  let is_error = function
+    | Tlm3.Channel.Bus_error -> true
+    | Tlm3.Channel.Ok_data _ -> false
+  in
+  check_bool "unmapped" true
+    (is_error (Tlm3.Channel.read ch { Tlm3.Channel.addr = 0x8000; words = 1 }));
+  check_bool "rom write" true
+    (is_error (Tlm3.Channel.write ch ~addr:rom_base [| 1 |]));
+  check_bool "misaligned" true
+    (is_error (Tlm3.Channel.read ch { Tlm3.Channel.addr = 2; words = 1 }));
+  check_bool "window leaves slave" true
+    (is_error
+       (Tlm3.Channel.read ch
+          { Tlm3.Channel.addr = fast_base + 0x1000 - 8; words = 4 }))
+
+let test_bridge_matches_channel () =
+  let h = fixture () in
+  let ch = Tlm3.Channel.create (decoder_of h) in
+  let bridge = Tlm3.Bridge.create ~kernel:h.kernel ~port:h.port in
+  let expected =
+    match Tlm3.Channel.read ch { Tlm3.Channel.addr = fast_base; words = 11 } with
+    | Tlm3.Channel.Ok_data d -> d
+    | Tlm3.Channel.Bus_error -> Alcotest.fail "channel read failed"
+  in
+  match Tlm3.Bridge.read bridge ~addr:fast_base ~words:11 with
+  | Tlm3.Channel.Ok_data got, cycles ->
+    Alcotest.(check (array int)) "same data" expected got;
+    check_bool "took simulated time" true (cycles > 0);
+    (* 11 words = two 4-word bursts + three singles = 5 transactions. *)
+    check_int "chunking" 5 (Tlm3.Bridge.transactions bridge)
+  | Tlm3.Channel.Bus_error, _ -> Alcotest.fail "bridge read failed"
+
+let test_bridge_write_roundtrip () =
+  let h = fixture () in
+  let bridge = Tlm3.Bridge.create ~kernel:h.kernel ~port:h.port in
+  let payload = Array.init 6 (fun i -> 0xA000 + i) in
+  (match Tlm3.Bridge.write bridge ~addr:(slow_base + 0x40) payload with
+  | Tlm3.Channel.Ok_data _, cycles ->
+    (* Slow slave: each write beat costs wait states. *)
+    check_bool "wait states priced in" true (cycles >= 6)
+  | Tlm3.Channel.Bus_error, _ -> Alcotest.fail "write failed");
+  match Tlm3.Bridge.read bridge ~addr:(slow_base + 0x40) ~words:6 with
+  | Tlm3.Channel.Ok_data got, _ -> Alcotest.(check (array int)) "readback" payload got
+  | Tlm3.Channel.Bus_error, _ -> Alcotest.fail "readback failed"
+
+let test_bridge_error_propagates () =
+  let h = fixture () in
+  let bridge = Tlm3.Bridge.create ~kernel:h.kernel ~port:h.port in
+  (match Tlm3.Bridge.write bridge ~addr:rom_base [| 1; 2 |] with
+  | Tlm3.Channel.Bus_error, _ -> ()
+  | Tlm3.Channel.Ok_data _, _ -> Alcotest.fail "rom write must fail");
+  match Tlm3.Bridge.read bridge ~addr:6 ~words:1 with
+  | Tlm3.Channel.Bus_error, cycles -> check_int "rejected instantly" 0 cycles
+  | Tlm3.Channel.Ok_data _, _ -> Alcotest.fail "misaligned must fail"
+
+let suite =
+  [
+    Alcotest.test_case "channel reads any size" `Quick test_channel_read_any_size;
+    Alcotest.test_case "channel write then read" `Quick test_channel_write_then_read;
+    Alcotest.test_case "channel is untimed" `Quick test_channel_untimed;
+    Alcotest.test_case "channel errors" `Quick test_channel_errors;
+    Alcotest.test_case "bridge matches channel" `Quick test_bridge_matches_channel;
+    Alcotest.test_case "bridge write roundtrip" `Quick test_bridge_write_roundtrip;
+    Alcotest.test_case "bridge error propagates" `Quick test_bridge_error_propagates;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "smartcard-energy"
+    [
+      ("sim", Suite_sim.suite);
+      ("ec", Suite_ec.suite);
+      ("bus", Suite_bus.suite);
+      ("levels", Suite_levels.suite);
+      ("tlm3", Suite_tlm3.suite);
+      ("power", Suite_power.suite);
+      ("soc", Suite_soc.suite);
+      ("isa-cpu", Suite_isa.suite);
+      ("jcvm", Suite_jcvm.suite);
+      ("core", Suite_core.suite);
+      ("iso7816", Suite_iso7816.suite);
+      ("integration", Suite_integration.suite);
+      ("properties", Suite_props.suite);
+    ]
