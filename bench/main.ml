@@ -3,10 +3,13 @@
    with Bechamel (one benchmark group per table/figure).
 
    Usage:
-     dune exec bench/main.exe              -- everything
-     dune exec bench/main.exe -- tables     -- only the paper tables
-     dune exec bench/main.exe -- micro      -- only the Bechamel runs
-     dune exec bench/main.exe -- ablations  -- only the sensitivity studies *)
+     dune exec bench/main.exe               -- everything
+     dune exec bench/main.exe -- tables      -- only the paper tables
+     dune exec bench/main.exe -- micro       -- only the Bechamel runs
+     dune exec bench/main.exe -- micro --json -- Bechamel estimates as JSON
+     dune exec bench/main.exe -- ablations   -- only the sensitivity studies
+     dune exec bench/main.exe -- smoke       -- reduced-size table pipeline
+                                                (wired into dune runtest) *)
 
 open Bechamel
 open Toolkit
@@ -18,19 +21,28 @@ let section title =
 (* Paper tables and figures (measured, not sampled).                   *)
 (* ------------------------------------------------------------------ *)
 
-let print_tables () =
+(* [smoke] keeps every stage of the table pipeline but shrinks the
+   transaction counts and the exploration grid so `dune runtest` can
+   afford to exercise it on every run. *)
+let print_tables ?(smoke = false) () =
   section "Section 4.1 - Verification and Evaluation";
   let rows = Core.Experiments.run_accuracy () in
   print_endline (Core.Experiments.render_table1 rows);
   print_newline ();
   print_endline (Core.Experiments.render_table2 rows);
   section "Section 4.2 - Simulation Performance";
-  let perf = Core.Experiments.run_performance () in
+  let perf =
+    if smoke then Core.Experiments.run_performance ~txns:500 ~repetitions:1 ()
+    else Core.Experiments.run_performance ()
+  in
   print_endline (Core.Experiments.render_table3 perf);
   section "Figure 6 - Energy sampling semantics of the layer-2 interface";
   print_endline (Core.Experiments.render_figure6 (Core.Experiments.run_figure6 ()));
   section "Section 4.3 / Figure 7 - HW/SW interface exploration (JCVM)";
-  let rows = Core.Exploration.run () in
+  let rows =
+    if smoke then Core.Exploration.run ~applets:[ Jcvm.Applets.fib ] ()
+    else Core.Exploration.run ()
+  in
   print_endline (Core.Exploration.render rows)
 
 let print_ablations () =
@@ -105,41 +117,98 @@ let bench_exploration =
       Test.make ~name:"w16-cmd+data" (Staged.stage (run "w16-cmd+data"));
     ]
 
-let run_micro () =
-  section "Bechamel micro-benchmarks (wall time per workload unit)";
-  let tests =
-    [ bench_accuracy; bench_performance; bench_figure6; bench_exploration ]
-  in
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Collected OLS estimates of one benchmark group, sorted by name. *)
+let measure_group group =
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
   let instances = Instance.[ monotonic_clock ] in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let raw = Benchmark.all cfg instances group in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.map (fun (name, ols) ->
+         let ns =
+           match Analyze.OLS.estimates ols with
+           | Some [ v ] -> v
+           | Some _ | None -> nan
+         in
+         (name, ns))
+
+let micro_groups =
+  [
+    ("table1+2/accuracy-stimulus", bench_accuracy);
+    ("table3/256-transactions", bench_performance);
+    ("figure6/profiled-run", bench_figure6);
+    ("figure7/fib-applet", bench_exploration);
+  ]
+
+let run_micro () =
+  section "Bechamel micro-benchmarks (wall time per workload unit)";
   List.iter
-    (fun group ->
-      let raw = Benchmark.all cfg instances group in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-      |> List.sort compare
-      |> List.iter (fun (name, ols) ->
-             let ns =
-               match Analyze.OLS.estimates ols with
-               | Some [ v ] -> v
-               | Some _ | None -> nan
-             in
-             Printf.printf "  %-55s %12.1f us/run\n" name (ns /. 1000.0)))
-    tests
+    (fun (_, group) ->
+      List.iter
+        (fun (name, ns) ->
+          Printf.printf "  %-55s %12.1f us/run\n" name (ns /. 1000.0))
+        (measure_group group))
+    micro_groups
+
+(* One JSON object per benchmark group, one per line, nanoseconds per run:
+   the machine-readable perf trajectory (BENCH_*.json) between PRs. *)
+let run_micro_json () =
+  List.iter
+    (fun (group_name, group) ->
+      let prefix = group_name ^ "/" in
+      let entries =
+        List.map
+          (fun (name, ns) ->
+            let short =
+              if String.length name > String.length prefix
+                 && String.sub name 0 (String.length prefix) = prefix
+              then
+                String.sub name (String.length prefix)
+                  (String.length name - String.length prefix)
+              else name
+            in
+            Printf.sprintf "\"%s\": %.1f" (json_escape short) ns)
+          (measure_group group)
+      in
+      Printf.printf "{\"group\": \"%s\", \"unit\": \"ns/run\", \"estimates\": {%s}}\n"
+        (json_escape group_name)
+        (String.concat ", " entries))
+    micro_groups
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let json = List.mem "--json" args in
+  let mode =
+    match List.filter (fun a -> a <> "--json") args with
+    | m :: _ -> m
+    | [] -> "all"
+  in
   (match mode with
   | "tables" -> print_tables ()
-  | "micro" -> run_micro ()
+  | "smoke" -> print_tables ~smoke:true ()
+  | "micro" -> if json then run_micro_json () else run_micro ()
   | "ablations" -> print_ablations ()
   | "extensions" -> print_extensions ()
   | _ ->
     print_tables ();
-    run_micro ();
+    if json then run_micro_json () else run_micro ();
     print_ablations ();
     print_extensions ());
-  print_newline ()
+  if not json then print_newline ()

@@ -138,22 +138,21 @@ let render ~title rows =
   in
   title ^ "\n" ^ Report.table ~header:[ "variant"; "value"; "note" ] body
 
-let run_all () =
+let run_all ?domains () =
+  (* The five studies are independent (each characterizes and simulates
+     its own systems); fan them out on the domain pool. *)
   String.concat "\n\n"
-    [
-      render ~title:"Ablation: reference coupling ratio -> layer-1 energy error [%]"
-        (coupling_sensitivity ());
-      render
-        ~title:"Ablation: internal-net energy scale -> layer-1 energy error [%]"
-        (internal_nets_sensitivity ());
-      render ~title:"Ablation: characterization table -> layer-1 energy error [%]"
-        (characterization_quality ());
-      render
-        ~title:
-          "Ablation: layer-2 boundary data-toggle assumption -> layer-2 error [%]"
-        (l2_boundary_sensitivity ());
-      render
-        ~title:
-          "Ablation: CPU store buffer (blocking/buffered cycle ratio per program)"
-        (store_buffer_effect ());
-    ]
+    (Parallel.map ?domains
+       (fun (title, study) -> render ~title (study ()))
+       [
+         ( "Ablation: reference coupling ratio -> layer-1 energy error [%]",
+           coupling_sensitivity );
+         ( "Ablation: internal-net energy scale -> layer-1 energy error [%]",
+           internal_nets_sensitivity );
+         ( "Ablation: characterization table -> layer-1 energy error [%]",
+           characterization_quality );
+         ( "Ablation: layer-2 boundary data-toggle assumption -> layer-2 error [%]",
+           l2_boundary_sensitivity );
+         ( "Ablation: CPU store buffer (blocking/buffered cycle ratio per program)",
+           store_buffer_effect );
+       ])

@@ -37,5 +37,6 @@ val store_buffer_effect : unit -> row list
 
 val render : title:string -> row list -> string
 
-val run_all : unit -> string
-(** Every study, rendered. *)
+val run_all : ?domains:int -> unit -> string
+(** Every study, rendered; the five studies are independent and run on
+    the {!Parallel} pool. *)

@@ -23,7 +23,7 @@ type accuracy_row = {
   energy_err_pct : float;
 }
 
-let run_accuracy ?table () =
+let run_accuracy ?table ?domains () =
   let table = match table with Some t -> t | None -> Runner.characterize () in
   let segments = accuracy_stimulus () in
   let totals level =
@@ -33,19 +33,23 @@ let run_accuracy ?table () =
         (cycles + r.Runner.cycles, pj +. r.Runner.bus_pj))
       (0, 0.0) segments
   in
-  let ref_cycles, ref_pj = totals Level.Rtl in
-  let row level =
-    let cycles, pj = if level = Level.Rtl then (ref_cycles, ref_pj) else totals level in
-    {
-      level;
-      cycles;
-      cycle_err_pct =
-        float_of_int (cycles - ref_cycles) /. float_of_int ref_cycles *. 100.0;
-      energy_pj = pj;
-      energy_err_pct = (pj -. ref_pj) /. ref_pj *. 100.0;
-    }
+  (* One independent simulation chain per level, fanned out on the domain
+     pool.  The gate-level reference is the head of [Level.all]. *)
+  let per_level = Parallel.map ?domains totals Level.all in
+  let ref_cycles, ref_pj =
+    match per_level with r :: _ -> r | [] -> assert false
   in
-  List.map row Level.all
+  List.map2
+    (fun level (cycles, pj) ->
+      {
+        level;
+        cycles;
+        cycle_err_pct =
+          float_of_int (cycles - ref_cycles) /. float_of_int ref_cycles *. 100.0;
+        energy_pj = pj;
+        energy_err_pct = (pj -. ref_pj) /. ref_pj *. 100.0;
+      })
+    Level.all per_level
 
 let render_table1 rows =
   let body =
@@ -92,13 +96,13 @@ type perf_row = {
   factor_vs_l1_estimating : float;
 }
 
-let run_performance ?(txns = 20_000) ?(repetitions = 3) () =
+let run_performance ?(txns = 20_000) ?(repetitions = 3) ?(domains = 1) () =
   let trace = Workloads.table3_trace ~n:txns in
   (* Transactions are issued one at a time, as the paper's testbench does:
      all models then simulate the same cycle count and the measurement
      isolates the per-cycle cost of each abstraction.  Best of
      [repetitions] filters wall-clock noise. *)
-  let measure ~label ~level ~estimate =
+  let measure (label, level, estimate) =
     let best = ref 0.0 in
     for _ = 1 to repetitions do
       let r = Runner.run_trace ~level ~estimate ~mode:`Serial trace in
@@ -108,15 +112,17 @@ let run_performance ?(txns = 20_000) ?(repetitions = 3) () =
     (label, !best)
   in
   let raw =
-    [
-      measure ~label:"TL layer 1, with estimation" ~level:Level.L1 ~estimate:true;
-      measure ~label:"TL layer 1, without estimation" ~level:Level.L1
-        ~estimate:false;
-      measure ~label:"TL layer 2, with estimation" ~level:Level.L2 ~estimate:true;
-      measure ~label:"TL layer 2, without estimation" ~level:Level.L2
-        ~estimate:false;
-      measure ~label:"gate-level reference" ~level:Level.Rtl ~estimate:true;
-    ]
+    (* Wall-clock measurements: [domains] defaults to 1 because concurrent
+       runs contend for cores and distort the per-model factors.  Raise it
+       only for quick smoke sweeps where the factors do not matter. *)
+    Parallel.map ~domains measure
+      [
+        ("TL layer 1, with estimation", Level.L1, true);
+        ("TL layer 1, without estimation", Level.L1, false);
+        ("TL layer 2, with estimation", Level.L2, true);
+        ("TL layer 2, without estimation", Level.L2, false);
+        ("gate-level reference", Level.Rtl, true);
+      ]
   in
   let base =
     match raw with

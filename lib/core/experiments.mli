@@ -24,9 +24,11 @@ type accuracy_row = {
 }
 
 val run_accuracy :
-  ?table:Power.Characterization.t -> unit -> accuracy_row list
+  ?table:Power.Characterization.t -> ?domains:int -> unit -> accuracy_row list
 (** Characterizes on the training workload (unless [table] is given),
-    then runs the accuracy stimulus through all three levels. *)
+    then runs the accuracy stimulus through all three levels — one
+    {!Parallel} domain per level; the rows are identical to a serial
+    run. *)
 
 val render_table1 : accuracy_row list -> string
 val render_table2 : accuracy_row list -> string
@@ -39,13 +41,16 @@ type perf_row = {
   factor_vs_l1_estimating : float;
 }
 
-val run_performance : ?txns:int -> ?repetitions:int -> unit -> perf_row list
+val run_performance :
+  ?txns:int -> ?repetitions:int -> ?domains:int -> unit -> perf_row list
 (** Replays the Table 3 mix ("all combinations between single read,
     single write, burst read and burst write"), issued serially as in the
     paper's testbench, through layer 1 and layer 2 — each with and
     without energy estimation — plus the gate-level reference for the
     acceleration context.  [txns] defaults to 20000; the best of
-    [repetitions] (default 3) wall-clock runs is reported per model. *)
+    [repetitions] (default 3) wall-clock runs is reported per model.
+    [domains] defaults to 1: these are wall-clock measurements, and
+    concurrent runs contend for cores and distort the factors. *)
 
 val render_table3 : perf_row list -> string
 

@@ -51,11 +51,14 @@ let run_one ?(level = Level.L1) ?table ~config (applet : Jcvm.Applets.t) =
   }
 
 let run ?level ?table ?(configs = Jcvm.Configs.standard)
-    ?(applets = Jcvm.Applets.all) () =
-  List.concat_map
-    (fun applet ->
-      List.map (fun config -> run_one ?level ?table ~config applet) configs)
-    applets
+    ?(applets = Jcvm.Applets.all) ?domains () =
+  (* Every applet x configuration cell is an independent system; fan the
+     flattened grid out on the domain pool. *)
+  Parallel.map ?domains
+    (fun (applet, config) -> run_one ?level ?table ~config applet)
+    (List.concat_map
+       (fun applet -> List.map (fun config -> (applet, config)) configs)
+       applets)
 
 let render rows =
   let by_applet = Hashtbl.create 8 in

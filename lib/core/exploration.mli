@@ -33,10 +33,13 @@ val run :
   ?table:Power.Characterization.t ->
   ?configs:Jcvm.Configs.t list ->
   ?applets:Jcvm.Applets.t list ->
+  ?domains:int ->
   unit ->
   row list
 (** Full sweep; defaults: layer 1 bus, default table, the standard
-    configuration space and all sample applets. *)
+    configuration space and all sample applets.  The applet x
+    configuration grid runs on the {!Parallel} pool; row order and
+    contents match the serial sweep. *)
 
 val render : row list -> string
 (** One table per applet, best configuration (energy) marked. *)

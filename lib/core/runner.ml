@@ -44,8 +44,8 @@ let run_trace ?level ?estimate ?record_profile ?table ?rtl_params ?l2_params
   let wall_seconds = Unix.gettimeofday () -. t0 in
   collect system ~cycles ~wall_seconds
 
-let run_levels ?estimate ?table ?mode ?init trace =
-  List.map
+let run_levels ?estimate ?table ?mode ?init ?domains trace =
+  Parallel.map ?domains
     (fun level -> run_trace ~level ?estimate ?table ?mode ?init trace)
     Level.all
 

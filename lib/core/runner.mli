@@ -39,10 +39,13 @@ val run_levels :
   ?table:Power.Characterization.t ->
   ?mode:Soc.Trace_master.mode ->
   ?init:(System.t -> unit) ->
+  ?domains:int ->
   Ec.Trace.t ->
   result list
 (** The same trace through the gate-level reference, layer 1 and layer 2
-    (Tables 1 and 2 in one call). *)
+    (Tables 1 and 2 in one call).  The three runs are independent systems
+    and execute on the {!Parallel} pool; results are in {!Level.all}
+    order and identical to three serial calls. *)
 
 val fill_memories : System.t -> unit
 (** Writes a deterministic pattern into the first KiBs of every memory, so

@@ -42,6 +42,7 @@ val all : id list
 (** Every wire, in dense index order. *)
 
 val all_ctrl : ctrl list
+val ctrl_count : int
 
 val index : id -> int
 (** Dense index in [0, count). *)

@@ -1,9 +1,42 @@
-type t = { name : string; per_signal : float array }
+type t = {
+  name : string;
+  per_signal : float array;
+  (* Per-class average energies, precomputed at construction so the
+     transaction-level models' [create] paths do a field read instead of
+     rebuilding id lists and folding over them. *)
+  avg_addr : float;
+  avg_wdata : float;
+  avg_rdata : float;
+  avg_be : float;
+  avg_ctrl : float;
+}
 
 let name t = t.name
 
+(* Average over a contiguous index range, summing in ascending index
+   order (the same order the old list-based fold used). *)
+let range_avg per_signal first count =
+  let sum = ref 0.0 in
+  for i = first to first + count - 1 do
+    sum := !sum +. per_signal.(i)
+  done;
+  !sum /. float_of_int count
+
+let of_per_signal ~name per_signal =
+  let open Ec.Signals in
+  {
+    name;
+    per_signal;
+    avg_addr = range_avg per_signal (index (Addr 0)) addr_wires;
+    avg_wdata = range_avg per_signal (index (Wdata 0)) data_wires;
+    avg_rdata = range_avg per_signal (index (Rdata 0)) data_wires;
+    avg_be = range_avg per_signal (index (Be 0)) be_wires;
+    avg_ctrl = range_avg per_signal (index (Ctrl Avalid)) ctrl_count;
+  }
+
 let make ~name f =
-  { name; per_signal = Array.init Ec.Signals.count (fun i -> f (Ec.Signals.of_index i)) }
+  of_per_signal ~name
+    (Array.init Ec.Signals.count (fun i -> f (Ec.Signals.of_index i)))
 
 let default =
   make ~name:"default(capacitance)" (fun id ->
@@ -20,13 +53,14 @@ let derive ~name ~energy_pj ~transitions =
         if transitions.(i) = 0 then default.per_signal.(i)
         else energy_pj.(i) /. float_of_int transitions.(i))
   in
-  { name; per_signal }
+  of_per_signal ~name per_signal
 
 let energy_per_transition t id = t.per_signal.(Ec.Signals.index id)
 
 let scale t k =
-  { name = Printf.sprintf "%s*%.3f" t.name k;
-    per_signal = Array.map (fun e -> e *. k) t.per_signal }
+  of_per_signal
+    ~name:(Printf.sprintf "%s*%.3f" t.name k)
+    (Array.map (fun e -> e *. k) t.per_signal)
 
 let avg_over t ids =
   match ids with
@@ -35,19 +69,13 @@ let avg_over t ids =
     let sum = List.fold_left (fun acc id -> acc +. energy_per_transition t id) 0.0 ids in
     sum /. float_of_int (List.length ids)
 
-let avg_addr_bit t =
-  avg_over t (List.init Ec.Signals.addr_wires (fun i -> Ec.Signals.Addr i))
-
-let avg_wdata_bit t =
-  avg_over t (List.init Ec.Signals.data_wires (fun i -> Ec.Signals.Wdata i))
-
-let avg_rdata_bit t =
-  avg_over t (List.init Ec.Signals.data_wires (fun i -> Ec.Signals.Rdata i))
-
-let avg_be_bit t =
-  avg_over t (List.init Ec.Signals.be_wires (fun i -> Ec.Signals.Be i))
+let avg_addr_bit t = t.avg_addr
+let avg_wdata_bit t = t.avg_wdata
+let avg_rdata_bit t = t.avg_rdata
+let avg_be_bit t = t.avg_be
+let avg_ctrl_bit t = t.avg_ctrl
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>characterization %s:@ addr %.3f pJ/t  wdata %.3f  rdata %.3f  be %.3f@]"
-    t.name (avg_addr_bit t) (avg_wdata_bit t) (avg_rdata_bit t) (avg_be_bit t)
+    t.name t.avg_addr t.avg_wdata t.avg_rdata t.avg_be

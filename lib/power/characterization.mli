@@ -38,10 +38,14 @@ val scale : t -> float -> t
 val avg_over : t -> Ec.Signals.id list -> float
 (** Mean energy per transition over a wire group. *)
 
+(** The per-class averages are precomputed at table construction; reading
+    them is free. *)
+
 val avg_addr_bit : t -> float
 val avg_wdata_bit : t -> float
 val avg_rdata_bit : t -> float
 val avg_be_bit : t -> float
+val avg_ctrl_bit : t -> float
 
 val pp : Format.formatter -> t -> unit
 (** Summary rendering (per-group averages). *)

@@ -15,6 +15,12 @@ val create : ?record_profile:bool -> unit -> t
 val add : t -> float -> unit
 (** Contributes energy (pJ) to the cycle being simulated. *)
 
+val in_cycle_acc : t -> float array
+(** The unboxed in-cycle accumulator; index 0 is the energy of the cycle
+    being simulated.  Estimator hot loops add into it directly because a
+    cross-module [add] boxes its float argument on every call (no
+    flambda); everyone else should use {!add}. *)
+
 val end_cycle : t -> unit
 (** Closes the current cycle: commits its energy to the totals and to the
     profile when recording. *)

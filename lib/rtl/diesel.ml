@@ -1,23 +1,83 @@
+(* Per-wire signal classes, in Wires.interface_groups order. *)
+type group_class = Gaddr | Gbe | Gwdata | Grdata | Gctrl
+
+type group = {
+  g_base : int;  (* Ec.Signals.index of the group's bit 0 *)
+  g_width : int;
+  g_signal : Sim.Signal.t;
+  g_class : group_class;
+}
+
 type t = {
   params : Params.t;
   wires : Wires.t;
   meter : Power.Meter.t;
+  reference : bool;
+  (* Precomputed per-wire energy tables, indexed by Ec.Signals.index.
+     Built once in [create] so the per-cycle observation never touches
+     Power.Units, Ec.Signals.of_index or the capacitance table. *)
+  rise_pj : float array;
+  fall_pj : float array;
+  lat_pj : float array;  (* exactly one wire of the pair toggles *)
+  lat_same_pj : float array;  (* both toggle, same direction *)
+  lat_opp_pj : float array;  (* both toggle, opposite directions *)
+  groups : group array;
+  (* The meter's in-cycle accumulator (index 0), shared so the hot path
+     adds without a cross-module call boxing the float. *)
+  meter_acc : float array;
   per_signal_pj : float array;
   per_signal_transitions : int array;
-  mutable interface_pj : float;
-  mutable internal_pj : float;
+  (* interface total, internal total: an unboxed float pair — mutable
+     float fields of this mixed record would box on every store. *)
+  totals : float array;
 }
 
-let create ?(params = Params.default) ?(record_profile = false) wires =
+let class_of = function
+  | Ec.Signals.Addr _ -> Gaddr
+  | Ec.Signals.Be _ -> Gbe
+  | Ec.Signals.Wdata _ -> Gwdata
+  | Ec.Signals.Rdata _ -> Grdata
+  | Ec.Signals.Ctrl _ -> Gctrl
+
+let create ?(params = Params.default) ?(record_profile = false)
+    ?(reference = false) wires =
+  let meter = Power.Meter.create ~record_profile () in
+  let self i =
+    Power.Units.pj_per_transition
+      ~capacitance_ff:(Ec.Signals.default_capacitance_ff (Ec.Signals.of_index i))
+      ~vdd:params.Params.vdd
+  in
+  let lat i = self i *. params.Params.coupling_ratio in
   {
     params;
     wires;
-    meter = Power.Meter.create ~record_profile ();
+    meter;
+    meter_acc = Power.Meter.in_cycle_acc meter;
+    reference;
+    rise_pj = Array.init Ec.Signals.count (fun i -> self i *. params.Params.slope_rise);
+    fall_pj = Array.init Ec.Signals.count (fun i -> self i *. params.Params.slope_fall);
+    lat_pj = Array.init Ec.Signals.count lat;
+    lat_same_pj = Array.init Ec.Signals.count (fun i -> lat i *. params.Params.same_relief);
+    lat_opp_pj = Array.init Ec.Signals.count (fun i -> lat i *. params.Params.opposite_factor);
+    groups =
+      Array.of_list
+        (List.map
+           (fun (id, signal) ->
+             {
+               g_base = Ec.Signals.index id;
+               g_width = Sim.Signal.width signal;
+               g_signal = signal;
+               g_class = class_of id;
+             })
+           (Wires.interface_groups wires));
     per_signal_pj = Array.make Ec.Signals.count 0.0;
     per_signal_transitions = Array.make Ec.Signals.count 0;
-    interface_pj = 0.0;
-    internal_pj = 0.0;
+    totals = Array.make 2 0.0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Reference (naive) observation path, kept verbatim for validation.   *)
+(* ------------------------------------------------------------------ *)
 
 (* Self energy of one edge on one wire. *)
 let edge_pj t id ~rising =
@@ -53,12 +113,13 @@ let movements signal =
       let c = (cur lsr i) land 1 and n = (nxt lsr i) land 1 in
       n - c)
 
-let add_interface t index pj =
-  t.per_signal_pj.(index) <- t.per_signal_pj.(index) +. pj;
-  t.interface_pj <- t.interface_pj +. pj;
-  Power.Meter.add t.meter pj
+let[@inline] add_interface t index pj =
+  Array.unsafe_set t.per_signal_pj index
+    (Array.unsafe_get t.per_signal_pj index +. pj);
+  Array.unsafe_set t.totals 0 (Array.unsafe_get t.totals 0 +. pj);
+  Array.unsafe_set t.meter_acc 0 (Array.unsafe_get t.meter_acc 0 +. pj)
 
-let observe_group t (base_id, signal) =
+let observe_group_reference t (base_id, signal) =
   let base = Ec.Signals.index base_id in
   let moves = movements signal in
   let w = Array.length moves in
@@ -83,23 +144,108 @@ let observe_group t (base_id, signal) =
     done;
   !transitions
 
-let add_internal t pj =
-  t.internal_pj <- t.internal_pj +. pj;
-  Power.Meter.add t.meter pj
+(* ------------------------------------------------------------------ *)
+(* Optimized observation path: zero allocation, word-level scanning.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Identical arithmetic to the reference path, in the identical order
+   (self energies by ascending bit, then coupling by ascending pair, the
+   pair energy halved onto the lower then the upper wire), so the
+   accumulated floats are bit-for-bit equal.  Only the derivation of each
+   addend changed: table lookups instead of capacitance math, and a
+   [cur lxor nxt] word scan instead of a movements array. *)
+(* The scan loops are top-level with explicit arguments: a local
+   [let rec] would capture its environment and allocate a closure per
+   group per cycle. *)
+let rec self_scan t base nxt bits i n =
+  if bits = 0 then n
+  else begin
+    let n =
+      if bits land 1 = 1 then begin
+        let gi = base + i in
+        t.per_signal_transitions.(gi) <- t.per_signal_transitions.(gi) + 1;
+        add_interface t gi
+          (if (nxt lsr i) land 1 = 1 then
+             Array.unsafe_get t.rise_pj gi
+           else Array.unsafe_get t.fall_pj gi);
+        n + 1
+      end
+      else n
+    in
+    self_scan t base nxt (bits lsr 1) (i + 1) n
+  end
+
+let rec pair_scan t base nxt changed last i =
+  if i <= last then begin
+    let rel = changed lsr i in
+    (* No toggles at or above bit i: every remaining pair is stable. *)
+    if rel <> 0 then begin
+      (if rel land 3 <> 0 then begin
+         let gi = base + i in
+         let pj =
+           if rel land 3 = 3 then
+             if (nxt lsr i) land 1 = (nxt lsr (i + 1)) land 1 then
+               Array.unsafe_get t.lat_same_pj gi
+             else Array.unsafe_get t.lat_opp_pj gi
+           else Array.unsafe_get t.lat_pj gi
+         in
+         if pj > 0.0 then begin
+           add_interface t gi (pj /. 2.0);
+           add_interface t (gi + 1) (pj /. 2.0)
+         end
+       end);
+      pair_scan t base nxt changed last (i + 1)
+    end
+  end
+
+(* Identical arithmetic to the reference path, in the identical order
+   (self energies by ascending bit, then coupling by ascending pair, the
+   pair energy halved onto the lower then the upper wire), so the
+   accumulated floats are bit-for-bit equal.  Only the derivation of each
+   addend changed: table lookups instead of capacitance math, and a
+   [cur lxor nxt] word scan instead of a movements array. *)
+let observe_group_fast t g =
+  let s = g.g_signal in
+  let cur = Sim.Signal.current s and nxt = Sim.Signal.next s in
+  let changed = cur lxor nxt in
+  if changed = 0 then 0
+  else begin
+    let base = g.g_base in
+    let transitions = self_scan t base nxt changed 0 0 in
+    let w = g.g_width in
+    if w > 1 then pair_scan t base nxt changed (w - 2) 0;
+    transitions
+  end
+
+let[@inline] add_internal t pj =
+  Array.unsafe_set t.totals 1 (Array.unsafe_get t.totals 1 +. pj);
+  Array.unsafe_set t.meter_acc 0 (Array.unsafe_get t.meter_acc 0 +. pj)
 
 let observe_and_commit t =
   let p = t.params in
-  let groups = Wires.interface_groups t.wires in
   let addr_toggles = ref 0 and rdata_toggles = ref 0 and ctrl_toggles = ref 0 in
-  List.iter
-    (fun ((id, _) as group) ->
-      let n = observe_group t group in
-      match id with
-      | Ec.Signals.Addr _ -> addr_toggles := !addr_toggles + n
-      | Ec.Signals.Rdata _ -> rdata_toggles := !rdata_toggles + n
-      | Ec.Signals.Ctrl _ -> ctrl_toggles := !ctrl_toggles + n
-      | Ec.Signals.Be _ | Ec.Signals.Wdata _ -> ())
-    groups;
+  if t.reference then
+    List.iter
+      (fun ((id, _) as group) ->
+        let n = observe_group_reference t group in
+        match id with
+        | Ec.Signals.Addr _ -> addr_toggles := !addr_toggles + n
+        | Ec.Signals.Rdata _ -> rdata_toggles := !rdata_toggles + n
+        | Ec.Signals.Ctrl _ -> ctrl_toggles := !ctrl_toggles + n
+        | Ec.Signals.Be _ | Ec.Signals.Wdata _ -> ())
+      (Wires.interface_groups t.wires)
+  else begin
+    let groups = t.groups in
+    for gi = 0 to Array.length groups - 1 do
+      let g = Array.unsafe_get groups gi in
+      let n = observe_group_fast t g in
+      match g.g_class with
+      | Gaddr -> addr_toggles := !addr_toggles + n
+      | Grdata -> rdata_toggles := !rdata_toggles + n
+      | Gctrl -> ctrl_toggles := !ctrl_toggles + n
+      | Gbe | Gwdata -> ()
+    done
+  end;
   (* Internal nets: decoder activity plus transient glitching follow the
      address bus, the read mux follows the read data bus, the control FSM
      follows the handshake wires, the select lines are explicit. *)
@@ -117,9 +263,9 @@ let observe_and_commit t =
   Wires.commit_all t.wires;
   Power.Meter.end_cycle t.meter
 
-let total_pj t = t.interface_pj +. t.internal_pj
-let interface_pj t = t.interface_pj
-let internal_pj t = t.internal_pj
+let total_pj t = t.totals.(0) +. t.totals.(1)
+let interface_pj t = t.totals.(0)
+let internal_pj t = t.totals.(1)
 let meter t = t.meter
 let per_signal_energy_pj t = Array.copy t.per_signal_pj
 let per_signal_transitions t = Array.copy t.per_signal_transitions

@@ -6,11 +6,22 @@
     internal decoder/mux/FSM net activity, address decoder glitches and
     static leakage.  The internal contributions are deliberately invisible
     to the transaction-level characterization — they are the systematic
-    part of the layer-1 estimation error the paper measures. *)
+    part of the layer-1 estimation error the paper measures.
+
+    The per-cycle observation is allocation-free: all per-wire edge and
+    coupling energies are precomputed into lookup tables at creation, and
+    toggled bits are found by scanning [cur lxor nxt] words.  The original
+    naive path (a movements array per signal group per cycle, capacitance
+    math per toggle) is retained behind [~reference:true] as the validation
+    oracle; both paths accumulate floats in the same order and are
+    bit-for-bit equal. *)
 
 type t
 
-val create : ?params:Params.t -> ?record_profile:bool -> Wires.t -> t
+val create :
+  ?params:Params.t -> ?record_profile:bool -> ?reference:bool -> Wires.t -> t
+(** [reference] (default false) selects the naive per-bit observation
+    path instead of the precomputed-table one. *)
 
 val observe_and_commit : t -> unit
 (** Performs the per-cycle estimation over the old/new values of every

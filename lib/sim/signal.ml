@@ -9,9 +9,12 @@ type t = {
   per_bit : int array;
 }
 
+(* SWAR popcount over OCaml's 63-bit non-negative ints. *)
 let popcount v =
-  let rec loop v acc = if v = 0 then acc else loop (v lsr 1) (acc + (v land 1)) in
-  loop v 0
+  let v = v - ((v lsr 1) land 0x5555_5555_5555_5555) in
+  let v = (v land 0x3333_3333_3333_3333) + ((v lsr 2) land 0x3333_3333_3333_3333) in
+  let v = (v + (v lsr 4)) land 0x0F0F_0F0F_0F0F_0F0F in
+  (v * 0x0101_0101_0101_0101) lsr 56
 
 let create ~name ~width =
   if width < 1 || width > 62 then
@@ -26,19 +29,20 @@ let current s = s.cur
 let next s = s.nxt
 let set s v = s.nxt <- v land s.mask
 
+(* Top-level so [commit] allocates no closure on the per-cycle path. *)
+let rec mark_bits per_bit bits i =
+  if bits <> 0 then begin
+    if bits land 1 = 1 then per_bit.(i) <- per_bit.(i) + 1;
+    mark_bits per_bit (bits lsr 1) (i + 1)
+  end
+
 let commit s =
   let changed = s.cur lxor s.nxt in
   if changed <> 0 then begin
     let rose = changed land s.nxt and fell = changed land s.cur in
     s.rises <- s.rises + popcount rose;
     s.falls <- s.falls + popcount fell;
-    let rec mark bits i =
-      if bits <> 0 then begin
-        if bits land 1 = 1 then s.per_bit.(i) <- s.per_bit.(i) + 1;
-        mark (bits lsr 1) (i + 1)
-      end
-    in
-    mark changed 0
+    mark_bits s.per_bit changed 0
   end;
   s.cur <- s.nxt;
   popcount changed

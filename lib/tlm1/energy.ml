@@ -18,6 +18,11 @@ type t = {
   rdata_pj : float array;
   ctrl_pj : float array;
   meter : Power.Meter.t;
+  (* The meter's unboxed in-cycle accumulator plus a scratch cell for the
+     per-group energy fold: mutable float fields or cross-module float
+     calls would box on every store in the per-cycle path. *)
+  meter_acc : float array;
+  scratch : float array;
   mutable transitions : int;
 }
 
@@ -30,6 +35,7 @@ let ctrl_bit c =
 
 let create ?(record_profile = false) table =
   let per id = Power.Characterization.energy_per_transition table id in
+  let meter = Power.Meter.create ~record_profile () in
   {
     old_addr = 0;
     new_addr = 0;
@@ -46,7 +52,9 @@ let create ?(record_profile = false) table =
     wdata_pj = Array.init Ec.Signals.data_wires (fun i -> per (Ec.Signals.Wdata i));
     rdata_pj = Array.init Ec.Signals.data_wires (fun i -> per (Ec.Signals.Rdata i));
     ctrl_pj = Array.of_list (List.map (fun c -> per (Ec.Signals.Ctrl c)) Ec.Signals.all_ctrl);
-    meter = Power.Meter.create ~record_profile ();
+    meter;
+    meter_acc = Power.Meter.in_cycle_acc meter;
+    scratch = Array.make 1 0.0;
     transitions = 0;
   }
 
@@ -68,18 +76,33 @@ let set_avalid t v = set_ctrl_bit t Ec.Signals.Avalid v
 let drive_rdata t v = t.new_rdata <- v land 0xFFFFFFFF
 let drive_wdata t v = t.new_wdata <- v land 0xFFFFFFFF
 
+(* Top-level with the energy accumulated into a scratch float array cell:
+   a local [let rec] with a float accumulator would allocate a closure and
+   box the float on every recursive call.  Addition order (ascending bit,
+   fold from 0.0 per group) matches the original exactly. *)
+let rec scan_bits per_bit scratch bits i n =
+  if bits = 0 then n
+  else begin
+    let n =
+      if bits land 1 = 1 then begin
+        Array.unsafe_set scratch 0
+          (Array.unsafe_get scratch 0 +. Array.unsafe_get per_bit i);
+        n + 1
+      end
+      else n
+    in
+    scan_bits per_bit scratch (bits lsr 1) (i + 1) n
+  end
+
 (* Energy of the toggled bits of one signal group. *)
 let group_energy t changed per_bit =
-  let rec loop bits i acc n =
-    if bits = 0 then (acc, n)
-    else begin
-      let acc, n = if bits land 1 = 1 then (acc +. per_bit.(i), n + 1) else (acc, n) in
-      loop (bits lsr 1) (i + 1) acc n
-    end
-  in
-  let pj, n = loop changed 0 0.0 0 in
-  t.transitions <- t.transitions + n;
-  pj
+  if changed = 0 then 0.0
+  else begin
+    t.scratch.(0) <- 0.0;
+    let n = scan_bits per_bit t.scratch changed 0 0 in
+    t.transitions <- t.transitions + n;
+    t.scratch.(0)
+  end
 
 let strobes_mask =
   List.fold_left
@@ -96,7 +119,7 @@ let end_cycle t =
     +. group_energy t (t.old_rdata lxor t.new_rdata) t.rdata_pj
     +. group_energy t (t.old_ctrl lxor t.new_ctrl) t.ctrl_pj
   in
-  Power.Meter.add t.meter pj;
+  Array.unsafe_set t.meter_acc 0 (Array.unsafe_get t.meter_acc 0 +. pj);
   Power.Meter.end_cycle t.meter;
   t.old_addr <- t.new_addr;
   t.old_be <- t.new_be;

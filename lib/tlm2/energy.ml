@@ -37,9 +37,7 @@ let create ?(record_profile = false) ?(params = default_params) table =
     avg_wdata = Power.Characterization.avg_wdata_bit table;
     avg_rdata = Power.Characterization.avg_rdata_bit table;
     avg_be = Power.Characterization.avg_be_bit table;
-    avg_ctrl =
-      Power.Characterization.avg_over table
-        (List.map (fun c -> Ec.Signals.Ctrl c) Ec.Signals.all_ctrl);
+    avg_ctrl = Power.Characterization.avg_ctrl_bit table;
     meter = Power.Meter.create ~record_profile ();
   }
 

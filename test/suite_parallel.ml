@@ -1,0 +1,74 @@
+(* Core.Parallel: the domain-pool map must never change a reported
+   number — parallel experiment sweeps are bit-identical to serial ones,
+   whatever the scheduling. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_map_preserves_order () =
+  let xs = List.init 100 (fun i -> i) in
+  check_bool "order, many domains" true
+    (Core.Parallel.map ~domains:8 (fun i -> i * i) xs = List.map (fun i -> i * i) xs);
+  check_bool "order, one domain" true
+    (Core.Parallel.map ~domains:1 (fun i -> i + 1) xs = List.map (fun i -> i + 1) xs);
+  check_bool "empty" true (Core.Parallel.map ~domains:4 (fun i -> i) [] = []);
+  check_bool "more domains than items" true
+    (Core.Parallel.map ~domains:16 string_of_int [ 1; 2 ] = [ "1"; "2" ])
+
+exception Boom of int
+
+let test_map_propagates_failure () =
+  match Core.Parallel.map ~domains:4 (fun i -> if i = 5 then raise (Boom i) else i)
+          (List.init 20 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 5 -> ()
+
+(* Everything but the wall clock and the (absent) profile. *)
+let strip (r : Core.Runner.result) =
+  ( r.Core.Runner.level,
+    r.Core.Runner.cycles,
+    r.Core.Runner.txns,
+    r.Core.Runner.beats,
+    r.Core.Runner.errors,
+    r.Core.Runner.bus_pj,
+    r.Core.Runner.component_pj,
+    r.Core.Runner.transitions )
+
+let test_run_levels_deterministic () =
+  let trace = Core.Workloads.table3_trace ~n:64 in
+  let serial = Core.Runner.run_levels ~mode:`Serial ~domains:1 trace in
+  let parallel = Core.Runner.run_levels ~mode:`Serial ~domains:4 trace in
+  check_int "three levels" 3 (List.length parallel);
+  List.iter2
+    (fun s p ->
+      check_bool
+        (Core.Level.to_string s.Core.Runner.level ^ " field-for-field equal")
+        true
+        (strip s = strip p))
+    serial parallel
+
+let test_run_accuracy_deterministic () =
+  let table = Core.Runner.characterize () in
+  let serial = Core.Experiments.run_accuracy ~table ~domains:1 () in
+  let parallel = Core.Experiments.run_accuracy ~table ~domains:4 () in
+  check_bool "accuracy rows identical" true (serial = parallel)
+
+let test_exploration_deterministic () =
+  let applets = [ Jcvm.Applets.fib ] in
+  let serial = Core.Exploration.run ~applets ~domains:1 () in
+  let parallel = Core.Exploration.run ~applets ~domains:4 () in
+  check_bool "exploration rows identical" true (serial = parallel)
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "map propagates the first failure" `Quick
+      test_map_propagates_failure;
+    Alcotest.test_case "parallel run_levels = serial run_levels" `Quick
+      test_run_levels_deterministic;
+    Alcotest.test_case "parallel run_accuracy = serial run_accuracy" `Slow
+      test_run_accuracy_deterministic;
+    Alcotest.test_case "parallel exploration = serial exploration" `Quick
+      test_exploration_deterministic;
+  ]

@@ -516,3 +516,55 @@ let cpu_props =
     [ prop_cpu_matches_reference; prop_icache_transparent ]
 
 let suite = suite @ cpu_props
+
+(* --- optimized vs reference gate-level observation kernel --- *)
+
+(* The optimized Diesel path (precomputed energy tables, word-level bit
+   scans) must be bit-for-bit equal to the naive reference path it
+   replaced, on every accumulator, for any stimulus and parameter set. *)
+
+let diesel_params = [| Rtl.Params.default; Rtl.Params.ideal;
+                       { Rtl.Params.default with Rtl.Params.coupling_ratio = 0.4;
+                         slope_rise = 1.2; slope_fall = 0.8 } |]
+
+let drive_random rng wires =
+  Sim.Signal.set (Rtl.Wires.addr wires) (Sim.Rng.bits rng 34);
+  if Sim.Rng.bool rng then Sim.Signal.set (Rtl.Wires.be wires) (Sim.Rng.bits rng 4);
+  Sim.Signal.set (Rtl.Wires.wdata wires) (Sim.Rng.bits rng 32);
+  if Sim.Rng.bool rng then Sim.Signal.set (Rtl.Wires.rdata wires) (Sim.Rng.bits rng 32);
+  List.iter
+    (fun c -> Rtl.Wires.set_ctrl wires c (Sim.Rng.bool rng))
+    Ec.Signals.all_ctrl;
+  Sim.Signal.set (Rtl.Wires.sel wires) (Sim.Rng.bits rng 4)
+
+let prop_diesel_fast_equals_reference =
+  QCheck.Test.make
+    ~name:"optimized Diesel kernel = naive reference kernel (bit-exact)"
+    ~count:40
+    QCheck.(triple (int_bound 1_000_000) (int_range 1 120) (int_bound 2))
+    (fun (seed, cycles, param_idx) ->
+      let params = diesel_params.(param_idx) in
+      let run ~reference =
+        let wires = Rtl.Wires.create ~n_slaves:4 in
+        let d = Rtl.Diesel.create ~params ~reference wires in
+        let rng = Sim.Rng.create ~seed in
+        for _ = 1 to cycles do
+          drive_random rng wires;
+          Rtl.Diesel.observe_and_commit d
+        done;
+        d
+      in
+      let fast = run ~reference:false and ref_ = run ~reference:true in
+      Rtl.Diesel.interface_pj fast = Rtl.Diesel.interface_pj ref_
+      && Rtl.Diesel.internal_pj fast = Rtl.Diesel.internal_pj ref_
+      && Rtl.Diesel.per_signal_transitions fast
+         = Rtl.Diesel.per_signal_transitions ref_
+      && Rtl.Diesel.per_signal_energy_pj fast
+         = Rtl.Diesel.per_signal_energy_pj ref_
+      && Power.Meter.total_pj (Rtl.Diesel.meter fast)
+         = Power.Meter.total_pj (Rtl.Diesel.meter ref_))
+
+let diesel_props =
+  List.map QCheck_alcotest.to_alcotest [ prop_diesel_fast_equals_reference ]
+
+let suite = suite @ diesel_props

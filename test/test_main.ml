@@ -13,5 +13,6 @@ let () =
       ("core", Suite_core.suite);
       ("iso7816", Suite_iso7816.suite);
       ("integration", Suite_integration.suite);
+      ("parallel", Suite_parallel.suite);
       ("properties", Suite_props.suite);
     ]
