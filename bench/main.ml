@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- tables      -- only the paper tables
      dune exec bench/main.exe -- micro       -- only the Bechamel runs
      dune exec bench/main.exe -- micro --json -- Bechamel estimates as JSON
+     dune exec bench/main.exe -- adaptive    -- adaptive mixed-level comparison
      dune exec bench/main.exe -- ablations   -- only the sensitivity studies
      dune exec bench/main.exe -- smoke       -- reduced-size table pipeline
                                                 (wired into dune runtest) *)
@@ -44,6 +45,24 @@ let print_tables ?(smoke = false) () =
     else Core.Exploration.run ()
   in
   print_endline (Core.Exploration.render rows)
+
+(* The adaptive mixed-level comparison: accuracy and T/s of the spliced
+   run against the pure levels, plus the ratio the trajectory tracks. *)
+let print_adaptive ?(smoke = false) () =
+  section "Adaptive mixed-level simulation (hier engine)";
+  let s =
+    (* 2048 transactions cover a sensitive phase, so the smoke run
+       actually switches levels. *)
+    if smoke then Core.Experiments.run_adaptive_comparison ~txns:2_048 ~repetitions:1 ()
+    else Core.Experiments.run_adaptive_comparison ()
+  in
+  print_endline (Core.Experiments.render_adaptive s);
+  (* The adaptive run is the last row by construction. *)
+  match List.rev s.Core.Experiments.rows with
+  | adaptive :: _ ->
+    Printf.printf "adaptive vs pure-L1 T/s ratio: %.2f\n"
+      adaptive.Core.Experiments.speedup_vs_l1
+  | [] -> ()
 
 let print_ablations () =
   section "Ablations - sensitivity of the reproduction to modelling choices";
@@ -92,6 +111,26 @@ let bench_performance =
       Test.make ~name:"l2-without-estimation"
         (Staged.stage (run Core.Level.L2 false));
       Test.make ~name:"gate-level" (Staged.stage (run Core.Level.Rtl true));
+    ]
+
+(* Adaptive engine: one mixed-phase workload through the pure levels and
+   the spliced run, so the trajectory records the pure-vs-adaptive T/s
+   ratio (adaptive should sit between pure-l1 and pure-l2). *)
+let bench_adaptive =
+  let trace = Core.Workloads.mixed_phase_trace ~n:512 () in
+  let pure level () =
+    ignore (Core.Runner.run_trace ~level ~mode:`Serial trace)
+  in
+  let adaptive () =
+    ignore
+      (Core.Runner.run_adaptive ~mode:`Serial
+         ~policy:Core.Experiments.adaptive_policy trace)
+  in
+  Test.make_grouped ~name:"adaptive/mixed-512"
+    [
+      Test.make ~name:"pure-l1" (Staged.stage (pure Core.Level.L1));
+      Test.make ~name:"pure-l2" (Staged.stage (pure Core.Level.L2));
+      Test.make ~name:"adaptive" (Staged.stage adaptive);
     ]
 
 (* Figure 6: cycle-accurate profiling cost. *)
@@ -153,6 +192,7 @@ let micro_groups =
   [
     ("table1+2/accuracy-stimulus", bench_accuracy);
     ("table3/256-transactions", bench_performance);
+    ("adaptive/mixed-512", bench_adaptive);
     ("figure6/profiled-run", bench_figure6);
     ("figure7/fib-applet", bench_exploration);
   ]
@@ -202,12 +242,16 @@ let () =
   in
   (match mode with
   | "tables" -> print_tables ()
-  | "smoke" -> print_tables ~smoke:true ()
+  | "smoke" ->
+    print_tables ~smoke:true ();
+    print_adaptive ~smoke:true ()
   | "micro" -> if json then run_micro_json () else run_micro ()
+  | "adaptive" -> print_adaptive ()
   | "ablations" -> print_ablations ()
   | "extensions" -> print_extensions ()
   | _ ->
     print_tables ();
+    print_adaptive ();
     if json then run_micro_json () else run_micro ();
     print_ablations ();
     print_extensions ());

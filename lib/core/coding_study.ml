@@ -55,7 +55,21 @@ let instrumented_system () =
   in
   (system, sampler)
 
-let table = lazy (Runner.characterize ())
+(* One characterization shared by every run.  A top-level [lazy] is not
+   domain-safe — two domains forcing it at once race on the thunk (one
+   raises [Lazy.Undefined]) — so the memo is a mutex-guarded ref; the
+   loser of the race blocks and reuses the winner's table. *)
+let table_lock = Mutex.create ()
+let table_memo = ref None
+
+let characterization_table () =
+  Mutex.protect table_lock (fun () ->
+      match !table_memo with
+      | Some t -> t
+      | None ->
+        let t = Runner.characterize () in
+        table_memo := Some t;
+        t)
 
 let run_program ?name program =
   let system, sampler = instrumented_system () in
@@ -69,7 +83,7 @@ let run_program ?name program =
       ()
   in
   let cycles = Soc.Cpu.run_to_halt cpu ~kernel () in
-  analyze_sampler ~table:(Lazy.force table) sampler cycles
+  analyze_sampler ~table:(characterization_table ()) sampler cycles
     (Option.value name ~default:"program")
 
 let run_trace ?name trace =
@@ -80,7 +94,7 @@ let run_trace ?name trace =
     Soc.Trace_master.create ~kernel ~port:(System.port system) trace
   in
   let cycles = Soc.Trace_master.run master ~kernel () in
-  analyze_sampler ~table:(Lazy.force table) sampler cycles
+  analyze_sampler ~table:(characterization_table ()) sampler cycles
     (Option.value name ~default:"trace")
 
 let render t =

@@ -54,6 +54,41 @@ val run_performance :
 
 val render_table3 : perf_row list -> string
 
+(** {1 Adaptive mixed-level comparison} *)
+
+type adaptive_row = {
+  label : string;
+  cycles : int;
+  bus_pj : float;
+  energy_err_pct : float;  (** vs the gate-level reference *)
+  kilo_txns_per_s : float;
+  speedup_vs_l1 : float;
+}
+
+type adaptive_summary = {
+  rows : adaptive_row list;
+      (** gate reference, pure L1, pure L2, adaptive — in that order *)
+  windows : int;
+  switches : int;
+  l1_txn_share_pct : float;  (** share of transactions refined to layer 1 *)
+  error_bound_pj : float;  (** the splicer's cumulative budget *)
+  within_bound : bool;  (** spliced total vs gate reference within budget *)
+}
+
+val adaptive_policy : Hier.Policy.t
+(** The experiment's policy: layer 2 everywhere, layer 1 while traffic
+    targets the EEPROM (the DPA-sensitive window). *)
+
+val run_adaptive_comparison :
+  ?txns:int -> ?repetitions:int -> unit -> adaptive_summary
+(** Replays {!Workloads.mixed_phase_trace} (default 8000 transactions)
+    pipelined through the gate-level reference, pure layer 1, pure
+    layer 2 and the adaptive engine, best of [repetitions] (default 3)
+    wall-clock runs each.  The table the new subsystem is judged by:
+    accuracy vs the reference and T/s vs pure layer 1. *)
+
+val render_adaptive : adaptive_summary -> string
+
 (** {1 Figure 6: energy sampling semantics} *)
 
 type figure6 = {

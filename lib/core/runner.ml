@@ -65,6 +65,84 @@ let fill_memories system =
   fill (Soc.Platform.eeprom p) 4096;
   fill (Soc.Platform.flash p) 4096
 
+type adaptive_run = {
+  splice : Hier.Splice.t;
+  cycles : int;
+  txns : int;
+  beats : int;
+  errors : int;
+  bus_pj : float;
+  component_pj : float;
+  switches : int;
+  wall_seconds : float;
+  final_system : System.t option;
+}
+
+let adaptive_txns_per_second r =
+  if r.wall_seconds <= 0.0 then 0.0 else float_of_int r.txns /. r.wall_seconds
+
+(* Architectural state handoff across a switch point: the previous
+   system is quiescent (trace drained, no outstanding bursts), so the
+   memories are the whole state the replayed traffic can observe.  The
+   decoder map and wait-state parameters are configuration, rebuilt
+   identically by System.create; peripheral-internal registers reset —
+   see DESIGN.md section 10 for the rule. *)
+let handoff_state ~prev ~next =
+  let copy get =
+    Soc.Memory.copy_contents
+      ~src:(get (System.platform prev))
+      ~dst:(get (System.platform next))
+  in
+  copy Soc.Platform.rom;
+  copy Soc.Platform.ram;
+  copy Soc.Platform.eeprom;
+  copy Soc.Platform.flash
+
+let run_adaptive ?estimate ?record_profile ?table ?rtl_params ?l2_params
+    ?(mode = `Pipelined) ?max_cycles ?init ?budget ~policy trace =
+  let ops =
+    {
+      Hier.Engine.create =
+        (fun level ->
+          System.create ~level ?estimate ?record_profile ?table ?rtl_params
+            ?l2_params ());
+      init = (fun system -> match init with Some f -> f system | None -> ());
+      handoff = (fun ~prev ~next -> handoff_state ~prev ~next);
+      run_segment =
+        (fun system seg ->
+          let kernel = System.kernel system in
+          let master =
+            Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode seg
+          in
+          let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
+          {
+            Hier.Engine.cycles;
+            txns = System.completed_txns system;
+            beats = System.completed_beats system;
+            errors = System.error_txns system;
+            bus_pj = System.bus_energy_pj system;
+            component_pj = System.component_energy_pj system;
+            profile = System.profile system;
+          });
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Hier.Engine.run ?budget ~ops ~policy trace in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let s = r.Hier.Engine.splice in
+  {
+    splice = s;
+    cycles = s.Hier.Splice.total_cycles;
+    txns = s.Hier.Splice.total_txns;
+    beats = s.Hier.Splice.total_beats;
+    errors = s.Hier.Splice.total_errors;
+    bus_pj = s.Hier.Splice.total_bus_pj;
+    component_pj = s.Hier.Splice.total_component_pj;
+    switches = s.Hier.Splice.switches;
+    wall_seconds;
+    final_system = r.Hier.Engine.last_system;
+  }
+
 type program_run = {
   result : result;
   instructions : int;

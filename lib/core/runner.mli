@@ -51,6 +51,47 @@ val fill_memories : System.t -> unit
 (** Writes a deterministic pattern into the first KiBs of every memory, so
     replayed read traffic carries realistic data values. *)
 
+(** {1 Adaptive mixed-level runs} *)
+
+type adaptive_run = {
+  splice : Hier.Splice.t;  (** per-window provenance and error budget *)
+  cycles : int;  (** spliced-timeline totals, as in {!result} *)
+  txns : int;
+  beats : int;
+  errors : int;
+  bus_pj : float;
+  component_pj : float;
+  switches : int;
+  wall_seconds : float;
+  final_system : System.t option;
+      (** the last window's system (memories reflect the whole run);
+          [None] only for an empty trace *)
+}
+
+val adaptive_txns_per_second : adaptive_run -> float
+
+val run_adaptive :
+  ?estimate:bool ->
+  ?record_profile:bool ->
+  ?table:Power.Characterization.t ->
+  ?rtl_params:Rtl.Params.t ->
+  ?l2_params:Tlm2.Energy.params ->
+  ?mode:Soc.Trace_master.mode ->
+  ?max_cycles:int ->
+  ?init:(System.t -> unit) ->
+  ?budget:(Level.t -> float) ->
+  policy:Hier.Policy.t ->
+  Ec.Trace.t ->
+  adaptive_run
+(** Mixed-level replay: {!Hier.Engine} partitions the trace into windows
+    per [policy], runs each window on a fresh system at the decided
+    level (same configuration arguments as {!run_trace}), hands the
+    memory state across each quiesced switch point and splices the
+    per-window energies.  [max_cycles] bounds each window.  With a
+    {!Hier.Policy.constant} policy the single window is driven exactly
+    like {!run_trace} at that level: cycles, transaction counts and
+    energies match bit-for-bit. *)
+
 type program_run = {
   result : result;
   instructions : int;

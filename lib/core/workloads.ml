@@ -83,21 +83,46 @@ let characterization_trace =
    pair of transaction kinds exactly once per period. *)
 let de_bruijn = [| 0; 0; 1; 2; 0; 3; 1; 1; 0; 2; 2; 1; 3; 3; 2; 3 |]
 
-let table3_trace ~n =
+let value_of_index i = (i * 0x9E3779B9) land 0xFFFFFFFF
+
+let table3_txn i =
   let kinds = [| `Sr; `Sw; `Br; `Bw |] in
-  let value i = (i * 0x9E3779B9) land 0xFFFFFFFF in
+  match kinds.(de_bruijn.(i mod 16)) with
+  | `Sr -> Ec.Txn.single_read ~id:0 (Map.rom_base + (4 * (i mod 64)))
+  | `Sw ->
+    Ec.Txn.single_write ~id:0
+      (Map.ram_base + (4 * (i mod 64)))
+      ~value:(value_of_index i)
+  | `Br -> Ec.Txn.burst_read ~id:0 (Map.rom_base + (16 * (i mod 16)))
+  | `Bw ->
+    Ec.Txn.burst_write ~id:0
+      (Map.ram_base + (16 * (i mod 16)))
+      ~values:(Array.init 4 (fun j -> value_of_index (i + j)))
+
+let table3_trace ~n = List.init n (fun i -> Ec.Trace.item ~gap:0 (table3_txn i))
+
+(* A single "sensitive" transaction: EEPROM traffic (the wait-state
+   non-volatile memory where a card keeps keys and counters), same
+   read/write/burst rotation as the bulk mix. *)
+let sensitive_txn i =
+  match i mod 4 with
+  | 0 -> Ec.Txn.single_read ~id:0 (Map.eeprom_base + (4 * (i mod 64)))
+  | 1 ->
+    Ec.Txn.single_write ~id:0
+      (Map.eeprom_base + (4 * (i mod 64)))
+      ~value:(value_of_index i)
+  | 2 -> Ec.Txn.burst_read ~id:0 (Map.eeprom_base + (16 * (i mod 16)))
+  | _ ->
+    Ec.Txn.burst_write ~id:0
+      (Map.eeprom_base + (16 * (i mod 16)))
+      ~values:(Array.init 4 (fun j -> value_of_index (i + j)))
+
+let mixed_phase_trace ?(phase = 256) ?(sensitive_every = 8) ~n () =
+  if phase <= 0 then invalid_arg "Workloads.mixed_phase_trace: phase <= 0";
+  if sensitive_every <= 1 then
+    invalid_arg "Workloads.mixed_phase_trace: sensitive_every <= 1";
   let make i =
-    let txn =
-      match kinds.(de_bruijn.(i mod 16)) with
-      | `Sr -> Ec.Txn.single_read ~id:0 (Map.rom_base + (4 * (i mod 64)))
-      | `Sw ->
-        Ec.Txn.single_write ~id:0 (Map.ram_base + (4 * (i mod 64))) ~value:(value i)
-      | `Br -> Ec.Txn.burst_read ~id:0 (Map.rom_base + (16 * (i mod 16)))
-      | `Bw ->
-        Ec.Txn.burst_write ~id:0
-          (Map.ram_base + (16 * (i mod 16)))
-          ~values:(Array.init 4 (fun j -> value (i + j)))
-    in
-    Ec.Trace.item ~gap:0 txn
+    let sensitive = (i / phase) mod sensitive_every = sensitive_every - 1 in
+    Ec.Trace.item ~gap:0 (if sensitive then sensitive_txn i else table3_txn i)
   in
   List.init n make

@@ -29,3 +29,11 @@ val table3_trace : n:int -> Ec.Trace.t
 (** Deterministic mix cycling through every ordered pair of {single read,
     single write, burst read, burst write}, zero gaps — the Table 3
     stimulus. *)
+
+val mixed_phase_trace :
+  ?phase:int -> ?sensitive_every:int -> n:int -> unit -> Ec.Trace.t
+(** The adaptive-run stimulus: Table-3 bulk traffic on ROM/RAM in phases
+    of [phase] transactions (default 256), with every
+    [sensitive_every]-th phase (default 8th) redirected to the EEPROM —
+    the DPA-sensitive window an address-range policy refines to a
+    cycle-accurate level.  Deterministic, zero gaps. *)

@@ -1,0 +1,99 @@
+type stats = {
+  cycles : int;
+  txns : int;
+  beats : int;
+  errors : int;
+  bus_pj : float;
+  component_pj : float;
+  profile : Power.Profile.t option;
+}
+
+type 'sys ops = {
+  create : Level.t -> 'sys;
+  init : 'sys -> unit;
+  handoff : prev:'sys -> next:'sys -> unit;
+  run_segment : 'sys -> Ec.Trace.t -> stats;
+}
+
+type 'sys result = {
+  splice : Splice.t;
+  last_system : 'sys option;
+}
+
+(* Exclusive end of the window starting at [i], given the level decided
+   there.  Address-based decisions are re-evaluated per item (with the
+   window-start cycle and rates, the only ones known before simulating);
+   cycle- and rate-triggers change decisions only at window boundaries,
+   which [max_window] forces often enough to matter. *)
+let window_end policy level items i obs =
+  let n = Array.length items in
+  match (policy : Policy.t) with
+  | Policy.Constant _ -> n
+  | Policy.Script _ ->
+    let j = ref (i + 1) in
+    while !j < n && Policy.decide policy (obs !j) = level do
+      incr j
+    done;
+    !j
+  | Policy.Triggered { min_window; max_window; _ } ->
+    let cap = match max_window with Some m -> min n (i + m) | None -> n in
+    let j = ref (i + 1) in
+    while
+      !j < cap
+      && (!j - i < min_window || Policy.decide policy (obs !j) = level)
+    do
+      incr j
+    done;
+    min cap (max !j (min n (i + min_window)))
+
+let run ?budget ~ops ~policy trace =
+  let items = Array.of_list trace in
+  let n = Array.length items in
+  let segs_rev = ref [] in
+  let prev_sys = ref None in
+  let cycle = ref 0 in
+  let txns_per_kcycle = ref 0.0 in
+  let pj_per_cycle = ref 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let obs j =
+      {
+        Policy.txn_index = j;
+        addr = items.(j).Ec.Trace.txn.Ec.Txn.addr;
+        cycle = !cycle;
+        txns_per_kcycle = !txns_per_kcycle;
+        pj_per_cycle = !pj_per_cycle;
+      }
+    in
+    let level = Policy.decide policy (obs !i) in
+    let stop = window_end policy level items !i obs in
+    let seg_trace = Array.to_list (Array.sub items !i (stop - !i)) in
+    let sys = ops.create level in
+    (* Quiescence is structural: the previous segment ran until its
+       trace drained and all outstanding bursts completed, so the
+       architectural state handed off here is the whole state. *)
+    (match !prev_sys with
+    | None -> ops.init sys
+    | Some prev -> ops.handoff ~prev ~next:sys);
+    prev_sys := Some sys;
+    let st = ops.run_segment sys seg_trace in
+    cycle := !cycle + st.cycles;
+    if st.cycles > 0 then begin
+      txns_per_kcycle := float_of_int st.txns *. 1000.0 /. float_of_int st.cycles;
+      pj_per_cycle := st.bus_pj /. float_of_int st.cycles
+    end;
+    segs_rev :=
+      {
+        Splice.level;
+        cycles = st.cycles;
+        txns = st.txns;
+        beats = st.beats;
+        errors = st.errors;
+        bus_pj = st.bus_pj;
+        component_pj = st.component_pj;
+        profile = st.profile;
+      }
+      :: !segs_rev;
+    i := stop
+  done;
+  { splice = Splice.splice ?budget (List.rev !segs_rev); last_system = !prev_sys }

@@ -1,0 +1,51 @@
+(** The mixed-level switch controller.
+
+    The engine partitions a transaction trace into windows, asks the
+    {!Policy} which level simulates each window, and drives one system
+    per window through the backend [ops], splicing the per-window energy
+    measurements with {!Splice}.
+
+    Switch points are quiescent by construction: a segment runs until its
+    share of the trace has drained {e and} every outstanding EC burst has
+    completed (the 4+4+4 outstanding-category limits make this a finite
+    wait), so the only state crossing a switch is architectural —
+    memories, decoder configuration, wait-state parameters — which
+    [ops.handoff] copies into the next system.  A policy that never
+    switches yields exactly one window driven exactly like the pure run,
+    which is what pins the degenerate cases bit-for-bit.
+
+    The engine is backend-polymorphic so it can live below [Core]:
+    [Core.Runner.run_adaptive] instantiates ['sys] with [Core.System.t]. *)
+
+type stats = {
+  cycles : int;
+  txns : int;
+  beats : int;
+  errors : int;
+  bus_pj : float;
+  component_pj : float;
+  profile : Power.Profile.t option;
+}
+
+type 'sys ops = {
+  create : Level.t -> 'sys;  (** fresh system at the window's level *)
+  init : 'sys -> unit;  (** user initialisation, first system only *)
+  handoff : prev:'sys -> next:'sys -> unit;
+      (** copy architectural state across a switch point *)
+  run_segment : 'sys -> Ec.Trace.t -> stats;
+      (** replay the window's slice of the trace to quiescence and
+          report the window's measurements *)
+}
+
+type 'sys result = {
+  splice : Splice.t;
+  last_system : 'sys option;  (** the final window's system, for inspection *)
+}
+
+val run :
+  ?budget:(Level.t -> float) ->
+  ops:'sys ops ->
+  policy:Policy.t ->
+  Ec.Trace.t ->
+  'sys result
+(** [budget] is passed to {!Splice.splice}. *)

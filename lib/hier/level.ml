@@ -1,0 +1,10 @@
+type t = Rtl | L1 | L2
+
+let all = [ Rtl; L1; L2 ]
+
+let to_string = function
+  | Rtl -> "gate-level"
+  | L1 -> "TL layer 1"
+  | L2 -> "TL layer 2"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

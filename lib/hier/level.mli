@@ -4,11 +4,11 @@
     role Diesel plays in the paper), [L1] the cycle-accurate transaction
     level layer one, [L2] the timing-estimation layer two.
 
-    The type itself lives in {!Hier.Level} (the mixed-level subsystem
-    names levels without depending on [Core]); this module re-exports it,
-    so [Core.Level.L1] and [Hier.Level.L1] are the same constructor. *)
+    This is the home of the type; {!Core.Level} re-exports it so existing
+    call sites keep working while the mixed-level machinery in [Hier] can
+    name levels without depending on [Core]. *)
 
-type t = Hier.Level.t = Rtl | L1 | L2
+type t = Rtl | L1 | L2
 
 val all : t list
 val to_string : t -> string

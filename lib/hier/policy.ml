@@ -1,0 +1,85 @@
+type trigger =
+  | Addr_range of { lo : int; hi : int; level : Level.t }
+  | Cycle_window of { lo : int; hi : int; level : Level.t }
+  | Txn_rate_above of { txns_per_kcycle : float; level : Level.t }
+  | Energy_rate_above of { pj_per_cycle : float; level : Level.t }
+
+type observation = {
+  txn_index : int;
+  addr : int;
+  cycle : int;
+  txns_per_kcycle : float;
+  pj_per_cycle : float;
+}
+
+type t =
+  | Constant of Level.t
+  | Script of (int * Level.t) list
+  | Triggered of {
+      base : Level.t;
+      triggers : trigger list;
+      min_window : int;
+      max_window : int option;
+    }
+
+let constant level = Constant level
+
+let script segments =
+  if segments = [] then invalid_arg "Hier.Policy.script: empty script";
+  List.iter
+    (fun (n, _) ->
+      if n <= 0 then invalid_arg "Hier.Policy.script: non-positive segment")
+    segments;
+  Script segments
+
+let triggered ?(min_window = 1) ?max_window ~base triggers =
+  if min_window < 1 then invalid_arg "Hier.Policy.triggered: min_window < 1";
+  (match max_window with
+  | Some m when m < min_window ->
+    invalid_arg "Hier.Policy.triggered: max_window < min_window"
+  | _ -> ());
+  Triggered { base; triggers; min_window; max_window }
+
+let trigger_fires obs = function
+  | Addr_range { lo; hi; _ } -> obs.addr >= lo && obs.addr < hi
+  | Cycle_window { lo; hi; _ } -> obs.cycle >= lo && obs.cycle < hi
+  | Txn_rate_above { txns_per_kcycle; _ } ->
+    obs.txns_per_kcycle > txns_per_kcycle
+  | Energy_rate_above { pj_per_cycle; _ } -> obs.pj_per_cycle > pj_per_cycle
+
+let trigger_level = function
+  | Addr_range { level; _ }
+  | Cycle_window { level; _ }
+  | Txn_rate_above { level; _ }
+  | Energy_rate_above { level; _ } -> level
+
+let script_level segments index =
+  let rec walk acc = function
+    | [] -> assert false
+    | [ (_, level) ] -> level (* past the script end: hold the last level *)
+    | (n, level) :: rest ->
+      if index < acc + n then level else walk (acc + n) rest
+  in
+  walk 0 segments
+
+let decide t obs =
+  match t with
+  | Constant level -> level
+  | Script segments -> script_level segments obs.txn_index
+  | Triggered { base; triggers; _ } -> (
+    match List.find_opt (trigger_fires obs) triggers with
+    | Some trig -> trigger_level trig
+    | None -> base)
+
+let to_string = function
+  | Constant level -> Printf.sprintf "constant(%s)" (Level.to_string level)
+  | Script segments ->
+    Printf.sprintf "script(%s)"
+      (String.concat ","
+         (List.map
+            (fun (n, l) -> Printf.sprintf "%dx%s" n (Level.to_string l))
+            segments))
+  | Triggered { base; triggers; min_window; max_window } ->
+    Printf.sprintf "triggered(base=%s, %d triggers, window=%d..%s)"
+      (Level.to_string base) (List.length triggers) min_window
+      (match max_window with Some m -> string_of_int m | None -> "inf")

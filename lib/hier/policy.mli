@@ -1,0 +1,67 @@
+(** Level-selection policies for mixed-level simulation.
+
+    The policy decides which abstraction level of the hierarchy simulates
+    the next window of a run.  Decisions are taken at switch
+    opportunities — window boundaries where the bus has been quiesced —
+    from an {!observation} of the run so far.  Three shapes:
+
+    - {!constant}: one level for the whole run.  The degenerate case; the
+      engine pins it to the corresponding pure run bit-for-bit.
+    - {!script}: an explicit [(txn_count, level)] schedule, for
+      reproducible experiments ("simulate the first 1000 transactions at
+      layer 2, the next 200 at layer 1, ...").
+    - {!triggered}: a base level refined by triggers — address ranges
+      (e.g. DPA-sensitive peripherals), cycle windows, and
+      transaction-rate or energy-rate thresholds evaluated against the
+      previous window. *)
+
+type trigger =
+  | Addr_range of { lo : int; hi : int; level : Level.t }
+      (** Fires while the next transaction's address lies in [\[lo, hi)]. *)
+  | Cycle_window of { lo : int; hi : int; level : Level.t }
+      (** Fires while the cumulative cycle count lies in [\[lo, hi)].
+          Evaluated at window boundaries only, so its edges are as sharp
+          as the surrounding windows ([max_window] bounds the slack). *)
+  | Txn_rate_above of { txns_per_kcycle : float; level : Level.t }
+      (** Fires when the previous window's transaction rate exceeded the
+          threshold (transactions per 1000 cycles). *)
+  | Energy_rate_above of { pj_per_cycle : float; level : Level.t }
+      (** Fires when the previous window's bus power exceeded the
+          threshold. *)
+
+type observation = {
+  txn_index : int;  (** index of the next transaction in the trace *)
+  addr : int;  (** its byte address *)
+  cycle : int;  (** cumulative cycles simulated so far *)
+  txns_per_kcycle : float;  (** previous window's transaction rate *)
+  pj_per_cycle : float;  (** previous window's bus power *)
+}
+
+type t = private
+  | Constant of Level.t
+  | Script of (int * Level.t) list
+  | Triggered of {
+      base : Level.t;
+      triggers : trigger list;
+      min_window : int;
+      max_window : int option;
+    }
+
+val constant : Level.t -> t
+
+val script : (int * Level.t) list -> t
+(** @raise Invalid_argument on an empty script or a non-positive count.
+    Past the scripted transactions the last level holds. *)
+
+val triggered :
+  ?min_window:int -> ?max_window:int -> base:Level.t -> trigger list -> t
+(** First matching trigger wins; [base] applies when none fires.
+    [min_window] (default 1) is the minimum window length in
+    transactions, bounding switch overhead; [max_window] (default
+    unbounded) forces a switch opportunity — and thus a re-evaluation of
+    cycle- and rate-triggers — at least every that many transactions.
+    @raise Invalid_argument if [min_window < 1] or
+    [max_window < min_window]. *)
+
+val decide : t -> observation -> Level.t
+val to_string : t -> string

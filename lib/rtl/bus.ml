@@ -17,14 +17,14 @@ type t = {
   decoder : Ec.Decoder.t;
   wires : Wires.t;
   diesel : Diesel.t;
-  requests : Ec.Txn.t Queue.t;
-  read_q : data_job Queue.t;
-  write_q : data_job Queue.t;
+  requests : Ec.Txn.t Ec.Ring.t;
+  read_q : data_job Ec.Ring.t;
+  write_q : data_job Ec.Ring.t;
   mutable addr_cur : addr_job option;
   mutable read_cur : data_job option;
   mutable write_cur : data_job option;
   outstanding : int array;  (* per Txn.category *)
-  finished : (int, Ec.Port.poll) Hashtbl.t;
+  finished : Ec.Port.poll Ec.Id_store.t;  (* by transaction id *)
   mutable completed_txns : int;
   mutable completed_beats : int;
   mutable error_txns : int;
@@ -38,12 +38,12 @@ let cat_index = function
 
 let max_outstanding = 4
 
-let pop_opt q = if Queue.is_empty q then None else Some (Queue.pop q)
+let pop_opt q = Ec.Ring.pop_opt q
 
 let release t (txn : Ec.Txn.t) outcome =
   let c = cat_index (Ec.Txn.category txn) in
   t.outstanding.(c) <- t.outstanding.(c) - 1;
-  Hashtbl.replace t.finished txn.Ec.Txn.id outcome;
+  Ec.Id_store.set t.finished txn.Ec.Txn.id outcome;
   (match outcome with
   | Ec.Port.Done ->
     t.completed_txns <- t.completed_txns + 1;
@@ -69,8 +69,8 @@ let dispatch t (job : addr_job) =
       d_wait = wait_states }
   in
   match txn.Ec.Txn.dir with
-  | Ec.Txn.Read -> Queue.push (make cfg.Ec.Slave_cfg.read_wait) t.read_q
-  | Ec.Txn.Write -> Queue.push (make cfg.Ec.Slave_cfg.write_wait) t.write_q
+  | Ec.Txn.Read -> Ec.Ring.push t.read_q (make cfg.Ec.Slave_cfg.read_wait)
+  | Ec.Txn.Write -> Ec.Ring.push t.write_q (make cfg.Ec.Slave_cfg.write_wait)
 
 let addr_phase t =
   let w = t.wires in
@@ -208,6 +208,21 @@ let cycle t _kernel =
   if a || r || wr then t.busy_cycles <- t.busy_cycles + 1;
   Diesel.observe_and_commit t.diesel
 
+(* Inert placeholders for the preallocated ring slots.  The category
+   limits cap each queue at 3 * max_outstanding entries, so a capacity of
+   16 means the rings never grow. *)
+let dummy_txn = Ec.Txn.single_read ~id:(-1) 0
+
+let dummy_slave =
+  Ec.Slave.make
+    ~cfg:(Ec.Slave_cfg.make ~name:"(empty slot)" ~base:0 ~size:4 ())
+    ~read:(fun ~addr:_ ~width:_ -> 0)
+    ~write:(fun ~addr:_ ~width:_ ~value:_ -> ())
+
+let dummy_job =
+  { d_txn = dummy_txn; d_slave = dummy_slave; d_wait_states = 0; d_beat = 0;
+    d_wait = 0 }
+
 let create ~kernel ~decoder ?params ?record_profile () =
   let wires = Wires.create ~n_slaves:(max 1 (Ec.Decoder.count decoder)) in
   let diesel = Diesel.create ?params ?record_profile wires in
@@ -216,14 +231,14 @@ let create ~kernel ~decoder ?params ?record_profile () =
       decoder;
       wires;
       diesel;
-      requests = Queue.create ();
-      read_q = Queue.create ();
-      write_q = Queue.create ();
+      requests = Ec.Ring.create ~dummy:dummy_txn ();
+      read_q = Ec.Ring.create ~dummy:dummy_job ();
+      write_q = Ec.Ring.create ~dummy:dummy_job ();
       addr_cur = None;
       read_cur = None;
       write_cur = None;
       outstanding = Array.make 3 0;
-      finished = Hashtbl.create 64;
+      finished = Ec.Id_store.create ~dummy:Ec.Port.Pending ();
       completed_txns = 0;
       completed_beats = 0;
       error_txns = 0;
@@ -239,16 +254,12 @@ let port t =
     if t.outstanding.(c) >= max_outstanding then false
     else begin
       t.outstanding.(c) <- t.outstanding.(c) + 1;
-      Queue.push txn t.requests;
+      Ec.Ring.push t.requests txn;
       true
     end
   in
-  let poll id =
-    match Hashtbl.find_opt t.finished id with
-    | None -> Ec.Port.Pending
-    | Some outcome -> outcome
-  in
-  let retire id = Hashtbl.remove t.finished id in
+  let poll id = Ec.Id_store.find_default t.finished id ~default:Ec.Port.Pending in
+  let retire id = Ec.Id_store.remove t.finished id in
   { Ec.Port.try_submit; poll; retire }
 
 let wires t = t.wires
@@ -257,9 +268,9 @@ let decoder t = t.decoder
 
 let busy t =
   t.addr_cur <> None || t.read_cur <> None || t.write_cur <> None
-  || not (Queue.is_empty t.requests)
-  || not (Queue.is_empty t.read_q)
-  || not (Queue.is_empty t.write_q)
+  || not (Ec.Ring.is_empty t.requests)
+  || not (Ec.Ring.is_empty t.read_q)
+  || not (Ec.Ring.is_empty t.write_q)
 
 let completed_txns t = t.completed_txns
 let completed_beats t = t.completed_beats

@@ -27,6 +27,11 @@ val poke8 : t -> addr:int -> int -> unit
 val peek8 : t -> addr:int -> int
 val poke32 : t -> addr:int -> int -> unit
 val peek32 : t -> addr:int -> int
+val copy_contents : src:t -> dst:t -> unit
+(** Whole-array backdoor copy between same-size memories — the
+    architectural state handoff of a mixed-level switch point.
+    @raise Invalid_argument on a size mismatch. *)
+
 val load_words : t -> addr:int -> int array -> unit
 val load_program : t -> Asm.program -> unit
 (** @raise Invalid_argument if the image does not fit the mapped range. *)

@@ -8,7 +8,7 @@ type t = {
   mutable remaining : Ec.Trace.item list;
   mutable gap_left : int;
   mutable to_submit : Ec.Txn.t option;  (* instantiated, not yet accepted *)
-  outstanding : (int, Ec.Txn.t) Hashtbl.t;
+  outstanding : Ec.Txn.t Ec.Id_store.t;  (* by transaction id *)
   mutable issued : int;
   mutable completed : int;
   mutable errors : int;
@@ -16,7 +16,7 @@ type t = {
 }
 
 let finished t =
-  t.remaining = [] && t.to_submit = None && Hashtbl.length t.outstanding = 0
+  t.remaining = [] && t.to_submit = None && Ec.Id_store.is_empty t.outstanding
 
 let record_completion t txn outcome =
   t.completed <- t.completed + 1;
@@ -25,19 +25,19 @@ let record_completion t txn outcome =
   | Ec.Port.Done | Ec.Port.Pending -> ());
   if t.keep_results then t.results_rev <- txn :: t.results_rev
 
-(* Collect finished outstanding transactions. *)
+(* Collect finished outstanding transactions.  In-place sweep: a removal
+   swaps the last entry into the vacated slot, so the index only advances
+   past entries that stay. *)
 let sweep t =
-  let done_ids =
-    Hashtbl.fold
-      (fun id txn acc ->
-        match Ec.Port.take t.port id with
-        | Ec.Port.Pending -> acc
-        | (Ec.Port.Done | Ec.Port.Failed) as outcome ->
-          record_completion t txn outcome;
-          id :: acc)
-      t.outstanding []
-  in
-  List.iter (Hashtbl.remove t.outstanding) done_ids
+  let i = ref 0 in
+  while !i < Ec.Id_store.length t.outstanding do
+    let txn = Ec.Id_store.value_at t.outstanding !i in
+    match Ec.Port.take t.port txn.Ec.Txn.id with
+    | Ec.Port.Pending -> incr i
+    | (Ec.Port.Done | Ec.Port.Failed) as outcome ->
+      record_completion t txn outcome;
+      Ec.Id_store.remove_at t.outstanding !i
+  done
 
 (* Load the next trace item into the submit slot, arming its gap. *)
 let advance t =
@@ -55,7 +55,7 @@ let try_submit t =
   | Some txn ->
     if t.gap_left > 0 then t.gap_left <- t.gap_left - 1
     else if t.port.Ec.Port.try_submit txn then begin
-      Hashtbl.replace t.outstanding txn.Ec.Txn.id txn;
+      Ec.Id_store.set t.outstanding txn.Ec.Txn.id txn;
       t.issued <- t.issued + 1;
       t.to_submit <- None;
       advance t
@@ -65,7 +65,7 @@ let step t _kernel =
   sweep t;
   match t.mode with
   | `Pipelined -> try_submit t
-  | `Serial -> if Hashtbl.length t.outstanding = 0 then try_submit t
+  | `Serial -> if Ec.Id_store.is_empty t.outstanding then try_submit t
 
 let create ~kernel ~port ?(mode = `Pipelined) ?(keep_results = false) trace =
   let t =
@@ -77,7 +77,8 @@ let create ~kernel ~port ?(mode = `Pipelined) ?(keep_results = false) trace =
       remaining = trace;
       gap_left = 0;
       to_submit = None;
-      outstanding = Hashtbl.create 8;
+      outstanding =
+        Ec.Id_store.create ~dummy:(Ec.Txn.single_read ~id:(-1) 0) ();
       issued = 0;
       completed = 0;
       errors = 0;

@@ -45,7 +45,9 @@ let test_table2_bands () =
 let test_table3_shape () =
   let rows = Core.Experiments.run_performance ~txns:4000 () in
   let find label =
-    (List.find (fun r -> r.Core.Experiments.label = label) rows)
+    (List.find
+       (fun (r : Core.Experiments.perf_row) -> r.Core.Experiments.label = label)
+       rows)
       .Core.Experiments.kilo_txns_per_s
   in
   let l1_est = find "TL layer 1, with estimation" in

@@ -320,6 +320,97 @@ let prop_profile_lumps_cover =
       let sum = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 lumps in
       Float.abs (sum -. Power.Profile.total p) < 1e-9)
 
+(* Zero-gap traces keep the request rings and the outstanding store at
+   the category limits, exercising the preallocated-buffer rework of the
+   rtl bus and trace master where it wraps and swaps the most. *)
+let gen_pressure_trace =
+  Gen.list_size (Gen.int_range 20 60)
+    (Gen.map (fun txn -> Ec.Trace.item ~gap:0 txn) gen_txn)
+
+let prop_l1_equals_rtl_under_queue_pressure =
+  QCheck.Test.make ~name:"L1 = RTL cycles/counts under queue pressure"
+    ~count:40
+    (QCheck.make gen_pressure_trace
+       ~print:(fun t -> String.concat "\n" (Ec.Trace.to_lines t)))
+    (fun trace ->
+      let h_rtl, rtl_cycles = run_trace ~mode:`Pipelined Rtl_l trace in
+      let h_l1, l1_cycles = run_trace ~mode:`Pipelined L1_l trace in
+      rtl_cycles = l1_cycles
+      && h_rtl.completed () = h_l1.completed ()
+      && h_rtl.completed () = List.length trace
+      && h_rtl.errors () = h_l1.errors ()
+      && not (h_rtl.busy ()))
+
+(* The preallocated structures against their library models. *)
+let gen_ring_ops =
+  Gen.list_size (Gen.int_range 1 200)
+    Gen.(frequency [ (3, map (fun v -> `Push v) (int_bound 1000)); (2, return `Pop) ])
+
+let prop_ring_models_queue =
+  QCheck.Test.make ~name:"Ec.Ring behaves like Queue" ~count:200
+    (QCheck.make gen_ring_ops
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function `Push v -> Printf.sprintf "push %d" v | `Pop -> "pop")
+              ops)))
+    (fun ops ->
+      (* Capacity 2 forces growth and wrap-around early. *)
+      let ring = Ec.Ring.create ~capacity:2 ~dummy:(-1) () in
+      let queue = Queue.create () in
+      List.for_all
+        (function
+          | `Push v ->
+            Ec.Ring.push ring v;
+            Queue.push v queue;
+            Ec.Ring.length ring = Queue.length queue
+          | `Pop ->
+            Ec.Ring.pop_opt ring = (if Queue.is_empty queue then None
+                                    else Some (Queue.pop queue)))
+        ops)
+
+let gen_store_ops =
+  let open Gen in
+  let key = int_bound 7 in
+  list_size (int_range 1 200)
+    (frequency
+       [
+         (3, map2 (fun k v -> `Set (k, v)) key (int_bound 1000));
+         (2, map (fun k -> `Find k) key);
+         (2, map (fun k -> `Remove k) key);
+       ])
+
+let prop_id_store_models_hashtbl =
+  QCheck.Test.make ~name:"Ec.Id_store behaves like Hashtbl" ~count:200
+    (QCheck.make gen_store_ops
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | `Set (k, v) -> Printf.sprintf "set %d=%d" k v
+                | `Find k -> Printf.sprintf "find %d" k
+                | `Remove k -> Printf.sprintf "remove %d" k)
+              ops)))
+    (fun ops ->
+      (* Capacity 2 forces growth; 8 keys force collisions and swaps. *)
+      let store = Ec.Id_store.create ~capacity:2 ~dummy:(-1) () in
+      let tbl = Hashtbl.create 8 in
+      List.for_all
+        (function
+          | `Set (k, v) ->
+            Ec.Id_store.set store k v;
+            Hashtbl.replace tbl k v;
+            Ec.Id_store.length store = Hashtbl.length tbl
+          | `Find k ->
+            Ec.Id_store.find_default store k ~default:(-1)
+            = Option.value (Hashtbl.find_opt tbl k) ~default:(-1)
+            && Ec.Id_store.mem store k = Hashtbl.mem tbl k
+          | `Remove k ->
+            Ec.Id_store.remove store k;
+            Hashtbl.remove tbl k;
+            Ec.Id_store.length store = Hashtbl.length tbl)
+        ops)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -327,6 +418,9 @@ let suite =
       prop_l1_equals_rtl_transitions;
       prop_l2_serial_equals_l1;
       prop_l2_never_faster_pipelined;
+      prop_l1_equals_rtl_under_queue_pressure;
+      prop_ring_models_queue;
+      prop_id_store_models_hashtbl;
       prop_all_complete_no_errors;
       prop_energy_monotone_with_estimation;
       prop_isolated_latency;

@@ -12,6 +12,7 @@ let () =
       ("jcvm", Suite_jcvm.suite);
       ("core", Suite_core.suite);
       ("iso7816", Suite_iso7816.suite);
+      ("hier", Suite_hier.suite);
       ("integration", Suite_integration.suite);
       ("parallel", Suite_parallel.suite);
       ("properties", Suite_props.suite);
