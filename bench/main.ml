@@ -156,6 +156,48 @@ let bench_exploration =
       Test.make ~name:"w16-cmd+data" (Staged.stage (run "w16-cmd+data"));
     ]
 
+(* Instrumentation overhead: the same 256-transaction replay with the
+   sink disabled (the production configuration, allocation-free on the
+   per-cycle paths) and enabled (one shared sink, reset per run so the
+   ring never saturates differently between iterations). *)
+let bench_obs_overhead =
+  let trace = Core.Workloads.table3_trace ~n:256 in
+  let plain level () =
+    ignore (Core.Runner.run_trace ~level ~mode:`Serial trace)
+  in
+  let sink = Obs.Sink.create () in
+  let instrumented level () =
+    Obs.Sink.reset sink;
+    ignore (Core.Runner.run_trace ~level ~mode:`Serial ~sink trace)
+  in
+  Test.make_grouped ~name:"overhead/obs"
+    [
+      Test.make ~name:"rtl-no-sink" (Staged.stage (plain Core.Level.Rtl));
+      Test.make ~name:"rtl-with-sink"
+        (Staged.stage (instrumented Core.Level.Rtl));
+      Test.make ~name:"l1-no-sink" (Staged.stage (plain Core.Level.L1));
+      Test.make ~name:"l1-with-sink"
+        (Staged.stage (instrumented Core.Level.L1));
+    ]
+
+(* Reduced end-to-end pass over the observability layer for the smoke
+   alias: run instrumented, export Chrome JSON, parse it back. *)
+let print_obs_smoke () =
+  section "Observability smoke (instrumented run -> Chrome JSON -> parse)";
+  let trace = Core.Workloads.table3_trace ~n:64 in
+  let sink = Obs.Sink.create () in
+  let r = Core.Runner.run_trace ~level:Core.Level.L1 ~mode:`Serial ~sink trace in
+  let json = Obs.Chrome.to_string sink in
+  (match Obs.Json.of_string json with
+  | Ok _ ->
+    Printf.printf
+      "instrumented l1 run: %d txns, %d events, %d dropped; chrome export \
+       %d bytes, parses back OK\n"
+      r.Core.Runner.txns (Obs.Sink.length sink) (Obs.Sink.dropped sink)
+      (String.length json)
+  | Error e -> Printf.printf "chrome export does NOT parse: %s\n" e);
+  print_endline (Core.Report.metrics (Obs.Sink.metrics sink))
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -195,6 +237,7 @@ let micro_groups =
     ("adaptive/mixed-512", bench_adaptive);
     ("figure6/profiled-run", bench_figure6);
     ("figure7/fib-applet", bench_exploration);
+    ("overhead/obs", bench_obs_overhead);
   ]
 
 let run_micro () =
@@ -244,7 +287,8 @@ let () =
   | "tables" -> print_tables ()
   | "smoke" ->
     print_tables ~smoke:true ();
-    print_adaptive ~smoke:true ()
+    print_adaptive ~smoke:true ();
+    print_obs_smoke ()
   | "micro" -> if json then run_micro_json () else run_micro ()
   | "adaptive" -> print_adaptive ()
   | "ablations" -> print_ablations ()

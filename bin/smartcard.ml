@@ -45,6 +45,70 @@ let read_file path =
       loop ();
       Buffer.contents buf)
 
+(* --- observability options shared by run and trace replay --- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE.json"
+        ~doc:
+          "Write the run as Chrome trace-event JSON to $(docv) (open in \
+           Perfetto or chrome://tracing).  The per-cycle energy profile is \
+           written next to it as FILE.energy.jsonl.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print simulator metrics (counters and histograms) after the run.")
+
+(* Track names for the Chrome export.  A default platform always maps
+   the same slaves in the same decoder order, so a throwaway platform is
+   the cheapest authoritative source. *)
+let platform_slave_names () =
+  let kernel = Sim.Kernel.create () in
+  let platform = Soc.Platform.create ~kernel () in
+  Array.of_list
+    (List.map
+       (fun (s : Ec.Slave.t) -> s.Ec.Slave.cfg.Ec.Slave_cfg.name)
+       (Ec.Decoder.slaves (Soc.Platform.decoder platform)))
+
+let make_sink ~trace_out ~metrics =
+  if trace_out <> None || metrics then Some (Obs.Sink.create ()) else None
+
+let energy_jsonl_path path = Filename.remove_extension path ^ ".energy.jsonl"
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let finish_obs ?profile ~trace_out ~metrics sink =
+  match sink with
+  | None -> ()
+  | Some s ->
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      Obs.Chrome.write ?profile ~slave_names:(platform_slave_names ()) ~path s;
+      let dropped = Obs.Sink.dropped s in
+      Printf.printf "chrome trace written to %s (%d events%s)\n" path
+        (Obs.Sink.length s)
+        (if dropped = 0 then "" else Printf.sprintf ", %d dropped" dropped);
+      (match profile with
+      | None -> ()
+      | Some p ->
+        let jsonl = energy_jsonl_path path in
+        write_lines jsonl (Power.Profile.to_jsonl_lines p);
+        Printf.printf "energy profile written to %s (%d cycles)\n" jsonl
+          (Power.Profile.length p)));
+    if metrics then begin
+      print_newline ();
+      print_endline (Core.Report.metrics (Obs.Sink.metrics s))
+    end
+
 (* --- tables --- *)
 
 let tables_cmd =
@@ -118,11 +182,12 @@ let run_cmd =
       & info [ "vcd" ] ~docv:"FILE"
           ~doc:"Write a VCD waveform of the run (gate-level only).")
   in
-  let run level file profile_out vcd_out =
+  let run level file profile_out vcd_out trace_out metrics =
     let program = Soc.Asm.assemble (read_file file) in
-    let record_profile = profile_out <> None in
+    let record_profile = profile_out <> None || trace_out <> None in
+    let sink = make_sink ~trace_out ~metrics in
     let result =
-      Core.Runner.run_program ~level ~record_profile ?vcd:vcd_out program
+      Core.Runner.run_program ~level ~record_profile ?vcd:vcd_out ?sink program
     in
     let r = result.Core.Runner.result in
     Printf.printf "level:        %s\n" (Core.Level.to_string level);
@@ -147,17 +212,18 @@ let run_cmd =
       [ Power.Budget.gsm_contact; Power.Budget.contactless_rf ];
     if result.Core.Runner.uart_output <> "" then
       Printf.printf "uart: %S\n" result.Core.Runner.uart_output;
-    match profile_out, r.Core.Runner.profile with
+    (match profile_out, r.Core.Runner.profile with
     | Some path, Some p ->
-      let oc = open_out path in
-      List.iter (fun l -> output_string oc (l ^ "\n")) (Power.Profile.to_csv_lines p);
-      close_out oc;
+      write_lines path (Power.Profile.to_csv_lines p);
       Printf.printf "profile written to %s (%d cycles)\n" path
         (Power.Profile.length p)
-    | Some _, None | None, _ -> ()
+    | Some _, None | None, _ -> ());
+    finish_obs ?profile:r.Core.Runner.profile ~trace_out ~metrics sink
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ level_arg $ file $ profile $ vcd)
+    Term.(
+      const run $ level_arg $ file $ profile $ vcd $ trace_out_arg
+      $ metrics_arg)
 
 (* --- trace --- *)
 
@@ -182,16 +248,56 @@ let trace_replay_cmd =
   let serial =
     Arg.(value & flag & info [ "serial" ] ~doc:"Wait for each transaction.")
   in
-  let run level file serial =
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Replay through the adaptive mixed-level engine (the default \
+             policy of the experiments) instead of a single level; \
+             --level is ignored.")
+  in
+  let run level file serial adaptive trace_out metrics =
     let trace = Ec.Trace.load file in
     let mode = if serial then `Serial else `Pipelined in
-    let r = Core.Runner.run_trace ~level ~mode ~init:Core.Runner.fill_memories trace in
-    Printf.printf "level:      %s\n" (Core.Level.to_string level);
-    Printf.printf "txns:       %d (%d errors)\n" r.Core.Runner.txns r.Core.Runner.errors;
-    Printf.printf "cycles:     %d\n" r.Core.Runner.cycles;
-    Printf.printf "bus energy: %.1f pJ\n" r.Core.Runner.bus_pj
+    let sink = make_sink ~trace_out ~metrics in
+    let record_profile = trace_out <> None in
+    if adaptive then begin
+      let r =
+        Core.Runner.run_adaptive ~mode ~record_profile
+          ~init:Core.Runner.fill_memories ?sink
+          ~policy:Core.Experiments.adaptive_policy trace
+      in
+      Printf.printf "adaptive mixed-level replay (%d windows, %d switches)\n"
+        (List.length r.Core.Runner.splice.Hier.Splice.windows)
+        r.Core.Runner.switches;
+      Printf.printf "txns:       %d (%d errors)\n" r.Core.Runner.txns
+        r.Core.Runner.errors;
+      Printf.printf "cycles:     %d\n" r.Core.Runner.cycles;
+      Printf.printf "bus energy: %.1f pJ\n" r.Core.Runner.bus_pj;
+      let profile =
+        if record_profile then Some (Hier.Splice.profile r.Core.Runner.splice)
+        else None
+      in
+      finish_obs ?profile ~trace_out ~metrics sink
+    end
+    else begin
+      let r =
+        Core.Runner.run_trace ~level ~mode ~record_profile
+          ~init:Core.Runner.fill_memories ?sink trace
+      in
+      Printf.printf "level:      %s\n" (Core.Level.to_string level);
+      Printf.printf "txns:       %d (%d errors)\n" r.Core.Runner.txns
+        r.Core.Runner.errors;
+      Printf.printf "cycles:     %d\n" r.Core.Runner.cycles;
+      Printf.printf "bus energy: %.1f pJ\n" r.Core.Runner.bus_pj;
+      finish_obs ?profile:r.Core.Runner.profile ~trace_out ~metrics sink
+    end
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ level_arg $ file $ serial)
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const run $ level_arg $ file $ serial $ adaptive $ trace_out_arg
+      $ metrics_arg)
 
 let trace_cmd =
   let doc = "Capture or replay bus transaction traces." in

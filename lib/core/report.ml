@@ -32,6 +32,37 @@ let table ~header rows =
   in
   String.concat "\n" (render_row header :: rule :: List.map render_row rows)
 
+let metrics m =
+  let v = Obs.Metrics.view m in
+  let counter_rows =
+    List.map (fun (name, n) -> [ name; string_of_int n ]) v.Obs.Metrics.counters
+  in
+  let counters =
+    table ~header:[ "counter"; "value" ] counter_rows
+  in
+  let hist h =
+    let rows =
+      List.mapi
+        (fun i count ->
+          [
+            Obs.Metrics.bucket_label h.Obs.Metrics.bounds i;
+            string_of_int count;
+          ])
+        (Array.to_list h.Obs.Metrics.counts)
+    in
+    let rows =
+      rows
+      @ [
+          [ "total"; string_of_int h.Obs.Metrics.total ];
+          [ "mean"; Printf.sprintf "%.2f" h.Obs.Metrics.mean ];
+        ]
+    in
+    table ~header:[ h.Obs.Metrics.name; "count" ] rows
+  in
+  let non_empty h = h.Obs.Metrics.total > 0 in
+  String.concat "\n\n"
+    (counters :: List.map hist (List.filter non_empty v.Obs.Metrics.hists))
+
 let pct v = Printf.sprintf "%+.1f%%" v
 let ratio_pct ~reference v =
   if reference = 0.0 then "n/a" else Printf.sprintf "%.1f%%" (v /. reference *. 100.0)

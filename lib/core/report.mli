@@ -7,6 +7,12 @@ val table : header:string list -> string list list -> string
 (** [table ~header rows] lays out columns to the widest cell.  Cells that
     parse as numbers are right-aligned. *)
 
+val metrics : Obs.Metrics.t -> string
+(** Tabular snapshot of simulator metrics: one counters table followed by
+    one table per histogram that observed anything, with {!table}
+    alignment and human bucket labels.  The machine-readable form is
+    [Obs.Metrics.to_json]. *)
+
 val pct : float -> string
 (** Signed percentage with one decimal ("+14.7%", "-7.8%", "0.0%"). *)
 

@@ -28,20 +28,35 @@ let collect system ~cycles ~wall_seconds =
     wall_seconds;
   }
 
+(* End-of-run bookkeeping shared by the single-level runners: one
+   energy sample at the final cycle plus the run's pJ/beat. *)
+let record_run_energy sink system ~cycles =
+  match sink with
+  | None -> ()
+  | Some s ->
+    let pj = System.bus_energy_pj system in
+    Obs.Sink.energy_sample s ~cycle:cycles ~pj;
+    let beats = System.completed_beats system in
+    if beats > 0 then
+      Obs.Metrics.observe_pj_per_beat (Obs.Sink.metrics s)
+        (pj /. float_of_int beats)
+
 let run_trace ?level ?estimate ?record_profile ?table ?rtl_params ?l2_params
-    ?(mode = `Pipelined) ?max_cycles ?init trace =
+    ?(mode = `Pipelined) ?max_cycles ?init ?sink trace =
   let system =
     System.create ?level ?estimate ?record_profile ?table ?rtl_params
-      ?l2_params ()
+      ?l2_params ?sink ()
   in
   (match init with Some f -> f system | None -> ());
   let kernel = System.kernel system in
   let master =
-    Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode trace
+    Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode ?sink
+      trace
   in
   let t0 = Unix.gettimeofday () in
   let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  record_run_energy sink system ~cycles;
   collect system ~cycles ~wall_seconds
 
 let run_levels ?estimate ?table ?mode ?init ?domains trace =
@@ -99,20 +114,21 @@ let handoff_state ~prev ~next =
   copy Soc.Platform.flash
 
 let run_adaptive ?estimate ?record_profile ?table ?rtl_params ?l2_params
-    ?(mode = `Pipelined) ?max_cycles ?init ?budget ~policy trace =
+    ?(mode = `Pipelined) ?max_cycles ?init ?budget ?sink ~policy trace =
   let ops =
     {
       Hier.Engine.create =
         (fun level ->
           System.create ~level ?estimate ?record_profile ?table ?rtl_params
-            ?l2_params ());
+            ?l2_params ?sink ());
       init = (fun system -> match init with Some f -> f system | None -> ());
       handoff = (fun ~prev ~next -> handoff_state ~prev ~next);
       run_segment =
         (fun system seg ->
           let kernel = System.kernel system in
           let master =
-            Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode seg
+            Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode
+              ?sink seg
           in
           let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
           {
@@ -127,7 +143,7 @@ let run_adaptive ?estimate ?record_profile ?table ?rtl_params ?l2_params
     }
   in
   let t0 = Unix.gettimeofday () in
-  let r = Hier.Engine.run ?budget ~ops ~policy trace in
+  let r = Hier.Engine.run ?budget ?sink ~ops ~policy trace in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   let s = r.Hier.Engine.splice in
   {
@@ -154,8 +170,10 @@ type program_run = {
 }
 
 let run_program ?level ?estimate ?record_profile ?table ?max_cycles
-    ?icache_lines ?vcd program =
-  let system = System.create ?level ?estimate ?record_profile ?table () in
+    ?icache_lines ?vcd ?sink program =
+  let system =
+    System.create ?level ?estimate ?record_profile ?table ?sink ()
+  in
   let kernel = System.kernel system in
   let vcd_dump =
     match vcd, System.bus system with
@@ -187,6 +205,7 @@ let run_program ?level ?estimate ?record_profile ?table ?max_cycles
   (match vcd_dump with
   | Some (path, recorder) -> Rtl.Vcd.write recorder path
   | None -> ());
+  record_run_energy sink system ~cycles;
   {
     result = collect system ~cycles ~wall_seconds;
     instructions = Soc.Cpu.instructions cpu;

@@ -29,10 +29,14 @@ val run_trace :
   ?mode:Soc.Trace_master.mode ->
   ?max_cycles:int ->
   ?init:(System.t -> unit) ->
+  ?sink:Obs.Sink.t ->
   Ec.Trace.t ->
   result
 (** [init] runs against the fresh system before simulation starts (load
-    images, fill memories). *)
+    images, fill memories).  [sink] attaches the instrumentation sink to
+    the bus and the trace master and records one final [Energy_sample]
+    (plus the run's pJ/beat) when the workload drains; simulated results
+    are bit-identical with and without it. *)
 
 val run_levels :
   ?estimate:bool ->
@@ -80,6 +84,7 @@ val run_adaptive :
   ?max_cycles:int ->
   ?init:(System.t -> unit) ->
   ?budget:(Level.t -> float) ->
+  ?sink:Obs.Sink.t ->
   policy:Hier.Policy.t ->
   Ec.Trace.t ->
   adaptive_run
@@ -90,7 +95,12 @@ val run_adaptive :
     per-window energies.  [max_cycles] bounds each window.  With a
     {!Hier.Policy.constant} policy the single window is driven exactly
     like {!run_trace} at that level: cycles, transaction counts and
-    energies match bit-for-bit. *)
+    energies match bit-for-bit.
+
+    [sink] is shared by every window's system: the engine shifts the
+    sink's timeline base so bus events from each fresh kernel land on
+    the spliced timeline, and brackets each window with
+    [Window_open]/[Window_close] events (see {!Hier.Engine.run}). *)
 
 type program_run = {
   result : result;
@@ -110,6 +120,7 @@ val run_program :
   ?max_cycles:int ->
   ?icache_lines:int ->
   ?vcd:string ->
+  ?sink:Obs.Sink.t ->
   Soc.Asm.program ->
   program_run
 (** Loads the image, runs the CPU to halt.  The program must reside in a

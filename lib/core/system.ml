@@ -12,27 +12,29 @@ type t = {
 
 let create ?(level = Level.L1) ?(estimate = true) ?(record_profile = false)
     ?(table = Power.Characterization.default) ?rtl_params ?l2_params ?seed
-    ?extra_slaves () =
+    ?extra_slaves ?sink () =
   let kernel = Sim.Kernel.create () in
   let platform = Soc.Platform.create ~kernel ?seed ?extra_slaves () in
   let decoder = Soc.Platform.decoder platform in
   let bus =
     match level with
     | Level.Rtl ->
-      Rtl_bus (Rtl.Bus.create ~kernel ~decoder ?params:rtl_params ~record_profile ())
+      Rtl_bus
+        (Rtl.Bus.create ~kernel ~decoder ?params:rtl_params ~record_profile
+           ?sink ())
     | Level.L1 ->
       let energy =
         if estimate then Some (Tlm1.Energy.create ~record_profile table)
         else None
       in
-      L1_bus (Tlm1.Bus.create ~kernel ~decoder ?energy ())
+      L1_bus (Tlm1.Bus.create ~kernel ~decoder ?energy ?sink ())
     | Level.L2 ->
       let energy =
         if estimate then
           Some (Tlm2.Energy.create ~record_profile ?params:l2_params table)
         else None
       in
-      L2_bus (Tlm2.Bus.create ~kernel ~decoder ?energy ())
+      L2_bus (Tlm2.Bus.create ~kernel ~decoder ?energy ?sink ())
   in
   let t = { kernel; platform; bus; level } in
   let port =

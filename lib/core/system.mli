@@ -17,9 +17,14 @@ val create :
   ?l2_params:Tlm2.Energy.params ->
   ?seed:int ->
   ?extra_slaves:Ec.Slave.t list ->
+  ?sink:Obs.Sink.t ->
   unit ->
   t
-(** Defaults: [level = L1], energy estimation on, no profile recording,
+(** [sink] attaches the instrumentation sink to whichever bus model the
+    level selects; the bus then records transaction lifecycle events and
+    metrics on it.  Without it the buses skip instrumentation entirely.
+
+    Defaults: [level = L1], energy estimation on, no profile recording,
     the capacitance-based default characterization table for the
     transaction-level energy models, default electrical parameters for the
     reference estimator.  [estimate:false] runs the bus without an energy

@@ -13,12 +13,15 @@ let create ?(capacity = 16) ~dummy () =
 let length t = t.len
 let is_empty t = t.len = 0
 
-let index t key =
-  let i = ref 0 in
-  while !i < t.len && t.keys.(!i) <> key do
-    incr i
-  done;
-  if !i < t.len then !i else -1
+(* Top-level tail recursion on purpose: a [ref] loop counter (or a local
+   closure) would put one minor block on every lookup, and this sits on
+   the per-transaction path. *)
+let rec index_from t key i =
+  if i >= t.len then -1
+  else if t.keys.(i) = key then i
+  else index_from t key (i + 1)
+
+let index t key = index_from t key 0
 
 let mem t key = index t key >= 0
 

@@ -46,11 +46,13 @@ let window_end policy level items i obs =
     done;
     min cap (max !j (min n (i + min_window)))
 
-let run ?budget ~ops ~policy trace =
+let run ?budget ?sink ~ops ~policy trace =
   let items = Array.of_list trace in
   let n = Array.length items in
   let segs_rev = ref [] in
   let prev_sys = ref None in
+  let prev_level = ref None in
+  let window = ref 0 in
   let cycle = ref 0 in
   let txns_per_kcycle = ref 0.0 in
   let pj_per_cycle = ref 0.0 in
@@ -68,6 +70,21 @@ let run ?budget ~ops ~policy trace =
     let level = Policy.decide policy (obs !i) in
     let stop = window_end policy level items !i obs in
     let seg_trace = Array.to_list (Array.sub items !i (stop - !i)) in
+    (match sink with
+    | None -> ()
+    | Some s ->
+      (* Every window runs on a fresh kernel from cycle 0; shift its
+         events onto the spliced timeline.  Set the base first so the
+         window bookkeeping below lands at the window start. *)
+      Obs.Sink.set_base s !cycle;
+      (match !prev_level with
+      | Some prev when prev <> level ->
+        Obs.Sink.level_switch s ~cycle:0 ~index:!window
+          ~prev:(Level.to_code prev) ~next:(Level.to_code level)
+      | Some _ | None -> ());
+      Obs.Sink.window_open s ~cycle:0 ~index:!window
+        ~level:(Level.to_code level));
+    prev_level := Some level;
     let sys = ops.create level in
     (* Quiescence is structural: the previous segment ran until its
        trace drained and all outstanding bursts completed, so the
@@ -78,6 +95,14 @@ let run ?budget ~ops ~policy trace =
     prev_sys := Some sys;
     let st = ops.run_segment sys seg_trace in
     cycle := !cycle + st.cycles;
+    (match sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.set_base s 0;
+      Obs.Sink.window_close s ~cycle:!cycle ~index:!window
+        ~level:(Level.to_code level) ~beats:st.beats ~pj:st.bus_pj;
+      Obs.Sink.energy_sample s ~cycle:!cycle ~pj:st.bus_pj);
+    incr window;
     if st.cycles > 0 then begin
       txns_per_kcycle := float_of_int st.txns *. 1000.0 /. float_of_int st.cycles;
       pj_per_cycle := st.bus_pj /. float_of_int st.cycles

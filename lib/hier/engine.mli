@@ -44,8 +44,20 @@ type 'sys result = {
 
 val run :
   ?budget:(Level.t -> float) ->
+  ?sink:Obs.Sink.t ->
   ops:'sys ops ->
   policy:Policy.t ->
   Ec.Trace.t ->
   'sys result
-(** [budget] is passed to {!Splice.splice}. *)
+(** [budget] is passed to {!Splice.splice}.
+
+    When [sink] is given the engine records the window lifecycle on it:
+    a [Window_open]/[Window_close] pair per window (the close carries
+    the window's beat count and spliced bus energy in pJ), a
+    [Level_switch] instant whenever consecutive windows simulate at
+    different levels, and one [Energy_sample] per window at its end
+    cycle.  Each window runs on a fresh kernel starting at cycle 0, so
+    the engine moves the sink's base offset ({!Obs.Sink.set_base}) to
+    the window's spliced start before running the segment — bus- and
+    master-recorded events land on the global spliced timeline.  The
+    base is restored to 0 afterwards. *)

@@ -7,4 +7,6 @@ let to_string = function
   | L1 -> "TL layer 1"
   | L2 -> "TL layer 2"
 
+let to_code = function Rtl -> 0 | L1 -> 1 | L2 -> 2
+
 let pp ppf t = Format.pp_print_string ppf (to_string t)

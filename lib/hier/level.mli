@@ -12,4 +12,9 @@ type t = Rtl | L1 | L2
 
 val all : t list
 val to_string : t -> string
+
+val to_code : t -> int
+(** Dense code (0/1/2) carried in {!Obs.Event} payload slots; renders
+    back through [Obs.Event.level_name]. *)
+
 val pp : Format.formatter -> t -> unit

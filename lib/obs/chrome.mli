@@ -1,0 +1,32 @@
+(** Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+    Renders a {!Sink}'s event timeline as a Chrome trace-event document
+    ({"traceEvents": [...]}) with one cycle mapped to one microsecond:
+
+    - one duration track per master category lane (issue → finish spans;
+      concurrent transactions of a category spread over lanes so every
+      track carries strictly sequential, balanced B/E pairs),
+    - one instant track per slave (data beats),
+    - a level track with one B/E span per mixed-level window, the close
+      event carrying the window's spliced energy in its [args], plus
+      level-switch instants,
+    - [bus_pj] counter samples from {!Event.Energy_sample} events and an
+      optional per-cycle [pj_per_cycle] counter from a recorded
+      {!Power.Profile.t} (downsampled to at most 2048 points).
+
+    Spans whose begin or end fell outside the ring (dropped events) are
+    omitted, keeping B/E pairs balanced by construction. *)
+
+val trace_json :
+  ?profile:Power.Profile.t -> ?slave_names:string array -> Sink.t -> Json.t
+(** [slave_names.(i)] names slave track [i] (defaults to ["slave<i>"]). *)
+
+val to_string :
+  ?profile:Power.Profile.t -> ?slave_names:string array -> Sink.t -> string
+
+val write :
+  ?profile:Power.Profile.t ->
+  ?slave_names:string array ->
+  path:string ->
+  Sink.t ->
+  unit

@@ -1,0 +1,69 @@
+(** Fixed-shape simulator metrics: counters and fixed-bucket histograms.
+
+    All storage is preallocated at creation; recording increments
+    scalars or array cells and never allocates, so a metrics-carrying
+    {!Sink} can sit on the per-cycle bus paths.  The shape is fixed to
+    the quantities the bus models expose: issue/finish/error/reject
+    counters, wait-state stalls (total and per slave), and histograms of
+    transaction latency, request-queue occupancy at issue, master-side
+    outstanding transactions and bus energy per beat. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** {1 Recording} (allocation-free) *)
+
+val incr_issued : t -> unit
+val incr_rejected : t -> unit
+val incr_finished : t -> unit
+val incr_errored : t -> unit
+val incr_beats : t -> unit
+
+val add_wait_stall : t -> slave:int -> unit
+(** One data- or address-phase stall cycle attributed to [slave]
+    (out-of-range slave indices count only toward the total). *)
+
+val observe_latency : t -> cycles:int -> unit
+val observe_occupancy : t -> depth:int -> unit
+val observe_outstanding : t -> depth:int -> unit
+val observe_pj_per_beat : t -> float -> unit
+
+(** {1 Reading} *)
+
+val issued : t -> int
+val rejected : t -> int
+val finished : t -> int
+val errored : t -> int
+val beats : t -> int
+val wait_stalls : t -> int
+val wait_stalls_for_slave : t -> int -> int
+
+type hist_view = {
+  name : string;
+  bounds : float array;  (** inclusive upper bucket bounds, ascending *)
+  counts : int array;  (** [Array.length bounds + 1]; last is overflow *)
+  total : int;
+  sum : float;
+  mean : float;  (** 0 when empty *)
+}
+
+type view = {
+  counters : (string * int) list;
+      (** includes one ["wait-stalls/<slave>"] entry per slave index
+          that recorded at least one stall *)
+  hists : hist_view list;
+}
+
+val view : t -> view
+(** Snapshot; independent of later recording. *)
+
+val bucket_label : float array -> int -> string
+(** Human label of bucket [i] of a {!hist_view} ("<=4", "4-8", ">1024"). *)
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit
+(** Plain multi-line text rendering (the tabular rendering lives in
+    [Core.Report.metrics]). *)

@@ -58,6 +58,10 @@ let to_csv_lines t =
   let line i = Printf.sprintf "%d,%.6f" i t.data.(i) in
   "cycle,energy_pj" :: List.init t.len line
 
+let to_jsonl_lines t =
+  let line i = Printf.sprintf {|{"cycle":%d,"pj":%.6f}|} i t.data.(i) in
+  List.init t.len line
+
 let sparkline ?(width = 64) t =
   if t.len = 0 then ""
   else begin

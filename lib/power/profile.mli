@@ -29,5 +29,10 @@ val lumped : t -> sample_points:int list -> (int * float) list
 val to_csv_lines : t -> string list
 (** ["cycle,energy_pj"] header plus one line per cycle. *)
 
+val to_jsonl_lines : t -> string list
+(** JSON-lines rendering: one [{"cycle":12,"pj":3.25}] object per cycle,
+    no header.  Streams into log processors next to the Chrome trace
+    export. *)
+
 val sparkline : ?width:int -> t -> string
 (** Coarse ASCII rendering for terminal reports. *)

@@ -8,12 +8,15 @@ type addr_job = {
 type data_job = {
   d_txn : Ec.Txn.t;
   d_slave : Ec.Slave.t;
+  d_sel : int;  (* slave select index, -1 for placeholder slots *)
   d_wait_states : int;  (* per beat *)
   mutable d_beat : int;
   mutable d_wait : int;
 }
 
 type t = {
+  kernel : Sim.Kernel.t;
+  sink : Obs.Sink.t option;
   decoder : Ec.Decoder.t;
   wires : Wires.t;
   diesel : Diesel.t;
@@ -47,8 +50,18 @@ let release t (txn : Ec.Txn.t) outcome =
   (match outcome with
   | Ec.Port.Done ->
     t.completed_txns <- t.completed_txns + 1;
-    t.completed_beats <- t.completed_beats + txn.Ec.Txn.burst
-  | Ec.Port.Failed -> t.error_txns <- t.error_txns + 1
+    t.completed_beats <- t.completed_beats + txn.Ec.Txn.burst;
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.txn_finished s ~cycle:(Sim.Kernel.now t.kernel)
+        ~id:txn.Ec.Txn.id ~beats:txn.Ec.Txn.burst)
+  | Ec.Port.Failed ->
+    t.error_txns <- t.error_txns + 1;
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.txn_error s ~cycle:(Sim.Kernel.now t.kernel) ~id:txn.Ec.Txn.id)
   | Ec.Port.Pending -> assert false)
 
 (* Drive the address-group wires with a transaction's attributes. *)
@@ -65,8 +78,8 @@ let dispatch t (job : addr_job) =
   let txn = job.a_txn and slave = job.a_slave in
   let cfg = slave.Ec.Slave.cfg in
   let make wait_states =
-    { d_txn = txn; d_slave = slave; d_wait_states = wait_states; d_beat = 0;
-      d_wait = wait_states }
+    { d_txn = txn; d_slave = slave; d_sel = job.a_sel;
+      d_wait_states = wait_states; d_beat = 0; d_wait = wait_states }
   in
   match txn.Ec.Txn.dir with
   | Ec.Txn.Read -> Ec.Ring.push t.read_q (make cfg.Ec.Slave_cfg.read_wait)
@@ -78,6 +91,11 @@ let addr_phase t =
   let complete job =
     Wires.set_ctrl w Ec.Signals.Ardy true;
     Sim.Signal.set (Wires.sel w) (1 lsl job.a_sel);
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.txn_granted s ~cycle:(Sim.Kernel.now t.kernel)
+        ~id:job.a_txn.Ec.Txn.id ~slave:job.a_sel);
     dispatch t job;
     t.addr_cur <- None;
     progressed := true
@@ -86,6 +104,9 @@ let addr_phase t =
   | Some job ->
     if job.a_wait > 0 then begin
       job.a_wait <- job.a_wait - 1;
+      (match t.sink with
+      | None -> ()
+      | Some s -> Obs.Sink.wait_stall s ~slave:job.a_sel);
       progressed := true
     end
     else complete job
@@ -130,7 +151,12 @@ let read_phase t =
   match t.read_cur with
   | None -> false
   | Some job ->
-    if job.d_wait > 0 then job.d_wait <- job.d_wait - 1
+    if job.d_wait > 0 then begin
+      job.d_wait <- job.d_wait - 1;
+      match t.sink with
+      | None -> ()
+      | Some s -> Obs.Sink.wait_stall s ~slave:job.d_sel
+    end
     else begin
       let txn = job.d_txn in
       let value = Ec.Slave.read_beat job.d_slave txn job.d_beat in
@@ -142,6 +168,11 @@ let read_phase t =
         if job.d_beat = txn.Ec.Txn.burst - 1 then
           Wires.set_ctrl w Ec.Signals.Blast true
       end;
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.data_beat s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~beat:job.d_beat ~slave:job.d_sel);
       job.d_beat <- job.d_beat + 1;
       if job.d_beat = txn.Ec.Txn.burst then begin
         release t txn Ec.Port.Done;
@@ -162,7 +193,12 @@ let write_phase t =
   match t.write_cur with
   | None -> false
   | Some job ->
-    if job.d_wait > 0 then job.d_wait <- job.d_wait - 1
+    if job.d_wait > 0 then begin
+      job.d_wait <- job.d_wait - 1;
+      match t.sink with
+      | None -> ()
+      | Some s -> Obs.Sink.wait_stall s ~slave:job.d_sel
+    end
     else begin
       let txn = job.d_txn in
       Sim.Signal.set (Wires.wdata w) txn.Ec.Txn.data.(job.d_beat);
@@ -173,6 +209,11 @@ let write_phase t =
         if job.d_beat = txn.Ec.Txn.burst - 1 then
           Wires.set_ctrl w Ec.Signals.Blast true
       end;
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.data_beat s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~beat:job.d_beat ~slave:job.d_sel);
       job.d_beat <- job.d_beat + 1;
       if job.d_beat = txn.Ec.Txn.burst then begin
         release t txn Ec.Port.Done;
@@ -220,14 +261,16 @@ let dummy_slave =
     ~write:(fun ~addr:_ ~width:_ ~value:_ -> ())
 
 let dummy_job =
-  { d_txn = dummy_txn; d_slave = dummy_slave; d_wait_states = 0; d_beat = 0;
-    d_wait = 0 }
+  { d_txn = dummy_txn; d_slave = dummy_slave; d_sel = -1; d_wait_states = 0;
+    d_beat = 0; d_wait = 0 }
 
-let create ~kernel ~decoder ?params ?record_profile () =
+let create ~kernel ~decoder ?params ?record_profile ?sink () =
   let wires = Wires.create ~n_slaves:(max 1 (Ec.Decoder.count decoder)) in
   let diesel = Diesel.create ?params ?record_profile wires in
   let t =
     {
+      kernel;
+      sink;
       decoder;
       wires;
       diesel;
@@ -251,10 +294,22 @@ let create ~kernel ~decoder ?params ?record_profile () =
 let port t =
   let try_submit txn =
     let c = cat_index (Ec.Txn.category txn) in
-    if t.outstanding.(c) >= max_outstanding then false
+    if t.outstanding.(c) >= max_outstanding then begin
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.txn_rejected s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~cat:c);
+      false
+    end
     else begin
       t.outstanding.(c) <- t.outstanding.(c) + 1;
       Ec.Ring.push t.requests txn;
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.txn_issued s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~cat:c ~queue_depth:(Ec.Ring.length t.requests));
       true
     end
   in

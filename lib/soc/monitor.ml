@@ -4,10 +4,18 @@ type t = {
   mutable items_rev : Ec.Trace.item list;
   mutable last_accept : int option;
   mutable count : int;
+  mutable rejected : int;
 }
 
 let create ~kernel inner =
-  { inner; kernel; items_rev = []; last_accept = None; count = 0 }
+  {
+    inner;
+    kernel;
+    items_rev = [];
+    last_accept = None;
+    count = 0;
+    rejected = 0;
+  }
 
 let port t =
   let try_submit txn =
@@ -22,10 +30,16 @@ let port t =
       t.last_accept <- Some now;
       t.items_rev <- Ec.Trace.item ~gap txn :: t.items_rev;
       t.count <- t.count + 1
-    end;
+    end
+    else
+      (* Bus state `wait`: the master retries the same submission next
+         cycle.  Count every refused attempt so back-pressure seen while
+         tracing matches the rejected counts a replay's metrics report. *)
+      t.rejected <- t.rejected + 1;
     accepted
   in
   { t.inner with Ec.Port.try_submit }
 
 let trace t = List.rev t.items_rev
 let count t = t.count
+let rejected t = t.rejected

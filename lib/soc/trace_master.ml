@@ -2,6 +2,7 @@ type mode = [ `Serial | `Pipelined ]
 
 type t = {
   port : Ec.Port.t;
+  sink : Obs.Sink.t option;
   mode : mode;
   keep_results : bool;
   ids : Ec.Txn.Id_gen.gen;
@@ -57,6 +58,10 @@ let try_submit t =
     else if t.port.Ec.Port.try_submit txn then begin
       Ec.Id_store.set t.outstanding txn.Ec.Txn.id txn;
       t.issued <- t.issued + 1;
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.master_outstanding s ~depth:(Ec.Id_store.length t.outstanding));
       t.to_submit <- None;
       advance t
     end
@@ -67,10 +72,12 @@ let step t _kernel =
   | `Pipelined -> try_submit t
   | `Serial -> if Ec.Id_store.is_empty t.outstanding then try_submit t
 
-let create ~kernel ~port ?(mode = `Pipelined) ?(keep_results = false) trace =
+let create ~kernel ~port ?(mode = `Pipelined) ?(keep_results = false) ?sink
+    trace =
   let t =
     {
       port;
+      sink;
       mode;
       keep_results;
       ids = Ec.Txn.Id_gen.create ();

@@ -20,10 +20,14 @@ val create :
   port:Ec.Port.t ->
   ?mode:mode ->
   ?keep_results:bool ->
+  ?sink:Obs.Sink.t ->
   Ec.Trace.t ->
   t
 (** [mode] defaults to [`Pipelined].  With [keep_results] the completed
-    transactions (with read data) are retained for inspection. *)
+    transactions (with read data) are retained for inspection.  [sink]
+    records the master-side outstanding-transaction occupancy on every
+    accepted submission (the bus-side events come from the bus's own
+    sink argument). *)
 
 val finished : t -> bool
 val issued : t -> int

@@ -7,18 +7,22 @@
 type addr_state = {
   a_txn : Ec.Txn.t;
   a_slave : Ec.Slave.t;
+  a_sel : int;  (* slave select index *)
   mutable a_wait : int;
 }
 
 type data_state = {
   d_txn : Ec.Txn.t;
   d_slave : Ec.Slave.t;
+  d_sel : int;
   d_wait_states : int;
   mutable d_beat : int;
   mutable d_wait : int;
 }
 
 type t = {
+  kernel : Sim.Kernel.t;
+  sink : Obs.Sink.t option;
   decoder : Ec.Decoder.t;
   energy : Energy.t option;
   request_q : Ec.Txn.t Queue.t;
@@ -51,8 +55,18 @@ let finish_txn t (txn : Ec.Txn.t) outcome =
   match outcome with
   | Ec.Port.Done ->
     t.completed_txns <- t.completed_txns + 1;
-    t.completed_beats <- t.completed_beats + txn.Ec.Txn.burst
-  | Ec.Port.Failed -> t.error_txns <- t.error_txns + 1
+    t.completed_beats <- t.completed_beats + txn.Ec.Txn.burst;
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.txn_finished s ~cycle:(Sim.Kernel.now t.kernel)
+        ~id:txn.Ec.Txn.id ~beats:txn.Ec.Txn.burst)
+  | Ec.Port.Failed ->
+    t.error_txns <- t.error_txns + 1;
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.txn_error s ~cycle:(Sim.Kernel.now t.kernel) ~id:txn.Ec.Txn.id)
   | Ec.Port.Pending -> assert false
 
 (* Phase 2 of the bus process: the address phase finite state machine. *)
@@ -60,11 +74,16 @@ let address_phase t =
   let progressed = ref false in
   let complete (st : addr_state) =
     with_energy t (fun e -> Energy.strobe e Ec.Signals.Ardy);
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.txn_granted s ~cycle:(Sim.Kernel.now t.kernel)
+        ~id:st.a_txn.Ec.Txn.id ~slave:st.a_sel);
     let cfg = st.a_slave.Ec.Slave.cfg in
     let txn = st.a_txn in
     let data_state wait_states =
-      { d_txn = txn; d_slave = st.a_slave; d_wait_states = wait_states;
-        d_beat = 0; d_wait = wait_states }
+      { d_txn = txn; d_slave = st.a_slave; d_sel = st.a_sel;
+        d_wait_states = wait_states; d_beat = 0; d_wait = wait_states }
     in
     (match txn.Ec.Txn.dir with
     | Ec.Txn.Read -> Queue.push (data_state cfg.Ec.Slave_cfg.read_wait) t.read_q
@@ -80,6 +99,9 @@ let address_phase t =
   | Some st ->
     if st.a_wait > 0 then begin
       st.a_wait <- st.a_wait - 1;
+      (match t.sink with
+      | None -> ()
+      | Some s -> Obs.Sink.wait_stall s ~slave:st.a_sel);
       progressed := true
     end
     else complete st
@@ -101,9 +123,9 @@ let address_phase t =
               | Ec.Txn.Read -> Ec.Signals.Rberr
               | Ec.Txn.Write -> Ec.Signals.Wberr));
         finish_txn t txn Ec.Port.Failed
-      | Ec.Decoder.Mapped (_, slave) ->
+      | Ec.Decoder.Mapped (i, slave) ->
         let st =
-          { a_txn = txn; a_slave = slave;
+          { a_txn = txn; a_slave = slave; a_sel = i;
             a_wait = slave.Ec.Slave.cfg.Ec.Slave_cfg.addr_wait }
         in
         (* The pop cycle counts as the first wait cycle (the address
@@ -126,7 +148,12 @@ let read_phase t =
   match t.read_cur with
   | None -> false
   | Some st ->
-    if st.d_wait > 0 then st.d_wait <- st.d_wait - 1
+    if st.d_wait > 0 then begin
+      st.d_wait <- st.d_wait - 1;
+      match t.sink with
+      | None -> ()
+      | Some s -> Obs.Sink.wait_stall s ~slave:st.d_sel
+    end
     else begin
       let txn = st.d_txn in
       let value = Ec.Slave.read_beat st.d_slave txn st.d_beat in
@@ -139,6 +166,11 @@ let read_phase t =
             if st.d_beat = txn.Ec.Txn.burst - 1 then
               Energy.strobe e Ec.Signals.Blast
           end);
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.data_beat s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~beat:st.d_beat ~slave:st.d_sel);
       st.d_beat <- st.d_beat + 1;
       if st.d_beat = txn.Ec.Txn.burst then begin
         finish_txn t txn Ec.Port.Done;
@@ -160,7 +192,12 @@ let write_phase t =
   match t.write_cur with
   | None -> false
   | Some st ->
-    if st.d_wait > 0 then st.d_wait <- st.d_wait - 1
+    if st.d_wait > 0 then begin
+      st.d_wait <- st.d_wait - 1;
+      match t.sink with
+      | None -> ()
+      | Some s -> Obs.Sink.wait_stall s ~slave:st.d_sel
+    end
     else begin
       let txn = st.d_txn in
       with_energy t (fun e ->
@@ -172,6 +209,11 @@ let write_phase t =
               Energy.strobe e Ec.Signals.Blast
           end);
       Ec.Slave.write_beat st.d_slave txn st.d_beat;
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.data_beat s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~beat:st.d_beat ~slave:st.d_sel);
       st.d_beat <- st.d_beat + 1;
       if st.d_beat = txn.Ec.Txn.burst then begin
         finish_txn t txn Ec.Port.Done;
@@ -194,9 +236,11 @@ let bus_process t _kernel =
      phase.  At this time, all new signal values have been updated." *)
   with_energy t Energy.end_cycle
 
-let create ~kernel ~decoder ?energy () =
+let create ~kernel ~decoder ?energy ?sink () =
   let t =
     {
+      kernel;
+      sink;
       decoder;
       energy;
       request_q = Queue.create ();
@@ -219,10 +263,22 @@ let create ~kernel ~decoder ?energy () =
 let port t =
   let try_submit txn =
     let c = cat_index (Ec.Txn.category txn) in
-    if t.outstanding.(c) >= max_outstanding then false
+    if t.outstanding.(c) >= max_outstanding then begin
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.txn_rejected s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~cat:c);
+      false
+    end
     else begin
       t.outstanding.(c) <- t.outstanding.(c) + 1;
       Queue.push txn t.request_q;
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.txn_issued s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~cat:c ~queue_depth:(Queue.length t.request_q));
       true
     end
   in

@@ -6,11 +6,14 @@
 type job = {
   txn : Ec.Txn.t;
   slave : Ec.Slave.t option;  (* [None] for a decode error *)
+  sel : int;  (* slave select index, -1 for a decode error *)
   mutable addr_left : int;
   mutable data_left : int;
 }
 
 type t = {
+  kernel : Sim.Kernel.t;
+  sink : Obs.Sink.t option;
   decoder : Ec.Decoder.t;
   energy : Energy.t option;
   pending : job Queue.t;  (* awaiting or inside their address phase *)
@@ -39,18 +42,38 @@ let finish_txn t (txn : Ec.Txn.t) outcome =
   match outcome with
   | Ec.Port.Done ->
     t.completed_txns <- t.completed_txns + 1;
-    t.completed_beats <- t.completed_beats + txn.Ec.Txn.burst
-  | Ec.Port.Failed -> t.error_txns <- t.error_txns + 1
+    t.completed_beats <- t.completed_beats + txn.Ec.Txn.burst;
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.txn_finished s ~cycle:(Sim.Kernel.now t.kernel)
+        ~id:txn.Ec.Txn.id ~beats:txn.Ec.Txn.burst)
+  | Ec.Port.Failed ->
+    t.error_txns <- t.error_txns + 1;
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      Obs.Sink.txn_error s ~cycle:(Sim.Kernel.now t.kernel) ~id:txn.Ec.Txn.id)
   | Ec.Port.Pending -> assert false
 
 let address_phase t =
   match Queue.peek_opt t.pending with
   | None -> false
   | Some job ->
-    if job.addr_left > 0 then job.addr_left <- job.addr_left - 1
+    if job.addr_left > 0 then begin
+      job.addr_left <- job.addr_left - 1;
+      match t.sink with
+      | None -> ()
+      | Some s -> Obs.Sink.wait_stall s ~slave:job.sel
+    end
     else begin
       ignore (Queue.pop t.pending);
       with_energy t (fun e -> ignore (Energy.address_phase_pj e job.txn));
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.txn_granted s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:job.txn.Ec.Txn.id ~slave:job.sel);
       Queue.push job t.data_q
     end;
     true
@@ -59,7 +82,12 @@ let data_phase t =
   match Queue.peek_opt t.data_q with
   | None -> false
   | Some job ->
-    if job.data_left > 0 then job.data_left <- job.data_left - 1
+    if job.data_left > 0 then begin
+      job.data_left <- job.data_left - 1;
+      match t.sink with
+      | None -> ()
+      | Some s -> Obs.Sink.wait_stall s ~slave:job.sel
+    end
     else begin
       ignore (Queue.pop t.data_q);
       match job.slave with
@@ -70,6 +98,14 @@ let data_phase t =
         | Ec.Txn.Read -> Ec.Slave.read_block slave job.txn
         | Ec.Txn.Write -> Ec.Slave.write_block slave job.txn);
         with_energy t (fun e -> ignore (Energy.data_phase_pj e job.txn));
+        (match t.sink with
+        | None -> ()
+        | Some s ->
+          let cycle = Sim.Kernel.now t.kernel in
+          for beat = 0 to job.txn.Ec.Txn.burst - 1 do
+            Obs.Sink.data_beat s ~cycle ~id:job.txn.Ec.Txn.id ~beat
+              ~slave:job.sel
+          done);
         finish_txn t job.txn Ec.Port.Done
     end;
     true
@@ -80,9 +116,11 @@ let bus_process t _kernel =
   if a || d then t.busy_cycles <- t.busy_cycles + 1;
   with_energy t Energy.end_cycle
 
-let create ~kernel ~decoder ?energy () =
+let create ~kernel ~decoder ?energy ?sink () =
   let t =
     {
+      kernel;
+      sink;
       decoder;
       energy;
       pending = Queue.create ();
@@ -101,25 +139,38 @@ let create ~kernel ~decoder ?energy () =
 let port t =
   let try_submit txn =
     let c = cat_index (Ec.Txn.category txn) in
-    if t.outstanding.(c) >= max_outstanding then false
+    if t.outstanding.(c) >= max_outstanding then begin
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.txn_rejected s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~cat:c);
+      false
+    end
     else begin
       t.outstanding.(c) <- t.outstanding.(c) + 1;
       (* The wait states of the addressed slave are read when the
          transaction is created, during this first interface call. *)
       let job =
         match Ec.Decoder.check t.decoder txn with
-        | Ec.Decoder.Mapped (_, slave) ->
+        | Ec.Decoder.Mapped (i, slave) ->
           let cfg = slave.Ec.Slave.cfg in
           {
             txn;
             slave = Some slave;
+            sel = i;
             addr_left = cfg.Ec.Slave_cfg.addr_wait;
             data_left = Ec.Timing.data_phase_extra cfg txn;
           }
         | Ec.Decoder.Unmapped | Ec.Decoder.Rights_violation _ ->
-          { txn; slave = None; addr_left = 0; data_left = 0 }
+          { txn; slave = None; sel = -1; addr_left = 0; data_left = 0 }
       in
       Queue.push job t.pending;
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.txn_issued s ~cycle:(Sim.Kernel.now t.kernel)
+          ~id:txn.Ec.Txn.id ~cat:c ~queue_depth:(Queue.length t.pending));
       true
     end
   in
