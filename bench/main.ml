@@ -44,7 +44,15 @@ let print_tables ?(smoke = false) () =
     if smoke then Core.Exploration.run ~applets:[ Jcvm.Applets.fib ] ()
     else Core.Exploration.run ()
   in
-  print_endline (Core.Exploration.render rows)
+  print_endline (Core.Exploration.render rows);
+  section "Adaptive exploration sweep (DESIGN.md section 12)";
+  let c =
+    if smoke then
+      Core.Experiments.run_exploration_comparison
+        ~applets:[ Jcvm.Applets.fib ] ()
+    else Core.Experiments.run_exploration_comparison ()
+  in
+  print_endline (Core.Experiments.render_exploration_comparison c)
 
 (* The adaptive mixed-level comparison: accuracy and T/s of the spliced
    run against the pure levels, plus the ratio the trajectory tracks. *)
@@ -130,6 +138,28 @@ let bench_adaptive =
     [
       Test.make ~name:"pure-l1" (Staged.stage (pure Core.Level.L1));
       Test.make ~name:"pure-l2" (Staged.stage (pure Core.Level.L2));
+      Test.make ~name:"adaptive" (Staged.stage adaptive);
+    ]
+
+(* Adaptive exploration: one applet's full configuration grid, swept
+   pure and adaptively — the trajectory tracks the sweep-level speedup
+   (the DESIGN.md section 12 acceptance ratio, adaptive vs pure-l1). *)
+let bench_adaptive_explore =
+  let sweep level () =
+    ignore
+      (Core.Exploration.run ~level ~applets:[ Jcvm.Applets.fib ] ~domains:1 ())
+  in
+  let adaptive =
+    let policy = Hier.Policy.for_exploration () in
+    fun () ->
+      ignore
+        (Core.Exploration.run ~policy ~applets:[ Jcvm.Applets.fib ] ~domains:1
+           ())
+  in
+  Test.make_grouped ~name:"adaptive-explore/fib-grid"
+    [
+      Test.make ~name:"pure-l1" (Staged.stage (sweep Core.Level.L1));
+      Test.make ~name:"pure-l2" (Staged.stage (sweep Core.Level.L2));
       Test.make ~name:"adaptive" (Staged.stage adaptive);
     ]
 
@@ -235,6 +265,7 @@ let micro_groups =
     ("table1+2/accuracy-stimulus", bench_accuracy);
     ("table3/256-transactions", bench_performance);
     ("adaptive/mixed-512", bench_adaptive);
+    ("adaptive-explore/fib-grid", bench_adaptive_explore);
     ("figure6/profiled-run", bench_figure6);
     ("figure7/fib-applet", bench_exploration);
     ("overhead/obs", bench_obs_overhead);

@@ -141,7 +141,36 @@ let explore_cmd =
       & info [ "applet" ] ~docv:"NAME"
           ~doc:"Restrict to one applet (wallet, crc16, sort, fib).")
   in
-  let run level applet =
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Run every grid cell through the live adaptive engine instead of \
+             one fixed level (--level is then ignored); rows grow spliced \
+             provenance columns.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (some (enum [ ("auto", `Auto); ("l1", `L1); ("l2", `L2) ])) None
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Adaptive policy (implies --adaptive): auto is the exploration \
+             preset (layer 2 base, layer-1 refinement windows); l1/l2 pin \
+             the session to one level — the degenerate check that must \
+             reproduce the fixed-level rows bit-for-bit.")
+  in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Instead of one sweep, run pure layer 1, pure layer 2 and the \
+             adaptive sweep back to back and print the wall-clock/energy \
+             comparison table (EXPERIMENTS.md).")
+  in
+  let run level applet adaptive policy compare trace_out =
     let applets =
       match applet with
       | None -> Jcvm.Applets.all
@@ -154,9 +183,61 @@ let explore_cmd =
           Printf.eprintf "unknown applet %S\n" name;
           exit 1)
     in
-    print_endline (Core.Exploration.render (Core.Exploration.run ~level ~applets ()))
+    let policy =
+      if not (adaptive || policy <> None) then None
+      else
+        Some
+          (match policy with
+          | None | Some `Auto -> Hier.Policy.for_exploration ()
+          | Some `L1 -> Hier.Policy.constant Hier.Level.L1
+          | Some `L2 -> Hier.Policy.constant Hier.Level.L2)
+    in
+    if compare then
+      print_endline
+        (Core.Experiments.render_exploration_comparison
+           (Core.Experiments.run_exploration_comparison ~applets ?policy ()))
+    else
+      let rows =
+        match trace_out with
+        | None -> (
+          match policy with
+          | None -> Core.Exploration.run ~level ~applets ()
+          | Some policy -> Core.Exploration.run ~policy ~applets ())
+        | Some stem ->
+          (* Per-row Chrome traces: give each grid cell its own sink and
+             write <stem>-<applet>-<config>.json, so one row's window
+             lifecycle can be inspected in Perfetto in isolation. *)
+          let stem = Filename.remove_extension stem in
+          let slave_names = platform_slave_names () in
+          List.concat_map
+            (fun applet ->
+              List.map
+                (fun config ->
+                  let sink = Obs.Sink.create () in
+                  let row =
+                    match policy with
+                    | None ->
+                      Core.Exploration.run_one ~level ~sink ~config applet
+                    | Some policy ->
+                      Core.Exploration.run_one ~policy ~sink ~config applet
+                  in
+                  let path =
+                    Printf.sprintf "%s-%s-%s.json" stem
+                      applet.Jcvm.Applets.name config.Jcvm.Configs.name
+                  in
+                  Obs.Chrome.write ~slave_names ~path sink;
+                  Printf.printf "chrome trace written to %s (%d events)\n"
+                    path (Obs.Sink.length sink);
+                  row)
+                Jcvm.Configs.standard)
+            applets
+      in
+      print_endline (Core.Exploration.render rows)
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ level_arg $ applet)
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ level_arg $ applet $ adaptive $ policy $ compare
+      $ trace_out_arg)
 
 (* --- run --- *)
 

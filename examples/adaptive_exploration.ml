@@ -1,0 +1,74 @@
+(* Adaptive design-space exploration (DESIGN.md section 12): the same
+   JCVM interface sweep as examples/jcvm_exploration.ml, but each grid
+   cell runs in a live mixed-level session — layer 2 most of the time,
+   refined to layer 1 in calibration and high-power windows — instead of
+   pinning the whole sweep to one abstraction level.
+
+   Run with:  dune exec examples/adaptive_exploration.exe *)
+
+let () =
+  let applet = Jcvm.Applets.crc16 in
+
+  print_endline "== 1. The degenerate policy is the fixed level ==";
+  print_endline
+    "A constant-L1 policy routes every transaction through the layer-1\n\
+     front-end of the live session; the row must match the fixed-level\n\
+     sweep bit for bit, energy included:\n";
+  let config = List.hd Jcvm.Configs.standard in
+  let fixed = Core.Exploration.run_one ~level:Core.Level.L1 ~config applet in
+  let pinned =
+    Core.Exploration.run_one
+      ~policy:(Hier.Policy.constant Hier.Level.L1)
+      ~config applet
+  in
+  Printf.printf
+    "fixed  L1: %6d cycles  %8.1f pJ  %d txns\n\
+     pinned L1: %6d cycles  %8.1f pJ  %d txns  (identical: %b)\n\n"
+    fixed.Core.Exploration.cycles fixed.Core.Exploration.bus_pj
+    fixed.Core.Exploration.transactions pinned.Core.Exploration.cycles
+    pinned.Core.Exploration.bus_pj pinned.Core.Exploration.transactions
+    (fixed.Core.Exploration.cycles = pinned.Core.Exploration.cycles
+    && fixed.Core.Exploration.bus_pj = pinned.Core.Exploration.bus_pj
+    && fixed.Core.Exploration.transactions
+       = pinned.Core.Exploration.transactions);
+
+  print_endline "== 2. The exploration preset ==";
+  print_endline
+    "Hier.Policy.for_exploration (): layer 2 as the sweep level, layer 1\n\
+     for the calibration warm-up, periodic refinement samples, and any\n\
+     window whose bus power spikes.  Rows carry the spliced provenance:\n";
+  let policy = Hier.Policy.for_exploration () in
+  let rows = Core.Exploration.run ~policy ~applets:[ applet ] () in
+  print_endline (Core.Exploration.render rows);
+  print_newline ();
+
+  print_endline "== 3. What the adaptivity buys ==";
+  print_endline
+    "The same grid swept pure-L1, pure-L2 and adaptively, serially, with\n\
+     the acceptance checks of DESIGN.md section 12:\n";
+  let c = Core.Experiments.run_exploration_comparison ~applets:[ applet ] () in
+  print_endline (Core.Experiments.render_exploration_comparison c);
+  print_newline ();
+
+  print_endline "== 4. Inspecting one row's windows ==";
+  let row =
+    List.find (fun r -> r.Core.Exploration.provenance <> None) rows
+  in
+  (match row.Core.Exploration.provenance with
+  | None -> ()
+  | Some splice ->
+    Printf.printf "row %s/%s: %d windows, %d switches, budget ±%.1f pJ\n"
+      row.Core.Exploration.applet row.Core.Exploration.config.Jcvm.Configs.name
+      (List.length splice.Hier.Splice.windows)
+      splice.Hier.Splice.switches splice.Hier.Splice.error_bound_pj;
+    List.iteri
+      (fun i (w : Hier.Splice.window) ->
+        Printf.printf "  window %2d: %-3s %5d cycles %5d txns %10.1f pJ\n" i
+          (Hier.Level.to_string w.Hier.Splice.level)
+          w.Hier.Splice.cycles w.Hier.Splice.txns w.Hier.Splice.bus_pj)
+      splice.Hier.Splice.windows);
+  print_endline
+    "\nFor a visual version, write a per-row Perfetto trace:\n\
+    \  dune exec bin/smartcard.exe -- explore --adaptive --applet crc16 \\\n\
+    \      --trace-out explore.json";
+  ()

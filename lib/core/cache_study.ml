@@ -5,28 +5,55 @@ type row = {
   cache_pj : float;
   total_pj : float;
   hit_rate_pct : float;
+  splice : Hier.Splice.t option;
 }
 
 type t = { workload : string; rows : row list }
 
-let run ?(level = Level.L1) ?(sizes = [ None; Some 1; Some 2; Some 4; Some 16 ])
-    ?(name = "program") program =
+let cache_figures icache =
+  match icache with
+  | None -> (0.0, 0.0)
+  | Some c ->
+    let hits = Soc.Icache.hits c and misses = Soc.Icache.misses c in
+    let accesses = hits + misses in
+    ( Power.Component.energy_pj (Soc.Icache.component c),
+      if accesses = 0 then 0.0
+      else float_of_int hits /. float_of_int accesses *. 100.0 )
+
+(* Adaptive variant: capture the post-cache bus traffic once at the gate
+   level (that run also yields the cache's own figures), then replay it
+   through the mixed-level engine.  Cycles are the spliced bus-replay
+   timeline, not a CPU run. *)
+let run_adaptive_one ~policy ~table program lines =
+  let trace, icache = Runner.capture_with_icache ?icache_lines:lines program in
+  let ar =
+    Runner.run_adaptive ?table ~policy
+      ~init:(fun system ->
+        Runner.fill_memories system;
+        Soc.Platform.load_program (System.platform system) program)
+      trace
+  in
+  let cache_pj, hit_rate_pct = cache_figures icache in
+  {
+    lines;
+    cycles = ar.Runner.cycles;
+    bus_pj = ar.Runner.bus_pj;
+    cache_pj;
+    total_pj = ar.Runner.bus_pj +. ar.Runner.component_pj +. cache_pj;
+    hit_rate_pct;
+    splice = Some ar.Runner.splice;
+  }
+
+let run ?(level = Level.L1) ?policy ?table
+    ?(sizes = [ None; Some 1; Some 2; Some 4; Some 16 ]) ?(name = "program")
+    program =
   let one lines =
-    let run = Runner.run_program ~level ?icache_lines:lines program in
+    let run = Runner.run_program ~level ?table ?icache_lines:lines program in
     (match run.Runner.fault with
     | None -> ()
     | Some _ -> failwith "Core.Cache_study: workload faulted");
     let r = run.Runner.result in
-    let cache_pj, hit_rate_pct =
-      match run.Runner.icache with
-      | None -> (0.0, 0.0)
-      | Some c ->
-        let hits = Soc.Icache.hits c and misses = Soc.Icache.misses c in
-        let accesses = hits + misses in
-        ( Power.Component.energy_pj (Soc.Icache.component c),
-          if accesses = 0 then 0.0
-          else float_of_int hits /. float_of_int accesses *. 100.0 )
-    in
+    let cache_pj, hit_rate_pct = cache_figures run.Runner.icache in
     {
       lines;
       cycles = r.Runner.cycles;
@@ -34,7 +61,13 @@ let run ?(level = Level.L1) ?(sizes = [ None; Some 1; Some 2; Some 4; Some 16 ])
       cache_pj;
       total_pj = r.Runner.bus_pj +. r.Runner.component_pj +. cache_pj;
       hit_rate_pct;
+      splice = None;
     }
+  in
+  let one =
+    match policy with
+    | None -> one
+    | Some policy -> run_adaptive_one ~policy ~table program
   in
   { workload = name; rows = List.map one sizes }
 

@@ -14,16 +14,27 @@ type row = {
   cache_pj : float;
   total_pj : float;  (** bus + cache + other peripherals *)
   hit_rate_pct : float;
+  splice : Hier.Splice.t option;
+      (** adaptive rows only: the spliced provenance of [bus_pj] *)
 }
 
 type t = { workload : string; rows : row list }
 
 val run :
   ?level:Level.t ->
+  ?policy:Hier.Policy.t ->
+  ?table:Power.Characterization.t ->
   ?sizes:int option list ->
   ?name:string ->
   Soc.Asm.program ->
   t
-(** Defaults: layer-1 bus; sizes [none; 1; 2; 4; 16] lines. *)
+(** Defaults: layer-1 bus; sizes [none; 1; 2; 4; 16] lines.
+
+    [policy] switches each size to the adaptive route: the program runs
+    once on the gate-level system behind the candidate cache
+    ({!Runner.capture_with_icache}) and the captured post-cache bus
+    traffic replays through {!Runner.run_adaptive} under the policy —
+    rows then carry the splice provenance, and [cycles] count the
+    spliced bus-replay timeline rather than a CPU run. *)
 
 val render : t -> string

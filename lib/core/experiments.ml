@@ -280,6 +280,122 @@ let render_adaptive s =
     s.windows s.switches s.l1_txn_share_pct s.error_bound_pj
     (if s.within_bound then "error within budget" else "BUDGET EXCEEDED")
 
+(* --- adaptive exploration comparison (DESIGN.md section 12) --- *)
+
+type exploration_mode = {
+  mode : string;
+  wall_s : float;
+  grid_pj : float;
+  pj_delta_pct : float;  (* vs the pure layer-1 sweep *)
+  speedup_vs_l1 : float;  (* wall-clock ratio, layer-1 sweep / this sweep *)
+}
+
+type exploration_comparison = {
+  applets : string list;
+  cells : int;
+  modes : exploration_mode list;
+  bit_exact : bool;
+  within_budget : bool;
+}
+
+let run_exploration_comparison ?(applets = Jcvm.Applets.all)
+    ?(configs = Jcvm.Configs.standard) ?policy () =
+  let policy =
+    match policy with Some p -> p | None -> Hier.Policy.for_exploration ()
+  in
+  (* Serial sweeps: these are wall-clock measurements, and concurrent grid
+     cells contend for cores and distort the ratio (cf. Table 3). *)
+  let timed sweep =
+    let t0 = Unix.gettimeofday () in
+    let rows = sweep () in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  let l1_rows, l1_wall =
+    timed (fun () -> Exploration.run ~level:Level.L1 ~configs ~applets ~domains:1 ())
+  in
+  let l2_rows, l2_wall =
+    timed (fun () -> Exploration.run ~level:Level.L2 ~configs ~applets ~domains:1 ())
+  in
+  let ad_rows, ad_wall =
+    timed (fun () -> Exploration.run ~policy ~configs ~applets ~domains:1 ())
+  in
+  let grid_pj rows =
+    List.fold_left (fun acc r -> acc +. r.Exploration.bus_pj) 0.0 rows
+  in
+  let l1_pj = grid_pj l1_rows in
+  let mode name rows wall =
+    let pj = grid_pj rows in
+    {
+      mode = name;
+      wall_s = wall;
+      grid_pj = pj;
+      pj_delta_pct = (if l1_pj > 0.0 then (pj -. l1_pj) /. l1_pj *. 100.0 else 0.0);
+      speedup_vs_l1 = (if wall > 0.0 then l1_wall /. wall else 0.0);
+    }
+  in
+  (* The adaptive sweep's acceptance contract: every functional field
+     bit-identical to pure layer 1, the spliced energy within its own
+     declared budget of the layer-1 figure. *)
+  let bit_exact =
+    List.for_all2
+      (fun (a : Exploration.row) (b : Exploration.row) ->
+        a.Exploration.cycles = b.Exploration.cycles
+        && a.Exploration.transactions = b.Exploration.transactions
+        && a.Exploration.value = b.Exploration.value
+        && a.Exploration.correct = b.Exploration.correct)
+      l1_rows ad_rows
+  in
+  let within_budget =
+    List.for_all2
+      (fun (l1 : Exploration.row) (ad : Exploration.row) ->
+        match ad.Exploration.provenance with
+        | None -> false
+        | Some splice ->
+          snd
+            (Hier.Splice.error_vs_reference splice
+               ~reference_pj:l1.Exploration.bus_pj))
+      l1_rows ad_rows
+  in
+  {
+    applets = List.map (fun a -> a.Jcvm.Applets.name) applets;
+    cells = List.length l1_rows;
+    modes =
+      [
+        mode "pure TL layer 1" l1_rows l1_wall;
+        mode "pure TL layer 2" l2_rows l2_wall;
+        mode "adaptive (for_exploration)" ad_rows ad_wall;
+      ];
+    bit_exact;
+    within_budget;
+  }
+
+let render_exploration_comparison c =
+  let body =
+    List.map
+      (fun m ->
+        [
+          m.mode;
+          Printf.sprintf "%.1f" (m.wall_s *. 1000.0);
+          Printf.sprintf "%.1f" m.grid_pj;
+          Report.pct m.pj_delta_pct;
+          Printf.sprintf "%.2f" m.speedup_vs_l1;
+        ])
+      c.modes
+  in
+  Printf.sprintf
+    "Adaptive exploration sweep vs pure-level sweeps (%d cells: %s)
+%s
+     adaptive rows %s vs pure layer 1; spliced energy %s"
+    c.cells
+    (String.concat ", " c.applets)
+    (Report.table
+       ~header:[ "Sweep"; "Wall [ms]"; "Grid [pJ]"; "pJ vs L1"; "Speedup" ]
+       body)
+    (if c.bit_exact then "bit-exact (cycles/txns/value/check)"
+     else "NOT BIT-EXACT")
+    (if c.within_budget then "within the declared budget"
+     else "OUTSIDE THE DECLARED BUDGET")
+
 type figure6 = {
   l1_profile : Power.Profile.t;
   l2_lumps : (int * float) list;

@@ -89,6 +89,44 @@ val run_adaptive_comparison :
 
 val render_adaptive : adaptive_summary -> string
 
+(** {1 Adaptive exploration comparison} *)
+
+type exploration_mode = {
+  mode : string;
+  wall_s : float;  (** wall time of the whole serial sweep *)
+  grid_pj : float;  (** sum of the grid's row energies *)
+  pj_delta_pct : float;  (** vs the pure layer-1 sweep *)
+  speedup_vs_l1 : float;  (** wall-clock ratio, layer-1 sweep / this sweep *)
+}
+
+type exploration_comparison = {
+  applets : string list;
+  cells : int;  (** applet x configuration grid size *)
+  modes : exploration_mode list;
+      (** pure layer 1, pure layer 2, adaptive — in that order *)
+  bit_exact : bool;
+      (** adaptive rows match layer 1 on cycles, transactions, value and
+          correctness *)
+  within_budget : bool;
+      (** every adaptive row's spliced energy lies within its own
+          declared error budget of the layer-1 figure *)
+}
+
+val run_exploration_comparison :
+  ?applets:Jcvm.Applets.t list ->
+  ?configs:Jcvm.Configs.t list ->
+  ?policy:Hier.Policy.t ->
+  unit ->
+  exploration_comparison
+(** Runs the section 4.3 sweep three ways — pure layer 1, pure layer 2,
+    and adaptively under [policy] (default
+    [Hier.Policy.for_exploration ()]) — serially, so the wall-clock
+    ratios are honest, and checks the adaptive sweep's acceptance
+    contract (DESIGN.md section 12): functional fields bit-exact against
+    layer 1 and spliced energies within budget. *)
+
+val render_exploration_comparison : exploration_comparison -> string
+
 (** {1 Figure 6: energy sampling semantics} *)
 
 type figure6 = {

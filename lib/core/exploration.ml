@@ -8,20 +8,19 @@ type row = {
   steps : int;
   value : int option;
   correct : bool;
+  provenance : Hier.Splice.t option;
 }
 
-let run_one ?(level = Level.L1) ?table ~config (applet : Jcvm.Applets.t) =
-  let hw = Jcvm.Hw_stack.create config in
-  let system =
-    System.create ~level ?table ~extra_slaves:[ Jcvm.Hw_stack.slave hw ] ()
-  in
-  let kernel = System.kernel system in
-  let adapter =
-    Jcvm.Master_adapter.create ~kernel ~port:(System.port system) config
-  in
+(* The interpreter run shared by the fixed-level and adaptive paths:
+   bind the applet's stack calls to the adapter, run to completion,
+   drain, and compute the software-stack reference. *)
+let interpret ~kernel ~port ~config (applet : Jcvm.Applets.t) =
+  let adapter = Jcvm.Master_adapter.create ~kernel ~port config in
   let firewall = Jcvm.Firewall.create () in
   let memory = Jcvm.Memmgr.create firewall in
-  Array.iteri (fun i v -> Jcvm.Memmgr.set_static memory i v) applet.Jcvm.Applets.statics;
+  Array.iteri
+    (fun i v -> Jcvm.Memmgr.set_static memory i v)
+    applet.Jcvm.Applets.statics;
   let ctx = Jcvm.Firewall.new_context firewall in
   let result =
     Jcvm.Interp.run_methods
@@ -35,30 +34,99 @@ let run_one ?(level = Level.L1) ?table ~config (applet : Jcvm.Applets.t) =
     Jcvm.Interp.run_soft ~statics:applet.Jcvm.Applets.statics
       ~methods:applet.Jcvm.Applets.methods applet.Jcvm.Applets.program
   in
+  let correct =
+    result.Jcvm.Interp.value = reference.Jcvm.Interp.value
+    && (applet.Jcvm.Applets.expected = None
+       || result.Jcvm.Interp.value = applet.Jcvm.Applets.expected)
+  in
+  (result, Jcvm.Master_adapter.transactions adapter, correct)
+
+(* The level a row reports when a policy mixes several: the level the
+   policy rests at when nothing fires. *)
+let nominal_level (policy : Hier.Policy.t) =
+  match policy with
+  | Hier.Policy.Constant level -> level
+  | Hier.Policy.Script ((_, level) :: _) -> level
+  | Hier.Policy.Script [] -> Level.L1
+  | Hier.Policy.Triggered { base; _ } -> base
+
+let run_fixed ?(level = Level.L1) ?table ?sink ~config applet =
+  let hw = Jcvm.Hw_stack.create config in
+  let system =
+    System.create ~level ?table ~extra_slaves:[ Jcvm.Hw_stack.slave hw ] ?sink
+      ()
+  in
+  let kernel = System.kernel system in
+  let result, transactions, correct =
+    interpret ~kernel ~port:(System.port system) ~config applet
+  in
   {
     config;
     applet = applet.Jcvm.Applets.name;
     level;
     cycles = Sim.Kernel.now kernel;
     bus_pj = System.bus_energy_pj system;
-    transactions = Jcvm.Master_adapter.transactions adapter;
+    transactions;
     steps = result.Jcvm.Interp.steps;
     value = result.Jcvm.Interp.value;
-    correct =
-      result.Jcvm.Interp.value = reference.Jcvm.Interp.value
-      && (applet.Jcvm.Applets.expected = None
-         || result.Jcvm.Interp.value = applet.Jcvm.Applets.expected);
+    correct;
+    provenance = None;
   }
 
-let run ?level ?table ?(configs = Jcvm.Configs.standard)
+let run_adaptive ?table ?sink ~policy ~config applet =
+  let hw = Jcvm.Hw_stack.create config in
+  let live =
+    Runner.live_adaptive ?table ?sink ~extra_slaves:[ Jcvm.Hw_stack.slave hw ]
+      ~policy ()
+  in
+  let result, transactions, correct =
+    interpret ~kernel:live.Runner.kernel ~port:live.Runner.port ~config applet
+  in
+  let run = live.Runner.finish () in
+  {
+    config;
+    applet = applet.Jcvm.Applets.name;
+    level = nominal_level policy;
+    cycles = Sim.Kernel.now live.Runner.kernel;
+    bus_pj = run.Runner.bus_pj;
+    transactions;
+    steps = result.Jcvm.Interp.steps;
+    value = result.Jcvm.Interp.value;
+    correct;
+    provenance = Some run.Runner.splice;
+  }
+
+let run_one ?level ?table ?policy ?sink ~config applet =
+  match policy with
+  | None -> run_fixed ?level ?table ?sink ~config applet
+  | Some policy ->
+    (match level with
+    | Some _ ->
+      invalid_arg "Core.Exploration.run_one: pass either ~level or ~policy"
+    | None -> run_adaptive ?table ?sink ~policy ~config applet)
+
+let run ?level ?table ?policy ?(configs = Jcvm.Configs.standard)
     ?(applets = Jcvm.Applets.all) ?domains () =
   (* Every applet x configuration cell is an independent system; fan the
      flattened grid out on the domain pool. *)
   Parallel.map ?domains
-    (fun (applet, config) -> run_one ?level ?table ~config applet)
+    (fun (applet, config) -> run_one ?level ?table ?policy ~config applet)
     (List.concat_map
        (fun applet -> List.map (fun config -> (applet, config)) configs)
        applets)
+
+(* Per-level aggregate of a row's spliced windows: windows, cycles, pJ. *)
+let level_split splice level =
+  List.fold_left
+    (fun (w, cy, pj) (win : Hier.Splice.window) ->
+      if win.Hier.Splice.level = level then
+        (w + 1, cy + win.Hier.Splice.cycles, pj +. win.Hier.Splice.bus_pj)
+      else (w, cy, pj))
+    (0, 0, 0.0) splice.Hier.Splice.windows
+
+let split_string splice level =
+  let w, cy, pj = level_split splice level in
+  if w = 0 then "-" else Printf.sprintf "%dw %dcy %.1fpJ" w cy pj
 
 let render rows =
   let by_applet = Hashtbl.create 8 in
@@ -72,6 +140,7 @@ let render rows =
   let applet_names =
     List.sort_uniq compare (List.map (fun r -> r.applet) rows)
   in
+  let adaptive = List.exists (fun r -> r.provenance <> None) rows in
   let render_applet name =
     let group = List.rev (Hashtbl.find by_applet name) in
     let best =
@@ -83,20 +152,36 @@ let render rows =
       List.map
         (fun r ->
           [
-            (if r.correct && r.bus_pj = best then "* " ^ r.config.Jcvm.Configs.name
+            (* "*" marks the best correct configuration; "!" flags a
+               functionally wrong one, which can never be best. *)
+            (if not r.correct then "! " ^ r.config.Jcvm.Configs.name
+             else if r.bus_pj = best then "* " ^ r.config.Jcvm.Configs.name
              else r.config.Jcvm.Configs.name);
             string_of_int r.cycles;
             Printf.sprintf "%.1f" r.bus_pj;
             string_of_int r.transactions;
             (match r.value with Some v -> string_of_int v | None -> "-");
             (if r.correct then "ok" else "WRONG");
-          ])
+          ]
+          @
+          if not adaptive then []
+          else
+            match r.provenance with
+            | None -> [ "-"; "-"; "-" ]
+            | Some s ->
+              [
+                split_string s Level.L1;
+                split_string s Level.L2;
+                Printf.sprintf "±%.1f" s.Hier.Splice.error_bound_pj;
+              ])
         group
+    in
+    let header =
+      [ "configuration"; "cycles"; "bus pJ"; "bus txns"; "result"; "check" ]
+      @ if adaptive then [ "L1 windows"; "L2 windows"; "budget" ] else []
     in
     Printf.sprintf "applet %s (%d bytecode steps):\n%s" name
       (match group with r :: _ -> r.steps | [] -> 0)
-      (Report.table
-         ~header:[ "configuration"; "cycles"; "bus pJ"; "bus txns"; "result"; "check" ]
-         body)
+      (Report.table ~header body)
   in
   String.concat "\n\n" (List.map render_applet applet_names)

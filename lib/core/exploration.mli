@@ -7,30 +7,52 @@
     energy, transaction count and functional correctness against the
     software-stack reference — the data on which the "best HW/SW
     interface between the java card interpreter and the hardware stack"
-    is chosen. *)
+    is chosen.
+
+    The sweep runs either at one fixed level or adaptively
+    ([~policy], DESIGN.md section 12): a {!Runner.live_adaptive} session
+    routes the adapter's traffic between the layer-1 and layer-2
+    front-ends window by window, and the row carries the spliced
+    provenance of its energy figure. *)
 
 type row = {
   config : Jcvm.Configs.t;
   applet : string;
   level : Level.t;
+      (** the fixed level, or an adaptive policy's resting level *)
   cycles : int;  (** kernel cycles consumed by the applet's bus traffic *)
   bus_pj : float;
   transactions : int;  (** bus transactions the adapter issued *)
   steps : int;  (** bytecode instructions interpreted *)
   value : int option;
   correct : bool;  (** matches the software-stack reference *)
+  provenance : Hier.Splice.t option;
+      (** adaptive rows only: what the spliced [bus_pj] is made of —
+          per-level windows, cycles, energies and the error budget *)
 }
 
 val run_one :
   ?level:Level.t ->
   ?table:Power.Characterization.t ->
+  ?policy:Hier.Policy.t ->
+  ?sink:Obs.Sink.t ->
   config:Jcvm.Configs.t ->
   Jcvm.Applets.t ->
   row
+(** One grid cell.  [level] (default [L1]) picks a fixed-level system;
+    [policy] instead runs the cell through a live adaptive session —
+    the two are mutually exclusive.  [cycles], [transactions], [value]
+    and [correct] are bit-identical between [~level:l] and
+    [~policy:(Hier.Policy.constant l)] (and the adaptive preset — only
+    [bus_pj] moves, within the splice's error budget).  [sink] records
+    the cell's bus traffic and, on the adaptive path, its window
+    lifecycle — feed it to {!Obs.Chrome} for a per-row Perfetto trace.
+    @raise Invalid_argument if both [level] and [policy] are given. *)
 
 val run :
   ?level:Level.t ->
   ?table:Power.Characterization.t ->
+  ?policy:Hier.Policy.t ->
   ?configs:Jcvm.Configs.t list ->
   ?applets:Jcvm.Applets.t list ->
   ?domains:int ->
@@ -39,7 +61,11 @@ val run :
 (** Full sweep; defaults: layer 1 bus, default table, the standard
     configuration space and all sample applets.  The applet x
     configuration grid runs on the {!Parallel} pool; row order and
-    contents match the serial sweep. *)
+    contents match the serial sweep.  [policy] makes every cell
+    adaptive, e.g. [Hier.Policy.for_exploration ()]. *)
 
 val render : row list -> string
-(** One table per applet, best configuration (energy) marked. *)
+(** One table per applet: best correct configuration (energy) marked
+    with [*], functionally wrong rows flagged with [!] (they are never
+    best).  When any row is adaptive, three provenance columns show the
+    per-level window/cycle/pJ split and the row's error budget. *)

@@ -114,13 +114,14 @@ let handoff_state ~prev ~next =
   copy Soc.Platform.flash
 
 let run_adaptive ?estimate ?record_profile ?table ?rtl_params ?l2_params
-    ?(mode = `Pipelined) ?max_cycles ?init ?budget ?sink ~policy trace =
+    ?extra_slaves ?peripheral_clock ?(mode = `Pipelined) ?max_cycles ?init
+    ?budget ?sink ~policy trace =
   let ops =
     {
       Hier.Engine.create =
         (fun level ->
           System.create ~level ?estimate ?record_profile ?table ?rtl_params
-            ?l2_params ?sink ());
+            ?l2_params ?extra_slaves ?peripheral_clock ?sink ());
       init = (fun system -> match init with Some f -> f system | None -> ());
       handoff = (fun ~prev ~next -> handoff_state ~prev ~next);
       run_segment =
@@ -216,18 +217,32 @@ let run_program ?level ?estimate ?record_profile ?table ?max_cycles
     icache;
   }
 
-let capture_cpu_trace ?max_cycles program =
+let capture_with_icache ?icache_lines ?max_cycles program =
   let system = System.create ~level:Level.Rtl () in
   let kernel = System.kernel system in
   fill_memories system;
   Soc.Platform.load_program (System.platform system) program;
   let monitor = Soc.Monitor.create ~kernel (System.port system) in
+  (* The monitor sits between the cache and the bus, so the captured
+     trace is the post-cache bus traffic — what an adaptive replay of
+     this cache configuration must reproduce. *)
+  let icache =
+    Option.map
+      (fun lines ->
+        Soc.Icache.create ~kernel ~lines ~inner:(Soc.Monitor.port monitor) ())
+      icache_lines
+  in
+  let cpu_port =
+    match icache with Some c -> Soc.Icache.port c | None -> Soc.Monitor.port monitor
+  in
   let cpu =
-    Soc.Cpu.create ~kernel ~port:(Soc.Monitor.port monitor)
-      ~pc:program.Soc.Asm.origin ()
+    Soc.Cpu.create ~kernel ~port:cpu_port ~pc:program.Soc.Asm.origin ()
   in
   ignore (Soc.Cpu.run_to_halt cpu ~kernel ?max_cycles ());
-  Soc.Monitor.trace monitor
+  (Soc.Monitor.trace monitor, icache)
+
+let capture_cpu_trace ?icache_lines ?max_cycles program =
+  fst (capture_with_icache ?icache_lines ?max_cycles program)
 
 let characterize ?rtl_params ?(training = Workloads.characterization_trace) () =
   let system = System.create ~level:Level.Rtl ?rtl_params () in
@@ -241,3 +256,197 @@ let characterize ?rtl_params ?(training = Workloads.characterization_trace) () =
   | System.Rtl_bus bus ->
     Rtl.Diesel.characterize ~name:"derived(gate-level)" (Rtl.Bus.diesel bus)
   | System.L1_bus _ | System.L2_bus _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Live adaptive sessions                                              *)
+
+let scale_l2_params f (p : Tlm2.Energy.params) =
+  {
+    Tlm2.Energy.boundary_addr_toggles = p.boundary_addr_toggles *. f;
+    boundary_data_toggles = p.boundary_data_toggles *. f;
+    attr_toggles = p.attr_toggles *. f;
+    strobe_pulses_per_phase = p.strobe_pulses_per_phase *. f;
+    strobe_pulses_per_beat = p.strobe_pulses_per_beat *. f;
+  }
+
+type live = {
+  kernel : Sim.Kernel.t;
+  port : Ec.Port.t;
+  platform : Soc.Platform.t;
+  session : Hier.Engine.Live.t;
+  finish : unit -> adaptive_run;
+}
+
+let live_adaptive ?(table = Power.Characterization.default) ?l2_params ?budget
+    ?sink ?(extra_slaves = []) ?(peripheral_clock = `Gated) ?(calibrate = true)
+    ~policy () =
+  let kernel = Sim.Kernel.create () in
+  let platform =
+    Soc.Platform.create ~kernel ~extra_slaves ~peripheral_clock ()
+  in
+  let decoder = Soc.Platform.decoder platform in
+  let e1 = Tlm1.Energy.create table in
+  let b1 = Tlm1.Bus.create ~kernel ~decoder ~energy:e1 ?sink () in
+  let base_params =
+    Option.value l2_params ~default:Tlm2.Energy.default_params
+  in
+  (* The layer-2 calibration scale: re-derived from every refined window
+     (see [on_close] below), read lazily when the layer-2 front-end is
+     first needed so a pure-L1 session never builds it. *)
+  let l2_scale = ref 1.0 in
+  let have_scale = ref false in
+  let l2 =
+    lazy
+      (let e2 =
+         Tlm2.Energy.create ~params:(scale_l2_params !l2_scale base_params)
+           table
+       in
+       let b2 = Tlm2.Bus.create ~kernel ~decoder ~energy:e2 ?sink () in
+       (b2, e2))
+  in
+  let measure (level : Hier.Level.t) =
+    let component_pj = Soc.Platform.components_energy_pj platform in
+    match level with
+    | Hier.Level.L1 ->
+      {
+        Hier.Engine.cycles = Sim.Kernel.now kernel;
+        txns = Tlm1.Bus.completed_txns b1;
+        beats = Tlm1.Bus.completed_beats b1;
+        errors = Tlm1.Bus.error_txns b1;
+        bus_pj = Tlm1.Energy.total_pj e1;
+        component_pj;
+        profile = None;
+      }
+    | Hier.Level.L2 ->
+      let b2, e2 = Lazy.force l2 in
+      {
+        Hier.Engine.cycles = Sim.Kernel.now kernel;
+        txns = Tlm2.Bus.completed_txns b2;
+        beats = Tlm2.Bus.completed_beats b2;
+        errors = Tlm2.Bus.error_txns b2;
+        bus_pj = Tlm2.Energy.total_pj e2;
+        component_pj;
+        profile = None;
+      }
+    | Hier.Level.Rtl ->
+      invalid_arg "Core.Runner.live_adaptive: live sessions switch L1/L2 only"
+  in
+  (* Hierarchical in-run calibration (DESIGN.md section 12): during
+     refined windows every completed transaction is also fed to two
+     scratch layer-2 models — the base parameters and all-zero
+     parameters.  At each refined-window close the window satisfies
+     E_L1 = X + f x A (X the traffic-driven part, A the
+     assumption-driven part), so f rescales the lump constants to what
+     layer 1 actually measured on this workload. *)
+  let zero_params = scale_l2_params 0.0 base_params in
+  let cal_full = Tlm2.Energy.create ~params:base_params table in
+  let cal_zero = Tlm2.Energy.create ~params:zero_params table in
+  let cal_full_pj = ref 0.0 in
+  let cal_zero_pj = ref 0.0 in
+  let win_cal_full = ref 0.0 in
+  let win_cal_zero = ref 0.0 in
+  let pending_cal = ref None in
+  let feed_cal () =
+    match !pending_cal with
+    | None -> ()
+    | Some txn ->
+      pending_cal := None;
+      cal_full_pj :=
+        !cal_full_pj
+        +. Tlm2.Energy.address_phase_pj cal_full txn
+        +. Tlm2.Energy.data_phase_pj cal_full txn;
+      cal_zero_pj :=
+        !cal_zero_pj
+        +. Tlm2.Energy.address_phase_pj cal_zero txn
+        +. Tlm2.Energy.data_phase_pj cal_zero txn
+  in
+  let on_close (seg : Hier.Splice.seg) =
+    if calibrate && seg.Hier.Splice.level = Hier.Level.L1 then begin
+      let x = !cal_zero_pj -. !win_cal_zero in
+      let a = !cal_full_pj -. !win_cal_full -. x in
+      win_cal_full := !cal_full_pj;
+      win_cal_zero := !cal_zero_pj;
+      if a > 0.0 then begin
+        let f_window = Float.max 0.0 ((seg.Hier.Splice.bus_pj -. x) /. a) in
+        (* Latest-window-dominant blend: track the workload's phases
+           instead of averaging them away. *)
+        l2_scale :=
+          (if !have_scale then (0.1 *. !l2_scale) +. (0.9 *. f_window)
+           else f_window);
+        have_scale := true;
+        if Lazy.is_val l2 then
+          Tlm2.Energy.set_params (snd (Lazy.force l2))
+            (scale_l2_params !l2_scale base_params)
+      end
+    end
+  in
+  let session =
+    Hier.Engine.Live.create ?budget ?sink
+      ~now:(fun () -> Sim.Kernel.now kernel)
+      ~on_close ~policy ~measure ()
+  in
+  let port_of (level : Hier.Level.t) =
+    match level with
+    | Hier.Level.L1 -> Tlm1.Bus.port b1
+    | Hier.Level.L2 -> Tlm2.Bus.port (fst (Lazy.force l2))
+    | Hier.Level.Rtl -> assert false
+  in
+  let active = ref (Tlm1.Bus.port b1) in
+  let routed = ref None in
+  (* Clock-gate the inactive front-end: both buses share the kernel, and
+     the one not carrying the window's traffic is quiescent, so skipping
+     its idle ticks is behaviour- and measurement-neutral. *)
+  let route level =
+    if !routed <> Some level then begin
+      (match (level : Hier.Level.t) with
+      | Hier.Level.L1 ->
+        Sim.Kernel.set_gated kernel ~name:"tlm2-bus" ~gated:true;
+        Sim.Kernel.set_gated kernel ~name:"tlm1-bus" ~gated:false
+      | Hier.Level.L2 ->
+        Sim.Kernel.set_gated kernel ~name:"tlm1-bus" ~gated:true;
+        Sim.Kernel.set_gated kernel ~name:"tlm2-bus" ~gated:false
+      | Hier.Level.Rtl -> ());
+      routed := Some level;
+      active := port_of level
+    end
+  in
+  let last_seen = ref (-1) in
+  let port =
+    {
+      Ec.Port.try_submit =
+        (fun txn ->
+          (* try_submit repeats while the bus is busy; route and account
+             each transaction once, on first sight. *)
+          if txn.Ec.Txn.id <> !last_seen then begin
+            last_seen := txn.Ec.Txn.id;
+            feed_cal ();
+            let level =
+              Hier.Engine.Live.next_level session ~addr:txn.Ec.Txn.addr
+            in
+            route level;
+            if calibrate && level = Hier.Level.L1 then pending_cal := Some txn
+          end;
+          !active.Ec.Port.try_submit txn);
+      poll = (fun id -> !active.Ec.Port.poll id);
+      retire = (fun id -> !active.Ec.Port.retire id);
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    feed_cal ();
+    let s = Hier.Engine.Live.finish session in
+    let wall_seconds = Unix.gettimeofday () -. t0 in
+    {
+      splice = s;
+      cycles = s.Hier.Splice.total_cycles;
+      txns = s.Hier.Splice.total_txns;
+      beats = s.Hier.Splice.total_beats;
+      errors = s.Hier.Splice.total_errors;
+      bus_pj = s.Hier.Splice.total_bus_pj;
+      component_pj = s.Hier.Splice.total_component_pj;
+      switches = s.Hier.Splice.switches;
+      wall_seconds;
+      final_system = None;
+    }
+  in
+  { kernel; port; platform; session; finish }

@@ -80,6 +80,8 @@ val run_adaptive :
   ?table:Power.Characterization.t ->
   ?rtl_params:Rtl.Params.t ->
   ?l2_params:Tlm2.Energy.params ->
+  ?extra_slaves:Ec.Slave.t list ->
+  ?peripheral_clock:[ `Running | `Gated ] ->
   ?mode:Soc.Trace_master.mode ->
   ?max_cycles:int ->
   ?init:(System.t -> unit) ->
@@ -90,8 +92,9 @@ val run_adaptive :
   adaptive_run
 (** Mixed-level replay: {!Hier.Engine} partitions the trace into windows
     per [policy], runs each window on a fresh system at the decided
-    level (same configuration arguments as {!run_trace}), hands the
-    memory state across each quiesced switch point and splices the
+    level (same configuration arguments as {!run_trace}; [extra_slaves]
+    and [peripheral_clock] reach every window's {!System.create}), hands
+    the memory state across each quiesced switch point and splices the
     per-window energies.  [max_cycles] bounds each window.  With a
     {!Hier.Policy.constant} policy the single window is driven exactly
     like {!run_trace} at that level: cycles, transaction counts and
@@ -101,6 +104,54 @@ val run_adaptive :
     sink's timeline base so bus events from each fresh kernel land on
     the spliced timeline, and brackets each window with
     [Window_open]/[Window_close] events (see {!Hier.Engine.run}). *)
+
+type live = {
+  kernel : Sim.Kernel.t;  (** the one kernel every level shares *)
+  port : Ec.Port.t;
+      (** the switching master port: drive any bus master through it *)
+  platform : Soc.Platform.t;
+  session : Hier.Engine.Live.t;
+  finish : unit -> adaptive_run;
+      (** call once, after the driving master has drained (its
+          [final_system] is always [None]: the session owns no
+          {!System.t}) *)
+}
+
+val live_adaptive :
+  ?table:Power.Characterization.t ->
+  ?l2_params:Tlm2.Energy.params ->
+  ?budget:(Level.t -> float) ->
+  ?sink:Obs.Sink.t ->
+  ?extra_slaves:Ec.Slave.t list ->
+  ?peripheral_clock:[ `Running | `Gated ] ->
+  ?calibrate:bool ->
+  policy:Hier.Policy.t ->
+  unit ->
+  live
+(** A mixed-level session for {e generated} traffic (DESIGN.md
+    section 12): one shared kernel carries a platform plus a bus
+    front-end per level ([Rtl] is not available live), and the returned
+    {!live.port} routes each submitted transaction through the level a
+    {!Hier.Engine.Live} session decides — so a master (the JCVM adapter,
+    a CPU) can run a workload whose future depends on read results while
+    still paying layer-1 cost only inside refined windows.  Cycle and
+    transaction counts are bit-identical to running the same master
+    against a single fixed-level system.
+
+    [peripheral_clock] defaults to [`Gated]: exploration traffic never
+    reaches the peripherals, so their per-cycle processes are parked on
+    the gated clock tree (pass [`Running] to keep timers/UART/leakage
+    live).
+
+    [calibrate] (default [true]) enables hierarchical in-run calibration
+    of the layer-2 lump parameters: during refined windows each
+    completed transaction is replayed into scratch layer-2 models, and
+    at every refined-window close the scale [f = (E_L1 - X) / A] —
+    measured layer-1 energy against the traffic-driven ([X]) and
+    assumption-driven ([A]) parts of the layer-2 estimate — rescales the
+    {!Tlm2.Energy} parameters ({!Tlm2.Energy.set_params}) for the fast
+    windows that follow.  The blend is latest-window-dominant so the
+    calibration tracks workload phases. *)
 
 type program_run = {
   result : result;
@@ -129,9 +180,22 @@ val run_program :
     writes a waveform dump of the run (gate-level systems only:
     @raise Invalid_argument otherwise). *)
 
-val capture_cpu_trace : ?max_cycles:int -> Soc.Asm.program -> Ec.Trace.t
+val capture_cpu_trace :
+  ?icache_lines:int -> ?max_cycles:int -> Soc.Asm.program -> Ec.Trace.t
 (** The paper's tracing step: runs the program on the gate-level system
-    with a bus monitor and returns the recorded transaction trace. *)
+    with a bus monitor and returns the recorded transaction trace.
+    [icache_lines] puts an instruction cache between the CPU and the
+    monitor, so the trace is the post-cache bus traffic of that cache
+    configuration. *)
+
+val capture_with_icache :
+  ?icache_lines:int ->
+  ?max_cycles:int ->
+  Soc.Asm.program ->
+  Ec.Trace.t * Soc.Icache.t option
+(** {!capture_cpu_trace} plus the capture run's cache (its hit/miss
+    counters and energy), for studies that replay the trace but report
+    the cache's figures — {!Cache_study} with a policy. *)
 
 val characterize :
   ?rtl_params:Rtl.Params.t ->

@@ -12,9 +12,11 @@ type t = {
 
 let create ?(level = Level.L1) ?(estimate = true) ?(record_profile = false)
     ?(table = Power.Characterization.default) ?rtl_params ?l2_params ?seed
-    ?extra_slaves ?sink () =
+    ?extra_slaves ?peripheral_clock ?sink () =
   let kernel = Sim.Kernel.create () in
-  let platform = Soc.Platform.create ~kernel ?seed ?extra_slaves () in
+  let platform =
+    Soc.Platform.create ~kernel ?seed ?extra_slaves ?peripheral_clock ()
+  in
   let decoder = Soc.Platform.decoder platform in
   let bus =
     match level with

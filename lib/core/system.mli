@@ -17,10 +17,16 @@ val create :
   ?l2_params:Tlm2.Energy.params ->
   ?seed:int ->
   ?extra_slaves:Ec.Slave.t list ->
+  ?peripheral_clock:[ `Running | `Gated ] ->
   ?sink:Obs.Sink.t ->
   unit ->
   t
-(** [sink] attaches the instrumentation sink to whichever bus model the
+(** [peripheral_clock] is forwarded to {!Soc.Platform.create}: [`Gated]
+    freezes the peripherals' per-cycle processes (and their leakage
+    meters) while keeping every slave bus-addressable — the cheap
+    platform for bus-only workloads.
+
+    [sink] attaches the instrumentation sink to whichever bus model the
     level selects; the bus then records transaction lifecycle events and
     metrics on it.  Without it the buses skip instrumentation entirely.
 

@@ -122,3 +122,174 @@ let run ?budget ?sink ~ops ~policy trace =
     i := stop
   done;
   { splice = Splice.splice ?budget (List.rev !segs_rev); last_system = !prev_sys }
+
+module Live = struct
+  type t = {
+    policy : Policy.t;
+    budget : (Level.t -> float) option;
+    sink : Obs.Sink.t option;
+    measure : Level.t -> stats;
+    now : (unit -> int) option;
+    on_close : (Splice.seg -> unit) option;
+    min_window : int;
+    max_window : int;
+    mutable started : bool;
+    mutable cur_level : Level.t;
+    mutable prev_level : Level.t option;
+    mutable open_snap : stats;
+    mutable win_len : int;
+    mutable total_txns : int;
+    mutable window : int;
+    mutable txns_per_kcycle : float;
+    mutable pj_per_cycle : float;
+    mutable segs_rev : Splice.seg list;
+    mutable switch_count : int;
+    needs_cycle : bool;
+    mutable decide_win : txn_index:int -> addr:int -> cycle:int -> Level.t;
+  }
+
+  let zero_stats =
+    {
+      cycles = 0;
+      txns = 0;
+      beats = 0;
+      errors = 0;
+      bus_pj = 0.0;
+      component_pj = 0.0;
+      profile = None;
+    }
+
+  let diff a b =
+    {
+      cycles = b.cycles - a.cycles;
+      txns = b.txns - a.txns;
+      beats = b.beats - a.beats;
+      errors = b.errors - a.errors;
+      bus_pj = b.bus_pj -. a.bus_pj;
+      component_pj = b.component_pj -. a.component_pj;
+      profile = None;
+    }
+
+  let create ?budget ?sink ?now ?on_close ~policy ~measure () =
+    let min_window, max_window =
+      match (policy : Policy.t) with
+      | Policy.Constant _ -> (max_int, max_int)
+      | Policy.Script _ -> (1, max_int)
+      | Policy.Triggered { min_window; max_window; _ } ->
+        (min_window, Option.value max_window ~default:max_int)
+    in
+    {
+      policy;
+      budget;
+      sink;
+      measure;
+      now;
+      on_close;
+      min_window;
+      max_window;
+      started = false;
+      cur_level = Level.L1;
+      prev_level = None;
+      open_snap = zero_stats;
+      win_len = 0;
+      total_txns = 0;
+      window = 0;
+      txns_per_kcycle = 0.0;
+      pj_per_cycle = 0.0;
+      segs_rev = [];
+      switch_count = 0;
+      needs_cycle = Policy.needs_cycle policy;
+      decide_win =
+        Policy.compile_window policy ~txns_per_kcycle:0.0 ~pj_per_cycle:0.0;
+    }
+
+  let close_window t =
+    if t.win_len > 0 then begin
+      let now = t.measure t.cur_level in
+      let d = diff t.open_snap now in
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.window_close s ~cycle:now.cycles ~index:t.window
+          ~level:(Level.to_code t.cur_level) ~beats:d.beats ~pj:d.bus_pj;
+        Obs.Sink.energy_sample s ~cycle:now.cycles ~pj:d.bus_pj);
+      if d.cycles > 0 then begin
+        t.txns_per_kcycle <-
+          float_of_int d.txns *. 1000.0 /. float_of_int d.cycles;
+        t.pj_per_cycle <- d.bus_pj /. float_of_int d.cycles;
+        (* Rates feed the rate triggers; recompile the window decision
+           function they are baked into. *)
+        t.decide_win <-
+          Policy.compile_window t.policy ~txns_per_kcycle:t.txns_per_kcycle
+            ~pj_per_cycle:t.pj_per_cycle
+      end;
+      let seg =
+        {
+          Splice.level = t.cur_level;
+          cycles = d.cycles;
+          txns = d.txns;
+          beats = d.beats;
+          errors = d.errors;
+          bus_pj = d.bus_pj;
+          component_pj = d.component_pj;
+          profile = None;
+        }
+      in
+      t.segs_rev <- seg :: t.segs_rev;
+      t.window <- t.window + 1;
+      t.win_len <- 0;
+      match t.on_close with None -> () | Some f -> f seg
+    end
+
+  let open_window t level =
+    let snap = t.measure level in
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      (match t.prev_level with
+      | Some prev when prev <> level ->
+        Obs.Sink.level_switch s ~cycle:snap.cycles ~index:t.window
+          ~prev:(Level.to_code prev) ~next:(Level.to_code level)
+      | Some _ | None -> ());
+      Obs.Sink.window_open s ~cycle:snap.cycles ~index:t.window
+        ~level:(Level.to_code level));
+    (match t.prev_level with
+    | Some prev when prev <> level -> t.switch_count <- t.switch_count + 1
+    | Some _ | None -> ());
+    t.prev_level <- Some level;
+    t.cur_level <- level;
+    t.open_snap <- snap
+
+  let next_level t ~addr =
+    let cycle =
+      if (not t.needs_cycle) || not t.started then 0
+      else
+        match t.now with
+        | Some f -> f ()
+        | None -> (t.measure t.cur_level).cycles
+    in
+    let want = t.decide_win ~txn_index:t.total_txns ~addr ~cycle in
+    if not t.started then begin
+      t.started <- true;
+      open_window t want
+    end
+    else if
+      t.win_len >= t.max_window
+      || (t.win_len >= t.min_window && want <> t.cur_level)
+    then begin
+      close_window t;
+      open_window t want
+    end;
+    t.total_txns <- t.total_txns + 1;
+    t.win_len <- t.win_len + 1;
+    t.cur_level
+
+  let level t = t.cur_level
+  let switches t = t.switch_count
+  let windows t = t.window + if t.win_len > 0 then 1 else 0
+  let txns t = t.total_txns
+
+  let finish t =
+    close_window t;
+    Splice.splice ?budget:t.budget (List.rev t.segs_rev)
+end

@@ -61,3 +61,77 @@ val run :
     the window's spliced start before running the segment — bus- and
     master-recorded events land on the global spliced timeline.  The
     base is restored to 0 afterwards. *)
+
+(** A live mixed-level session: the switch controller for runs where the
+    traffic is {e generated}, not replayed — e.g. a JCVM interpreter
+    pushing hardware-stack operations through a master adapter while the
+    sweep is still deciding what happens next.
+
+    Where {!run} owns the systems (one fresh kernel per window), a live
+    session owns nothing: the caller keeps {e one} shared kernel with a
+    bus front-end per level attached to it, and asks {!Live.next_level}
+    before every transaction which front-end to route it through.  The
+    session does the policy bookkeeping — window lengths, level
+    decisions, per-window measurement diffs — and {!Live.finish} splices
+    the windows exactly as the trace engine would.
+
+    Because every level shares the one kernel, all windows already live
+    on a single timeline: sink events are recorded at true kernel cycles
+    and no {!Obs.Sink.set_base} shifting happens (contrast with {!run}).
+    Per-window figures are differences of the [measure] snapshots taken
+    when the window opens and closes, so [measure] must report
+    {e cumulative} counters for the requested level plus the shared
+    global cycle count. *)
+module Live : sig
+  type t
+
+  val create :
+    ?budget:(Level.t -> float) ->
+    ?sink:Obs.Sink.t ->
+    ?now:(unit -> int) ->
+    ?on_close:(Splice.seg -> unit) ->
+    policy:Policy.t ->
+    measure:(Level.t -> stats) ->
+    unit ->
+    t
+  (** [measure level] must return the cumulative traffic and energy
+      counters of [level]'s bus front-end, with [cycles] the shared
+      kernel's current cycle (identical whichever level is asked).
+      [budget] is passed to {!Splice.splice} at {!finish}.
+
+      [now] is the cheap clock for per-transaction policy observations
+      (cycle-window and rate triggers).  Without it the session derives
+      the cycle from a full [measure] snapshot on every transaction —
+      correct, but [measure] typically sums energy meters, so pass the
+      kernel's own counter when the policy is consulted per transaction
+      on a hot path.
+
+      [on_close] is invoked with each window's segment the moment the
+      window closes — the hook live calibration hangs off: a refined
+      window's measured energy re-derives the fast level's lump
+      parameters before the next fast window opens. *)
+
+  val next_level : t -> addr:int -> Level.t
+  (** Ask which level simulates the next transaction (to [addr]).  May
+      close the current window and open a new one first — at a level
+      switch once the window has [min_window] transactions, or
+      unconditionally at [max_window] (mirroring {!run}'s window
+      splitting).  The caller routes the transaction through the
+      returned level's front-end before calling again. *)
+
+  val level : t -> Level.t
+  (** The level of the currently open window. *)
+
+  val switches : t -> int
+  (** Completed adjacent window pairs that changed level. *)
+
+  val windows : t -> int
+  (** Windows opened so far, including the currently open one. *)
+
+  val txns : t -> int
+  (** Transactions routed so far. *)
+
+  val finish : t -> Splice.t
+  (** Close the open window and splice.  Call once, after the last
+      transaction has completed on the bus. *)
+end

@@ -1,6 +1,8 @@
 type trigger =
   | Addr_range of { lo : int; hi : int; level : Level.t }
   | Cycle_window of { lo : int; hi : int; level : Level.t }
+  | Txn_window of { lo : int; hi : int; level : Level.t }
+  | Every of { period : int; length : int; level : Level.t }
   | Txn_rate_above of { txns_per_kcycle : float; level : Level.t }
   | Energy_rate_above of { pj_per_cycle : float; level : Level.t }
 
@@ -43,6 +45,8 @@ let triggered ?(min_window = 1) ?max_window ~base triggers =
 let trigger_fires obs = function
   | Addr_range { lo; hi; _ } -> obs.addr >= lo && obs.addr < hi
   | Cycle_window { lo; hi; _ } -> obs.cycle >= lo && obs.cycle < hi
+  | Txn_window { lo; hi; _ } -> obs.txn_index >= lo && obs.txn_index < hi
+  | Every { period; length; _ } -> obs.txn_index mod period < length
   | Txn_rate_above { txns_per_kcycle; _ } ->
     obs.txns_per_kcycle > txns_per_kcycle
   | Energy_rate_above { pj_per_cycle; _ } -> obs.pj_per_cycle > pj_per_cycle
@@ -50,6 +54,8 @@ let trigger_fires obs = function
 let trigger_level = function
   | Addr_range { level; _ }
   | Cycle_window { level; _ }
+  | Txn_window { level; _ }
+  | Every { level; _ }
   | Txn_rate_above { level; _ }
   | Energy_rate_above { level; _ } -> level
 
@@ -71,6 +77,50 @@ let decide t obs =
     | Some trig -> trigger_level trig
     | None -> base)
 
+let needs_cycle = function
+  | Constant _ | Script _ -> false
+  | Triggered { triggers; _ } ->
+    List.exists (function Cycle_window _ -> true | _ -> false) triggers
+
+let compile_window t ~txns_per_kcycle ~pj_per_cycle =
+  let const level ~txn_index:_ ~addr:_ ~cycle:_ = level in
+  match t with
+  | Constant level -> const level
+  | Script segments ->
+    fun ~txn_index ~addr:_ ~cycle:_ -> script_level segments txn_index
+  | Triggered { base; triggers; _ } ->
+    (* First firing trigger wins, as in [decide].  Rate triggers compare
+       against the previous window's rates, so within one window each
+       either always fires (a constant decision shadowing the rest of
+       the list) or never (dropped). *)
+    let rec build = function
+      | [] -> const base
+      | trigger :: rest -> (
+        let tail = build rest in
+        match trigger with
+        | Addr_range { lo; hi; level } ->
+          fun ~txn_index ~addr ~cycle ->
+            if addr >= lo && addr < hi then level
+            else tail ~txn_index ~addr ~cycle
+        | Cycle_window { lo; hi; level } ->
+          fun ~txn_index ~addr ~cycle ->
+            if cycle >= lo && cycle < hi then level
+            else tail ~txn_index ~addr ~cycle
+        | Txn_window { lo; hi; level } ->
+          fun ~txn_index ~addr ~cycle ->
+            if txn_index >= lo && txn_index < hi then level
+            else tail ~txn_index ~addr ~cycle
+        | Every { period; length; level } ->
+          fun ~txn_index ~addr ~cycle ->
+            if txn_index mod period < length then level
+            else tail ~txn_index ~addr ~cycle
+        | Txn_rate_above { txns_per_kcycle = threshold; level } ->
+          if txns_per_kcycle > threshold then const level else tail
+        | Energy_rate_above { pj_per_cycle = threshold; level } ->
+          if pj_per_cycle > threshold then const level else tail)
+    in
+    build triggers
+
 let to_string = function
   | Constant level -> Printf.sprintf "constant(%s)" (Level.to_string level)
   | Script segments ->
@@ -83,3 +133,23 @@ let to_string = function
     Printf.sprintf "triggered(base=%s, %d triggers, window=%d..%s)"
       (Level.to_string base) (List.length triggers) min_window
       (match max_window with Some m -> string_of_int m | None -> "inf")
+
+let for_exploration ?(warmup = 512) ?(period = 768) ?(refine = 192)
+    ?(refine_above = 8.0) ?(min_window = 64) ?(max_window = 512)
+    ?(sensitive = []) () =
+  if warmup < 0 then invalid_arg "Hier.Policy.for_exploration: warmup < 0";
+  if period < 1 then invalid_arg "Hier.Policy.for_exploration: period < 1";
+  if refine < 0 || refine > period then
+    invalid_arg "Hier.Policy.for_exploration: refine outside [0, period]";
+  let refinements =
+    List.map
+      (fun (lo, hi) -> Addr_range { lo; hi; level = Level.L1 })
+      sensitive
+    @ (if warmup > 0 then
+         [ Txn_window { lo = 0; hi = warmup; level = Level.L1 } ]
+       else [])
+    @ (if refine > 0 then [ Every { period; length = refine; level = Level.L1 } ]
+       else [])
+    @ [ Energy_rate_above { pj_per_cycle = refine_above; level = Level.L1 } ]
+  in
+  triggered ~min_window ~max_window ~base:Level.L2 refinements

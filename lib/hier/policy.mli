@@ -22,6 +22,13 @@ type trigger =
       (** Fires while the cumulative cycle count lies in [\[lo, hi)].
           Evaluated at window boundaries only, so its edges are as sharp
           as the surrounding windows ([max_window] bounds the slack). *)
+  | Txn_window of { lo : int; hi : int; level : Level.t }
+      (** Fires while the next transaction's index lies in [\[lo, hi)] —
+          a position-scheduled refinement, e.g. a warm-up window. *)
+  | Every of { period : int; length : int; level : Level.t }
+      (** Fires while [txn_index mod period < length]: periodic
+          refinement sampling, the duty-cycled probe that keeps an
+          adaptive run's fast windows calibrated. *)
   | Txn_rate_above of { txns_per_kcycle : float; level : Level.t }
       (** Fires when the previous window's transaction rate exceeded the
           threshold (transactions per 1000 cycles). *)
@@ -63,5 +70,58 @@ val triggered :
     @raise Invalid_argument if [min_window < 1] or
     [max_window < min_window]. *)
 
+val for_exploration :
+  ?warmup:int ->
+  ?period:int ->
+  ?refine:int ->
+  ?refine_above:float ->
+  ?min_window:int ->
+  ?max_window:int ->
+  ?sensitive:(int * int) list ->
+  unit ->
+  t
+(** The exploration preset (DESIGN.md section 12): layer 2 as the base
+    sweep level, refined to layer 1
+
+    - for the first [warmup] transactions (default 512) — the
+      calibration window that seeds the layer-2 lump constants;
+    - for [refine] transactions (default 192) every [period] (default
+      768) — periodic refinement sampling that keeps the calibration
+      tracking the workload;
+    - whenever the previous window's bus power exceeded [refine_above]
+      pJ/cycle (default 8.0) — the paper's "sensitive window" rule;
+    - while the transaction address lies in one of the [sensitive]
+      [(lo, hi)] byte ranges (default none), e.g. the hardware-stack SFR
+      window when every stack access must be cycle-accurate.
+
+    [min_window]/[max_window] (defaults 64/512) bound switch overhead
+    exactly as in {!triggered}.  The defaults are tuned on the section
+    4.3 JCVM sweep: about 1.4x faster than a pure layer-1 sweep with the
+    spliced energy inside the default budgets (EXPERIMENTS.md).
+    @raise Invalid_argument if [warmup < 0], [period < 1] or [refine]
+    lies outside [\[0, period]]. *)
+
 val decide : t -> observation -> Level.t
+
+val needs_cycle : t -> bool
+(** Whether any decision depends on the current cycle (a
+    [Cycle_window] trigger exists) — callers on hot paths skip
+    reading the clock otherwise. *)
+
+val compile_window :
+  t ->
+  txns_per_kcycle:float ->
+  pj_per_cycle:float ->
+  txn_index:int ->
+  addr:int ->
+  cycle:int ->
+  Level.t
+(** [compile_window t ~txns_per_kcycle ~pj_per_cycle] partially
+    evaluates the policy for one window: rate triggers compare against
+    the {e previous} window's rates, so their verdicts are fixed for the
+    whole window and the returned function decides from the three
+    per-transaction integers alone — no observation record, no float
+    compares on the per-transaction path.  Agrees with {!decide} on
+    every observation carrying the same rates. *)
+
 val to_string : t -> string

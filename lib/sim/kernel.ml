@@ -1,4 +1,4 @@
-type process = { name : string; body : t -> unit }
+type process = { name : string; body : t -> unit; mutable gated : bool }
 
 and t = {
   mutable now : int;
@@ -26,20 +26,33 @@ let create () =
 let now k = k.now
 
 let on_rising k ~name body =
-  k.rising_rev <- { name; body } :: k.rising_rev;
+  k.rising_rev <- { name; body; gated = false } :: k.rising_rev;
   k.dirty <- true
 
 let on_falling k ~name body =
-  k.falling_rev <- { name; body } :: k.falling_rev;
+  k.falling_rev <- { name; body; gated = false } :: k.falling_rev;
   k.dirty <- true
+
+let set_gated k ~name ~gated =
+  let hit = ref false in
+  let apply p =
+    if p.name = name && p.gated <> gated then begin
+      p.gated <- gated;
+      hit := true
+    end
+  in
+  List.iter apply k.rising_rev;
+  List.iter apply k.falling_rev;
+  if !hit then k.dirty <- true
 
 let stop k = k.stop_requested <- true
 let stopped k = k.stop_requested
 
 let refresh k =
   if k.dirty then begin
-    k.rising <- Array.of_list (List.rev k.rising_rev);
-    k.falling <- Array.of_list (List.rev k.falling_rev);
+    let live l = List.filter (fun p -> not p.gated) (List.rev l) in
+    k.rising <- Array.of_list (live k.rising_rev);
+    k.falling <- Array.of_list (live k.falling_rev);
     k.dirty <- false
   end
 
@@ -79,6 +92,5 @@ let run_until k ?(max_cycles = 1_000_000) done_ =
   loop ()
 
 let process_names k =
-  refresh k;
-  List.map (fun p -> p.name) (Array.to_list k.rising)
-  @ List.map (fun p -> p.name) (Array.to_list k.falling)
+  List.map (fun p -> p.name) (List.rev k.rising_rev)
+  @ List.map (fun p -> p.name) (List.rev k.falling_rev)

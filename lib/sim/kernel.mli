@@ -26,6 +26,15 @@ val on_rising : t -> name:string -> (t -> unit) -> unit
 val on_falling : t -> name:string -> (t -> unit) -> unit
 (** Same as {!on_rising} for the falling edge. *)
 
+val set_gated : t -> name:string -> gated:bool -> unit
+(** [set_gated k ~name ~gated] gates (or un-gates) the clock of every
+    process registered under [name]: a gated process is skipped by
+    {!step} until un-gated, keeping its registration slot — edge and
+    order are unchanged when the clock comes back.  Gating a quiescent
+    process is behaviour-neutral; the adaptive live sessions use it to
+    stop paying for the inactive bus front-end's idle ticks.  Unknown
+    names are ignored. *)
+
 val stop : t -> unit
 (** [stop k] requests run termination; the current cycle still completes. *)
 

@@ -37,7 +37,16 @@ type t = {
   decoder : Ec.Decoder.t;
 }
 
-let create ~kernel ?(seed = 0x0C0FFEE) ?(extra_slaves = []) () =
+let create ~kernel ?(seed = 0x0C0FFEE) ?(extra_slaves = [])
+    ?(peripheral_clock = `Running) () =
+  (* Gating registers every peripheral's per-cycle process on a private
+     kernel that is never stepped: zero simulation cost, frozen
+     timers/leakage, bus-facing behaviour unchanged. *)
+  let kernel =
+    match peripheral_clock with
+    | `Running -> kernel
+    | `Gated -> Sim.Kernel.create ()
+  in
   let cfg = Ec.Slave_cfg.make in
   let intc =
     Intc.create ~kernel (cfg ~name:"intc" ~base:Map.intc_base ~size:0x10 ())

@@ -48,11 +48,20 @@ val create :
   kernel:Sim.Kernel.t ->
   ?seed:int ->
   ?extra_slaves:Ec.Slave.t list ->
+  ?peripheral_clock:[ `Running | `Gated ] ->
   unit ->
   t
 (** [seed] derives the TRNG and crypto-mask random streams (vary it when
     simulating many card instances); [extra_slaves] join the address map
-    (e.g. the JCVM stack SFRs). *)
+    (e.g. the JCVM stack SFRs).
+
+    [peripheral_clock] (default [`Running]) picks the clock tree the
+    peripherals' per-cycle processes run on.  [`Gated] registers them on
+    a private kernel that never steps — the power-aware card's clock
+    gating: timers do not count, the UART does not shift, leakage meters
+    freeze — while every slave still answers bus transactions normally.
+    Bus-only workloads (the adaptive exploration sweeps) gate the
+    peripherals to stop paying their per-cycle simulation cost. *)
 
 val rom : t -> Memory.t
 val ram : t -> Memory.t

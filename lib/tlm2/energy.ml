@@ -19,7 +19,7 @@ let default_params =
   }
 
 type t = {
-  p : params;
+  mutable p : params;
   table : Power.Characterization.t;
   avg_addr : float;
   avg_wdata : float;
@@ -40,6 +40,8 @@ let create ?(record_profile = false) ?(params = default_params) table =
     avg_ctrl = Power.Characterization.avg_ctrl_bit table;
     meter = Power.Meter.create ~record_profile ();
   }
+
+let set_params t params = t.p <- params
 
 let address_phase_pj t (txn : Ec.Txn.t) =
   let p = t.p in

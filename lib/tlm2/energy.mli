@@ -41,6 +41,12 @@ type t
 val create :
   ?record_profile:bool -> ?params:params -> Power.Characterization.t -> t
 
+val set_params : t -> params -> unit
+(** Replaces the boundary-assumption parameters for energy estimated from
+    now on; already-accumulated energy is untouched.  The hierarchical
+    calibration of adaptive runs uses this to re-derive the lump
+    constants from refined windows mid-run (DESIGN.md section 12). *)
+
 val address_phase_pj : t -> Ec.Txn.t -> float
 (** Lump estimate of one finished address phase (also accumulates it). *)
 

@@ -1,0 +1,272 @@
+(* Adaptive design-space exploration (DESIGN.md section 12): the live
+   mixed-level session behind Exploration's ~policy path, its acceptance
+   contract against the fixed-level sweep, and the renderer's marking
+   rules. *)
+
+let fib = Jcvm.Applets.fib
+let config () = List.hd Jcvm.Configs.standard
+
+(* The degenerate policy: a constant-L1 session must reproduce the
+   fixed-level row bit for bit — energy included, because the very same
+   layer-1 front-end simulates every transaction. *)
+let test_constant_policy_bit_exact () =
+  let config = config () in
+  let fixed = Core.Exploration.run_one ~level:Core.Level.L1 ~config fib in
+  let pinned =
+    Core.Exploration.run_one
+      ~policy:(Hier.Policy.constant Hier.Level.L1)
+      ~config fib
+  in
+  Alcotest.(check int) "cycles" fixed.Core.Exploration.cycles
+    pinned.Core.Exploration.cycles;
+  Alcotest.(check int)
+    "transactions" fixed.Core.Exploration.transactions
+    pinned.Core.Exploration.transactions;
+  Alcotest.(check (option int))
+    "value" fixed.Core.Exploration.value pinned.Core.Exploration.value;
+  Alcotest.(check bool)
+    "correct" fixed.Core.Exploration.correct pinned.Core.Exploration.correct;
+  Alcotest.(check (float 0.0))
+    "bus energy" fixed.Core.Exploration.bus_pj pinned.Core.Exploration.bus_pj;
+  Alcotest.(check bool)
+    "carries provenance"
+    (pinned.Core.Exploration.provenance <> None)
+    true
+
+(* The exploration preset: functional fields bit-identical to the pure
+   layer-1 sweep, spliced energy within the declared budget of the
+   layer-1 figure.  This is the acceptance contract the whole adaptive
+   sweep rides on. *)
+let test_adaptive_sweep_acceptance () =
+  let applets = [ fib ] in
+  let l1 = Core.Exploration.run ~level:Core.Level.L1 ~applets () in
+  let ad =
+    Core.Exploration.run ~policy:(Hier.Policy.for_exploration ()) ~applets ()
+  in
+  Alcotest.(check int) "same grid" (List.length l1) (List.length ad);
+  List.iter2
+    (fun (a : Core.Exploration.row) (b : Core.Exploration.row) ->
+      let name = a.Core.Exploration.config.Jcvm.Configs.name in
+      Alcotest.(check string)
+        "row order" name b.Core.Exploration.config.Jcvm.Configs.name;
+      Alcotest.(check int)
+        (name ^ " cycles") a.Core.Exploration.cycles b.Core.Exploration.cycles;
+      Alcotest.(check int)
+        (name ^ " transactions") a.Core.Exploration.transactions
+        b.Core.Exploration.transactions;
+      Alcotest.(check (option int))
+        (name ^ " value") a.Core.Exploration.value b.Core.Exploration.value;
+      Alcotest.(check bool)
+        (name ^ " correct") a.Core.Exploration.correct
+        b.Core.Exploration.correct;
+      match b.Core.Exploration.provenance with
+      | None -> Alcotest.fail (name ^ ": adaptive row without provenance")
+      | Some splice ->
+        let err, within =
+          Hier.Splice.error_vs_reference splice
+            ~reference_pj:a.Core.Exploration.bus_pj
+        in
+        if not within then
+          Alcotest.failf "%s: spliced energy %.1f pJ off by %.1f, budget %.1f"
+            name b.Core.Exploration.bus_pj err
+            splice.Hier.Splice.error_bound_pj)
+    l1 ad
+
+(* Provenance bookkeeping: the windows are a partition of the row — the
+   per-window energies sum to the row's bus_pj and the per-window
+   transaction counts to the row's transaction count. *)
+let test_provenance_sums () =
+  let row =
+    Core.Exploration.run_one
+      ~policy:(Hier.Policy.for_exploration ())
+      ~config:(config ()) fib
+  in
+  match row.Core.Exploration.provenance with
+  | None -> Alcotest.fail "adaptive row without provenance"
+  | Some splice ->
+    let pj =
+      List.fold_left
+        (fun acc (w : Hier.Splice.window) -> acc +. w.Hier.Splice.bus_pj)
+        0.0 splice.Hier.Splice.windows
+    in
+    let txns =
+      List.fold_left
+        (fun acc (w : Hier.Splice.window) -> acc + w.Hier.Splice.txns)
+        0 splice.Hier.Splice.windows
+    in
+    Alcotest.(check (float 1e-6))
+      "window energies sum to the row" row.Core.Exploration.bus_pj pj;
+    Alcotest.(check (float 1e-6))
+      "splice total agrees" row.Core.Exploration.bus_pj
+      splice.Hier.Splice.total_bus_pj;
+    Alcotest.(check int)
+      "window txns sum to the row" row.Core.Exploration.transactions txns
+
+(* run_one refuses a contradictory request. *)
+let test_level_policy_exclusive () =
+  Alcotest.check_raises "both ~level and ~policy"
+    (Invalid_argument "Core.Exploration.run_one: pass either ~level or ~policy")
+    (fun () ->
+      ignore
+        (Core.Exploration.run_one ~level:Core.Level.L1
+           ~policy:(Hier.Policy.constant Hier.Level.L1)
+           ~config:(config ()) fib))
+
+(* Renderer marking rules on a synthetic group: the cheapest correct row
+   gets "*", wrong rows get "!", and a wrong row is never best even when
+   its energy is the lowest of the group. *)
+let render_rows () =
+  let mk name bus_pj correct : Core.Exploration.row =
+    let config =
+      List.find (fun c -> c.Jcvm.Configs.name = name) Jcvm.Configs.standard
+    in
+    {
+      Core.Exploration.config;
+      applet = "synthetic";
+      level = Core.Level.L1;
+      cycles = 100;
+      bus_pj;
+      transactions = 10;
+      steps = 5;
+      value = Some 42;
+      correct;
+      provenance = None;
+    }
+  in
+  [
+    mk "w8-dedicated" 50.0 false;
+    (* wrong AND cheapest: must not be best *)
+    mk "w16-dedicated" 80.0 true;
+    mk "w32-plain" 90.0 true;
+  ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let test_render_marks () =
+  let rendered = Core.Exploration.render (render_rows ()) in
+  Alcotest.(check bool)
+    "wrong row flagged" true
+    (contains ~sub:"! w8-dedicated" rendered);
+  Alcotest.(check bool)
+    "cheapest correct row is best" true
+    (contains ~sub:"* w16-dedicated" rendered);
+  (* The wrong row must not carry the best marker even though 50 < 80. *)
+  Alcotest.(check bool)
+    "wrong row never best" false
+    (contains ~sub:"* w8-dedicated" rendered)
+
+(* compile_window agrees with decide for every trigger shape, including
+   the two scheduling triggers the exploration preset is built from. *)
+let test_compile_window_agrees () =
+  let policies =
+    [
+      Hier.Policy.constant Hier.Level.L2;
+      Hier.Policy.script [ (10, Hier.Level.L2); (5, Hier.Level.L1) ];
+      Hier.Policy.triggered ~base:Hier.Level.L2
+        [
+          Hier.Policy.Txn_window { lo = 0; hi = 8; level = Hier.Level.L1 };
+          Hier.Policy.Every { period = 16; length = 4; level = Hier.Level.L1 };
+          Hier.Policy.Addr_range
+            { lo = 0x1000; hi = 0x2000; level = Hier.Level.L1 };
+          Hier.Policy.Cycle_window { lo = 40; hi = 60; level = Hier.Level.L1 };
+          Hier.Policy.Energy_rate_above
+            { pj_per_cycle = 4.0; level = Hier.Level.L1 };
+          Hier.Policy.Txn_rate_above
+            { txns_per_kcycle = 900.0; level = Hier.Level.L1 };
+        ];
+      Hier.Policy.for_exploration ~warmup:4 ~period:8 ~refine:2 ();
+    ]
+  in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun (txns_per_kcycle, pj_per_cycle) ->
+          let fast =
+            Hier.Policy.compile_window policy ~txns_per_kcycle ~pj_per_cycle
+          in
+          for txn_index = 0 to 40 do
+            List.iter
+              (fun addr ->
+                List.iter
+                  (fun cycle ->
+                    let slow =
+                      Hier.Policy.decide policy
+                        {
+                          Hier.Policy.txn_index;
+                          addr;
+                          cycle;
+                          txns_per_kcycle;
+                          pj_per_cycle;
+                        }
+                    in
+                    Alcotest.(check string)
+                      (Printf.sprintf "%s @txn=%d addr=%#x cyc=%d"
+                         (Hier.Policy.to_string policy)
+                         txn_index addr cycle)
+                      (Hier.Level.to_string slow)
+                      (Hier.Level.to_string
+                         (fast ~txn_index ~addr ~cycle)))
+                  [ 0; 50; 45; 100 ])
+              [ 0x0; 0x1800; 0x2000 ]
+          done)
+        [ (0.0, 0.0); (1000.0, 10.0) ])
+    policies
+
+(* The preset validates its schedule. *)
+let test_preset_validation () =
+  let bad f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad (fun () -> Hier.Policy.for_exploration ~warmup:(-1) ());
+  bad (fun () -> Hier.Policy.for_exploration ~period:0 ());
+  bad (fun () -> Hier.Policy.for_exploration ~period:8 ~refine:9 ())
+
+(* The adaptive cache study: same knee, rows carry provenance, and the
+   captured post-cache traffic means fewer bus transactions as the cache
+   grows. *)
+let test_cache_study_adaptive () =
+  let program = Soc.Asm.assemble (Core.Test_programs.bubble_sort ~n:6) in
+  let sizes = [ None; Some 4 ] in
+  let study =
+    Core.Cache_study.run
+      ~policy:(Hier.Policy.constant Hier.Level.L1)
+      ~sizes ~name:"sort" program
+  in
+  Alcotest.(check int) "rows" 2 (List.length study.Core.Cache_study.rows);
+  List.iter
+    (fun (r : Core.Cache_study.row) ->
+      Alcotest.(check bool) "provenance" true (r.Core.Cache_study.splice <> None);
+      Alcotest.(check bool) "positive bus energy" true (r.Core.Cache_study.bus_pj > 0.0))
+    study.Core.Cache_study.rows;
+  match study.Core.Cache_study.rows with
+  | [ nocache; cached ] ->
+    Alcotest.(check bool)
+      "cache cuts bus energy" true
+      (cached.Core.Cache_study.bus_pj < nocache.Core.Cache_study.bus_pj);
+    Alcotest.(check bool)
+      "cache hits recorded" true
+      (cached.Core.Cache_study.hit_rate_pct > 0.0)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let suite =
+  [
+    Alcotest.test_case "constant policy row = fixed-level row" `Quick
+      test_constant_policy_bit_exact;
+    Alcotest.test_case "adaptive sweep: bit-exact + within budget" `Quick
+      test_adaptive_sweep_acceptance;
+    Alcotest.test_case "provenance sums to the row" `Quick test_provenance_sums;
+    Alcotest.test_case "~level and ~policy are exclusive" `Quick
+      test_level_policy_exclusive;
+    Alcotest.test_case "renderer marks best and wrong rows" `Quick
+      test_render_marks;
+    Alcotest.test_case "compile_window agrees with decide" `Quick
+      test_compile_window_agrees;
+    Alcotest.test_case "for_exploration validates its schedule" `Quick
+      test_preset_validation;
+    Alcotest.test_case "cache study over the adaptive route" `Quick
+      test_cache_study_adaptive;
+  ]
