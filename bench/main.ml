@@ -210,6 +210,35 @@ let bench_obs_overhead =
         (Staged.stage (instrumented Core.Level.L1));
     ]
 
+(* Session pooling: the same replay with a session rebuilt from scratch
+   every iteration versus drawn from a persistent pool and reset in
+   place, plus the full exploration grid swept fresh-per-cell versus on
+   the sweep's internal pool (one reset session per configuration shape,
+   reused across applets).  The fresh/pooled gap is the per-run setup
+   cost the pool eliminates; the grid pair is the wall-clock acceptance
+   ratio tracked in EXPERIMENTS.md. *)
+let bench_pool =
+  let trace = Core.Workloads.table3_trace ~n:64 in
+  let fresh level () =
+    ignore (Core.Runner.run_trace ~level ~mode:`Serial trace)
+  in
+  let pool = Core.Pool.create () in
+  let pooled level () =
+    ignore (Core.Runner.run_trace ~level ~mode:`Serial ~pool trace)
+  in
+  let grid use_pool () =
+    ignore (Core.Exploration.run ~domains:1 ~pool:use_pool ())
+  in
+  Test.make_grouped ~name:"pool/sessions"
+    [
+      Test.make ~name:"l1-64txn-fresh-build" (Staged.stage (fresh Core.Level.L1));
+      Test.make ~name:"l1-64txn-pooled-reset" (Staged.stage (pooled Core.Level.L1));
+      Test.make ~name:"rtl-64txn-fresh-build" (Staged.stage (fresh Core.Level.Rtl));
+      Test.make ~name:"rtl-64txn-pooled-reset" (Staged.stage (pooled Core.Level.Rtl));
+      Test.make ~name:"explore-grid-fresh" (Staged.stage (grid false));
+      Test.make ~name:"explore-grid-pooled" (Staged.stage (grid true));
+    ]
+
 (* Reduced end-to-end pass over the observability layer for the smoke
    alias: run instrumented, export Chrome JSON, parse it back. *)
 let print_obs_smoke () =
@@ -227,6 +256,30 @@ let print_obs_smoke () =
       (String.length json)
   | Error e -> Printf.printf "chrome export does NOT parse: %s\n" e);
   print_endline (Core.Report.metrics (Obs.Sink.metrics sink))
+
+(* Session-pool smoke: one reduced exploration grid swept fresh and
+   pooled, checked row-for-row identical, with the wall-clock ratio
+   printed so a pooling regression is visible in every runtest log. *)
+let print_pool_smoke () =
+  section "Session-pool smoke (pooled sweep = fresh sweep)";
+  let applets = [ Jcvm.Applets.fib; Jcvm.Applets.gcd ] in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let fresh, fresh_s =
+    timed (fun () -> Core.Exploration.run ~applets ~domains:1 ~pool:false ())
+  in
+  let pooled, pooled_s =
+    timed (fun () -> Core.Exploration.run ~applets ~domains:1 ~pool:true ())
+  in
+  Printf.printf
+    "%d grid cells: fresh %.3f s, pooled %.3f s (%.2fx); rows %s\n"
+    (List.length fresh) fresh_s pooled_s
+    (fresh_s /. Float.max 1e-9 pooled_s)
+    (if fresh = pooled then "bit-identical" else "DIFFER");
+  if fresh <> pooled then failwith "pooled sweep diverged from fresh sweep"
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -269,6 +322,7 @@ let micro_groups =
     ("figure6/profiled-run", bench_figure6);
     ("figure7/fib-applet", bench_exploration);
     ("overhead/obs", bench_obs_overhead);
+    ("pool/sessions", bench_pool);
   ]
 
 let run_micro () =
@@ -319,7 +373,8 @@ let () =
   | "smoke" ->
     print_tables ~smoke:true ();
     print_adaptive ~smoke:true ();
-    print_obs_smoke ()
+    print_obs_smoke ();
+    print_pool_smoke ()
   | "micro" -> if json then run_micro_json () else run_micro ()
   | "adaptive" -> print_adaptive ()
   | "ablations" -> print_ablations ()

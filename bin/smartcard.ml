@@ -27,6 +27,24 @@ let level_arg =
     & info [ "l"; "level" ] ~docv:"LEVEL"
         ~doc:"Abstraction level: rtl (gate-level reference), l1 or l2.")
 
+(* --pool / --no-pool: session pooling on the commands that run whole
+   simulations.  Sweeps default to pooled (rows are bit-identical either
+   way, per the Pool acceptance tests); single runs default to fresh. *)
+let pool_flag ~default =
+  Arg.(
+    value
+    & vflag default
+        [
+          ( true,
+            info [ "pool" ]
+              ~doc:
+                "Draw simulation sessions from a pool and reset them in \
+                 place instead of rebuilding (default for sweeps; results \
+                 are bit-identical either way)." );
+          ( false,
+            info [ "no-pool" ] ~doc:"Build every simulation session fresh." );
+        ])
+
 let read_file path =
   let ic = open_in path in
   Fun.protect
@@ -170,7 +188,7 @@ let explore_cmd =
              adaptive sweep back to back and print the wall-clock/energy \
              comparison table (EXPERIMENTS.md).")
   in
-  let run level applet adaptive policy compare trace_out =
+  let run level applet adaptive policy compare trace_out pool =
     let applets =
       match applet with
       | None -> Jcvm.Applets.all
@@ -195,14 +213,15 @@ let explore_cmd =
     if compare then
       print_endline
         (Core.Experiments.render_exploration_comparison
-           (Core.Experiments.run_exploration_comparison ~applets ?policy ()))
+           (Core.Experiments.run_exploration_comparison ~applets ?policy ~pool
+              ()))
     else
       let rows =
         match trace_out with
         | None -> (
           match policy with
-          | None -> Core.Exploration.run ~level ~applets ()
-          | Some policy -> Core.Exploration.run ~policy ~applets ())
+          | None -> Core.Exploration.run ~level ~applets ~pool ()
+          | Some policy -> Core.Exploration.run ~policy ~applets ~pool ())
         | Some stem ->
           (* Per-row Chrome traces: give each grid cell its own sink and
              write <stem>-<applet>-<config>.json, so one row's window
@@ -237,7 +256,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ level_arg $ applet $ adaptive $ policy $ compare
-      $ trace_out_arg)
+      $ trace_out_arg $ pool_flag ~default:true)
 
 (* --- run --- *)
 
@@ -263,12 +282,16 @@ let run_cmd =
       & info [ "vcd" ] ~docv:"FILE"
           ~doc:"Write a VCD waveform of the run (gate-level only).")
   in
-  let run level file profile_out vcd_out trace_out metrics =
+  let run level file profile_out vcd_out trace_out metrics pool =
     let program = Soc.Asm.assemble (read_file file) in
     let record_profile = profile_out <> None || trace_out <> None in
     let sink = make_sink ~trace_out ~metrics in
+    (* One run draws one session; the flag mainly proves the pooled path
+       reports the same numbers (a VCD or sink forces a fresh build). *)
+    let spool = if pool then Some (Core.Pool.create ()) else None in
     let result =
-      Core.Runner.run_program ~level ~record_profile ?vcd:vcd_out ?sink program
+      Core.Runner.run_program ~level ~record_profile ?vcd:vcd_out ?sink
+        ?pool:spool program
     in
     let r = result.Core.Runner.result in
     Printf.printf "level:        %s\n" (Core.Level.to_string level);
@@ -304,7 +327,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ level_arg $ file $ profile $ vcd $ trace_out_arg
-      $ metrics_arg)
+      $ metrics_arg $ pool_flag ~default:false)
 
 (* --- trace --- *)
 

@@ -2,26 +2,29 @@ type row = { label : string; value : float; note : string }
 
 (* Layer energy error (%) vs the gate-level reference over the accuracy
    stimulus, with a specific electrical parameter set and table. *)
-let energy_error ?(level = Level.L1) ~rtl_params ~table () =
+let energy_error ?(level = Level.L1) ?pool ~rtl_params ~table () =
   let segments = Experiments.accuracy_stimulus () in
   let total lvl =
     List.fold_left
       (fun acc (_, trace, mode, init) ->
-        let r = Runner.run_trace ~level:lvl ~rtl_params ~table ~mode ~init trace in
+        let r =
+          Runner.run_trace ~level:lvl ~rtl_params ~table ~mode ~init ?pool
+            trace
+        in
         acc +. r.Runner.bus_pj)
       0.0 segments
   in
   let reference = total Level.Rtl in
   Power.Units.pct_error ~reference (total level)
 
-let coupling_sensitivity () =
+let coupling_sensitivity ?pool () =
   List.map
     (fun ratio ->
       let rtl_params = { Rtl.Params.default with Rtl.Params.coupling_ratio = ratio } in
       let table = Runner.characterize ~rtl_params () in
       {
         label = Printf.sprintf "coupling ratio %.2f" ratio;
-        value = energy_error ~rtl_params ~table ();
+        value = energy_error ?pool ~rtl_params ~table ();
         note = (if ratio = Rtl.Params.default.Rtl.Params.coupling_ratio then "default" else "");
       })
     [ 0.0; 0.10; Rtl.Params.default.Rtl.Params.coupling_ratio; 0.40 ]
@@ -37,35 +40,36 @@ let scale_internal (p : Rtl.Params.t) k =
     leakage_pj_per_cycle = p.Rtl.Params.leakage_pj_per_cycle *. k;
   }
 
-let internal_nets_sensitivity () =
+let internal_nets_sensitivity ?pool () =
   List.map
     (fun k ->
       let rtl_params = scale_internal Rtl.Params.default k in
       let table = Runner.characterize ~rtl_params () in
       {
         label = Printf.sprintf "internal nets x%.1f" k;
-        value = energy_error ~rtl_params ~table ();
+        value = energy_error ?pool ~rtl_params ~table ();
         note = (if k = 1.0 then "default" else "");
       })
     [ 0.0; 0.5; 1.0; 2.0 ]
 
-let characterization_quality () =
+let characterization_quality ?pool () =
   let rtl_params = Rtl.Params.default in
   let derived = Runner.characterize () in
   [
     {
       label = "default capacitance table";
-      value = energy_error ~rtl_params ~table:Power.Characterization.default ();
+      value =
+        energy_error ?pool ~rtl_params ~table:Power.Characterization.default ();
       note = "top-down, pre-layout";
     };
     {
       label = "derived (gate-level) table";
-      value = energy_error ~rtl_params ~table:derived ();
+      value = energy_error ?pool ~rtl_params ~table:derived ();
       note = "the paper's Diesel flow";
     };
   ]
 
-let l2_boundary_sensitivity () =
+let l2_boundary_sensitivity ?pool () =
   let table = Runner.characterize () in
   let segments = Experiments.accuracy_stimulus () in
   List.map
@@ -78,7 +82,7 @@ let l2_boundary_sensitivity () =
           (fun acc (_, trace, mode, init) ->
             let r =
               Runner.run_trace ~level:Level.L2 ~table ~l2_params:params ~mode
-                ~init trace
+                ~init ?pool trace
             in
             acc +. r.Runner.bus_pj)
           0.0 segments
@@ -87,7 +91,8 @@ let l2_boundary_sensitivity () =
         List.fold_left
           (fun acc (_, trace, mode, init) ->
             acc
-            +. (Runner.run_trace ~level:Level.Rtl ~mode ~init trace).Runner.bus_pj)
+            +. (Runner.run_trace ~level:Level.Rtl ~mode ~init ?pool trace)
+                 .Runner.bus_pj)
           0.0 segments
       in
       {
@@ -138,21 +143,24 @@ let render ~title rows =
   in
   title ^ "\n" ^ Report.table ~header:[ "variant"; "value"; "note" ] body
 
-let run_all ?domains () =
+let run_all ?domains ?(pool = true) () =
   (* The five studies are independent (each characterizes and simulates
-     its own systems); fan them out on the domain pool. *)
+     its own systems); fan them out on the domain pool.  One session
+     pool is shared: its free-lists are domain-local, so studies on
+     different domains never contend. *)
+  let spool = if pool then Some (Pool.create ()) else None in
   String.concat "\n\n"
     (Parallel.map ?domains
        (fun (title, study) -> render ~title (study ()))
        [
          ( "Ablation: reference coupling ratio -> layer-1 energy error [%]",
-           coupling_sensitivity );
+           coupling_sensitivity ?pool:spool );
          ( "Ablation: internal-net energy scale -> layer-1 energy error [%]",
-           internal_nets_sensitivity );
+           internal_nets_sensitivity ?pool:spool );
          ( "Ablation: characterization table -> layer-1 energy error [%]",
-           characterization_quality );
+           characterization_quality ?pool:spool );
          ( "Ablation: layer-2 boundary data-toggle assumption -> layer-2 error [%]",
-           l2_boundary_sensitivity );
+           l2_boundary_sensitivity ?pool:spool );
          ( "Ablation: CPU store buffer (blocking/buffered cycle ratio per program)",
            store_buffer_effect );
        ])

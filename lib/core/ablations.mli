@@ -13,21 +13,21 @@
 
 type row = { label : string; value : float; note : string }
 
-val coupling_sensitivity : unit -> row list
+val coupling_sensitivity : ?pool:Pool.t -> unit -> row list
 (** Layer-1 energy error (%) as the reference's lateral coupling ratio
     sweeps 0.0 → 0.4 (default 0.22); the characterization is re-derived
     per point, as the real flow would. *)
 
-val internal_nets_sensitivity : unit -> row list
+val internal_nets_sensitivity : ?pool:Pool.t -> unit -> row list
 (** Layer-1 energy error (%) as the internal-net energies scale 0x → 2x:
     demonstrates the error is (almost exactly) the invisible internal
     share. *)
 
-val characterization_quality : unit -> row list
+val characterization_quality : ?pool:Pool.t -> unit -> row list
 (** Layer-1 error with the default capacitance table vs the derived
     table, on the accuracy stimulus. *)
 
-val l2_boundary_sensitivity : unit -> row list
+val l2_boundary_sensitivity : ?pool:Pool.t -> unit -> row list
 (** Layer-2 energy error (%) as the boundary data-toggle assumption
     sweeps; shows the over/underestimation crossover. *)
 
@@ -37,6 +37,8 @@ val store_buffer_effect : unit -> row list
 
 val render : title:string -> row list -> string
 
-val run_all : ?domains:int -> unit -> string
+val run_all : ?domains:int -> ?pool:bool -> unit -> string
 (** Every study, rendered; the five studies are independent and run on
-    the {!Parallel} pool. *)
+    the {!Parallel} pool.  [pool] (default [true]) shares one session
+    pool across the studies, so each study's reference and layer runs
+    reuse reset sessions; values are bit-identical either way. *)

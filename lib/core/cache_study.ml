@@ -24,10 +24,10 @@ let cache_figures icache =
    level (that run also yields the cache's own figures), then replay it
    through the mixed-level engine.  Cycles are the spliced bus-replay
    timeline, not a CPU run. *)
-let run_adaptive_one ~policy ~table program lines =
+let run_adaptive_one ?pool ~policy ~table program lines =
   let trace, icache = Runner.capture_with_icache ?icache_lines:lines program in
   let ar =
-    Runner.run_adaptive ?table ~policy
+    Runner.run_adaptive ?table ?pool ~policy
       ~init:(fun system ->
         Runner.fill_memories system;
         Soc.Platform.load_program (System.platform system) program)
@@ -46,9 +46,12 @@ let run_adaptive_one ~policy ~table program lines =
 
 let run ?(level = Level.L1) ?policy ?table
     ?(sizes = [ None; Some 1; Some 2; Some 4; Some 16 ]) ?(name = "program")
-    program =
+    ?(pool = true) program =
+  let spool = if pool then Some (Pool.create ()) else None in
   let one lines =
-    let run = Runner.run_program ~level ?table ?icache_lines:lines program in
+    let run =
+      Runner.run_program ~level ?table ?icache_lines:lines ?pool:spool program
+    in
     (match run.Runner.fault with
     | None -> ()
     | Some _ -> failwith "Core.Cache_study: workload faulted");
@@ -67,7 +70,7 @@ let run ?(level = Level.L1) ?policy ?table
   let one =
     match policy with
     | None -> one
-    | Some policy -> run_adaptive_one ~policy ~table program
+    | Some policy -> run_adaptive_one ?pool:spool ~policy ~table program
   in
   { workload = name; rows = List.map one sizes }
 

@@ -23,13 +23,14 @@ type accuracy_row = {
   energy_err_pct : float;
 }
 
-let run_accuracy ?table ?domains () =
+let run_accuracy ?table ?domains ?(pool = true) () =
   let table = match table with Some t -> t | None -> Runner.characterize () in
+  let spool = if pool then Some (Pool.create ()) else None in
   let segments = accuracy_stimulus () in
   let totals level =
     List.fold_left
       (fun (cycles, pj) (_, trace, mode, init) ->
-        let r = Runner.run_trace ~level ~table ~mode ~init trace in
+        let r = Runner.run_trace ~level ~table ~mode ~init ?pool:spool trace in
         (cycles + r.Runner.cycles, pj +. r.Runner.bus_pj))
       (0, 0.0) segments
   in
@@ -96,16 +97,20 @@ type perf_row = {
   factor_vs_l1_estimating : float;
 }
 
-let run_performance ?(txns = 20_000) ?(repetitions = 3) ?(domains = 1) () =
+let run_performance ?(txns = 20_000) ?(repetitions = 3) ?(domains = 1)
+    ?(pool = true) () =
   let trace = Workloads.table3_trace ~n:txns in
+  let spool = if pool then Some (Pool.create ()) else None in
   (* Transactions are issued one at a time, as the paper's testbench does:
      all models then simulate the same cycle count and the measurement
      isolates the per-cycle cost of each abstraction.  Best of
-     [repetitions] filters wall-clock noise. *)
+     [repetitions] filters wall-clock noise; the session pool keeps the
+     repetitions from rebuilding the system (the timed region never
+     includes setup either way). *)
   let measure (label, level, estimate) =
     let best = ref 0.0 in
     for _ = 1 to repetitions do
-      let r = Runner.run_trace ~level ~estimate ~mode:`Serial trace in
+      let r = Runner.run_trace ~level ~estimate ~mode:`Serial ?pool:spool trace in
       let kts = Runner.txns_per_second r /. 1000.0 in
       if kts > !best then best := kts
     done;
@@ -179,8 +184,10 @@ let adaptive_policy =
         };
     ]
 
-let run_adaptive_comparison ?(txns = 8_000) ?(repetitions = 3) () =
+let run_adaptive_comparison ?(txns = 8_000) ?(repetitions = 3) ?(pool = true)
+    () =
   let trace = Workloads.mixed_phase_trace ~n:txns () in
+  let spool = if pool then Some (Pool.create ()) else None in
   (* Characterize once (outside the timed region) and feed every run the
      same table and memory image, as the accuracy experiments do, so the
      error columns land in the Table 2 bands. *)
@@ -200,7 +207,7 @@ let run_adaptive_comparison ?(txns = 8_000) ?(repetitions = 3) () =
     best (fun () ->
         let r =
           Runner.run_trace ~level ~table ~mode:`Serial
-            ~init:Runner.fill_memories trace
+            ~init:Runner.fill_memories ?pool:spool trace
         in
         (r, Runner.txns_per_second r /. 1000.0))
   in
@@ -211,7 +218,7 @@ let run_adaptive_comparison ?(txns = 8_000) ?(repetitions = 3) () =
     best (fun () ->
         let r =
           Runner.run_adaptive ~table ~mode:`Serial ~init:Runner.fill_memories
-            ~policy:adaptive_policy trace
+            ?pool:spool ~policy:adaptive_policy trace
         in
         (`A r, Runner.adaptive_txns_per_second r /. 1000.0))
   in
@@ -299,7 +306,7 @@ type exploration_comparison = {
 }
 
 let run_exploration_comparison ?(applets = Jcvm.Applets.all)
-    ?(configs = Jcvm.Configs.standard) ?policy () =
+    ?(configs = Jcvm.Configs.standard) ?policy ?(pool = true) () =
   let policy =
     match policy with Some p -> p | None -> Hier.Policy.for_exploration ()
   in
@@ -311,13 +318,16 @@ let run_exploration_comparison ?(applets = Jcvm.Applets.all)
     (rows, Unix.gettimeofday () -. t0)
   in
   let l1_rows, l1_wall =
-    timed (fun () -> Exploration.run ~level:Level.L1 ~configs ~applets ~domains:1 ())
+    timed (fun () ->
+        Exploration.run ~level:Level.L1 ~configs ~applets ~domains:1 ~pool ())
   in
   let l2_rows, l2_wall =
-    timed (fun () -> Exploration.run ~level:Level.L2 ~configs ~applets ~domains:1 ())
+    timed (fun () ->
+        Exploration.run ~level:Level.L2 ~configs ~applets ~domains:1 ~pool ())
   in
   let ad_rows, ad_wall =
-    timed (fun () -> Exploration.run ~policy ~configs ~applets ~domains:1 ())
+    timed (fun () ->
+        Exploration.run ~policy ~configs ~applets ~domains:1 ~pool ())
   in
   let grid_pj rows =
     List.fold_left (fun acc r -> acc +. r.Exploration.bus_pj) 0.0 rows

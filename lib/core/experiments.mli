@@ -24,11 +24,16 @@ type accuracy_row = {
 }
 
 val run_accuracy :
-  ?table:Power.Characterization.t -> ?domains:int -> unit -> accuracy_row list
+  ?table:Power.Characterization.t ->
+  ?domains:int ->
+  ?pool:bool ->
+  unit ->
+  accuracy_row list
 (** Characterizes on the training workload (unless [table] is given),
     then runs the accuracy stimulus through all three levels — one
     {!Parallel} domain per level; the rows are identical to a serial
-    run. *)
+    run.  [pool] (default [true]) reuses one reset session per level
+    across the stimulus segments; rows are bit-identical either way. *)
 
 val render_table1 : accuracy_row list -> string
 val render_table2 : accuracy_row list -> string
@@ -42,7 +47,12 @@ type perf_row = {
 }
 
 val run_performance :
-  ?txns:int -> ?repetitions:int -> ?domains:int -> unit -> perf_row list
+  ?txns:int ->
+  ?repetitions:int ->
+  ?domains:int ->
+  ?pool:bool ->
+  unit ->
+  perf_row list
 (** Replays the Table 3 mix ("all combinations between single read,
     single write, burst read and burst write"), issued serially as in the
     paper's testbench, through layer 1 and layer 2 — each with and
@@ -50,7 +60,10 @@ val run_performance :
     acceleration context.  [txns] defaults to 20000; the best of
     [repetitions] (default 3) wall-clock runs is reported per model.
     [domains] defaults to 1: these are wall-clock measurements, and
-    concurrent runs contend for cores and distort the factors. *)
+    concurrent runs contend for cores and distort the factors.  [pool]
+    (default [true]) reuses one reset session per model across the
+    repetitions; the timed region never includes setup, so the reported
+    factors are unaffected. *)
 
 val render_table3 : perf_row list -> string
 
@@ -80,7 +93,7 @@ val adaptive_policy : Hier.Policy.t
     targets the EEPROM (the DPA-sensitive window). *)
 
 val run_adaptive_comparison :
-  ?txns:int -> ?repetitions:int -> unit -> adaptive_summary
+  ?txns:int -> ?repetitions:int -> ?pool:bool -> unit -> adaptive_summary
 (** Replays {!Workloads.mixed_phase_trace} (default 8000 transactions)
     pipelined through the gate-level reference, pure layer 1, pure
     layer 2 and the adaptive engine, best of [repetitions] (default 3)
@@ -116,6 +129,7 @@ val run_exploration_comparison :
   ?applets:Jcvm.Applets.t list ->
   ?configs:Jcvm.Configs.t list ->
   ?policy:Hier.Policy.t ->
+  ?pool:bool ->
   unit ->
   exploration_comparison
 (** Runs the section 4.3 sweep three ways — pure layer 1, pure layer 2,

@@ -50,67 +50,129 @@ let nominal_level (policy : Hier.Policy.t) =
   | Hier.Policy.Script [] -> Level.L1
   | Hier.Policy.Triggered { base; _ } -> base
 
-let run_fixed ?(level = Level.L1) ?table ?sink ~config applet =
-  let hw = Jcvm.Hw_stack.create config in
-  let system =
-    System.create ~level ?table ~extra_slaves:[ Jcvm.Hw_stack.slave hw ] ?sink
-      ()
-  in
-  let kernel = System.kernel system in
-  let result, transactions, correct =
-    interpret ~kernel ~port:(System.port system) ~config applet
-  in
-  {
-    config;
-    applet = applet.Jcvm.Applets.name;
-    level;
-    cycles = Sim.Kernel.now kernel;
-    bus_pj = System.bus_energy_pj system;
-    transactions;
-    steps = result.Jcvm.Interp.steps;
-    value = result.Jcvm.Interp.value;
-    correct;
-    provenance = None;
-  }
+(* Pooled grid-cell sessions: the hardware stack rides with the system
+   (fixed level) or the live materials (adaptive), because its slave is
+   wired into the decoder at creation.  Keys fingerprint the interface
+   configuration and the characterization table — the two things reset
+   does not undo. *)
+type fixed_session = { fs_hw : Jcvm.Hw_stack.t; fs_system : System.t }
 
-let run_adaptive ?table ?sink ~policy ~config applet =
-  let hw = Jcvm.Hw_stack.create config in
-  let live =
-    Runner.live_adaptive ?table ?sink ~extra_slaves:[ Jcvm.Hw_stack.slave hw ]
-      ~policy ()
-  in
-  let result, transactions, correct =
-    interpret ~kernel:live.Runner.kernel ~port:live.Runner.port ~config applet
-  in
-  let run = live.Runner.finish () in
-  {
-    config;
-    applet = applet.Jcvm.Applets.name;
-    level = nominal_level policy;
-    cycles = Sim.Kernel.now live.Runner.kernel;
-    bus_pj = run.Runner.bus_pj;
-    transactions;
-    steps = result.Jcvm.Interp.steps;
-    value = result.Jcvm.Interp.value;
-    correct;
-    provenance = Some run.Runner.splice;
-  }
+let fixed_kind : fixed_session Pool.kind = Pool.kind ()
 
-let run_one ?level ?table ?policy ?sink ~config applet =
+type live_session = {
+  ls_hw : Jcvm.Hw_stack.t;
+  ls_materials : Runner.live_materials;
+}
+
+let live_kind : live_session Pool.kind = Pool.kind ()
+
+let run_fixed ?(level = Level.L1) ?table ?sink ?pool ~config applet =
+  let execute system =
+    let kernel = System.kernel system in
+    let result, transactions, correct =
+      interpret ~kernel ~port:(System.port system) ~config applet
+    in
+    {
+      config;
+      applet = applet.Jcvm.Applets.name;
+      level;
+      cycles = Sim.Kernel.now kernel;
+      bus_pj = System.bus_energy_pj system;
+      transactions;
+      steps = result.Jcvm.Interp.steps;
+      value = result.Jcvm.Interp.value;
+      correct;
+      provenance = None;
+    }
+  in
+  let build () =
+    let hw = Jcvm.Hw_stack.create config in
+    let system =
+      System.create ~level ?table
+        ~extra_slaves:[ Jcvm.Hw_stack.slave hw ]
+        ?sink ()
+    in
+    { fs_hw = hw; fs_system = system }
+  in
+  match pool with
+  | Some p when sink = None ->
+    let key =
+      Printf.sprintf "explore:%s:%s" (Level.to_string level)
+        (Pool.fingerprint (config, table))
+    in
+    Pool.with_session p fixed_kind ~key ~build
+      ~reset:(fun s ->
+        Jcvm.Hw_stack.reset s.fs_hw;
+        System.reset s.fs_system)
+      (fun s -> execute s.fs_system)
+  | Some _ | None -> execute (build ()).fs_system
+
+let run_adaptive ?table ?sink ?pool ~policy ~config applet =
+  let execute (live : Runner.live) =
+    let result, transactions, correct =
+      interpret ~kernel:live.Runner.kernel ~port:live.Runner.port ~config
+        applet
+    in
+    let run = live.Runner.finish () in
+    {
+      config;
+      applet = applet.Jcvm.Applets.name;
+      level = nominal_level policy;
+      cycles = Sim.Kernel.now live.Runner.kernel;
+      bus_pj = run.Runner.bus_pj;
+      transactions;
+      steps = result.Jcvm.Interp.steps;
+      value = result.Jcvm.Interp.value;
+      correct;
+      provenance = Some run.Runner.splice;
+    }
+  in
+  match pool with
+  | Some p when sink = None ->
+    let key = Printf.sprintf "explore-live:%s" (Pool.fingerprint (config, table)) in
+    Pool.with_session p live_kind ~key
+      ~build:(fun () ->
+        let hw = Jcvm.Hw_stack.create config in
+        let materials =
+          Runner.live_materials ?table
+            ~extra_slaves:[ Jcvm.Hw_stack.slave hw ]
+            ~extra_reset:(fun () -> Jcvm.Hw_stack.reset hw)
+            ()
+        in
+        { ls_hw = hw; ls_materials = materials })
+      ~reset:(fun s -> Runner.reset_live_materials s.ls_materials)
+      (fun s ->
+        execute
+          (Runner.live_adaptive ~materials:s.ls_materials ~policy ()))
+  | Some _ | None ->
+    let hw = Jcvm.Hw_stack.create config in
+    let live =
+      Runner.live_adaptive ?table ?sink
+        ~extra_slaves:[ Jcvm.Hw_stack.slave hw ]
+        ~policy ()
+    in
+    execute live
+
+let run_one ?level ?table ?policy ?sink ?pool ~config applet =
   match policy with
-  | None -> run_fixed ?level ?table ?sink ~config applet
+  | None -> run_fixed ?level ?table ?sink ?pool ~config applet
   | Some policy ->
     (match level with
     | Some _ ->
       invalid_arg "Core.Exploration.run_one: pass either ~level or ~policy"
-    | None -> run_adaptive ?table ?sink ~policy ~config applet)
+    | None -> run_adaptive ?table ?sink ?pool ~policy ~config applet)
 
 let run ?level ?table ?policy ?(configs = Jcvm.Configs.standard)
-    ?(applets = Jcvm.Applets.all) ?domains () =
+    ?(applets = Jcvm.Applets.all) ?domains ?workers ?(pool = true) () =
   (* Every applet x configuration cell is an independent system; fan the
-     flattened grid out on the domain pool. *)
-  Parallel.map ?domains
-    (fun (applet, config) -> run_one ?level ?table ?policy ~config applet)
+     flattened grid out on the domain pool.  With [pool] (the default)
+     each domain keeps one reset session per configuration shape, so the
+     grid builds [configs] sessions per domain once and reuses them for
+     every applet. *)
+  let spool = if pool then Some (Pool.create ()) else None in
+  Parallel.map ?domains ?pool:workers
+    (fun (applet, config) ->
+      run_one ?level ?table ?policy ?pool:spool ~config applet)
     (List.concat_map
        (fun applet -> List.map (fun config -> (applet, config)) configs)
        applets)

@@ -36,6 +36,7 @@ val run_one :
   ?table:Power.Characterization.t ->
   ?policy:Hier.Policy.t ->
   ?sink:Obs.Sink.t ->
+  ?pool:Pool.t ->
   config:Jcvm.Configs.t ->
   Jcvm.Applets.t ->
   row
@@ -47,6 +48,9 @@ val run_one :
     [bus_pj] moves, within the splice's error budget).  [sink] records
     the cell's bus traffic and, on the adaptive path, its window
     lifecycle — feed it to {!Obs.Chrome} for a per-row Perfetto trace.
+    [pool] reuses a reset session (hardware stack + system, or live
+    materials) for the cell's configuration shape; rows are
+    bit-identical to fresh builds.  Cells with a [sink] never pool.
     @raise Invalid_argument if both [level] and [policy] are given. *)
 
 val run :
@@ -56,13 +60,22 @@ val run :
   ?configs:Jcvm.Configs.t list ->
   ?applets:Jcvm.Applets.t list ->
   ?domains:int ->
+  ?workers:Parallel.pool ->
+  ?pool:bool ->
   unit ->
   row list
 (** Full sweep; defaults: layer 1 bus, default table, the standard
     configuration space and all sample applets.  The applet x
     configuration grid runs on the {!Parallel} pool; row order and
     contents match the serial sweep.  [policy] makes every cell
-    adaptive, e.g. [Hier.Policy.for_exploration ()]. *)
+    adaptive, e.g. [Hier.Policy.for_exploration ()].
+
+    [pool] (default [true]) keeps one reset session per configuration
+    shape per domain, so after warmup the grid rebuilds nothing; rows
+    are bit-identical either way.  [workers] runs the grid on a
+    persistent {!Parallel.with_pool} crew instead of spawning domains —
+    repeated sweeps then also keep their warm sessions, since pooled
+    sessions live in domain-local storage. *)
 
 val render : row list -> string
 (** One table per applet: best correct configuration (energy) marked

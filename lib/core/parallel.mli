@@ -16,9 +16,27 @@
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+type pool
+(** A persistent set of worker domains.  Spawning a domain dwarfs the
+    cost of a small simulation, so drivers that issue many maps (the
+    exploration grid, adaptive sweeps) create one pool and pass it to
+    every {!map} — batches reuse the same domains, which also keeps any
+    [Domain.DLS]-held session caches ({!Pool}) warm across batches. *)
+
+val with_pool : ?domains:int -> (pool -> 'a) -> 'a
+(** Runs [f] with a live pool of [domains] total participants (the
+    calling domain included; default {!default_domains}), then shuts the
+    workers down — also when [f] raises.  Maps over the pool must not be
+    nested: [f] passed to an inner {!map} must not itself map over the
+    same pool. *)
+
+val pool_size : pool -> int
+
+val map : ?domains:int -> ?pool:pool -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map.  If any application raises, the first
     failure (in claim order) is re-raised after all workers have
-    stopped. *)
+    stopped.  With [?pool] the batch runs on the pool's persistent
+    domains and [?domains] is ignored; results, ordering and failure
+    semantics are identical. *)
 
-val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+val iter : ?domains:int -> ?pool:pool -> ('a -> unit) -> 'a list -> unit

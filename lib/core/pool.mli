@@ -1,0 +1,63 @@
+(** Per-domain pools of resettable simulation sessions.
+
+    Building a session ({!System.create} and friends) allocates a
+    kernel, the full platform, a bus model and its energy estimator —
+    thousands of allocations per exploration grid cell.  With the reset
+    protocol ({!System.reset}, [Soc.*.reset], the bus resets) a session
+    can instead be rewound to its creation state in place, so a sweep
+    rebuilds nothing after the first cell of each configuration shape.
+
+    Check-out is keyed by a caller-supplied string fingerprinting the
+    configuration shape (level, estimator parameters, platform options —
+    everything {i not} undone by reset).  Free-lists are domain-local
+    ([Domain.DLS]): each worker of {!Parallel.map} keeps its own
+    sessions, the hot path takes no lock, and a session is never shared
+    across domains concurrently.  The price is one warmup build per
+    (domain, key). *)
+
+type t
+
+type 'a kind
+(** A type witness for one shape of pooled session record.  Create one
+    per session type at module initialisation ([let k : foo kind =
+    kind ()]) and use the same witness for every access; entries stored
+    under a different witness are never returned, even on key collision. *)
+
+val kind : unit -> 'a kind
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the free-list per (domain, key) — beyond it,
+    released sessions are dropped for the GC.  Default 4. *)
+
+val with_session :
+  t ->
+  'a kind ->
+  key:string ->
+  build:(unit -> 'a) ->
+  reset:('a -> unit) ->
+  ('a -> 'b) ->
+  'b
+(** [with_session t k ~key ~build ~reset f] runs [f] on a session for
+    configuration [key]: a pooled one after [reset], else a fresh
+    [build ()].  On normal return the session goes back to the
+    free-list; if [f] raises, the session is dropped (its half-run
+    state is not trusted to reset) and the exception propagates. *)
+
+val acquire :
+  t -> 'a kind -> key:string -> build:(unit -> 'a) -> reset:('a -> unit) -> 'a
+(** Unscoped checkout, for sessions whose lifetime is not lexical (the
+    adaptive engine retires a window's system only after the next
+    window's handoff).  Pair with {!release} on the same domain; a
+    session that errors should simply not be released. *)
+
+val release : t -> 'a kind -> key:string -> 'a -> unit
+
+val hits : t -> int
+(** Checkouts served from the pool (across all domains). *)
+
+val builds : t -> int
+(** Checkouts that had to build fresh (across all domains). *)
+
+val fingerprint : 'a -> string
+(** Structural fingerprint for pool keys, via [Marshal] + [Digest].
+    Apply to pure-data configuration values only (no closures). *)

@@ -41,27 +41,72 @@ let record_run_energy sink system ~cycles =
       Obs.Metrics.observe_pj_per_beat (Obs.Sink.metrics s)
         (pj /. float_of_int beats)
 
-let run_trace ?level ?estimate ?record_profile ?table ?rtl_params ?l2_params
-    ?(mode = `Pipelined) ?max_cycles ?init ?sink trace =
-  let system =
-    System.create ?level ?estimate ?record_profile ?table ?rtl_params
-      ?l2_params ?sink ()
-  in
-  (match init with Some f -> f system | None -> ());
-  let kernel = System.kernel system in
-  let master =
-    Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode ?sink
-      trace
-  in
-  let t0 = Unix.gettimeofday () in
-  let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
-  let wall_seconds = Unix.gettimeofday () -. t0 in
-  record_run_energy sink system ~cycles;
-  collect system ~cycles ~wall_seconds
+(* Pooled session records.  The [Pool.kind] witnesses live at module
+   level so every call site shares them. *)
+type trace_session = { ts_system : System.t; ts_master : Soc.Trace_master.t }
 
-let run_levels ?estimate ?table ?mode ?init ?domains trace =
+let trace_kind : trace_session Pool.kind = Pool.kind ()
+let system_kind : System.t Pool.kind = Pool.kind ()
+
+let run_trace ?(level = Level.L1) ?(estimate = true) ?(record_profile = false)
+    ?table ?rtl_params ?l2_params ?(mode = `Pipelined) ?max_cycles ?init ?sink
+    ?pool trace =
+  let execute system master =
+    (match init with Some f -> f system | None -> ());
+    let kernel = System.kernel system in
+    let t0 = Unix.gettimeofday () in
+    let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
+    let wall_seconds = Unix.gettimeofday () -. t0 in
+    record_run_energy sink system ~cycles;
+    collect system ~cycles ~wall_seconds
+  in
+  match pool with
+  | Some p when sink = None ->
+    (* Everything reset does not undo goes into the key; issue mode and
+       the trace itself are re-armed per checkout. *)
+    let key =
+      Printf.sprintf "trace:%s:%b:%b:%s" (Level.to_string level) estimate
+        record_profile
+        (Pool.fingerprint (table, rtl_params, l2_params))
+    in
+    Pool.with_session p trace_kind ~key
+      ~build:(fun () ->
+        let system =
+          System.create ~level ~estimate ~record_profile ?table ?rtl_params
+            ?l2_params ()
+        in
+        let kernel = System.kernel system in
+        let master =
+          Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode
+            trace
+        in
+        { ts_system = system; ts_master = master })
+      ~reset:(fun s ->
+        System.reset s.ts_system;
+        Soc.Trace_master.reset ~mode s.ts_master trace)
+      (fun s -> execute s.ts_system s.ts_master)
+  | Some _ | None ->
+    (* Sessions with a sink are never pooled: the sink is wired into the
+       bus at creation and its event stream spans the session. *)
+    let system =
+      System.create ~level ~estimate ~record_profile ?table ?rtl_params
+        ?l2_params ?sink ()
+    in
+    (match init with Some f -> f system | None -> ());
+    let kernel = System.kernel system in
+    let master =
+      Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode ?sink
+        trace
+    in
+    let t0 = Unix.gettimeofday () in
+    let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
+    let wall_seconds = Unix.gettimeofday () -. t0 in
+    record_run_energy sink system ~cycles;
+    collect system ~cycles ~wall_seconds
+
+let run_levels ?estimate ?table ?mode ?init ?domains ?pool trace =
   Parallel.map ?domains
-    (fun level -> run_trace ~level ?estimate ?table ?mode ?init trace)
+    (fun level -> run_trace ~level ?estimate ?table ?mode ?init ?pool trace)
     Level.all
 
 (* Deterministic content for memories read by replayed traces, so the
@@ -115,13 +160,38 @@ let handoff_state ~prev ~next =
 
 let run_adaptive ?estimate ?record_profile ?table ?rtl_params ?l2_params
     ?extra_slaves ?peripheral_clock ?(mode = `Pipelined) ?max_cycles ?init
-    ?budget ?sink ~policy trace =
+    ?budget ?sink ?pool ~policy trace =
+  (* Pooling covers the self-contained configurations only: a sink is
+     wired in at creation, and extra slaves are caller-owned state the
+     reset protocol cannot see. *)
+  let pool =
+    match (pool, sink, extra_slaves) with
+    | Some p, None, None -> Some p
+    | _ -> None
+  in
+  let key_of level =
+    Printf.sprintf "adaptive:%s:%s" (Level.to_string level)
+      (Pool.fingerprint
+         ( estimate,
+           record_profile,
+           table,
+           rtl_params,
+           l2_params,
+           peripheral_clock ))
+  in
+  let build level () =
+    System.create ~level ?estimate ?record_profile ?table ?rtl_params
+      ?l2_params ?extra_slaves ?peripheral_clock ?sink ()
+  in
   let ops =
     {
       Hier.Engine.create =
         (fun level ->
-          System.create ~level ?estimate ?record_profile ?table ?rtl_params
-            ?l2_params ?extra_slaves ?peripheral_clock ?sink ());
+          match pool with
+          | None -> build level ()
+          | Some p ->
+            Pool.acquire p system_kind ~key:(key_of level)
+              ~build:(build level) ~reset:System.reset);
       init = (fun system -> match init with Some f -> f system | None -> ());
       handoff = (fun ~prev ~next -> handoff_state ~prev ~next);
       run_segment =
@@ -143,8 +213,14 @@ let run_adaptive ?estimate ?record_profile ?table ?rtl_params ?l2_params
           });
     }
   in
+  let retire =
+    Option.map
+      (fun p sys ->
+        Pool.release p system_kind ~key:(key_of (System.level sys)) sys)
+      pool
+  in
   let t0 = Unix.gettimeofday () in
-  let r = Hier.Engine.run ?budget ?sink ~ops ~policy trace in
+  let r = Hier.Engine.run ?budget ?sink ?retire ~ops ~policy trace in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   let s = r.Hier.Engine.splice in
   {
@@ -170,52 +246,117 @@ type program_run = {
   icache : Soc.Icache.t option;
 }
 
-let run_program ?level ?estimate ?record_profile ?table ?max_cycles
-    ?icache_lines ?vcd ?sink program =
-  let system =
-    System.create ?level ?estimate ?record_profile ?table ?sink ()
+type program_session = {
+  ps_system : System.t;
+  ps_cpu : Soc.Cpu.t;
+  ps_icache : Soc.Icache.t option;
+}
+
+let program_kind : program_session Pool.kind = Pool.kind ()
+
+let run_program ?(level = Level.L1) ?(estimate = true) ?(record_profile = false)
+    ?table ?max_cycles ?icache_lines ?vcd ?sink ?pool program =
+  let build () =
+    let system = System.create ~level ~estimate ~record_profile ?table () in
+    let kernel = System.kernel system in
+    Soc.Platform.load_program (System.platform system) program;
+    let platform = System.platform system in
+    let bus_port = System.port system in
+    let icache =
+      Option.map
+        (fun lines -> Soc.Icache.create ~kernel ~lines ~inner:bus_port ())
+        icache_lines
+    in
+    let cpu_port =
+      match icache with Some c -> Soc.Icache.port c | None -> bus_port
+    in
+    let cpu =
+      Soc.Cpu.create ~kernel ~port:cpu_port ~pc:program.Soc.Asm.origin
+        ~irq:(fun () -> Soc.Platform.irq_asserted platform)
+        ()
+    in
+    { ps_system = system; ps_cpu = cpu; ps_icache = icache }
   in
-  let kernel = System.kernel system in
-  let vcd_dump =
-    match vcd, System.bus system with
-    | Some path, System.Rtl_bus bus ->
-      Some (path, Rtl.Vcd.create ~kernel (Rtl.Bus.wires bus))
-    | Some _, (System.L1_bus _ | System.L2_bus _) ->
-      invalid_arg "Core.Runner.run_program: vcd needs the rtl level"
-    | None, _ -> None
+  let execute s =
+    let system = s.ps_system in
+    let kernel = System.kernel system in
+    let t0 = Unix.gettimeofday () in
+    let cycles = Soc.Cpu.run_to_halt s.ps_cpu ~kernel ?max_cycles () in
+    let wall_seconds = Unix.gettimeofday () -. t0 in
+    record_run_energy sink system ~cycles;
+    {
+      result = collect system ~cycles ~wall_seconds;
+      instructions = Soc.Cpu.instructions s.ps_cpu;
+      fault = Soc.Cpu.fault s.ps_cpu;
+      uart_output =
+        Soc.Uart.transmitted (Soc.Platform.uart (System.platform system));
+      system;
+      cpu = s.ps_cpu;
+      icache = s.ps_icache;
+    }
   in
-  Soc.Platform.load_program (System.platform system) program;
-  let platform = System.platform system in
-  let bus_port = System.port system in
-  let icache =
-    Option.map
-      (fun lines -> Soc.Icache.create ~kernel ~lines ~inner:bus_port ())
-      icache_lines
-  in
-  let cpu_port =
-    match icache with Some c -> Soc.Icache.port c | None -> bus_port
-  in
-  let cpu =
-    Soc.Cpu.create ~kernel ~port:cpu_port ~pc:program.Soc.Asm.origin
-      ~irq:(fun () -> Soc.Platform.irq_asserted platform)
-      ()
-  in
-  let t0 = Unix.gettimeofday () in
-  let cycles = Soc.Cpu.run_to_halt cpu ~kernel ?max_cycles () in
-  let wall_seconds = Unix.gettimeofday () -. t0 in
-  (match vcd_dump with
-  | Some (path, recorder) -> Rtl.Vcd.write recorder path
-  | None -> ());
-  record_run_energy sink system ~cycles;
-  {
-    result = collect system ~cycles ~wall_seconds;
-    instructions = Soc.Cpu.instructions cpu;
-    fault = Soc.Cpu.fault cpu;
-    uart_output = Soc.Uart.transmitted (Soc.Platform.uart (System.platform system));
-    system;
-    cpu;
-    icache;
-  }
+  match pool with
+  | Some p when sink = None && vcd = None ->
+    let key =
+      Printf.sprintf "program:%s:%b:%b:%s" (Level.to_string level) estimate
+        record_profile
+        (Pool.fingerprint (table, icache_lines))
+    in
+    Pool.with_session p program_kind ~key ~build
+      ~reset:(fun s ->
+        System.reset s.ps_system;
+        Option.iter Soc.Icache.reset s.ps_icache;
+        Soc.Cpu.reset s.ps_cpu ~pc:program.Soc.Asm.origin;
+        Soc.Platform.load_program (System.platform s.ps_system) program)
+      execute
+  | Some _ | None ->
+    (* VCD recording and sinks hook the session at creation — such runs
+       always build fresh. *)
+    let system =
+      System.create ~level ~estimate ~record_profile ?table ?sink ()
+    in
+    let kernel = System.kernel system in
+    let vcd_dump =
+      match (vcd, System.bus system) with
+      | Some path, System.Rtl_bus bus ->
+        Some (path, Rtl.Vcd.create ~kernel (Rtl.Bus.wires bus))
+      | Some _, (System.L1_bus _ | System.L2_bus _) ->
+        invalid_arg "Core.Runner.run_program: vcd needs the rtl level"
+      | None, _ -> None
+    in
+    Soc.Platform.load_program (System.platform system) program;
+    let platform = System.platform system in
+    let bus_port = System.port system in
+    let icache =
+      Option.map
+        (fun lines -> Soc.Icache.create ~kernel ~lines ~inner:bus_port ())
+        icache_lines
+    in
+    let cpu_port =
+      match icache with Some c -> Soc.Icache.port c | None -> bus_port
+    in
+    let cpu =
+      Soc.Cpu.create ~kernel ~port:cpu_port ~pc:program.Soc.Asm.origin
+        ~irq:(fun () -> Soc.Platform.irq_asserted platform)
+        ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let cycles = Soc.Cpu.run_to_halt cpu ~kernel ?max_cycles () in
+    let wall_seconds = Unix.gettimeofday () -. t0 in
+    (match vcd_dump with
+    | Some (path, recorder) -> Rtl.Vcd.write recorder path
+    | None -> ());
+    record_run_energy sink system ~cycles;
+    {
+      result = collect system ~cycles ~wall_seconds;
+      instructions = Soc.Cpu.instructions cpu;
+      fault = Soc.Cpu.fault cpu;
+      uart_output =
+        Soc.Uart.transmitted (Soc.Platform.uart (System.platform system));
+      system;
+      cpu;
+      icache;
+    }
 
 let capture_with_icache ?icache_lines ?max_cycles program =
   let system = System.create ~level:Level.Rtl () in
@@ -277,9 +418,27 @@ type live = {
   finish : unit -> adaptive_run;
 }
 
-let live_adaptive ?(table = Power.Characterization.default) ?l2_params ?budget
-    ?sink ?(extra_slaves = []) ?(peripheral_clock = `Gated) ?(calibrate = true)
-    ~policy () =
+(* The durable hardware of a live session: one kernel, the platform, and
+   a bus front-end per level — everything a pooled live run can reuse
+   after a reset.  Both front-ends are built eagerly: an idle bus
+   process steps to no effect and adds no energy, so the eager layer-2
+   front-end is behaviour- and measurement-neutral next to the lazy one
+   a one-shot session builds on demand. *)
+type live_materials = {
+  m_kernel : Sim.Kernel.t;
+  m_platform : Soc.Platform.t;
+  m_e1 : Tlm1.Energy.t;
+  m_b1 : Tlm1.Bus.t;
+  m_e2 : Tlm2.Energy.t;
+  m_b2 : Tlm2.Bus.t;
+  m_table : Power.Characterization.t;
+  m_base_params : Tlm2.Energy.params;
+  m_extra_reset : unit -> unit;
+}
+
+let live_materials ?(table = Power.Characterization.default) ?l2_params ?sink
+    ?(extra_slaves = []) ?(peripheral_clock = `Gated)
+    ?(extra_reset = fun () -> ()) () =
   let kernel = Sim.Kernel.create () in
   let platform =
     Soc.Platform.create ~kernel ~extra_slaves ~peripheral_clock ()
@@ -290,19 +449,75 @@ let live_adaptive ?(table = Power.Characterization.default) ?l2_params ?budget
   let base_params =
     Option.value l2_params ~default:Tlm2.Energy.default_params
   in
+  let e2 = Tlm2.Energy.create ~params:base_params table in
+  let b2 = Tlm2.Bus.create ~kernel ~decoder ~energy:e2 ?sink () in
+  {
+    m_kernel = kernel;
+    m_platform = platform;
+    m_e1 = e1;
+    m_b1 = b1;
+    m_e2 = e2;
+    m_b2 = b2;
+    m_table = table;
+    m_base_params = base_params;
+    m_extra_reset = extra_reset;
+  }
+
+let reset_live_materials m =
+  Sim.Kernel.reset m.m_kernel;
+  Soc.Platform.reset m.m_platform;
+  (* The bus resets also rewind their energy models; the layer-2 model
+     returns to its creation parameters, undoing in-run calibration. *)
+  Tlm1.Bus.reset m.m_b1;
+  Tlm2.Bus.reset m.m_b2;
+  m.m_extra_reset ()
+
+let live_adaptive ?(table = Power.Characterization.default) ?l2_params ?budget
+    ?sink ?(extra_slaves = []) ?(peripheral_clock = `Gated) ?(calibrate = true)
+    ?materials ~policy () =
+  let kernel, platform, e1, b1, table, base_params =
+    match materials with
+    | Some m ->
+      (m.m_kernel, m.m_platform, m.m_e1, m.m_b1, m.m_table, m.m_base_params)
+    | None ->
+      let kernel = Sim.Kernel.create () in
+      let platform =
+        Soc.Platform.create ~kernel ~extra_slaves ~peripheral_clock ()
+      in
+      let decoder = Soc.Platform.decoder platform in
+      let e1 = Tlm1.Energy.create table in
+      let b1 = Tlm1.Bus.create ~kernel ~decoder ~energy:e1 ?sink () in
+      let base_params =
+        Option.value l2_params ~default:Tlm2.Energy.default_params
+      in
+      (kernel, platform, e1, b1, table, base_params)
+  in
   (* The layer-2 calibration scale: re-derived from every refined window
      (see [on_close] below), read lazily when the layer-2 front-end is
-     first needed so a pure-L1 session never builds it. *)
+     first needed so a pure-L1 session never builds it.  With materials
+     the front-end already exists; forcing applies the current scale to
+     it, exactly as the on-demand construction would. *)
   let l2_scale = ref 1.0 in
   let have_scale = ref false in
   let l2 =
-    lazy
-      (let e2 =
-         Tlm2.Energy.create ~params:(scale_l2_params !l2_scale base_params)
-           table
-       in
-       let b2 = Tlm2.Bus.create ~kernel ~decoder ~energy:e2 ?sink () in
-       (b2, e2))
+    match materials with
+    | Some m ->
+      lazy
+        (Tlm2.Energy.set_params m.m_e2
+           (scale_l2_params !l2_scale m.m_base_params);
+         (m.m_b2, m.m_e2))
+    | None ->
+      lazy
+        (let e2 =
+           Tlm2.Energy.create ~params:(scale_l2_params !l2_scale base_params)
+             table
+         in
+         let b2 =
+           Tlm2.Bus.create ~kernel
+             ~decoder:(Soc.Platform.decoder platform)
+             ~energy:e2 ?sink ()
+         in
+         (b2, e2))
   in
   let measure (level : Hier.Level.t) =
     let component_pj = Soc.Platform.components_energy_pj platform in

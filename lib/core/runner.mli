@@ -30,13 +30,21 @@ val run_trace :
   ?max_cycles:int ->
   ?init:(System.t -> unit) ->
   ?sink:Obs.Sink.t ->
+  ?pool:Pool.t ->
   Ec.Trace.t ->
   result
 (** [init] runs against the fresh system before simulation starts (load
     images, fill memories).  [sink] attaches the instrumentation sink to
     the bus and the trace master and records one final [Energy_sample]
     (plus the run's pJ/beat) when the workload drains; simulated results
-    are bit-identical with and without it. *)
+    are bit-identical with and without it.
+
+    [pool] reuses a reset session of the same configuration instead of
+    building one — results are bit-identical to a fresh build.  Sessions
+    with a [sink] are never pooled (the sink wires in at creation).
+    When pooling, [init] runs once per checkout, after the reset; it
+    must set state (fill memories, poke registers), not register kernel
+    processes. *)
 
 val run_levels :
   ?estimate:bool ->
@@ -44,6 +52,7 @@ val run_levels :
   ?mode:Soc.Trace_master.mode ->
   ?init:(System.t -> unit) ->
   ?domains:int ->
+  ?pool:Pool.t ->
   Ec.Trace.t ->
   result list
 (** The same trace through the gate-level reference, layer 1 and layer 2
@@ -87,6 +96,7 @@ val run_adaptive :
   ?init:(System.t -> unit) ->
   ?budget:(Level.t -> float) ->
   ?sink:Obs.Sink.t ->
+  ?pool:Pool.t ->
   policy:Hier.Policy.t ->
   Ec.Trace.t ->
   adaptive_run
@@ -103,7 +113,15 @@ val run_adaptive :
     [sink] is shared by every window's system: the engine shifts the
     sink's timeline base so bus events from each fresh kernel land on
     the spliced timeline, and brackets each window with
-    [Window_open]/[Window_close] events (see {!Hier.Engine.run}). *)
+    [Window_open]/[Window_close] events (see {!Hier.Engine.run}).
+
+    [pool] draws each window's system from the session pool (keyed per
+    level) and returns it right after the next window's handoff, so a
+    long mixed-level run allocates at most one system per level; the
+    final window's system escapes via [final_system] and stays out of
+    the pool.  Runs with a [sink] or [extra_slaves] always build fresh
+    (the former wires in at creation, the latter is caller-owned state
+    the reset protocol cannot see). *)
 
 type live = {
   kernel : Sim.Kernel.t;  (** the one kernel every level shares *)
@@ -117,6 +135,34 @@ type live = {
           {!System.t}) *)
 }
 
+type live_materials
+(** The durable hardware of a live session — kernel, platform, and an
+    eagerly built bus front-end per level — separated out so a pool can
+    reuse it across {!live_adaptive} runs.  The eager layer-2 front-end
+    is measurement-neutral: an idle bus process steps to no effect and
+    adds no energy, so a materials-backed session reports exactly what a
+    one-shot session (which builds layer 2 on demand) reports. *)
+
+val live_materials :
+  ?table:Power.Characterization.t ->
+  ?l2_params:Tlm2.Energy.params ->
+  ?sink:Obs.Sink.t ->
+  ?extra_slaves:Ec.Slave.t list ->
+  ?peripheral_clock:[ `Running | `Gated ] ->
+  ?extra_reset:(unit -> unit) ->
+  unit ->
+  live_materials
+(** Same construction arguments as {!live_adaptive}.  [extra_reset] is
+    the caller's hook for rewinding its [extra_slaves] (e.g.
+    [Jcvm.Hw_stack.reset]); {!reset_live_materials} calls it last. *)
+
+val reset_live_materials : live_materials -> unit
+(** Rewinds kernel, platform, both bus front-ends (including their
+    energy models — the layer-2 model returns to its creation
+    parameters, undoing in-run calibration) and finally the caller's
+    extra slaves, so the next {!live_adaptive} run on these materials is
+    bit-identical to one on freshly built materials. *)
+
 val live_adaptive :
   ?table:Power.Characterization.t ->
   ?l2_params:Tlm2.Energy.params ->
@@ -125,6 +171,7 @@ val live_adaptive :
   ?extra_slaves:Ec.Slave.t list ->
   ?peripheral_clock:[ `Running | `Gated ] ->
   ?calibrate:bool ->
+  ?materials:live_materials ->
   policy:Hier.Policy.t ->
   unit ->
   live
@@ -151,7 +198,14 @@ val live_adaptive :
     assumption-driven ([A]) parts of the layer-2 estimate — rescales the
     {!Tlm2.Energy} parameters ({!Tlm2.Energy.set_params}) for the fast
     windows that follow.  The blend is latest-window-dominant so the
-    calibration tracks workload phases. *)
+    calibration tracks workload phases.
+
+    [materials] runs the session on pre-built (typically pooled and
+    reset) hardware instead of constructing its own; [table],
+    [l2_params], [extra_slaves] and [peripheral_clock] are then taken
+    from the materials and the same-named arguments are ignored.  Each
+    run still gets fresh calibration state and a fresh
+    {!Hier.Engine.Live} session. *)
 
 type program_run = {
   result : result;
@@ -172,13 +226,21 @@ val run_program :
   ?icache_lines:int ->
   ?vcd:string ->
   ?sink:Obs.Sink.t ->
+  ?pool:Pool.t ->
   Soc.Asm.program ->
   program_run
 (** Loads the image, runs the CPU to halt.  The program must reside in a
     memory of the Figure-1 map.  With [icache_lines] the core fetches
     through an instruction cache of that many 16-byte lines.  [vcd]
     writes a waveform dump of the run (gate-level systems only:
-    @raise Invalid_argument otherwise). *)
+    @raise Invalid_argument otherwise).
+
+    [pool] reuses a reset CPU session (system + core + optional cache);
+    runs with [vcd] or [sink] always build fresh.  The [system], [cpu]
+    and [icache] handles in the returned record then stay valid only
+    until the next pooled run with the same configuration on the calling
+    domain — read any per-run figures off them before starting another
+    run. *)
 
 val capture_cpu_trace :
   ?icache_lines:int -> ?max_cycles:int -> Soc.Asm.program -> Ec.Trace.t

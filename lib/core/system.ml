@@ -122,3 +122,11 @@ let energy_since_last_call_pj t =
   match meter t with
   | Some m -> Power.Meter.since_last_call_pj m
   | None -> 0.0
+
+let reset t =
+  Sim.Kernel.reset t.kernel;
+  Soc.Platform.reset t.platform;
+  match t.bus with
+  | Rtl_bus b -> Rtl.Bus.reset b
+  | L1_bus b -> Tlm1.Bus.reset b
+  | L2_bus b -> Tlm2.Bus.reset b

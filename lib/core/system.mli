@@ -64,3 +64,11 @@ val profile : t -> Power.Profile.t option
 val energy_since_last_call_pj : t -> float
 (** The paper's sampling method on whichever power interface the level
     provides. *)
+
+val reset : t -> unit
+(** Puts the whole session back to its creation state in place: kernel
+    clock and gating, every platform memory and peripheral, and the bus
+    model with its energy estimator.  The wiring (decoder, registered
+    processes, connected masters) is kept, so a reset system replays any
+    workload bit-identically to a freshly built one.  Sessions built
+    with a [sink] keep the sink attached; reset does not clear it. *)

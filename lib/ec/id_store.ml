@@ -64,3 +64,7 @@ let remove_at t i =
 
 let remove t key =
   match index t key with -1 -> () | i -> remove_at t i
+
+let clear t =
+  Array.fill t.vals 0 t.len t.dummy;
+  t.len <- 0

@@ -36,3 +36,7 @@ val value_at : 'a t -> int -> 'a
 
 val remove_at : 'a t -> int -> unit
 (** Remove the entry at a position by swapping the last entry into it. *)
+
+val clear : 'a t -> unit
+(** Drop every entry (vacated value slots are re-filled with [dummy] so
+    nothing leaks through the backing array); capacity is kept. *)

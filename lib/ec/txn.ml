@@ -92,4 +92,6 @@ module Id_gen = struct
   let fresh g =
     incr g;
     !g
+
+  let reset g = g := 0
 end

@@ -79,6 +79,10 @@ module Id_gen : sig
 
   val create : unit -> gen
   val fresh : gen -> int
+
+  val reset : gen -> unit
+  (** Restart the supply at its creation point, so a reused master hands
+      out the exact id sequence of a fresh one. *)
 end
 
 val max_addr : int

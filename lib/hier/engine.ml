@@ -46,7 +46,7 @@ let window_end policy level items i obs =
     done;
     min cap (max !j (min n (i + min_window)))
 
-let run ?budget ?sink ~ops ~policy trace =
+let run ?budget ?sink ?retire ~ops ~policy trace =
   let items = Array.of_list trace in
   let n = Array.length items in
   let segs_rev = ref [] in
@@ -91,7 +91,11 @@ let run ?budget ?sink ~ops ~policy trace =
        architectural state handed off here is the whole state. *)
     (match !prev_sys with
     | None -> ops.init sys
-    | Some prev -> ops.handoff ~prev ~next:sys);
+    | Some prev ->
+      ops.handoff ~prev ~next:sys;
+      (* The previous window's state has been copied out; its system can
+         go back to a session pool. *)
+      (match retire with None -> () | Some r -> r prev));
     prev_sys := Some sys;
     let st = ops.run_segment sys seg_trace in
     cycle := !cycle + st.cycles;

@@ -45,11 +45,17 @@ type 'sys result = {
 val run :
   ?budget:(Level.t -> float) ->
   ?sink:Obs.Sink.t ->
+  ?retire:('sys -> unit) ->
   ops:'sys ops ->
   policy:Policy.t ->
   Ec.Trace.t ->
   'sys result
 (** [budget] is passed to {!Splice.splice}.
+
+    [retire] is called on each window's system right after its
+    architectural state has been handed off to the next window — the
+    hook a session pool uses to reclaim systems mid-run.  The final
+    window's system is never retired; it escapes via [last_system].
 
     When [sink] is given the engine records the window lifecycle on it:
     a [Window_open]/[Window_close] pair per window (the close carries

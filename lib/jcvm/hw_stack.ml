@@ -130,3 +130,13 @@ let slave t =
       ()
   in
   Ec.Slave.make ~cfg ~read:(read t) ~write:(write t)
+
+let reset t =
+  Array.fill t.data 0 (Array.length t.data) 0;
+  t.top <- 0;
+  t.byte_lo_latch <- 0;
+  t.byte_hi_latch <- 0;
+  t.data_latch <- 0;
+  t.underflows <- 0;
+  t.overflows <- 0;
+  t.accesses <- 0

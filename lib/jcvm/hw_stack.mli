@@ -21,3 +21,7 @@ val contents : t -> int list  (** top first *)
 val underflows : t -> int
 val overflows : t -> int
 val bus_accesses : t -> int
+
+val reset : t -> unit
+(** Empties the stack and clears latches and counters, as freshly
+    created. *)

@@ -48,3 +48,10 @@ let since_last_call_pj t =
   delta
 
 let profile t = t.profile
+
+let reset t =
+  Array.fill t.acc 0 4 0.0;
+  t.cycles <- 0;
+  match t.profile with
+  | Some p -> Profile.reset p
+  | None -> ()

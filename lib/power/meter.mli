@@ -37,3 +37,7 @@ val since_last_call_pj : t -> float
 
 val profile : t -> Profile.t option
 (** The recorded per-cycle profile, when enabled. *)
+
+val reset : t -> unit
+(** Back to the freshly created state: accumulators, cycle count, the
+    since-last-call marker and the recorded profile (if any) all clear. *)

@@ -12,6 +12,7 @@ let push t v =
   t.len <- t.len + 1
 
 let length t = t.len
+let reset t = t.len <- 0
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Power.Profile.get";

@@ -12,6 +12,10 @@ val push : t -> float -> unit
 (** Appends the energy of the next cycle. *)
 
 val length : t -> int
+
+val reset : t -> unit
+(** Empties the profile; capacity is kept for reuse. *)
+
 val get : t -> int -> float
 val total : t -> float
 val max_value : t -> float

@@ -331,3 +331,19 @@ let completed_txns t = t.completed_txns
 let completed_beats t = t.completed_beats
 let error_txns t = t.error_txns
 let busy_cycles t = t.busy_cycles
+
+let reset t =
+  Ec.Ring.clear t.requests;
+  Ec.Ring.clear t.read_q;
+  Ec.Ring.clear t.write_q;
+  t.addr_cur <- None;
+  t.read_cur <- None;
+  t.write_cur <- None;
+  Array.fill t.outstanding 0 3 0;
+  Ec.Id_store.clear t.finished;
+  t.completed_txns <- 0;
+  t.completed_beats <- 0;
+  t.error_txns <- 0;
+  t.busy_cycles <- 0;
+  Wires.reset t.wires;
+  Diesel.reset t.diesel

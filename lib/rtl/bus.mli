@@ -43,3 +43,9 @@ val error_txns : t -> int
 
 val busy_cycles : t -> int
 (** Cycles in which at least one phase made progress. *)
+
+val reset : t -> unit
+(** Back to the freshly created state: queues, in-flight phases,
+    outstanding counters, completion store, traffic counters, wires and
+    the estimator all clear.  The kernel registration and the decoder are
+    kept — reset exists so a wired-up session can be reused. *)

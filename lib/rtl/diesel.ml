@@ -271,6 +271,12 @@ let per_signal_energy_pj t = Array.copy t.per_signal_pj
 let per_signal_transitions t = Array.copy t.per_signal_transitions
 let transitions_total t = Array.fold_left ( + ) 0 t.per_signal_transitions
 
+let reset t =
+  Array.fill t.per_signal_pj 0 (Array.length t.per_signal_pj) 0.0;
+  Array.fill t.per_signal_transitions 0 (Array.length t.per_signal_transitions) 0;
+  Array.fill t.totals 0 2 0.0;
+  Power.Meter.reset t.meter
+
 let characterize ~name t =
   Power.Characterization.derive ~name ~energy_pj:t.per_signal_pj
     ~transitions:t.per_signal_transitions

@@ -51,3 +51,9 @@ val transitions_total : t -> int
 val characterize : name:string -> t -> Power.Characterization.t
 (** Derives a characterization table from the accumulated measurement, the
     equivalent of the paper's Diesel-based flow. *)
+
+val reset : t -> unit
+(** Clears every accumulator (per-signal energies and transitions, the
+    interface/internal totals and the meter).  The precomputed energy
+    tables and parameters are immutable and stay; the wires are owned by
+    the bus and are reset by {!Bus.reset}. *)

@@ -55,6 +55,14 @@ let commit_all t =
   Array.iter (fun s -> ignore (Sim.Signal.commit s)) t.ctrl;
   ignore (Sim.Signal.commit t.sel)
 
+let reset t =
+  Sim.Signal.reset t.addr;
+  Sim.Signal.reset t.be;
+  Sim.Signal.reset t.wdata;
+  Sim.Signal.reset t.rdata;
+  Array.iter Sim.Signal.reset t.ctrl;
+  Sim.Signal.reset t.sel
+
 let value_of t = function
   | Ec.Signals.Addr i -> Sim.Signal.current t.addr land (1 lsl i) <> 0
   | Ec.Signals.Be i -> Sim.Signal.current t.be land (1 lsl i) <> 0

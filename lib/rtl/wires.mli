@@ -33,5 +33,9 @@ val interface_groups : t -> (Ec.Signals.id * Sim.Signal.t) list
 
 val commit_all : t -> unit
 
+val reset : t -> unit
+(** Every wire (values and transition counters) back to the created
+    state. *)
+
 val value_of : t -> Ec.Signals.id -> bool
 (** Committed value of one individual interface wire. *)

@@ -48,6 +48,18 @@ let set_gated k ~name ~gated =
 let stop k = k.stop_requested <- true
 let stopped k = k.stop_requested
 
+let reset k =
+  k.now <- 0;
+  k.stop_requested <- false;
+  let ungate p =
+    if p.gated then begin
+      p.gated <- false;
+      k.dirty <- true
+    end
+  in
+  List.iter ungate k.rising_rev;
+  List.iter ungate k.falling_rev
+
 let refresh k =
   if k.dirty then begin
     let live l = List.filter (fun p -> not p.gated) (List.rev l) in

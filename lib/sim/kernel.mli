@@ -38,6 +38,12 @@ val set_gated : t -> name:string -> gated:bool -> unit
 val stop : t -> unit
 (** [stop k] requests run termination; the current cycle still completes. *)
 
+val reset : t -> unit
+(** [reset k] rewinds the clock to 0, clears any pending {!stop} request
+    and un-gates every process.  Registered processes are kept — the whole
+    point of resetting is reusing the wired-up system — so the processes
+    themselves must be reset by their owners. *)
+
 val stopped : t -> bool
 (** [stopped k] is [true] once {!stop} has been called. *)
 

@@ -1,6 +1,7 @@
 type t = { mutable state : int64 }
 
 let create ~seed = { state = Int64.of_int seed }
+let reseed t ~seed = t.state <- Int64.of_int seed
 
 (* splitmix64, Steele et al.; result truncated to OCaml's 63-bit int. *)
 let next_raw t =

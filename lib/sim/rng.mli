@@ -8,6 +8,10 @@ type t
 
 val create : seed:int -> t
 
+val reseed : t -> seed:int -> unit
+(** [reseed t ~seed] rewinds [t] to the state [create ~seed] produces, so
+    a pooled peripheral replays the exact sequence of a fresh one. *)
+
 val next64 : t -> int
 (** Next raw 62-bit value (OCaml native [int], non-negative). *)
 

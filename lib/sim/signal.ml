@@ -56,3 +56,8 @@ let reset_counters s =
   s.rises <- 0;
   s.falls <- 0;
   Array.fill s.per_bit 0 s.width 0
+
+let reset s =
+  s.cur <- 0;
+  s.nxt <- 0;
+  reset_counters s

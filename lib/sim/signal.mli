@@ -45,5 +45,9 @@ val bit_transitions : t -> int array
 val reset_counters : t -> unit
 (** Zeroes all transition counters (values are preserved). *)
 
+val reset : t -> unit
+(** Full reset to the freshly created state: current and next values back
+    to 0 and all transition counters cleared. *)
+
 val popcount : int -> int
 (** Number of set bits in a non-negative [int]. *)

@@ -324,3 +324,18 @@ let run_to_halt t ~kernel ?(max_cycles = 2_000_000) () =
 let interrupts_taken t = t.interrupts_taken
 let in_interrupt t = t.in_irq
 let epc t = t.epc
+
+let reset t ~pc =
+  Ec.Txn.Id_gen.reset t.ids;
+  Array.fill t.regs 0 (Array.length t.regs) 0;
+  t.pending_store <- None;
+  t.pc <- pc;
+  t.epc <- 0;
+  t.irq_enabled <- false;
+  t.in_irq <- false;
+  t.interrupts_taken <- 0;
+  t.state <- Issue_fetch;
+  t.fault <- None;
+  t.instructions <- 0;
+  t.loads <- 0;
+  t.stores <- 0

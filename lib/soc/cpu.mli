@@ -61,3 +61,9 @@ val epc : t -> int
 val run_to_halt : t -> kernel:Sim.Kernel.t -> ?max_cycles:int -> unit -> int
 (** Steps the kernel until the core halts; returns the cycles consumed.
     @raise Failure if [max_cycles] (default 2_000_000) elapse first. *)
+
+val reset : t -> pc:int -> unit
+(** Architectural state (registers, store buffer, interrupt state, fault,
+    counters, id supply) back to the freshly created state, with the
+    program counter pointed at [pc].  The port, interrupt wiring and
+    kernel registration are kept for session reuse. *)

@@ -41,3 +41,7 @@ val reference : key:int -> int -> int
 
 val busy : t -> bool
 val operations : t -> int
+
+val reset : t -> unit
+(** Reseeds the mask generator with the creation seed and clears all
+    registers, state and counters. *)

@@ -165,3 +165,22 @@ let write t ~addr ~width:_ ~value =
 
 let slave t = Ec.Slave.make ~cfg:t.cfg ~read:(read t) ~write:(write t)
 let component t = t.component
+
+(* The bus connection belongs to the session wiring, so [reset] keeps
+   [port]. *)
+let reset t =
+  Ec.Txn.Id_gen.reset t.ids;
+  t.src <- 0;
+  t.dst <- 0;
+  t.len <- 0;
+  t.use_burst <- true;
+  t.remaining <- 0;
+  t.cur_src <- 0;
+  t.cur_dst <- 0;
+  t.state <- Idle;
+  t.active <- false;
+  t.done_ <- false;
+  t.error <- false;
+  t.words_copied <- 0;
+  t.transfers_done <- 0;
+  Power.Component.reset t.component

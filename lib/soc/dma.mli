@@ -37,3 +37,8 @@ val component : t -> Power.Component.t
 val busy : t -> bool
 val words_copied : t -> int
 val transfers_done : t -> int
+
+val reset : t -> unit
+(** Registers, engine state, id supply and counters back to the freshly
+    created state.  The bus connection made by {!connect} is kept: it is
+    part of the session wiring, not of the run state. *)

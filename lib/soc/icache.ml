@@ -161,3 +161,16 @@ let invalidations t = t.invalidations
 
 let flush t =
   Array.fill t.valid 0 t.lines false
+
+let reset t =
+  Array.fill t.tags 0 t.lines 0;
+  Array.fill t.valid 0 t.lines false;
+  Array.fill t.data 0 (Array.length t.data) 0;
+  Ec.Txn.Id_gen.reset t.ids;
+  Hashtbl.reset t.done_tbl;
+  Hashtbl.reset t.fills;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.invalidations <- 0;
+  t.busy_fill <- false;
+  Power.Component.reset t.component

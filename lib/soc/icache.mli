@@ -39,3 +39,9 @@ val invalidations : t -> int
 
 val flush : t -> unit
 (** Invalidates every line. *)
+
+val reset : t -> unit
+(** Beyond {!flush}: also clears tags/data, in-flight fills, the id
+    supply, the hit/miss/invalidation counters and the power component —
+    the freshly created state, keeping inner port and kernel
+    registration. *)

@@ -56,3 +56,9 @@ let component t = t.component
 let pending t = t.pending
 let enabled t = t.enable
 let raised_total t = t.raised_total
+
+let reset t =
+  t.pending <- 0;
+  t.enable <- 0;
+  t.raised_total <- 0;
+  Power.Component.reset t.component

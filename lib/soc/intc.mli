@@ -29,3 +29,6 @@ val asserted : t -> bool
 val pending : t -> int
 val enabled : t -> int
 val raised_total : t -> int
+
+val reset : t -> unit
+(** Pending/enable bits and counters back to the freshly created state. *)

@@ -5,6 +5,12 @@ type t = {
   mutable accessed_this_cycle : bool;
   mutable reads : int;
   mutable writes : int;
+  (* Watermarks of the written byte range, so [reset] zero-fills only
+     what was touched instead of the whole image (a 256 KiB ROM would
+     otherwise dominate pooled-session reset cost).  [dirty_hi] is
+     exclusive; an untouched memory has [dirty_lo > dirty_hi]. *)
+  mutable dirty_lo : int;
+  mutable dirty_hi : int;
 }
 
 let create ?kernel ?(component = Power.Component.params ()) cfg =
@@ -16,6 +22,8 @@ let create ?kernel ?(component = Power.Component.params ()) cfg =
       accessed_this_cycle = false;
       reads = 0;
       writes = 0;
+      dirty_lo = max_int;
+      dirty_hi = 0;
     }
   in
   (match kernel with
@@ -32,12 +40,22 @@ let offset t addr =
   assert (off >= 0 && off < t.cfg.Ec.Slave_cfg.size);
   off
 
-let poke8 t ~addr v = Bytes.set_uint8 t.bytes (offset t addr) (v land 0xFF)
+let[@inline] mark_dirty t lo hi =
+  if lo < t.dirty_lo then t.dirty_lo <- lo;
+  if hi > t.dirty_hi then t.dirty_hi <- hi
+
+let poke8 t ~addr v =
+  let off = offset t addr in
+  mark_dirty t off (off + 1);
+  Bytes.set_uint8 t.bytes off (v land 0xFF)
+
 let peek8 t ~addr = Bytes.get_uint8 t.bytes (offset t addr)
 
 let poke32 t ~addr v =
   assert (addr mod 4 = 0);
-  Bytes.set_int32_le t.bytes (offset t addr) (Int32.of_int (v land 0xFFFFFFFF))
+  let off = offset t addr in
+  mark_dirty t off (off + 4);
+  Bytes.set_int32_le t.bytes off (Int32.of_int (v land 0xFFFFFFFF))
 
 let peek32 t ~addr =
   assert (addr mod 4 = 0);
@@ -46,7 +64,8 @@ let peek32 t ~addr =
 let copy_contents ~src ~dst =
   if Bytes.length src.bytes <> Bytes.length dst.bytes then
     invalid_arg "Soc.Memory.copy_contents: size mismatch";
-  Bytes.blit src.bytes 0 dst.bytes 0 (Bytes.length src.bytes)
+  Bytes.blit src.bytes 0 dst.bytes 0 (Bytes.length src.bytes);
+  mark_dirty dst 0 (Bytes.length dst.bytes)
 
 let load_words t ~addr words =
   Array.iteri (fun i w -> poke32 t ~addr:(addr + (4 * i)) w) words
@@ -83,3 +102,13 @@ let cfg t = t.cfg
 let component t = t.component
 let reads t = t.reads
 let writes t = t.writes
+
+let reset t =
+  if t.dirty_lo < t.dirty_hi then
+    Bytes.fill t.bytes t.dirty_lo (t.dirty_hi - t.dirty_lo) '\000';
+  t.dirty_lo <- max_int;
+  t.dirty_hi <- 0;
+  t.accessed_this_cycle <- false;
+  t.reads <- 0;
+  t.writes <- 0;
+  Power.Component.reset t.component

@@ -38,3 +38,8 @@ val load_program : t -> Asm.program -> unit
 
 val reads : t -> int
 val writes : t -> int
+
+val reset : t -> unit
+(** Restores the creation state: contents zeroed (only the written byte
+    range is re-filled, tracked by dirty watermarks), access counters and
+    the power component cleared.  Reload any image afterwards. *)

@@ -156,3 +156,15 @@ let load_program t (p : Asm.program) =
     invalid_arg
       (Printf.sprintf "Soc.Platform.load_program: origin %#x not in a memory"
          origin)
+
+let reset t =
+  Memory.reset t.rom;
+  Memory.reset t.ram;
+  Memory.reset t.eeprom;
+  Memory.reset t.flash;
+  Uart.reset t.uart;
+  Timer.reset t.timer;
+  Trng.reset t.trng;
+  Crypto.reset t.crypto;
+  Intc.reset t.intc;
+  Dma.reset t.dma

@@ -93,3 +93,9 @@ val components_energy_pj : t -> float
 val load_program : t -> Asm.program -> unit
 (** Loads an image into ROM, RAM, EEPROM or FLASH depending on origin.
     @raise Invalid_argument when the origin falls in no memory. *)
+
+val reset : t -> unit
+(** Every memory and peripheral back to the freshly created state (the
+    TRNG and crypto mask streams replay their creation seeds; the DMA
+    keeps its bus connection).  Extra slaves passed to {!create} are the
+    caller's to reset. *)

@@ -77,3 +77,14 @@ let slave t = Ec.Slave.make ~cfg:t.cfg ~read:(read t) ~write:(write t)
 let component t = t.component
 let count t ch = t.chan.(ch).count
 let overflowed t ch = t.chan.(ch).overflow
+
+let reset t =
+  Array.iter
+    (fun c ->
+      c.count <- 0;
+      c.reload <- 0;
+      c.enable <- false;
+      c.auto_reload <- false;
+      c.overflow <- false)
+    t.chan;
+  Power.Component.reset t.component

@@ -29,3 +29,7 @@ val count : t -> int -> int
 (** Backdoor: current COUNT of a channel. *)
 
 val overflowed : t -> int -> bool
+
+val reset : t -> unit
+(** Both channels and the power component back to the freshly created
+    state. *)

@@ -3,7 +3,7 @@ type mode = [ `Serial | `Pipelined ]
 type t = {
   port : Ec.Port.t;
   sink : Obs.Sink.t option;
-  mode : mode;
+  mutable mode : mode;
   keep_results : bool;
   ids : Ec.Txn.Id_gen.gen;
   mutable remaining : Ec.Trace.item list;
@@ -100,6 +100,21 @@ let issued t = t.issued
 let completed t = t.completed
 let errors t = t.errors
 let results t = List.rev t.results_rev
+
+let reset ?mode t trace =
+  (match mode with Some m -> t.mode <- m | None -> ());
+  Ec.Txn.Id_gen.reset t.ids;
+  t.remaining <- trace;
+  t.gap_left <- 0;
+  t.to_submit <- None;
+  Ec.Id_store.clear t.outstanding;
+  t.issued <- 0;
+  t.completed <- 0;
+  t.errors <- 0;
+  t.results_rev <- [];
+  (* Re-arm exactly like [create]: the first item moves into the submit
+     slot before the first step. *)
+  advance t
 
 let run t ~kernel ?(max_cycles = 2_000_000) () =
   Sim.Kernel.run_until kernel ~max_cycles (fun () -> finished t)

@@ -40,3 +40,9 @@ val results : t -> Ec.Txn.t list
 val run : t -> kernel:Sim.Kernel.t -> ?max_cycles:int -> unit -> int
 (** Steps the kernel until the trace is fully processed; returns the
     cycles consumed by this call. *)
+
+val reset : ?mode:mode -> t -> Ec.Trace.t -> unit
+(** Re-arms the master with a new trace exactly as {!create} would: id
+    supply restarted, in-flight bookkeeping cleared, first item loaded
+    into the submit slot.  [mode] switches the issue discipline for the
+    new run (kept otherwise); the kernel registration and port stay. *)

@@ -6,6 +6,7 @@ type t = {
   cfg : Ec.Slave_cfg.t;
   component : Power.Component.t;
   rng : Sim.Rng.t;
+  seed : int;  (* creation seed, replayed by [reset] *)
   refill_cycles : int;
   mutable current : int;
   mutable refill_left : int;
@@ -21,6 +22,7 @@ let create ~kernel ?(component = Power.Component.Presets.trng) ?(seed = 0x5EED)
       cfg;
       component = Power.Component.create ~name:cfg.Ec.Slave_cfg.name component;
       rng;
+      seed;
       refill_cycles;
       current = Sim.Rng.bits rng 32;
       refill_left = 0;
@@ -63,3 +65,11 @@ let write t ~addr ~width:_ ~value =
 let slave t = Ec.Slave.make ~cfg:t.cfg ~read:(read t) ~write:(write t)
 let component t = t.component
 let words_delivered t = t.delivered
+
+let reset t =
+  Sim.Rng.reseed t.rng ~seed:t.seed;
+  t.current <- Sim.Rng.bits t.rng 32;
+  t.refill_left <- 0;
+  t.enabled <- true;
+  t.delivered <- 0;
+  Power.Component.reset t.component

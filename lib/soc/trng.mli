@@ -21,3 +21,8 @@ val slave : t -> Ec.Slave.t
 val component : t -> Power.Component.t
 val ready : t -> bool
 val words_delivered : t -> int
+
+val reset : t -> unit
+(** Reseeds the generator with the creation seed and restores every
+    register, so a reused TRNG delivers the exact word sequence of a
+    fresh one. *)

@@ -84,3 +84,13 @@ let inject_rx t byte =
 let transmitted t = Buffer.contents t.out
 let tx_busy t = t.shifting <> None
 let rx_pending t = Queue.length t.rx_fifo
+
+let reset t =
+  Queue.clear t.tx_fifo;
+  Queue.clear t.rx_fifo;
+  Buffer.clear t.out;
+  t.enabled <- true;
+  t.baud <- 16;
+  t.shifting <- None;
+  t.bit_cycles_left <- 0;
+  Power.Component.reset t.component

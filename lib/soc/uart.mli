@@ -32,3 +32,7 @@ val transmitted : t -> string
 
 val tx_busy : t -> bool
 val rx_pending : t -> int
+
+val reset : t -> unit
+(** FIFOs, captured output, line state, control registers and the power
+    component back to the freshly created state. *)

@@ -306,3 +306,18 @@ let busy_cycles t = t.busy_cycles
 
 let queue_depths t =
   (Queue.length t.request_q, Queue.length t.read_q, Queue.length t.write_q)
+
+let reset t =
+  Queue.clear t.request_q;
+  Queue.clear t.read_q;
+  Queue.clear t.write_q;
+  Hashtbl.reset t.finish;
+  t.addr_cur <- None;
+  t.read_cur <- None;
+  t.write_cur <- None;
+  Array.fill t.outstanding 0 3 0;
+  t.completed_txns <- 0;
+  t.completed_beats <- 0;
+  t.error_txns <- 0;
+  t.busy_cycles <- 0;
+  with_energy t Energy.reset

@@ -38,3 +38,9 @@ val busy_cycles : t -> int
 
 val queue_depths : t -> int * int * int
 (** Current (request, read, write) queue depths, for structural tests. *)
+
+val reset : t -> unit
+(** Queues, in-flight phases, outstanding counters, completion store,
+    traffic counters and the attached energy model back to the freshly
+    created state; the kernel registration and decoder are kept so the
+    session can be reused. *)

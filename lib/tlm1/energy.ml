@@ -129,6 +129,21 @@ let end_cycle t =
   (* One-cycle strobes fall back to zero unless re-asserted next cycle. *)
   t.new_ctrl <- t.new_ctrl land lnot strobes_mask
 
+let reset t =
+  t.old_addr <- 0;
+  t.new_addr <- 0;
+  t.old_be <- 0;
+  t.new_be <- 0;
+  t.old_wdata <- 0;
+  t.new_wdata <- 0;
+  t.old_rdata <- 0;
+  t.new_rdata <- 0;
+  t.old_ctrl <- 0;
+  t.new_ctrl <- 0;
+  t.scratch.(0) <- 0.0;
+  t.transitions <- 0;
+  Power.Meter.reset t.meter
+
 let energy_last_cycle_pj t = Power.Meter.last_cycle_pj t.meter
 let energy_since_last_call_pj t = Power.Meter.since_last_call_pj t.meter
 let total_pj t = Power.Meter.total_pj t.meter

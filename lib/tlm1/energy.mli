@@ -41,3 +41,7 @@ val energy_since_last_call_pj : t -> float
 val total_pj : t -> float
 val meter : t -> Power.Meter.t
 val transitions_total : t -> int
+
+val reset : t -> unit
+(** Old/new signal images, the transition count and the meter back to
+    their created state (the per-bit energy tables are immutable). *)

@@ -191,3 +191,14 @@ let completed_txns t = t.completed_txns
 let completed_beats t = t.completed_beats
 let error_txns t = t.error_txns
 let busy_cycles t = t.busy_cycles
+
+let reset t =
+  Queue.clear t.pending;
+  Queue.clear t.data_q;
+  Hashtbl.reset t.finish;
+  Array.fill t.outstanding 0 3 0;
+  t.completed_txns <- 0;
+  t.completed_beats <- 0;
+  t.error_txns <- 0;
+  t.busy_cycles <- 0;
+  with_energy t Energy.reset

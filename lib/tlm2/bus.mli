@@ -36,3 +36,8 @@ val completed_txns : t -> int
 val completed_beats : t -> int
 val error_txns : t -> int
 val busy_cycles : t -> int
+
+val reset : t -> unit
+(** Queues, outstanding counters, completion store, traffic counters and
+    the attached energy model back to the freshly created state; kernel
+    registration and decoder are kept for reuse. *)

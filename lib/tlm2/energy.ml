@@ -20,6 +20,7 @@ let default_params =
 
 type t = {
   mutable p : params;
+  created_params : params;  (* what [reset] restores after calibration *)
   table : Power.Characterization.t;
   avg_addr : float;
   avg_wdata : float;
@@ -32,6 +33,7 @@ type t = {
 let create ?(record_profile = false) ?(params = default_params) table =
   {
     p = params;
+    created_params = params;
     table;
     avg_addr = Power.Characterization.avg_addr_bit table;
     avg_wdata = Power.Characterization.avg_wdata_bit table;
@@ -42,6 +44,10 @@ let create ?(record_profile = false) ?(params = default_params) table =
   }
 
 let set_params t params = t.p <- params
+
+let reset t =
+  t.p <- t.created_params;
+  Power.Meter.reset t.meter
 
 let address_phase_pj t (txn : Ec.Txn.t) =
   let p = t.p in

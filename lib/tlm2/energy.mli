@@ -63,3 +63,7 @@ val energy_since_last_call_pj : t -> float
 
 val total_pj : t -> float
 val meter : t -> Power.Meter.t
+
+val reset : t -> unit
+(** Restores the parameters passed to {!create} (undoing any in-run
+    {!set_params} calibration) and clears the meter. *)

@@ -60,6 +60,116 @@ let test_exploration_deterministic () =
   let parallel = Core.Exploration.run ~applets ~domains:4 () in
   check_bool "exploration rows identical" true (serial = parallel)
 
+(* --- persistent worker pool --- *)
+
+let test_with_pool_map () =
+  Core.Parallel.with_pool ~domains:4 (fun p ->
+      let xs = List.init 50 (fun i -> i) in
+      check_bool "pooled map preserves order" true
+        (Core.Parallel.map ~pool:p (fun i -> i * 3) xs
+        = List.map (fun i -> i * 3) xs);
+      check_bool "pool is reusable across maps" true
+        (Core.Parallel.map ~pool:p string_of_int xs = List.map string_of_int xs);
+      (match
+         Core.Parallel.map ~pool:p
+           (fun i -> if i = 7 then raise (Boom i) else i)
+           xs
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 7 -> ());
+      check_bool "pool survives a failed batch" true
+        (Core.Parallel.map ~pool:p (fun i -> i + 1) xs
+        = List.map (fun i -> i + 1) xs))
+
+let test_with_pool_propagates_from_f () =
+  match Core.Parallel.with_pool ~domains:2 (fun _ -> raise (Boom 1)) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 1 -> ()
+
+(* --- session pool under the worker pool --- *)
+
+(* Sessions are domain-local: a checkout under Parallel.map must never be
+   observed on a different domain than built it, and never concurrently
+   by two workers.  The probe session records its birth domain and flags
+   overlapping checkouts with an atomic in-use marker. *)
+type probe = { created_on : int; busy : bool Atomic.t }
+
+let probe_kind : probe Core.Pool.kind = Core.Pool.kind ()
+
+let test_pool_affinity_under_map () =
+  let pool = Core.Pool.create () in
+  let overlaps = Atomic.make 0 in
+  let migrations = Atomic.make 0 in
+  let work _ =
+    Core.Pool.with_session pool probe_kind ~key:"probe"
+      ~build:(fun () ->
+        { created_on = (Domain.self () :> int); busy = Atomic.make false })
+      ~reset:(fun _ -> ())
+      (fun s ->
+        if not (Atomic.compare_and_set s.busy false true) then
+          Atomic.incr overlaps;
+        if s.created_on <> (Domain.self () :> int) then
+          Atomic.incr migrations;
+        (* Hold the session across some real work so an aliasing bug has
+           a window to overlap in. *)
+        let acc = ref 0 in
+        for i = 1 to 10_000 do
+          acc := !acc + i
+        done;
+        ignore (Sys.opaque_identity !acc);
+        Atomic.set s.busy false)
+  in
+  ignore (Core.Parallel.map ~domains:4 work (List.init 200 (fun i -> i)));
+  check_int "no session checked out concurrently" 0 (Atomic.get overlaps);
+  check_int "no session crossed domains" 0 (Atomic.get migrations);
+  check_bool "every domain built its own session" true
+    (Core.Pool.builds pool <= 4 && Core.Pool.builds pool >= 1);
+  check_int "every checkout accounted for" 200
+    (Core.Pool.builds pool + Core.Pool.hits pool)
+
+(* --- cross-run state leaks --- *)
+
+(* The dedicated regression for the reset protocol: two different traces
+   back-to-back on one pooled session must reproduce two fresh sessions,
+   and replaying the first trace again must reproduce its first run. *)
+let test_pooled_no_cross_run_leak () =
+  let t1 = Core.Workloads.table3_trace ~n:96 in
+  let t2 =
+    Core.Workloads.random_trace ~rng:(Sim.Rng.create ~seed:7) ~n:60 ()
+  in
+  let pool = Core.Pool.create () in
+  List.iter
+    (fun level ->
+      let fresh tr = strip (Core.Runner.run_trace ~level tr) in
+      let pooled tr = strip (Core.Runner.run_trace ~level ~pool tr) in
+      let f1 = fresh t1 and f2 = fresh t2 in
+      let tag s =
+        Core.Level.to_string level ^ ": " ^ s
+      in
+      check_bool (tag "first trace on the pooled session") true (pooled t1 = f1);
+      check_bool (tag "a different trace on the same session") true
+        (pooled t2 = f2);
+      check_bool (tag "the first trace again after reset") true (pooled t1 = f1))
+    [ Core.Level.Rtl; Core.Level.L1; Core.Level.L2 ];
+  check_int "one session built per level" 3 (Core.Pool.builds pool);
+  check_int "replays were resets, not rebuilds" 6 (Core.Pool.hits pool)
+
+let test_exploration_pooled_matches_unpooled () =
+  let applets = [ Jcvm.Applets.fib ] in
+  check_bool "pooled sweep rows = unpooled sweep rows" true
+    (Core.Exploration.run ~applets ~pool:false ()
+    = Core.Exploration.run ~applets ~pool:true ())
+
+let test_exploration_on_worker_pool () =
+  let applets = [ Jcvm.Applets.gcd ] in
+  let serial = Core.Exploration.run ~applets ~domains:1 ~pool:false () in
+  let pooled =
+    Core.Parallel.with_pool ~domains:4 (fun w ->
+        Core.Exploration.run ~applets ~workers:w ())
+  in
+  check_bool "session-pooled sweep on the worker pool = serial fresh sweep"
+    true (serial = pooled)
+
 let suite =
   [
     Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
@@ -71,4 +181,16 @@ let suite =
       test_run_accuracy_deterministic;
     Alcotest.test_case "parallel exploration = serial exploration" `Quick
       test_exploration_deterministic;
+    Alcotest.test_case "with_pool: reusable ordered map" `Quick
+      test_with_pool_map;
+    Alcotest.test_case "with_pool propagates the caller's exception" `Quick
+      test_with_pool_propagates_from_f;
+    Alcotest.test_case "session pool never shares across domains" `Quick
+      test_pool_affinity_under_map;
+    Alcotest.test_case "pooled session leaks nothing across runs" `Quick
+      test_pooled_no_cross_run_leak;
+    Alcotest.test_case "pooled exploration = unpooled exploration" `Quick
+      test_exploration_pooled_matches_unpooled;
+    Alcotest.test_case "exploration on worker pool + session pool" `Quick
+      test_exploration_on_worker_pool;
   ]

@@ -662,3 +662,160 @@ let diesel_props =
   List.map QCheck_alcotest.to_alcotest [ prop_diesel_fast_equals_reference ]
 
 let suite = suite @ diesel_props
+
+(* --- pooled resettable sessions: reset replay = fresh build --- *)
+
+(* A pooled session must be indistinguishable, number for number, from a
+   freshly built one: same cycles, same transaction counts, same energies
+   to the last bit of the float accumulators.  Everything below compares
+   a pool-drawn run against its fresh-build twin on random stimuli. *)
+
+(* Everything but the wall clock and the (absent) profile. *)
+let strip_result (r : Core.Runner.result) =
+  ( r.Core.Runner.level,
+    r.Core.Runner.cycles,
+    r.Core.Runner.txns,
+    r.Core.Runner.beats,
+    r.Core.Runner.errors,
+    r.Core.Runner.bus_pj,
+    r.Core.Runner.component_pj,
+    r.Core.Runner.transitions )
+
+let strip_splice (s : Hier.Splice.t) =
+  ( List.map
+      (fun (w : Hier.Splice.window) ->
+        ( w.Hier.Splice.index, w.level, w.start_cycle, w.cycles, w.txns,
+          w.beats, w.errors, w.bus_pj, w.component_pj, w.err_bound_pj,
+          w.provenance ))
+      s.Hier.Splice.windows,
+    s.Hier.Splice.total_cycles, s.Hier.Splice.total_txns,
+    s.Hier.Splice.total_beats, s.Hier.Splice.total_errors,
+    s.Hier.Splice.total_bus_pj, s.Hier.Splice.total_component_pj,
+    s.Hier.Splice.error_bound_pj, s.Hier.Splice.switches )
+
+let strip_adaptive (a : Core.Runner.adaptive_run) =
+  ( a.Core.Runner.cycles, a.Core.Runner.txns, a.Core.Runner.beats,
+    a.Core.Runner.errors, a.Core.Runner.bus_pj, a.Core.Runner.component_pj,
+    a.Core.Runner.switches, strip_splice a.Core.Runner.splice )
+
+(* Random platform-map traffic, reproducible from a compact seed triple. *)
+let arb_seeded_trace =
+  QCheck.make
+    Gen.(triple (int_bound 1_000_000) (int_range 8 80) (int_bound 3))
+    ~print:(fun (seed, n, max_gap) ->
+      Printf.sprintf "seed=%d n=%d max_gap=%d" seed n max_gap)
+
+let seeded_trace (seed, n, max_gap) =
+  Core.Workloads.random_trace ~rng:(Sim.Rng.create ~seed) ~n ~max_gap ()
+
+let prop_pooled_trace_bit_exact =
+  QCheck.Test.make
+    ~name:"pooled run_trace = fresh run_trace, bit-exact (all levels)"
+    ~count:8
+    (QCheck.pair arb_seeded_trace arb_seeded_trace)
+    (fun (a, b) ->
+      let ta = seeded_trace a and tb = seeded_trace b in
+      let pool = Core.Pool.create () in
+      List.for_all
+        (fun level ->
+          let fresh tr = strip_result (Core.Runner.run_trace ~level tr) in
+          let pooled tr =
+            strip_result (Core.Runner.run_trace ~level ~pool tr)
+          in
+          (* Two different traces back-to-back on one pooled session, then
+             the first again: any state leaking across a reset shows up in
+             one of the three comparisons against the fresh-build twins. *)
+          pooled ta = fresh ta && pooled tb = fresh tb && pooled ta = fresh ta)
+        [ Core.Level.Rtl; Core.Level.L1; Core.Level.L2 ]
+      && Core.Pool.builds pool = 3 (* one session per level, ever *)
+      && Core.Pool.hits pool = 6)
+
+let prop_pooled_program_bit_exact =
+  QCheck.Test.make ~name:"pooled run_program = fresh run_program" ~count:6
+    (QCheck.make
+       Gen.(pair (int_range 4 10) (int_bound 2))
+       ~print:(fun (n, idx) -> Printf.sprintf "n=%d icache_idx=%d" n idx))
+    (fun (n, size_idx) ->
+      let icache_lines = [| None; Some 2; Some 8 |].(size_idx) in
+      let program = Soc.Asm.assemble (Core.Test_programs.bubble_sort ~n) in
+      let strip_run (pr : Core.Runner.program_run) =
+        (strip_result pr.Core.Runner.result, pr.Core.Runner.fault)
+      in
+      let fresh =
+        strip_run (Core.Runner.run_program ?icache_lines program)
+      in
+      let pool = Core.Pool.create () in
+      let pooled () =
+        strip_run (Core.Runner.run_program ?icache_lines ~pool program)
+      in
+      pooled () = fresh && pooled () = fresh && Core.Pool.builds pool = 1)
+
+let prop_pooled_adaptive_bit_exact =
+  QCheck.Test.make
+    ~name:"pooled run_adaptive = fresh run_adaptive (spliced totals)"
+    ~count:5
+    (QCheck.make
+       Gen.(pair (int_range 200 900) (int_range 48 128))
+       ~print:(fun (n, phase) -> Printf.sprintf "n=%d phase=%d" n phase))
+    (fun (n, phase) ->
+      let trace = Core.Workloads.mixed_phase_trace ~phase ~n () in
+      let policy = Core.Experiments.adaptive_policy in
+      let fresh = strip_adaptive (Core.Runner.run_adaptive ~policy trace) in
+      let pool = Core.Pool.create () in
+      let pooled () =
+        strip_adaptive (Core.Runner.run_adaptive ~pool ~policy trace)
+      in
+      (* Twice on the pool: the second replay reuses the systems the
+         engine released window by window during the first. *)
+      pooled () = fresh && pooled () = fresh)
+
+let strip_row (r : Core.Exploration.row) =
+  ( r.Core.Exploration.config.Jcvm.Configs.name,
+    r.Core.Exploration.applet, r.Core.Exploration.level,
+    r.Core.Exploration.cycles, r.Core.Exploration.bus_pj,
+    r.Core.Exploration.transactions, r.Core.Exploration.steps,
+    r.Core.Exploration.value, r.Core.Exploration.correct,
+    Option.map strip_splice r.Core.Exploration.provenance )
+
+let prop_pooled_exploration_cell_bit_exact =
+  QCheck.Test.make
+    ~name:"pooled exploration cell = fresh cell (fixed and live adaptive)"
+    ~count:4
+    (QCheck.make
+       Gen.(
+         pair (int_bound 2)
+           (int_bound (List.length Jcvm.Configs.standard - 1)))
+       ~print:(fun (a, c) -> Printf.sprintf "applet_idx=%d config_idx=%d" a c))
+    (fun (applet_idx, config_idx) ->
+      let applet =
+        List.nth [ Jcvm.Applets.fib; Jcvm.Applets.gcd; Jcvm.Applets.crc16 ]
+          applet_idx
+      in
+      let config = List.nth Jcvm.Configs.standard config_idx in
+      let policy = Hier.Policy.for_exploration () in
+      let fresh_fixed = strip_row (Core.Exploration.run_one ~config applet) in
+      let fresh_live =
+        strip_row (Core.Exploration.run_one ~policy ~config applet)
+      in
+      let pool = Core.Pool.create () in
+      let pooled_fixed () =
+        strip_row (Core.Exploration.run_one ~pool ~config applet)
+      in
+      let pooled_live () =
+        strip_row (Core.Exploration.run_one ~pool ~policy ~config applet)
+      in
+      pooled_fixed () = fresh_fixed
+      && pooled_live () = fresh_live
+      && pooled_fixed () = fresh_fixed
+      && pooled_live () = fresh_live)
+
+let pool_props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_pooled_trace_bit_exact;
+      prop_pooled_program_bit_exact;
+      prop_pooled_adaptive_bit_exact;
+      prop_pooled_exploration_cell_bit_exact;
+    ]
+
+let suite = suite @ pool_props
