@@ -226,8 +226,10 @@ let bench_pool =
   let pooled level () =
     ignore (Core.Runner.run_trace ~level ~mode:`Serial ~pool trace)
   in
+  (* [compiled:false] keeps this pair measuring session reuse alone —
+     the compiled-plan path has its own group below. *)
   let grid use_pool () =
-    ignore (Core.Exploration.run ~domains:1 ~pool:use_pool ())
+    ignore (Core.Exploration.run ~domains:1 ~pool:use_pool ~compiled:false ())
   in
   Test.make_grouped ~name:"pool/sessions"
     [
@@ -237,6 +239,54 @@ let bench_pool =
       Test.make ~name:"rtl-64txn-pooled-reset" (Staged.stage (pooled Core.Level.Rtl));
       Test.make ~name:"explore-grid-fresh" (Staged.stage (grid false));
       Test.make ~name:"explore-grid-pooled" (Staged.stage (grid true));
+    ]
+
+(* Trace compilation (DESIGN.md section 14): the 64-transaction replay
+   interpreted, pooled-interpreted, and as a compiled-plan evaluation —
+   plus the same evaluation for 35 characterization points at once, and
+   the full 35-cell exploration grid interpreted versus compiled-warm.
+   The single-point compiled replay is the >=5x acceptance target
+   against the pooled-interpreted baseline; the grid pair is the >=2.5x
+   target (EXPERIMENTS.md). *)
+let bench_compiled =
+  let trace = Core.Workloads.table3_trace ~n:64 in
+  let pool = Core.Pool.create () in
+  let interpreted () =
+    ignore (Core.Runner.run_trace ~level:Core.Level.L1 ~mode:`Serial trace)
+  in
+  let pooled () =
+    ignore
+      (Core.Runner.run_trace ~level:Core.Level.L1 ~mode:`Serial ~pool trace)
+  in
+  let plan =
+    Core.Runner.compile_trace ~level:Core.Level.L1 ~mode:`Serial trace
+  in
+  let compiled () = ignore (Core.Runner.replay_compiled plan) in
+  (* A 35-lane batch, one lane per exploration grid cell: scaled tables
+     standing in for the capacitance/voltage variants of a sweep. *)
+  let points =
+    List.init 35 (fun i ->
+        {
+          Compile.Eval.table =
+            Power.Characterization.scale Power.Characterization.default
+              (0.5 +. (0.05 *. float_of_int i));
+          l2_params = None;
+        })
+  in
+  let compiled_35pt () =
+    ignore (Core.Runner.replay_multi ~points plan)
+  in
+  let grid compiled () =
+    ignore (Core.Exploration.run ~domains:1 ~compiled ())
+  in
+  Test.make_grouped ~name:"compiled/replay"
+    [
+      Test.make ~name:"l1-64txn-interpreted" (Staged.stage interpreted);
+      Test.make ~name:"l1-64txn-pooled" (Staged.stage pooled);
+      Test.make ~name:"l1-64txn-compiled" (Staged.stage compiled);
+      Test.make ~name:"l1-64txn-compiled-35pt" (Staged.stage compiled_35pt);
+      Test.make ~name:"explore-grid-interpreted" (Staged.stage (grid false));
+      Test.make ~name:"explore-grid-compiled" (Staged.stage (grid true));
     ]
 
 (* Reduced end-to-end pass over the observability layer for the smoke
@@ -281,6 +331,42 @@ let print_pool_smoke () =
     (if fresh = pooled then "bit-identical" else "DIFFER");
   if fresh <> pooled then failwith "pooled sweep diverged from fresh sweep"
 
+(* Compiled-replay smoke: one trace per level replayed interpreted and
+   off a compiled plan, checked bit-identical with the wall-clock ratio
+   printed, so a compilation regression is visible in every runtest
+   log. *)
+let print_compiled_smoke () =
+  section "Compiled-replay smoke (plan evaluation = interpretation)";
+  let trace = Core.Workloads.table3_trace ~n:64 in
+  let strip (r : Core.Runner.result) =
+    ( r.Core.Runner.cycles, r.Core.Runner.txns, r.Core.Runner.beats,
+      r.Core.Runner.errors, r.Core.Runner.bus_pj, r.Core.Runner.component_pj,
+      r.Core.Runner.transitions )
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  List.iter
+    (fun level ->
+      let interp, interp_s =
+        timed (fun () -> Core.Runner.run_trace ~level ~mode:`Serial trace)
+      in
+      let plan = Core.Runner.compile_trace ~level ~mode:`Serial trace in
+      let compiled, compiled_s =
+        timed (fun () -> Core.Runner.replay_compiled plan)
+      in
+      Printf.printf
+        "%s 64-txn replay: interpreted %.1f us, compiled eval %.1f us \
+         (%.0fx); results %s\n"
+        (Core.Level.to_string level) (interp_s *. 1e6) (compiled_s *. 1e6)
+        (interp_s /. Float.max 1e-9 compiled_s)
+        (if strip interp = strip compiled then "bit-identical" else "DIFFER");
+      if strip interp <> strip compiled then
+        failwith "compiled replay diverged from interpretation")
+    [ Core.Level.L1; Core.Level.L2 ]
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -323,6 +409,7 @@ let micro_groups =
     ("figure7/fib-applet", bench_exploration);
     ("overhead/obs", bench_obs_overhead);
     ("pool/sessions", bench_pool);
+    ("compiled/replay", bench_compiled);
   ]
 
 let run_micro () =
@@ -374,7 +461,8 @@ let () =
     print_tables ~smoke:true ();
     print_adaptive ~smoke:true ();
     print_obs_smoke ();
-    print_pool_smoke ()
+    print_pool_smoke ();
+    print_compiled_smoke ()
   | "micro" -> if json then run_micro_json () else run_micro ()
   | "adaptive" -> print_adaptive ()
   | "ablations" -> print_ablations ()

@@ -45,6 +45,27 @@ let pool_flag ~default =
             info [ "no-pool" ] ~doc:"Build every simulation session fresh." );
         ])
 
+(* --compiled / --no-compiled: compiled trace replay (DESIGN.md §14) on
+   the commands that replay recorded or grid-cell traffic.  The sweep
+   default is compiled; single replays default to interpreted. *)
+let compiled_flag ~default =
+  Arg.(
+    value
+    & vflag default
+        [
+          ( true,
+            info [ "compiled" ]
+              ~doc:
+                "Compile the traffic into a replay plan once and fold the \
+                 energy off it (default for sweeps; results are \
+                 bit-identical to interpretation).  Ignored at the \
+                 gate level and whenever an event sink is attached \
+                 (--trace-out/--metrics): those runs always interpret." );
+          ( false,
+            info [ "no-compiled" ]
+              ~doc:"Interpret every replay through the full bus model." );
+        ])
+
 let read_file path =
   let ic = open_in path in
   Fun.protect
@@ -188,7 +209,7 @@ let explore_cmd =
              adaptive sweep back to back and print the wall-clock/energy \
              comparison table (EXPERIMENTS.md).")
   in
-  let run level applet adaptive policy compare trace_out pool =
+  let run level applet adaptive policy compare trace_out pool compiled =
     let applets =
       match applet with
       | None -> Jcvm.Applets.all
@@ -220,7 +241,7 @@ let explore_cmd =
         match trace_out with
         | None -> (
           match policy with
-          | None -> Core.Exploration.run ~level ~applets ~pool ()
+          | None -> Core.Exploration.run ~level ~compiled ~applets ~pool ()
           | Some policy -> Core.Exploration.run ~policy ~applets ~pool ())
         | Some stem ->
           (* Per-row Chrome traces: give each grid cell its own sink and
@@ -256,7 +277,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ level_arg $ applet $ adaptive $ policy $ compare
-      $ trace_out_arg $ pool_flag ~default:true)
+      $ trace_out_arg $ pool_flag ~default:true $ compiled_flag ~default:true)
 
 (* --- run --- *)
 
@@ -282,7 +303,17 @@ let run_cmd =
       & info [ "vcd" ] ~docv:"FILE"
           ~doc:"Write a VCD waveform of the run (gate-level only).")
   in
-  let run level file profile_out vcd_out trace_out metrics pool =
+  let compiled =
+    Arg.(
+      value & flag
+      & info [ "compiled" ]
+          ~doc:
+            "After the run, capture the program's bus trace, compile it \
+             into a replay plan and print the compiled-replay figures at \
+             --level (l1 or l2) — the microsecond-scale path a sweep over \
+             this program's traffic would take.")
+  in
+  let run level file profile_out vcd_out trace_out metrics pool compiled =
     let program = Soc.Asm.assemble (read_file file) in
     let record_profile = profile_out <> None || trace_out <> None in
     let sink = make_sink ~trace_out ~metrics in
@@ -322,12 +353,34 @@ let run_cmd =
       Printf.printf "profile written to %s (%d cycles)\n" path
         (Power.Profile.length p)
     | Some _, None | None, _ -> ());
-    finish_obs ?profile:r.Core.Runner.profile ~trace_out ~metrics sink
+    finish_obs ?profile:r.Core.Runner.profile ~trace_out ~metrics sink;
+    (match spool with
+    | Some p when metrics ->
+      print_newline ();
+      print_endline (Core.Report.pool_stats p)
+    | Some _ | None -> ());
+    if compiled then begin
+      match level with
+      | Core.Level.Rtl ->
+        prerr_endline "--compiled needs --level l1 or l2; skipping"
+      | Core.Level.L1 | Core.Level.L2 ->
+        let trace = Core.Runner.capture_cpu_trace program in
+        let plan =
+          Core.Runner.compile_trace ~level ~init:Core.Runner.fill_memories
+            ?pool:spool trace
+        in
+        let cr = Core.Runner.replay_compiled plan in
+        Printf.printf
+          "compiled replay (%s): %d txns, %d cycles, %.1f pJ bus in %.1f us\n"
+          (Core.Level.to_string level) cr.Core.Runner.txns
+          cr.Core.Runner.cycles cr.Core.Runner.bus_pj
+          (cr.Core.Runner.wall_seconds *. 1e6)
+    end
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ level_arg $ file $ profile $ vcd $ trace_out_arg
-      $ metrics_arg $ pool_flag ~default:false)
+      $ metrics_arg $ pool_flag ~default:false $ compiled)
 
 (* --- trace --- *)
 
@@ -361,7 +414,7 @@ let trace_replay_cmd =
              policy of the experiments) instead of a single level; \
              --level is ignored.")
   in
-  let run level file serial adaptive trace_out metrics =
+  let run level file serial adaptive trace_out metrics compiled =
     let trace = Ec.Trace.load file in
     let mode = if serial then `Serial else `Pipelined in
     let sink = make_sink ~trace_out ~metrics in
@@ -388,7 +441,7 @@ let trace_replay_cmd =
     else begin
       let r =
         Core.Runner.run_trace ~level ~mode ~record_profile
-          ~init:Core.Runner.fill_memories ?sink trace
+          ~init:Core.Runner.fill_memories ?sink ~compiled trace
       in
       Printf.printf "level:      %s\n" (Core.Level.to_string level);
       Printf.printf "txns:       %d (%d errors)\n" r.Core.Runner.txns
@@ -401,7 +454,7 @@ let trace_replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
       const run $ level_arg $ file $ serial $ adaptive $ trace_out_arg
-      $ metrics_arg)
+      $ metrics_arg $ compiled_flag ~default:false)
 
 let trace_cmd =
   let doc = "Capture or replay bus transaction traces." in

@@ -1,0 +1,35 @@
+(** Multi-point evaluation of compiled trace plans (DESIGN.md §14).
+
+    A {!point} is one parameter point of the exploration space — a
+    characterization table at layer 1, a table plus lump parameters at
+    layer 2.  {!eval_multi} decodes the plan's transition words once and
+    folds every point's energy off the shared decode, so N points cost
+    one walk of the plan instead of N interpreted replays.
+
+    Bit-exactness: for each point, every float operation happens in the
+    order the interpreted estimator performs it (per-bit sums ascend
+    from bit 0; groups add in addr/be/wdata/rdata/ctrl order; one
+    cycle's lumps group before joining the total), so the returned
+    energy — and the per-cycle profile, when requested — equals the
+    interpreted figure bit for bit. *)
+
+type point = {
+  table : Power.Characterization.t;
+  l2_params : Tlm2.Energy.params option;
+      (** layer-2 plans only; [None] means {!Tlm2.Energy.default_params},
+          exactly as an interpreted run without [?l2_params] *)
+}
+
+type outcome = { bus_pj : float; profile : Power.Profile.t option }
+
+val eval_multi :
+  ?record_profile:bool -> Plan.t -> points:point list -> outcome list
+(** One pass over the plan, one outcome per point, in order. *)
+
+val eval :
+  ?record_profile:bool ->
+  ?l2_params:Tlm2.Energy.params ->
+  table:Power.Characterization.t ->
+  Plan.t ->
+  outcome
+(** Single-point convenience; identical to a one-element {!eval_multi}. *)

@@ -1,0 +1,170 @@
+(* Compiled trace plans (DESIGN.md section 14).
+
+   A plan is the one-shot residue of an interpreted replay: routing,
+   wait-state schedules and burst decisions have already been played out
+   by the bus model, and what remains is the flat integer record of what
+   the energy estimator would see — per-cycle signal transition words at
+   layer 1, the lump event stream at layer 2 — plus the table-independent
+   scalar results of the run.  Re-evaluating a plan under a new
+   characterization table or parameter point is then a branch-free array
+   sweep (see Eval), with no kernel, queues or slave calls involved. *)
+
+module Ivec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 64 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let b = Array.make (2 * v.n) 0 in
+      Array.blit v.a 0 b 0 v.n;
+      v.a <- b
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let to_array v = Array.sub v.a 0 v.n
+end
+
+type meta = {
+  level : [ `L1 | `L2 ];
+  cycles : int;
+  txns : int;
+  beats : int;
+  errors : int;
+  transitions : int;  (** layer 1 only; 0 at layer 2, as interpreted *)
+  component_pj : float;
+      (** platform component energy of the run — independent of the
+          characterization table, so captured once at compile time *)
+}
+
+(* Layer 1: sparse parallel arrays, one entry per cycle with at least one
+   signal transition.  Quiet cycles contribute exactly 0.0 pJ in the
+   interpreted model, so eliding them preserves bit-exact totals. *)
+type l1_data = {
+  d_cycle : int array;  (* ascending cycle index of each entry *)
+  d_addr : int array;  (* old lxor new, per group *)
+  d_be : int array;
+  d_wdata : int array;
+  d_rdata : int array;
+  d_ctrl : int array;
+}
+
+(* Layer 2: the lump event stream.  Address lumps depend only on the
+   parameter point; data lumps additionally carry the burst shape and
+   the exact inter-beat Hamming distances (flattened into [pops]).
+   Events of one cycle stay adjacent so the evaluator can reproduce the
+   meter's cycle grouping exactly. *)
+type l2_data = {
+  ev_cycle : int array;
+  ev_kind : int array;  (* 0 = address lump, 1 = data lump *)
+  ev_dir : int array;  (* 0 = read, 1 = write *)
+  ev_burst : int array;
+  ev_pop_off : int array;  (* start of this event's run in [pops] *)
+  pops : int array;  (* burst-1 inter-beat popcounts per data lump *)
+}
+
+type body = L1 of l1_data | L2 of l2_data
+type t = { meta : meta; body : body }
+
+let meta t = t.meta
+let make ~meta ~body = { meta; body }
+
+(* --- recorders: what the energy-model observers feed ------------------ *)
+
+type l1_recorder = {
+  mutable l1_cycle : int;
+  r_cycle : Ivec.t;
+  r_addr : Ivec.t;
+  r_be : Ivec.t;
+  r_wdata : Ivec.t;
+  r_rdata : Ivec.t;
+  r_ctrl : Ivec.t;
+}
+
+let l1_recorder () =
+  {
+    l1_cycle = 0;
+    r_cycle = Ivec.create ();
+    r_addr = Ivec.create ();
+    r_be = Ivec.create ();
+    r_wdata = Ivec.create ();
+    r_rdata = Ivec.create ();
+    r_ctrl = Ivec.create ();
+  }
+
+(* The Tlm1.Energy observer: one call per falling edge, deltas of the
+   closing cycle. *)
+let l1_observe r ~addr ~be ~wdata ~rdata ~ctrl =
+  if addr lor be lor wdata lor rdata lor ctrl <> 0 then begin
+    Ivec.push r.r_cycle r.l1_cycle;
+    Ivec.push r.r_addr addr;
+    Ivec.push r.r_be be;
+    Ivec.push r.r_wdata wdata;
+    Ivec.push r.r_rdata rdata;
+    Ivec.push r.r_ctrl ctrl
+  end;
+  r.l1_cycle <- r.l1_cycle + 1
+
+let l1_finish r =
+  L1
+    {
+      d_cycle = Ivec.to_array r.r_cycle;
+      d_addr = Ivec.to_array r.r_addr;
+      d_be = Ivec.to_array r.r_be;
+      d_wdata = Ivec.to_array r.r_wdata;
+      d_rdata = Ivec.to_array r.r_rdata;
+      d_ctrl = Ivec.to_array r.r_ctrl;
+    }
+
+type l2_recorder = {
+  mutable l2_cycle : int;
+  e_cycle : Ivec.t;
+  e_kind : Ivec.t;
+  e_dir : Ivec.t;
+  e_burst : Ivec.t;
+  e_pop_off : Ivec.t;
+  e_pops : Ivec.t;
+}
+
+let l2_recorder () =
+  {
+    l2_cycle = 0;
+    e_cycle = Ivec.create ();
+    e_kind = Ivec.create ();
+    e_dir = Ivec.create ();
+    e_burst = Ivec.create ();
+    e_pop_off = Ivec.create ();
+    e_pops = Ivec.create ();
+  }
+
+let l2_observe r (ev : Tlm2.Energy.event) =
+  match ev with
+  | Tlm2.Energy.Cycle -> r.l2_cycle <- r.l2_cycle + 1
+  | Tlm2.Energy.Addr_lump _ ->
+    Ivec.push r.e_cycle r.l2_cycle;
+    Ivec.push r.e_kind 0;
+    Ivec.push r.e_dir 0;
+    Ivec.push r.e_burst 0;
+    Ivec.push r.e_pop_off r.e_pops.Ivec.n
+  | Tlm2.Energy.Data_lump txn ->
+    Ivec.push r.e_cycle r.l2_cycle;
+    Ivec.push r.e_kind 1;
+    Ivec.push r.e_dir (match txn.Ec.Txn.dir with Ec.Txn.Read -> 0 | Ec.Txn.Write -> 1);
+    Ivec.push r.e_burst txn.Ec.Txn.burst;
+    Ivec.push r.e_pop_off r.e_pops.Ivec.n;
+    for i = 1 to txn.Ec.Txn.burst - 1 do
+      Ivec.push r.e_pops
+        (Sim.Signal.popcount (txn.Ec.Txn.data.(i) lxor txn.Ec.Txn.data.(i - 1)))
+    done
+
+let l2_finish r =
+  L2
+    {
+      ev_cycle = Ivec.to_array r.e_cycle;
+      ev_kind = Ivec.to_array r.e_kind;
+      ev_dir = Ivec.to_array r.e_dir;
+      ev_burst = Ivec.to_array r.e_burst;
+      ev_pop_off = Ivec.to_array r.e_pop_off;
+      pops = Ivec.to_array r.e_pops;
+    }

@@ -1,0 +1,74 @@
+(** Compiled trace plans (DESIGN.md section 14).
+
+    A plan is the one-shot residue of an interpreted replay: slave
+    routing ({!Ec.Decoder}), wait-state schedules ({!Ec.Timing},
+    {!Ec.Slave_cfg}) and burst decisions have already been played out by
+    the bus model, and the plan keeps the flat integer record of what
+    the energy estimator saw — per-cycle transition words at layer 1,
+    the lump event stream at layer 2 — plus the table-independent scalar
+    results of the run.  {!Eval} sweeps a plan under any number of
+    parameter points without a kernel, queues or slave calls. *)
+
+type meta = {
+  level : [ `L1 | `L2 ];
+  cycles : int;
+  txns : int;
+  beats : int;
+  errors : int;
+  transitions : int;  (** layer 1 only; 0 at layer 2, as interpreted *)
+  component_pj : float;
+      (** platform component energy of the run — independent of the
+          characterization table, so captured once at compile time *)
+}
+
+(** Layer-1 body: sparse parallel arrays, one entry per cycle with at
+    least one signal transition.  Quiet cycles dissipate exactly 0.0 pJ
+    in the interpreted model, so eliding them keeps totals bit-exact. *)
+type l1_data = {
+  d_cycle : int array;  (** ascending cycle index of each entry *)
+  d_addr : int array;  (** old [lxor] new, per signal group *)
+  d_be : int array;
+  d_wdata : int array;
+  d_rdata : int array;
+  d_ctrl : int array;
+}
+
+(** Layer-2 body: the lump event stream, cycle-adjacent so the evaluator
+    reproduces the meter's cycle grouping exactly.  Data lumps carry the
+    burst shape and exact inter-beat Hamming distances. *)
+type l2_data = {
+  ev_cycle : int array;
+  ev_kind : int array;  (** 0 = address lump, 1 = data lump *)
+  ev_dir : int array;  (** 0 = read, 1 = write *)
+  ev_burst : int array;
+  ev_pop_off : int array;  (** start of this event's run in [pops] *)
+  pops : int array;  (** burst-1 inter-beat popcounts per data lump *)
+}
+
+type body = L1 of l1_data | L2 of l2_data
+type t = { meta : meta; body : body }
+
+val meta : t -> meta
+val make : meta:meta -> body:body -> t
+
+(** {1 Recorders}
+
+    Attach {!l1_observe} as a {!Tlm1.Energy.set_observer} tap (or
+    {!l2_observe} as a {!Tlm2.Energy.set_observer} tap), run the
+    workload once interpreted, then take the finished body. *)
+
+type l1_recorder
+
+val l1_recorder : unit -> l1_recorder
+
+val l1_observe :
+  l1_recorder ->
+  addr:int -> be:int -> wdata:int -> rdata:int -> ctrl:int -> unit
+
+val l1_finish : l1_recorder -> body
+
+type l2_recorder
+
+val l2_recorder : unit -> l2_recorder
+val l2_observe : l2_recorder -> Tlm2.Energy.event -> unit
+val l2_finish : l2_recorder -> body

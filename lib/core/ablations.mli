@@ -25,11 +25,17 @@ val internal_nets_sensitivity : ?pool:Pool.t -> unit -> row list
 
 val characterization_quality : ?pool:Pool.t -> unit -> row list
 (** Layer-1 error with the default capacitance table vs the derived
-    table, on the accuracy stimulus. *)
+    table, on the accuracy stimulus.  Each stimulus segment compiles
+    into a replay plan once and both tables fold off it in one
+    multi-point pass ({!Runner.replay_multi}); figures are
+    bit-identical to two interpreted runs. *)
 
 val l2_boundary_sensitivity : ?pool:Pool.t -> unit -> row list
 (** Layer-2 energy error (%) as the boundary data-toggle assumption
-    sweeps; shows the over/underestimation crossover. *)
+    sweeps; shows the over/underestimation crossover.  The four
+    parameter variants share one compiled plan per stimulus segment
+    (one interpreted run plus four float folds), bit-identical to four
+    interpreted runs. *)
 
 val store_buffer_effect : unit -> row list
 (** Program cycles with and without the CPU store buffer, per test

@@ -44,6 +44,11 @@ let run_adaptive_one ?pool ~policy ~table program lines =
     splice = Some ar.Runner.splice;
   }
 
+(* This study stays on the interpreted paths deliberately: every row is
+   a CPU-driven run (the bus traffic depends on the cache size under
+   test), and the adaptive variant switches levels mid-run — neither is
+   a fixed trace that a {!Compile.Plan.t} could capture once and
+   re-evaluate.  Session pooling is the applicable reuse here. *)
 let run ?(level = Level.L1) ?policy ?table
     ?(sizes = [ None; Some 1; Some 2; Some 4; Some 16 ]) ?(name = "program")
     ?(pool = true) program =

@@ -116,10 +116,14 @@ type exploration_comparison = {
   applets : string list;
   cells : int;  (** applet x configuration grid size *)
   modes : exploration_mode list;
-      (** pure layer 1, pure layer 2, adaptive — in that order *)
+      (** pure layer 1 (cold), layer 1 with warm compiled plans, pure
+          layer 2, adaptive — in that order *)
   bit_exact : bool;
       (** adaptive rows match layer 1 on cycles, transactions, value and
           correctness *)
+  compiled_exact : bool;
+      (** the warm compiled layer-1 sweep reproduced the cold sweep's
+          rows exactly, energies included *)
   within_budget : bool;
       (** every adaptive row's spliced energy lies within its own
           declared error budget of the layer-1 figure *)

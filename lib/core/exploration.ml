@@ -59,6 +59,85 @@ type fixed_session = { fs_hw : Jcvm.Hw_stack.t; fs_system : System.t }
 
 let fixed_kind : fixed_session Pool.kind = Pool.kind ()
 
+(* A compiled grid cell: the trace plan of one (configuration, applet)
+   interpretation plus the row fields the characterization table cannot
+   change.  Everything that is table-dependent (bus_pj, and nothing
+   else) folds off the plan per evaluation, so re-running a cell — a
+   sweep over tables, a repeated grid — skips the JCVM interpretation
+   entirely. *)
+type cell_plan = {
+  cp_plan : Compile.Plan.t;
+  cp_cycles : int;
+  cp_transactions : int;
+  cp_steps : int;
+  cp_value : int option;
+  cp_correct : bool;
+}
+
+let cell_kind : cell_plan Pool.kind = Pool.kind ()
+
+(* One capture run: interpret the applet on a fresh system with the
+   energy model's integer taps attached, and keep the plan.  The table
+   passed here is irrelevant — the taps never read a float — so the
+   cell compiles once and serves every table. *)
+let compile_cell ~level ~config applet =
+  let hw = Jcvm.Hw_stack.create config in
+  let system =
+    System.create ~level ~estimate:true
+      ~extra_slaves:[ Jcvm.Hw_stack.slave hw ]
+      ()
+  in
+  let finish =
+    match System.bus system with
+    | System.L1_bus b ->
+      let e = Option.get (Tlm1.Bus.energy b) in
+      let r = Compile.Plan.l1_recorder () in
+      Tlm1.Energy.set_observer e (Compile.Plan.l1_observe r);
+      fun () ->
+        Tlm1.Energy.clear_observer e;
+        Compile.Plan.l1_finish r
+    | System.L2_bus b ->
+      let e = Option.get (Tlm2.Bus.energy b) in
+      let r = Compile.Plan.l2_recorder () in
+      Tlm2.Energy.set_observer e (Compile.Plan.l2_observe r);
+      fun () ->
+        Tlm2.Energy.clear_observer e;
+        Compile.Plan.l2_finish r
+    | System.Rtl_bus _ -> assert false
+  in
+  let kernel = System.kernel system in
+  let result, transactions, correct =
+    interpret ~kernel ~port:(System.port system) ~config applet
+  in
+  let cycles = Sim.Kernel.now kernel in
+  let body = finish () in
+  let plan =
+    Compile.Plan.make
+      ~meta:
+        {
+          Compile.Plan.level =
+            (match level with
+            | Level.L1 -> `L1
+            | Level.L2 -> `L2
+            | Level.Rtl -> assert false);
+          cycles;
+          txns = System.completed_txns system;
+          beats = System.completed_beats system;
+          errors = System.error_txns system;
+          transitions = System.bus_transitions system;
+          component_pj = System.component_energy_pj system;
+        }
+      ~body
+  in
+  {
+    cp_plan = plan;
+    cp_cycles = cycles;
+    cp_transactions = transactions;
+    cp_steps = result.Jcvm.Interp.steps;
+    cp_value = result.Jcvm.Interp.value;
+    cp_correct = correct;
+  }
+
 type live_session = {
   ls_hw : Jcvm.Hw_stack.t;
   ls_materials : Runner.live_materials;
@@ -66,7 +145,8 @@ type live_session = {
 
 let live_kind : live_session Pool.kind = Pool.kind ()
 
-let run_fixed ?(level = Level.L1) ?table ?sink ?pool ~config applet =
+let run_fixed ?(level = Level.L1) ?(compiled = true) ?table ?sink ?pool ~config
+    applet =
   let execute system =
     let kernel = System.kernel system in
     let result, transactions, correct =
@@ -95,6 +175,30 @@ let run_fixed ?(level = Level.L1) ?table ?sink ?pool ~config applet =
     { fs_hw = hw; fs_system = system }
   in
   match pool with
+  | Some p when sink = None && compiled && level <> Level.Rtl ->
+    (* Compiled cell: the plan memoizes per (level, applet,
+       configuration) — the table is folded off it afterwards, so a
+       table sweep over one cell interprets the applet exactly once. *)
+    let key =
+      Printf.sprintf "explore-plan:%s:%s:%s" (Level.to_string level)
+        applet.Jcvm.Applets.name
+        (Pool.fingerprint config)
+    in
+    let cp = Pool.memo p cell_kind ~key (fun () -> compile_cell ~level ~config applet) in
+    let table = Option.value table ~default:Power.Characterization.default in
+    let o = Compile.Eval.eval ~table cp.cp_plan in
+    {
+      config;
+      applet = applet.Jcvm.Applets.name;
+      level;
+      cycles = cp.cp_cycles;
+      bus_pj = o.Compile.Eval.bus_pj;
+      transactions = cp.cp_transactions;
+      steps = cp.cp_steps;
+      value = cp.cp_value;
+      correct = cp.cp_correct;
+      provenance = None;
+    }
   | Some p when sink = None ->
     let key =
       Printf.sprintf "explore:%s:%s" (Level.to_string level)
@@ -153,26 +257,32 @@ let run_adaptive ?table ?sink ?pool ~policy ~config applet =
     in
     execute live
 
-let run_one ?level ?table ?policy ?sink ?pool ~config applet =
+let run_one ?level ?compiled ?table ?policy ?sink ?pool ~config applet =
   match policy with
-  | None -> run_fixed ?level ?table ?sink ?pool ~config applet
+  | None -> run_fixed ?level ?compiled ?table ?sink ?pool ~config applet
   | Some policy ->
     (match level with
     | Some _ ->
       invalid_arg "Core.Exploration.run_one: pass either ~level or ~policy"
     | None -> run_adaptive ?table ?sink ?pool ~policy ~config applet)
 
-let run ?level ?table ?policy ?(configs = Jcvm.Configs.standard)
+(* The default session/plan pool shared by every [run] call of the
+   process: compiled cell plans are only worth caching if they survive
+   from one grid to the next, and the DLS store keeps each domain's
+   cache private anyway. *)
+let default_pool = lazy (Pool.create ())
+
+let run ?level ?compiled ?table ?policy ?(configs = Jcvm.Configs.standard)
     ?(applets = Jcvm.Applets.all) ?domains ?workers ?(pool = true) () =
   (* Every applet x configuration cell is an independent system; fan the
      flattened grid out on the domain pool.  With [pool] (the default)
-     each domain keeps one reset session per configuration shape, so the
-     grid builds [configs] sessions per domain once and reuses them for
-     every applet. *)
-  let spool = if pool then Some (Pool.create ()) else None in
+     each domain keeps one reset session per configuration shape — and,
+     in compiled mode, one plan per grid cell — so repeated grids rerun
+     nothing but the energy fold. *)
+  let spool = if pool then Some (Lazy.force default_pool) else None in
   Parallel.map ?domains ?pool:workers
     (fun (applet, config) ->
-      run_one ?level ?table ?policy ?pool:spool ~config applet)
+      run_one ?level ?compiled ?table ?policy ?pool:spool ~config applet)
     (List.concat_map
        (fun applet -> List.map (fun config -> (applet, config)) configs)
        applets)

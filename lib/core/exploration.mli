@@ -33,6 +33,7 @@ type row = {
 
 val run_one :
   ?level:Level.t ->
+  ?compiled:bool ->
   ?table:Power.Characterization.t ->
   ?policy:Hier.Policy.t ->
   ?sink:Obs.Sink.t ->
@@ -51,10 +52,20 @@ val run_one :
     [pool] reuses a reset session (hardware stack + system, or live
     materials) for the cell's configuration shape; rows are
     bit-identical to fresh builds.  Cells with a [sink] never pool.
+
+    [compiled] (default [true]) applies to pooled fixed-level cells:
+    the cell's interpretation is captured once into a
+    {!Compile.Plan.t} memoized in [pool] per (level, applet,
+    configuration) — the characterization table folds off the plan
+    afterwards, so repeating a cell (or sweeping tables over it) skips
+    the JCVM interpretation entirely.  Rows are bit-identical to the
+    interpreted cell.  Cells without a [pool], with a [sink], at
+    {!Level.Rtl} or under a [policy] always interpret.
     @raise Invalid_argument if both [level] and [policy] are given. *)
 
 val run :
   ?level:Level.t ->
+  ?compiled:bool ->
   ?table:Power.Characterization.t ->
   ?policy:Hier.Policy.t ->
   ?configs:Jcvm.Configs.t list ->
@@ -70,12 +81,14 @@ val run :
     contents match the serial sweep.  [policy] makes every cell
     adaptive, e.g. [Hier.Policy.for_exploration ()].
 
-    [pool] (default [true]) keeps one reset session per configuration
-    shape per domain, so after warmup the grid rebuilds nothing; rows
-    are bit-identical either way.  [workers] runs the grid on a
-    persistent {!Parallel.with_pool} crew instead of spawning domains —
-    repeated sweeps then also keep their warm sessions, since pooled
-    sessions live in domain-local storage. *)
+    [pool] (default [true]) draws sessions — and compiled cell plans,
+    see [compiled] on {!run_one} — from a process-wide pool shared by
+    every [run] call, so after warmup the grid rebuilds nothing and a
+    {e repeated} grid reruns nothing but the energy fold; rows are
+    bit-identical either way.  [workers] runs the grid on a persistent
+    {!Parallel.with_pool} crew instead of spawning domains — pooled
+    sessions and plans live in domain-local storage, so the crew's warm
+    state also persists across sweeps. *)
 
 val render : row list -> string
 (** One table per applet: best correct configuration (energy) marked

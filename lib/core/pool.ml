@@ -16,6 +16,8 @@ type t = {
   capacity : int;  (* per (domain, key) free-list cap *)
   hits : int Atomic.t;
   builds : int Atomic.t;
+  memo_hits : int Atomic.t;
+  memo_builds : int Atomic.t;
 }
 
 (* Sessions are arbitrary, session-kind-specific records.  They are
@@ -49,6 +51,8 @@ let create ?(capacity = 4) () =
     capacity;
     hits = Atomic.make 0;
     builds = Atomic.make 0;
+    memo_hits = Atomic.make 0;
+    memo_builds = Atomic.make 0;
   }
 
 (* Domain-local store: pool id -> key -> free entries.  One flat
@@ -107,6 +111,33 @@ let with_session t kind ~key ~build ~reset f =
 
 let hits t = Atomic.get t.hits
 let builds t = Atomic.get t.builds
+
+(* Memoized values (compiled trace plans, mostly): unlike sessions they
+   are immutable, so a hit reads the entry without checking it out and
+   the entry lives for the pool's lifetime — no capacity bound.  The
+   namespace byte keeps memo keys from ever colliding with free-list
+   keys. *)
+let memo t kind ~key build =
+  let r = slot t ~key:("memo\x00" ^ key) in
+  let rec find = function
+    | [] -> None
+    | (e : entry) :: rest -> (
+      match if e.kind_id = kind.kind_id then kind.prj e.value else None with
+      | Some v -> Some v
+      | None -> find rest)
+  in
+  match find !r with
+  | Some v ->
+    Atomic.incr t.memo_hits;
+    v
+  | None ->
+    Atomic.incr t.memo_builds;
+    let v = build () in
+    r := { kind_id = kind.kind_id; value = kind.inj v } :: !r;
+    v
+
+let memo_hits t = Atomic.get t.memo_hits
+let memo_builds t = Atomic.get t.memo_builds
 
 (* Pool keys fingerprint configuration values (characterization tables,
    electrical parameter records, interface configurations) — pure data,

@@ -58,6 +58,21 @@ val hits : t -> int
 val builds : t -> int
 (** Checkouts that had to build fresh (across all domains). *)
 
+val memo : t -> 'a kind -> key:string -> (unit -> 'a) -> 'a
+(** [memo t k ~key build] caches an immutable value (a compiled trace
+    plan, typically) in the pool's domain-local store: the first call
+    per (domain, key) runs [build], later calls return the cached value
+    without checkout or reset.  Memo entries are exempt from the
+    capacity bound and live for the pool's lifetime; their keys never
+    collide with session keys.  Since the value is shared, callers must
+    not mutate it. *)
+
+val memo_hits : t -> int
+(** Memo lookups served from cache (across all domains). *)
+
+val memo_builds : t -> int
+(** Memo lookups that ran their build (across all domains). *)
+
 val fingerprint : 'a -> string
 (** Structural fingerprint for pool keys, via [Marshal] + [Digest].
     Apply to pure-data configuration values only (no closures). *)

@@ -63,6 +63,21 @@ let metrics m =
   String.concat "\n\n"
     (counters :: List.map hist (List.filter non_empty v.Obs.Metrics.hists))
 
+let pool_stats p =
+  let rate hits builds =
+    let total = hits + builds in
+    if total = 0 then "n/a"
+    else Printf.sprintf "%.1f%%" (float_of_int hits /. float_of_int total *. 100.0)
+  in
+  let sh = Pool.hits p and sb = Pool.builds p in
+  let mh = Pool.memo_hits p and mb = Pool.memo_builds p in
+  table
+    ~header:[ "pool"; "hits"; "builds"; "hit rate" ]
+    [
+      [ "sessions"; string_of_int sh; string_of_int sb; rate sh sb ];
+      [ "plans"; string_of_int mh; string_of_int mb; rate mh mb ];
+    ]
+
 let pct v = Printf.sprintf "%+.1f%%" v
 let ratio_pct ~reference v =
   if reference = 0.0 then "n/a" else Printf.sprintf "%.1f%%" (v /. reference *. 100.0)

@@ -13,6 +13,12 @@ val metrics : Obs.Metrics.t -> string
     alignment and human bucket labels.  The machine-readable form is
     [Obs.Metrics.to_json]. *)
 
+val pool_stats : Pool.t -> string
+(** Session and compiled-plan cache effectiveness of a {!Pool}: hits,
+    builds and hit rate for the resettable-session free-lists
+    ({!Pool.hits}/{!Pool.builds}) and for the plan memo
+    ({!Pool.memo_hits}/{!Pool.memo_builds}). *)
+
 val pct : float -> string
 (** Signed percentage with one decimal ("+14.7%", "-7.8%", "0.0%"). *)
 

@@ -48,9 +48,133 @@ type trace_session = { ts_system : System.t; ts_master : Soc.Trace_master.t }
 let trace_kind : trace_session Pool.kind = Pool.kind ()
 let system_kind : System.t Pool.kind = Pool.kind ()
 
+(* ------------------------------------------------------------------ *)
+(* Compiled replay (DESIGN.md section 14)                              *)
+
+let plan_kind : Compile.Plan.t Pool.kind = Pool.kind ()
+
+(* One interpreted resolution run with the energy model's integer taps
+   attached; everything the evaluator needs — transition words, lump
+   events, the table-independent scalar results — lands in the plan.
+   The capture table is irrelevant: the taps never see a float. *)
+let compile_trace ?(level = Level.L1) ?(mode = `Pipelined) ?max_cycles ?init
+    ?pool trace =
+  if level = Level.Rtl then
+    invalid_arg "Core.Runner.compile_trace: gate-level plans are not supported";
+  let build () =
+    let system = System.create ~level ~estimate:true () in
+    let finish =
+      match System.bus system with
+      | System.L1_bus b ->
+        let e = Option.get (Tlm1.Bus.energy b) in
+        let r = Compile.Plan.l1_recorder () in
+        Tlm1.Energy.set_observer e (Compile.Plan.l1_observe r);
+        fun () ->
+          Tlm1.Energy.clear_observer e;
+          Compile.Plan.l1_finish r
+      | System.L2_bus b ->
+        let e = Option.get (Tlm2.Bus.energy b) in
+        let r = Compile.Plan.l2_recorder () in
+        Tlm2.Energy.set_observer e (Compile.Plan.l2_observe r);
+        fun () ->
+          Tlm2.Energy.clear_observer e;
+          Compile.Plan.l2_finish r
+      | System.Rtl_bus _ -> assert false
+    in
+    (match init with Some f -> f system | None -> ());
+    let kernel = System.kernel system in
+    let master =
+      Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode trace
+    in
+    let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
+    let body = finish () in
+    Compile.Plan.make
+      ~meta:
+        {
+          Compile.Plan.level =
+            (match level with
+            | Level.L1 -> `L1
+            | Level.L2 -> `L2
+            | Level.Rtl -> assert false);
+          cycles;
+          txns = System.completed_txns system;
+          beats = System.completed_beats system;
+          errors = System.error_txns system;
+          transitions = System.bus_transitions system;
+          component_pj = System.component_energy_pj system;
+        }
+      ~body
+  in
+  match (pool, init) with
+  | Some p, None ->
+    (* The plan is independent of the characterization table and the
+       layer-2 parameters (pure integers), so the key is only what
+       shapes the resolution run.  [init] closures cannot be
+       fingerprinted — runs with one compile fresh. *)
+    let key =
+      Printf.sprintf "plan:%s:%s:%s" (Level.to_string level)
+        (match mode with `Serial -> "serial" | `Pipelined -> "pipelined")
+        (Pool.fingerprint (max_cycles, trace))
+    in
+    Pool.memo p plan_kind ~key build
+  | _ -> build ()
+
+let replay_compiled ?(estimate = true) ?(record_profile = false) ?table
+    ?l2_params plan =
+  let t0 = Unix.gettimeofday () in
+  let o =
+    if estimate then
+      let table = Option.value table ~default:Power.Characterization.default in
+      Some (Compile.Eval.eval ~record_profile ?l2_params ~table plan)
+    else None
+  in
+  let m = Compile.Plan.meta plan in
+  {
+    level = (match m.Compile.Plan.level with `L1 -> Level.L1 | `L2 -> Level.L2);
+    cycles = m.Compile.Plan.cycles;
+    txns = m.Compile.Plan.txns;
+    beats = m.Compile.Plan.beats;
+    errors = m.Compile.Plan.errors;
+    bus_pj = (match o with Some o -> o.Compile.Eval.bus_pj | None -> 0.0);
+    component_pj = m.Compile.Plan.component_pj;
+    transitions = (if estimate then m.Compile.Plan.transitions else 0);
+    profile = (match o with Some o -> o.Compile.Eval.profile | None -> None);
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let replay_multi ?(record_profile = false) ~points plan =
+  let t0 = Unix.gettimeofday () in
+  let outs = Compile.Eval.eval_multi ~record_profile plan ~points in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let m = Compile.Plan.meta plan in
+  List.map
+    (fun (o : Compile.Eval.outcome) ->
+      {
+        level =
+          (match m.Compile.Plan.level with `L1 -> Level.L1 | `L2 -> Level.L2);
+        cycles = m.Compile.Plan.cycles;
+        txns = m.Compile.Plan.txns;
+        beats = m.Compile.Plan.beats;
+        errors = m.Compile.Plan.errors;
+        bus_pj = o.Compile.Eval.bus_pj;
+        component_pj = m.Compile.Plan.component_pj;
+        transitions = m.Compile.Plan.transitions;
+        profile = o.Compile.Eval.profile;
+        wall_seconds;
+      })
+    outs
+
 let run_trace ?(level = Level.L1) ?(estimate = true) ?(record_profile = false)
     ?table ?rtl_params ?l2_params ?(mode = `Pipelined) ?max_cycles ?init ?sink
-    ?pool trace =
+    ?pool ?(compiled = false) trace =
+  if compiled && level <> Level.Rtl && sink = None then
+    (* Compiled route: resolve (or fetch) the plan, then evaluate the
+       requested parameter point over it.  Gate-level runs and runs with
+       a sink fall back to interpretation — the plan carries no event
+       stream, and Diesel has no integer tap. *)
+    let plan = compile_trace ~level ~mode ?max_cycles ?init ?pool trace in
+    replay_compiled ~estimate ~record_profile ?table ?l2_params plan
+  else
   let execute system master =
     (match init with Some f -> f system | None -> ());
     let kernel = System.kernel system in

@@ -31,6 +31,7 @@ val run_trace :
   ?init:(System.t -> unit) ->
   ?sink:Obs.Sink.t ->
   ?pool:Pool.t ->
+  ?compiled:bool ->
   Ec.Trace.t ->
   result
 (** [init] runs against the fresh system before simulation starts (load
@@ -44,7 +45,67 @@ val run_trace :
     with a [sink] are never pooled (the sink wires in at creation).
     When pooling, [init] runs once per checkout, after the reset; it
     must set state (fill memories, poke registers), not register kernel
-    processes. *)
+    processes.
+
+    [compiled] (default [false]) routes the run through
+    {!compile_trace} + {!replay_compiled}: one resolution pass builds a
+    replay plan (cached in [pool] when given), and the energy for this
+    run's [table]/[l2_params] point is folded off the plan.  Results are
+    bit-identical to the interpreted run, including the per-cycle
+    profile.  Compiled mode is sink-free by design — the plan carries no
+    event stream — so a run with a [sink] (or at {!Level.Rtl}) silently
+    takes the interpreted path even when [compiled] is set. *)
+
+(** {1 Compiled trace replay}
+
+    A {!Compile.Plan.t} is the one-shot resolution of a trace at a
+    level: routing, wait states and merge/burst decisions are already
+    taken, and what remains is pure integer transition data plus the
+    table-independent scalar results.  Replaying it costs microseconds,
+    and a multi-point replay evaluates many characterization points off
+    one shared decode (DESIGN.md section 14). *)
+
+val compile_trace :
+  ?level:Level.t ->
+  ?mode:Soc.Trace_master.mode ->
+  ?max_cycles:int ->
+  ?init:(System.t -> unit) ->
+  ?pool:Pool.t ->
+  Ec.Trace.t ->
+  Compile.Plan.t
+(** One interpreted resolution run with integer observers tapped into
+    the level's energy model; the characterization table plays no role,
+    so one plan serves every parameter point.  With [pool] the plan is
+    memoized under the (level, mode, max_cycles, trace) fingerprint —
+    see {!Pool.memo} — unless [init] is given (closures cannot be
+    fingerprinted, so such runs always compile fresh).
+
+    @raise Invalid_argument at {!Level.Rtl} — the gate-level reference
+    has no transition-word tap. *)
+
+val replay_compiled :
+  ?estimate:bool ->
+  ?record_profile:bool ->
+  ?table:Power.Characterization.t ->
+  ?l2_params:Tlm2.Energy.params ->
+  Compile.Plan.t ->
+  result
+(** Evaluates one parameter point over the plan.  [cycles], [txns],
+    [beats], [errors], [transitions] and [component_pj] come from the
+    plan's capture run; [bus_pj] and the optional [profile] are folded
+    for this [table]/[l2_params] — all bit-identical to
+    {!run_trace} with the same arguments.  [estimate:false] skips the
+    fold ([bus_pj = 0.], [transitions = 0]), like an estimator-less
+    system. *)
+
+val replay_multi :
+  ?record_profile:bool ->
+  points:Compile.Eval.point list ->
+  Compile.Plan.t ->
+  result list
+(** One {!result} per point, in order, from a single walk of the plan —
+    the sweep primitive.  [wall_seconds] of every result is the wall
+    time of the whole batch. *)
 
 val run_levels :
   ?estimate:bool ->

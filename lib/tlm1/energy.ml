@@ -24,6 +24,12 @@ type t = {
   meter_acc : float array;
   scratch : float array;
   mutable transitions : int;
+  (* Per-cycle delta observer for the trace compiler: called once per
+     [end_cycle] with the old-xor-new word of every signal group, before
+     the commit.  Pure integer taps — the float path is untouched, so an
+     observed run stays bit-identical to an unobserved one. *)
+  mutable observer :
+    (addr:int -> be:int -> wdata:int -> rdata:int -> ctrl:int -> unit) option;
 }
 
 let ctrl_bit c =
@@ -56,7 +62,11 @@ let create ?(record_profile = false) table =
     meter_acc = Power.Meter.in_cycle_acc meter;
     scratch = Array.make 1 0.0;
     transitions = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
 
 let set_ctrl_bit t c v =
   let bit = 1 lsl ctrl_bit c in
@@ -112,6 +122,15 @@ let strobes_mask =
       Ec.Signals.Wberr; Ec.Signals.Bfirst; Ec.Signals.Blast ]
 
 let end_cycle t =
+  (match t.observer with
+  | None -> ()
+  | Some f ->
+    f
+      ~addr:(t.old_addr lxor t.new_addr)
+      ~be:(t.old_be lxor t.new_be)
+      ~wdata:(t.old_wdata lxor t.new_wdata)
+      ~rdata:(t.old_rdata lxor t.new_rdata)
+      ~ctrl:(t.old_ctrl lxor t.new_ctrl));
   let pj =
     group_energy t (t.old_addr lxor t.new_addr) t.addr_pj
     +. group_energy t (t.old_be lxor t.new_be) t.be_pj
@@ -142,6 +161,7 @@ let reset t =
   t.new_ctrl <- 0;
   t.scratch.(0) <- 0.0;
   t.transitions <- 0;
+  t.observer <- None;
   Power.Meter.reset t.meter
 
 let energy_last_cycle_pj t = Power.Meter.last_cycle_pj t.meter

@@ -44,4 +44,16 @@ val transitions_total : t -> int
 
 val reset : t -> unit
 (** Old/new signal images, the transition count and the meter back to
-    their created state (the per-bit energy tables are immutable). *)
+    their created state (the per-bit energy tables are immutable).  Any
+    attached observer is detached. *)
+
+(** {1 Compilation taps} *)
+
+val set_observer :
+  t -> (addr:int -> be:int -> wdata:int -> rdata:int -> ctrl:int -> unit) -> unit
+(** Registers a per-cycle delta tap for the trace compiler: on every
+    {!end_cycle} the observer receives the old-xor-new transition word of
+    each signal group, before the commit.  The taps are pure integers —
+    an observed run is bit-identical to an unobserved one. *)
+
+val clear_observer : t -> unit

@@ -18,6 +18,12 @@ let default_params =
     strobe_pulses_per_beat = 1.5;
   }
 
+(* What the trace compiler needs to replay a lump stream: which phase
+   finished on which transaction, and where the cycle boundaries fall.
+   The data phase is tapped while the transaction's data is live, so the
+   observer can take exact inter-beat Hamming distances. *)
+type event = Addr_lump of Ec.Txn.t | Data_lump of Ec.Txn.t | Cycle
+
 type t = {
   mutable p : params;
   created_params : params;  (* what [reset] restores after calibration *)
@@ -28,6 +34,7 @@ type t = {
   avg_be : float;
   avg_ctrl : float;
   meter : Power.Meter.t;
+  mutable observer : (event -> unit) option;
 }
 
 let create ?(record_profile = false) ?(params = default_params) table =
@@ -41,15 +48,23 @@ let create ?(record_profile = false) ?(params = default_params) table =
     avg_be = Power.Characterization.avg_be_bit table;
     avg_ctrl = Power.Characterization.avg_ctrl_bit table;
     meter = Power.Meter.create ~record_profile ();
+    observer = None;
   }
 
 let set_params t params = t.p <- params
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
+
+let observe t ev =
+  match t.observer with None -> () | Some f -> f ev
 
 let reset t =
   t.p <- t.created_params;
+  t.observer <- None;
   Power.Meter.reset t.meter
 
 let address_phase_pj t (txn : Ec.Txn.t) =
+  observe t (Addr_lump txn);
   let p = t.p in
   let pj =
     (p.boundary_addr_toggles *. t.avg_addr)
@@ -64,6 +79,7 @@ let address_phase_pj t (txn : Ec.Txn.t) =
   pj
 
 let data_phase_pj t (txn : Ec.Txn.t) =
+  observe t (Data_lump txn);
   let p = t.p in
   let avg_bit =
     match txn.Ec.Txn.dir with
@@ -90,7 +106,9 @@ let data_phase_pj t (txn : Ec.Txn.t) =
   Power.Meter.add t.meter pj;
   pj
 
-let end_cycle t = Power.Meter.end_cycle t.meter
+let end_cycle t =
+  observe t Cycle;
+  Power.Meter.end_cycle t.meter
 let energy_since_last_call_pj t = Power.Meter.since_last_call_pj t.meter
 let total_pj t = Power.Meter.total_pj t.meter
 let meter t = t.meter

@@ -66,4 +66,20 @@ val meter : t -> Power.Meter.t
 
 val reset : t -> unit
 (** Restores the parameters passed to {!create} (undoing any in-run
-    {!set_params} calibration) and clears the meter. *)
+    {!set_params} calibration), detaches any observer and clears the
+    meter. *)
+
+(** {1 Compilation taps} *)
+
+type event =
+  | Addr_lump of Ec.Txn.t  (** an address phase finished this cycle *)
+  | Data_lump of Ec.Txn.t
+      (** a data phase finished this cycle; the transaction's data is
+          live, so inter-beat Hamming distances can be taken exactly *)
+  | Cycle  (** a falling edge closed (every cycle, lumps or not) *)
+
+val set_observer : t -> (event -> unit) -> unit
+(** Registers a lump-stream tap for the trace compiler.  The taps carry
+    no floats — an observed run is bit-identical to an unobserved one. *)
+
+val clear_observer : t -> unit

@@ -819,3 +819,146 @@ let pool_props =
     ]
 
 let suite = suite @ pool_props
+
+(* --- compiled trace replay: plan evaluation = interpretation --- *)
+
+(* The trace compiler's whole contract is bit-exactness (DESIGN.md
+   section 14): the plan's energy fold must reproduce the interpreted
+   estimator's floats to the last bit — totals and the per-cycle
+   profile — at every covered level and bus cadence, and a multi-point
+   batch must equal the corresponding single-point replays. *)
+
+let profile_bits (r : Core.Runner.result) =
+  Option.map Power.Profile.to_array r.Core.Runner.profile
+
+let prop_compiled_trace_bit_exact =
+  QCheck.Test.make
+    ~name:"compiled run_trace = interpreted run_trace (L1/L2 x cadence)"
+    ~count:8 arb_seeded_trace
+    (fun seeded ->
+      let trace = seeded_trace seeded in
+      List.for_all
+        (fun (level, mode) ->
+          let run compiled =
+            Core.Runner.run_trace ~level ~mode ~record_profile:true ~compiled
+              trace
+          in
+          let i = run false and c = run true in
+          strip_result i = strip_result c && profile_bits i = profile_bits c)
+        [
+          (Core.Level.L1, `Serial);
+          (Core.Level.L1, `Pipelined);
+          (Core.Level.L2, `Serial);
+          (Core.Level.L2, `Pipelined);
+        ])
+
+(* Three parameter points spanning table scaling and a layer-2 lump
+   variant — enough to catch any cross-lane bleed in the shared decode. *)
+let compiled_points =
+  [
+    { Compile.Eval.table = Power.Characterization.default; l2_params = None };
+    {
+      Compile.Eval.table =
+        Power.Characterization.scale Power.Characterization.default 0.5;
+      l2_params =
+        Some
+          {
+            Tlm2.Energy.default_params with
+            Tlm2.Energy.boundary_data_toggles = 9.0;
+          };
+    };
+    {
+      Compile.Eval.table =
+        Power.Characterization.scale Power.Characterization.default 1.75;
+      l2_params = None;
+    };
+  ]
+
+let prop_compiled_multi_point =
+  QCheck.Test.make
+    ~name:"multi-point replay = N single replays = N interpreted runs"
+    ~count:6 arb_seeded_trace
+    (fun seeded ->
+      let trace = seeded_trace seeded in
+      List.for_all
+        (fun level ->
+          let plan = Core.Runner.compile_trace ~level trace in
+          let multi =
+            Core.Runner.replay_multi ~record_profile:true
+              ~points:compiled_points plan
+          in
+          List.for_all2
+            (fun (pt : Compile.Eval.point) m ->
+              let single =
+                Core.Runner.replay_compiled ~record_profile:true
+                  ~table:pt.Compile.Eval.table
+                  ?l2_params:pt.Compile.Eval.l2_params plan
+              in
+              let interp =
+                Core.Runner.run_trace ~level ~record_profile:true
+                  ~table:pt.Compile.Eval.table
+                  ?l2_params:pt.Compile.Eval.l2_params trace
+              in
+              strip_result m = strip_result single
+              && strip_result m = strip_result interp
+              && profile_bits m = profile_bits single
+              && profile_bits m = profile_bits interp)
+            compiled_points multi)
+        [ Core.Level.L1; Core.Level.L2 ])
+
+(* Compiled mode is sink-free by design: a plan carries no event stream,
+   so a run with a sink — and any gate-level run — must silently take
+   the interpreted path and never touch the plan memo.  This pins that
+   documented fallback. *)
+let prop_compiled_sink_fallback =
+  QCheck.Test.make ~name:"compiled + sink / rtl falls back to interpretation"
+    ~count:4 arb_seeded_trace
+    (fun seeded ->
+      let trace = seeded_trace seeded in
+      let pool = Core.Pool.create () in
+      let baseline =
+        strip_result (Core.Runner.run_trace ~level:Core.Level.L1 trace)
+      in
+      let with_sink =
+        strip_result
+          (Core.Runner.run_trace ~level:Core.Level.L1 ~compiled:true
+             ~sink:(Obs.Sink.create ()) ~pool trace)
+      in
+      let rtl_plain =
+        strip_result (Core.Runner.run_trace ~level:Core.Level.Rtl trace)
+      in
+      let rtl_compiled =
+        strip_result
+          (Core.Runner.run_trace ~level:Core.Level.Rtl ~compiled:true trace)
+      in
+      with_sink = baseline
+      && rtl_compiled = rtl_plain
+      && Core.Pool.memo_builds pool = 0 (* no plan was ever compiled *))
+
+let prop_plan_memo_counters =
+  QCheck.Test.make ~name:"plan memo: one build then hits, bit-exact replays"
+    ~count:6 arb_seeded_trace
+    (fun seeded ->
+      let trace = seeded_trace seeded in
+      let pool = Core.Pool.create () in
+      let run () =
+        strip_result
+          (Core.Runner.run_trace ~level:Core.Level.L1 ~compiled:true ~pool
+             trace)
+      in
+      let a = run () in
+      let b = run () in
+      a = b
+      && Core.Pool.memo_builds pool = 1
+      && Core.Pool.memo_hits pool = 1)
+
+let compiled_props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_compiled_trace_bit_exact;
+      prop_compiled_multi_point;
+      prop_compiled_sink_fallback;
+      prop_plan_memo_counters;
+    ]
+
+let suite = suite @ compiled_props
