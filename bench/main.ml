@@ -289,6 +289,109 @@ let bench_compiled =
       Test.make ~name:"explore-grid-compiled" (Staged.stage (grid true));
     ]
 
+(* --- the simulation service measured over its own wire (§15) --- *)
+
+let serve_run_request c =
+  match
+    Serve.Client.request c
+      (Serve.Protocol.Run
+         {
+           Serve.Protocol.workload = Serve.Protocol.Table3 16;
+           level = Core.Level.L1;
+           mode = `Serial;
+           estimate = true;
+           profile = false;
+           compiled = true;
+         })
+  with
+  | Ok _ -> ()
+  | Error e -> failwith ("serve bench request failed: " ^ e)
+
+(* One daemon for the whole benchmark process, started on first use and
+   deliberately leaked: it is torn down with the process. *)
+let serve_env =
+  lazy
+    (let path = Filename.temp_file "serve-bench" ".sock" in
+     Unix.unlink path;
+     let server =
+       Serve.Server.create ~unix_path:path ~domains:2 ~queue_depth:64 ()
+     in
+     ignore (Thread.create Serve.Server.serve server);
+     path)
+
+let bench_serve =
+  let conn = lazy (Serve.Client.connect (`Unix (Lazy.force serve_env))) in
+  let roundtrip () = serve_run_request (Lazy.force conn) in
+  let stats () =
+    match Serve.Client.request (Lazy.force conn) Serve.Protocol.Stats with
+    | Ok _ -> ()
+    | Error e -> failwith ("serve stats failed: " ^ e)
+  in
+  Test.make_grouped ~name:"serve/requests"
+    [
+      Test.make ~name:"run-16txn-roundtrip" (Staged.stage roundtrip);
+      Test.make ~name:"stats-roundtrip" (Staged.stage stats);
+    ]
+
+(* Client-observed latency distribution at 1/4/8 concurrent clients over
+   the Unix socket — percentiles are out of Bechamel's OLS model, so
+   this section measures them directly. *)
+let serve_latency_points () =
+  let path = Lazy.force serve_env in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  in
+  List.map
+    (fun clients ->
+      let per_client = 40 in
+      let lats = Array.make (clients * per_client) 0.0 in
+      let worker i =
+        let c = Serve.Client.connect (`Unix path) in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            for j = 0 to per_client - 1 do
+              let t0 = Unix.gettimeofday () in
+              serve_run_request c;
+              lats.((i * per_client) + j) <- Unix.gettimeofday () -. t0
+            done)
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads = List.init clients (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      Array.sort compare lats;
+      ( clients,
+        percentile lats 50.0 *. 1e6,
+        percentile lats 99.0 *. 1e6,
+        float_of_int (clients * per_client) /. wall ))
+    [ 1; 4; 8 ]
+
+let print_serve_latency () =
+  section "Serve wire latency (16-txn compiled run over the Unix socket)";
+  List.iter
+    (fun (clients, p50_us, p99_us, rps) ->
+      Printf.printf
+        "  %d client(s): p50 %8.1f us   p99 %8.1f us   %8.0f req/s\n" clients
+        p50_us p99_us rps)
+    (serve_latency_points ())
+
+let serve_latency_json () =
+  let entries =
+    List.concat_map
+      (fun (clients, p50_us, p99_us, rps) ->
+        [
+          Printf.sprintf "\"p50_us-%dclient\": %.1f" clients p50_us;
+          Printf.sprintf "\"p99_us-%dclient\": %.1f" clients p99_us;
+          Printf.sprintf "\"throughput_rps-%dclient\": %.0f" clients rps;
+        ])
+      (serve_latency_points ())
+  in
+  Printf.printf "{\"group\": \"serve/latency\", \"unit\": \"mixed\", \"estimates\": {%s}}\n"
+    (String.concat ", " entries)
+
 (* Reduced end-to-end pass over the observability layer for the smoke
    alias: run instrumented, export Chrome JSON, parse it back. *)
 let print_obs_smoke () =
@@ -367,6 +470,66 @@ let print_compiled_smoke () =
         failwith "compiled replay diverged from interpretation")
     [ Core.Level.L1; Core.Level.L2 ]
 
+(* Serve smoke: its own short-lived daemon (not the leaked benchmark
+   one), one run request compared bit-for-bit against the direct
+   in-process call, then a clean drain — so a wire or drain regression
+   is visible in every runtest log. *)
+let print_serve_smoke () =
+  section "Serve smoke (daemon round-trip = direct run, graceful drain)";
+  let path = Filename.temp_file "serve-smoke" ".sock" in
+  Unix.unlink path;
+  let server = Serve.Server.create ~unix_path:path ~domains:2 () in
+  let thread = Thread.create Serve.Server.serve server in
+  let c = Serve.Client.connect (`Unix path) in
+  let frames =
+    match
+      Serve.Client.request c
+        (Serve.Protocol.Run
+           {
+             Serve.Protocol.workload = Serve.Protocol.Table3 64;
+             level = Core.Level.L1;
+             mode = `Serial;
+             estimate = true;
+             profile = false;
+             compiled = false;
+           })
+    with
+    | Ok frames -> frames
+    | Error e -> failwith ("serve smoke request failed: " ^ e)
+  in
+  let wire =
+    match
+      List.find_map
+        (function Serve.Protocol.Result r -> Some r | _ -> None)
+        frames
+    with
+    | Some r -> r
+    | None -> failwith "serve smoke: no result frame"
+  in
+  let direct =
+    Core.Runner.run_trace ~level:Core.Level.L1 ~mode:`Serial ~estimate:true
+      ~init:Core.Runner.fill_memories
+      (Core.Workloads.table3_trace ~n:64)
+  in
+  let identical =
+    wire.Serve.Protocol.cycles = direct.Core.Runner.cycles
+    && wire.Serve.Protocol.txns = direct.Core.Runner.txns
+    && wire.Serve.Protocol.bus_pj = direct.Core.Runner.bus_pj
+    && wire.Serve.Protocol.component_pj = direct.Core.Runner.component_pj
+    && wire.Serve.Protocol.transitions = direct.Core.Runner.transitions
+  in
+  Printf.printf
+    "daemon l1 run: %d txns, %d cycles, %.1f pJ over the wire; %s direct\n"
+    wire.Serve.Protocol.txns wire.Serve.Protocol.cycles
+    wire.Serve.Protocol.bus_pj
+    (if identical then "bit-identical to" else "DIFFERS from");
+  Serve.Client.close c;
+  Serve.Server.drain server;
+  Thread.join thread;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  print_endline "daemon drained cleanly";
+  if not identical then failwith "serve smoke diverged from the direct run"
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -410,6 +573,7 @@ let micro_groups =
     ("overhead/obs", bench_obs_overhead);
     ("pool/sessions", bench_pool);
     ("compiled/replay", bench_compiled);
+    ("serve/requests", bench_serve);
   ]
 
 let run_micro () =
@@ -420,7 +584,8 @@ let run_micro () =
         (fun (name, ns) ->
           Printf.printf "  %-55s %12.1f us/run\n" name (ns /. 1000.0))
         (measure_group group))
-    micro_groups
+    micro_groups;
+  print_serve_latency ()
 
 (* One JSON object per benchmark group, one per line, nanoseconds per run:
    the machine-readable perf trajectory (BENCH_*.json) between PRs. *)
@@ -445,7 +610,8 @@ let run_micro_json () =
       Printf.printf "{\"group\": \"%s\", \"unit\": \"ns/run\", \"estimates\": {%s}}\n"
         (json_escape group_name)
         (String.concat ", " entries))
-    micro_groups
+    micro_groups;
+  serve_latency_json ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -462,7 +628,8 @@ let () =
     print_adaptive ~smoke:true ();
     print_obs_smoke ();
     print_pool_smoke ();
-    print_compiled_smoke ()
+    print_compiled_smoke ();
+    print_serve_smoke ()
   | "micro" -> if json then run_micro_json () else run_micro ()
   | "adaptive" -> print_adaptive ()
   | "ablations" -> print_ablations ()

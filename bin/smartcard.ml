@@ -534,6 +534,223 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ file)
 
+(* --- serve / client --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the simulation service.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Loopback TCP port of the simulation service (0 = ephemeral).")
+
+let serve_cmd =
+  let doc = "Run the simulation-service daemon (DESIGN.md section 15)." in
+  let domains =
+    Arg.(
+      value
+      & opt int (Core.Parallel.default_domains ())
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains draining the job queue (default: CPU count).")
+  in
+  let queue_depth =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Bound on the job queue; a push beyond it is rejected with a \
+             busy frame carrying retry_after_ms.")
+  in
+  let run socket port domains queue_depth =
+    (* No endpoint given: serve on a conventional local socket path. *)
+    let unix_path, tcp_port =
+      match (socket, port) with
+      | None, None -> (Some "smartcard.sock", None)
+      | s, p -> (s, p)
+    in
+    let server =
+      Serve.Server.create ?unix_path ?tcp_port ~domains ~queue_depth
+        ~handle_signals:true ()
+    in
+    Option.iter (Printf.printf "serving on unix socket %s\n%!") unix_path;
+    (match Serve.Server.tcp_port server with
+    | Some p -> Printf.printf "serving on tcp 127.0.0.1:%d\n%!" p
+    | None -> ());
+    Printf.printf "%d worker domain(s), queue depth %d; SIGINT drains\n%!"
+      domains queue_depth;
+    Serve.Server.serve server;
+    print_endline "drained; all jobs finished"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ domains $ queue_depth)
+
+let workload_conv =
+  let parse s =
+    let bad () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown workload %S (table3[:N]|mixed[:N]|characterization|trace:FILE)"
+              s))
+    in
+    match String.split_on_char ':' s with
+    | [ "table3" ] -> Ok (Serve.Protocol.Table3 64)
+    | [ "table3"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Serve.Protocol.Table3 n)
+      | None -> bad ())
+    | [ "mixed" ] -> Ok (Serve.Protocol.Mixed_phase 400)
+    | [ "mixed"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Serve.Protocol.Mixed_phase n)
+      | None -> bad ())
+    | [ "characterization" ] -> Ok Serve.Protocol.Characterization
+    | "trace" :: rest when rest <> [] ->
+      let path = String.concat ":" rest in
+      Ok
+        (Serve.Protocol.Inline
+           (String.split_on_char '\n' (read_file path)
+           |> List.filter (fun l -> String.trim l <> "")))
+    | _ -> bad ()
+  in
+  let print ppf (w : Serve.Protocol.workload) =
+    Format.pp_print_string ppf
+      (match w with
+      | Serve.Protocol.Table3 n -> Printf.sprintf "table3:%d" n
+      | Serve.Protocol.Mixed_phase n -> Printf.sprintf "mixed:%d" n
+      | Serve.Protocol.Characterization -> "characterization"
+      | Serve.Protocol.Inline _ -> "trace:<inline>")
+  in
+  Arg.conv (parse, print)
+
+let client_cmd =
+  let doc =
+    "Send one request to a running daemon and print the response frames as \
+     JSON lines."
+  in
+  let kind =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("run", `Run); ("explore", `Explore); ("replay", `Replay);
+                  ("stats", `Stats); ("shutdown", `Shutdown) ]))
+          None
+      & info [] ~docv:"REQUEST" ~doc:"run|explore|replay|stats|shutdown")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with --port).")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt workload_conv (Serve.Protocol.Table3 64)
+      & info [ "workload" ] ~docv:"SPEC"
+          ~doc:
+            "Workload of a run/replay request: table3[:N], mixed[:N], \
+             characterization, or trace:FILE (ships the recorded trace \
+             inline).")
+  in
+  let serial =
+    Arg.(value & flag & info [ "serial" ] ~doc:"Wait for each transaction.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Stream the per-cycle energy profile (run requests).")
+  in
+  let scales =
+    Arg.(
+      value
+      & opt (list float) [ 1.0 ]
+      & info [ "scales" ] ~docv:"S1,S2,.."
+          ~doc:"Characterization scale factors of a replay request.")
+  in
+  let applets =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "applets" ] ~docv:"NAMES"
+          ~doc:"Applet names of an explore request (default: all).")
+  in
+  let configs =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "configs" ] ~docv:"NAMES"
+          ~doc:"Config names of an explore request (default: standard grid).")
+  in
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:"Explore through the live adaptive engine (--level ignored).")
+  in
+  let run kind socket host port level workload serial profile compiled scales
+      applets configs adaptive =
+    let endpoint =
+      match (socket, port) with
+      | Some path, _ -> `Unix path
+      | None, Some port -> `Tcp (host, port)
+      | None, None -> `Unix "smartcard.sock"
+    in
+    let mode = if serial then `Serial else `Pipelined in
+    let request =
+      match kind with
+      | `Stats -> Serve.Protocol.Stats
+      | `Shutdown -> Serve.Protocol.Shutdown
+      | `Run ->
+        Serve.Protocol.Run
+          { Serve.Protocol.workload; level; mode; estimate = true; profile;
+            compiled }
+      | `Replay -> Serve.Protocol.Replay { Serve.Protocol.workload; level; mode; scales }
+      | `Explore ->
+        Serve.Protocol.Explore { Serve.Protocol.applets; configs; level; adaptive }
+    in
+    let c = Serve.Client.connect endpoint in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        let _id = Serve.Client.send c request in
+        (* Print every frame raw, then let the typed decode spot the
+           terminator — the output stays a faithful wire transcript. *)
+        let rec loop () =
+          match Serve.Client.read_frame c with
+          | Error e ->
+            prerr_endline e;
+            1
+          | Ok doc -> (
+            print_endline (Obs.Json.to_string doc);
+            match Serve.Protocol.frame_of_json doc with
+            | Ok (_, Serve.Protocol.Done _) -> 0
+            | Ok (_, Serve.Protocol.Error _) -> 1
+            | Ok _ -> loop ()
+            | Error e ->
+              prerr_endline e;
+              1)
+        in
+        (* Sys_error here is a closed stdout (e.g. | head): not our error. *)
+        exit (try loop () with Sys_error _ -> 0))
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ kind $ socket_arg $ host $ port_arg $ level_arg $ workload
+      $ serial $ profile
+      $ compiled_flag ~default:true
+      $ scales $ applets $ configs $ adaptive)
+
 let () =
   let doc =
     "Hierarchical bus models with energy estimation for power-aware smart cards"
@@ -543,4 +760,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tables_cmd; explore_cmd; run_cmd; trace_cmd; characterize_cmd;
-            ablate_cmd; coding_cmd; cache_cmd; disasm_cmd ]))
+            ablate_cmd; coding_cmd; cache_cmd; disasm_cmd; serve_cmd;
+            client_cmd ]))

@@ -29,7 +29,14 @@ let add_float buf v =
     Buffer.add_string buf "null"
   else if Float.is_integer v && Float.abs v < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.1f" v)
-  else Buffer.add_string buf (Printf.sprintf "%.17g" v)
+  else begin
+    let text = Printf.sprintf "%.17g" v in
+    Buffer.add_string buf text;
+    (* %.17g renders integral magnitudes in [1e15, 1e17) as bare digits,
+       which would re-parse as Int — keep the value a float on the wire. *)
+    if String.for_all (fun c -> c <> '.' && c <> 'e' && c <> 'E') text then
+      Buffer.add_string buf ".0"
+  end
 
 let rec to_buffer buf = function
   | Null -> Buffer.add_string buf "null"
@@ -118,10 +125,15 @@ let of_string s =
           if !pos + 4 > n then error "truncated \\u escape";
           let hex = String.sub s !pos 4 in
           pos := !pos + 4;
-          let code =
-            try int_of_string ("0x" ^ hex)
-            with _ -> error "bad \\u escape"
+          (* Validate by hand: [int_of_string "0x..."] is laxer than
+             JSON (it accepts underscores and signs). *)
+          let is_hex c =
+            (c >= '0' && c <= '9')
+            || (c >= 'a' && c <= 'f')
+            || (c >= 'A' && c <= 'F')
           in
+          if not (String.for_all is_hex hex) then error "bad \\u escape";
+          let code = int_of_string ("0x" ^ hex) in
           (* Keep it simple: BMP code points as UTF-8. *)
           if code < 0x80 then Buffer.add_char buf (Char.chr code)
           else if code < 0x800 then begin
@@ -235,3 +247,26 @@ let number_opt = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f
   | _ -> None
+
+let int_opt = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 1e15 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let bool_opt = function Bool b -> Some b | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b ->
+    (* Bit-compare rather than [=]: NaN equals itself, and 0. vs -0.
+       (distinct documents) stay distinct. *)
+    Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  | String a, String b -> String.equal a b
+  | List a, List b -> List.equal equal a b
+  | Obj a, Obj b ->
+    List.equal (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) a b
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false

@@ -27,3 +27,14 @@ val to_list_opt : t -> t list option
 val string_opt : t -> string option
 val number_opt : t -> float option
 (** [Int] and [Float] both answer. *)
+
+val int_opt : t -> int option
+(** [Int], plus [Float] values that are exact small integers (a peer's
+    encoder may not keep the distinction). *)
+
+val bool_opt : t -> bool option
+
+val equal : t -> t -> bool
+(** Structural equality.  Floats compare by bit pattern, so NaN equals
+    itself and [0.] differs from [-0.] — the equality a print/parse
+    round-trip preserves. *)

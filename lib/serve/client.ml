@@ -1,0 +1,94 @@
+type endpoint = [ `Unix of string | `Tcp of string * int ]
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable next_id : int;
+}
+
+let connect ?(max_frame = Framing.default_max_frame) endpoint =
+  (* A daemon that drops the connection must surface as EPIPE, not kill
+     the client process with SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let fd =
+    match endpoint with
+    | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+    | `Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ ->
+          (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (Unix.ADDR_INET (addr, port));
+         Unix.setsockopt fd Unix.TCP_NODELAY true
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+  in
+  { fd; max_frame; next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let fd t = t.fd
+
+let send ?id t request =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      id
+  in
+  Framing.write_json t.fd
+    (Protocol.request_to_json ~id:(Obs.Json.Int id) request);
+  id
+
+let send_json t json = Framing.write_json t.fd json
+
+let read_frame t =
+  match Framing.read ~max_frame:t.max_frame t.fd with
+  | Framing.Frame payload -> Obs.Json.of_string payload
+  | Framing.Closed -> Error "connection closed"
+  | Framing.Truncated -> Error "truncated response frame"
+  | Framing.Oversized len ->
+    Error (Printf.sprintf "oversized response frame (%d bytes)" len)
+
+let read_typed t = Result.bind (read_frame t) Protocol.frame_of_json
+
+let collect t =
+  let rec loop acc =
+    match read_typed t with
+    | Error _ as e -> e
+    | Ok (_, frame) -> (
+      let acc = frame :: acc in
+      match frame with
+      | Protocol.Done _ | Protocol.Error _ -> Ok (List.rev acc)
+      | _ -> loop acc)
+  in
+  loop []
+
+let request ?id t req =
+  let _ = send ?id t req in
+  collect t
+
+let request_retrying ?id ?(attempts = 10) t req =
+  let rec go n =
+    match request ?id t req with
+    | Ok [ Protocol.Error { Protocol.code = Protocol.Busy; retry_after_ms; _ } ]
+      when n > 1 ->
+      let ms = Option.value retry_after_ms ~default:10 in
+      Thread.delay (float_of_int ms /. 1000.0);
+      go (n - 1)
+    | r -> r
+  in
+  go attempts

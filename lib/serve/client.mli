@@ -1,0 +1,50 @@
+(** Client side of the wire protocol: a blocking connection for scripts,
+    tests and the [smartcard client] subcommand.
+
+    One connection supports pipelining (ids distinguish interleaved
+    response streams), but the helpers here are deliberately sequential:
+    send one request, read frames until its [done]/[error] terminator.
+    Concurrency is spelled "one connection per thread". *)
+
+type endpoint = [ `Unix of string | `Tcp of string * int ]
+
+type t
+
+val connect : ?max_frame:int -> endpoint -> t
+(** @raise Unix.Unix_error when nothing listens on the endpoint. *)
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** The raw descriptor, for tests that need to write malformed bytes. *)
+
+val send : ?id:int -> t -> Protocol.request -> int
+(** Frames one request and returns the id used (auto-allocated when
+    omitted). *)
+
+val send_json : t -> Obs.Json.t -> unit
+(** Ships an arbitrary document as one frame — the malformed-request
+    tests live on this. *)
+
+val read_frame : t -> (Obs.Json.t, string) result
+(** One raw response frame; [Error] on EOF or a framing violation. *)
+
+val read_typed : t -> (Obs.Json.t * Protocol.frame, string) result
+(** {!read_frame} plus decoding: the echoed id and the typed frame. *)
+
+val collect : t -> (Protocol.frame list, string) result
+(** Reads typed frames until a [Done] or [Error] terminator and returns
+    the whole stream in order, terminator included. *)
+
+val request : ?id:int -> t -> Protocol.request -> (Protocol.frame list, string) result
+(** [send] + [collect]. *)
+
+val request_retrying :
+  ?id:int ->
+  ?attempts:int ->
+  t ->
+  Protocol.request ->
+  (Protocol.frame list, string) result
+(** Like {!request}, but a [busy] rejection sleeps the advertised
+    [retry_after_ms] and resends, up to [attempts] (default 10) times —
+    the polite client loop the backpressure design assumes. *)

@@ -1,0 +1,74 @@
+let default_max_frame = 16 * 1024 * 1024
+
+type read_result =
+  | Frame of string
+  | Closed
+  | Truncated
+  | Oversized of int
+
+(* Reads exactly [len] bytes into [buf] starting at 0; [`Eof got] when
+   the stream ends first ([got] = bytes already read). *)
+let really_read fd buf len =
+  let rec loop off =
+    if off >= len then `Ok
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> `Eof off
+      | n -> loop (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+  in
+  loop 0
+
+let read ?(max_frame = default_max_frame) fd =
+  let header = Bytes.create 4 in
+  match really_read fd header 4 with
+  | `Eof 0 -> Closed
+  | `Eof _ -> Truncated
+  | `Ok ->
+    let len =
+      (Char.code (Bytes.get header 0) lsl 24)
+      lor (Char.code (Bytes.get header 1) lsl 16)
+      lor (Char.code (Bytes.get header 2) lsl 8)
+      lor Char.code (Bytes.get header 3)
+    in
+    if len > max_frame then Oversized len
+    else begin
+      let payload = Bytes.create len in
+      match really_read fd payload len with
+      | `Eof _ -> Truncated
+      | `Ok -> Frame (Bytes.unsafe_to_string payload)
+    end
+
+let really_write fd buf len =
+  let rec loop off =
+    if off < len then
+      match Unix.write fd buf off (len - off) with
+      | n -> loop (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+  in
+  loop 0
+
+let write fd payload =
+  let len = String.length payload in
+  if len > 0xFFFF_FFFF then invalid_arg "Serve.Framing.write: payload too large";
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xFF));
+  Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set buf 3 (Char.chr (len land 0xFF));
+  Bytes.blit_string payload 0 buf 4 len;
+  really_write fd buf (4 + len)
+
+let write_json fd json = write fd (Obs.Json.to_string json)
+
+let discard fd n =
+  let chunk = Bytes.create 65536 in
+  let rec loop remaining =
+    if remaining <= 0 then true
+    else
+      match Unix.read fd chunk 0 (min remaining (Bytes.length chunk)) with
+      | 0 -> false
+      | k -> loop (remaining - k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop remaining
+  in
+  loop n

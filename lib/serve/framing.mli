@@ -1,0 +1,36 @@
+(** Length-prefixed JSON framing (DESIGN.md section 15).
+
+    Every message in either direction is one frame: a 4-byte big-endian
+    unsigned payload length, then that many bytes of UTF-8 JSON — one
+    document per frame.  The prefix makes message boundaries independent
+    of JSON whitespace and lets a receiver reject an oversized payload
+    before reading it. *)
+
+val default_max_frame : int
+(** 16 MiB — far above any response this server streams (large results
+    are chunked), low enough that a corrupt prefix cannot make a reader
+    allocate gigabytes. *)
+
+type read_result =
+  | Frame of string  (** one complete payload *)
+  | Closed  (** clean EOF on a frame boundary *)
+  | Truncated  (** EOF inside a prefix or payload: the peer died mid-frame *)
+  | Oversized of int
+      (** prefix announced this many bytes, above [max_frame]; the
+          payload has {e not} been consumed — see {!discard} *)
+
+val read : ?max_frame:int -> Unix.file_descr -> read_result
+(** Blocking read of one frame. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Writes one frame (prefix + payload), looping over short writes.
+    @raise Invalid_argument if the payload exceeds the 32-bit prefix.
+    Unix errors ([EPIPE] on a dead peer) propagate to the caller. *)
+
+val write_json : Unix.file_descr -> Obs.Json.t -> unit
+(** [write] of the document's canonical print. *)
+
+val discard : Unix.file_descr -> int -> bool
+(** Consumes and drops exactly [n] payload bytes, so a connection can
+    survive an {!Oversized} frame and stay synchronized on the next
+    prefix.  [false] if EOF arrived first. *)

@@ -1,0 +1,62 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* signalled on push and on drain *)
+  items : 'a Queue.t;
+  capacity : int;
+  mutable draining : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Serve.Jobq.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    draining = false;
+  }
+
+type push_result = Enqueued of int | Full | Draining
+
+let push t job =
+  Mutex.lock t.mutex;
+  let r =
+    if t.draining then Draining
+    else if Queue.length t.items >= t.capacity then Full
+    else begin
+      Queue.push job t.items;
+      Condition.signal t.nonempty;
+      Enqueued (Queue.length t.items)
+    end
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let pop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.items && not t.draining do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let r = Queue.take_opt t.items in
+  Mutex.unlock t.mutex;
+  r
+
+let drain t =
+  Mutex.lock t.mutex;
+  if not t.draining then begin
+    t.draining <- true;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.mutex
+
+let draining t =
+  Mutex.lock t.mutex;
+  let d = t.draining in
+  Mutex.unlock t.mutex;
+  d
+
+let depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.items in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,31 @@
+(** Bounded multi-producer multi-consumer job queue with backpressure.
+
+    Producers are connection reader threads; consumers are the worker
+    domains of the {!Server}.  The queue never blocks a producer: when
+    full it answers {!Full} immediately and the server turns that into a
+    [busy] error frame carrying a retry hint.  Once {!drain} is called
+    no new job is accepted, but everything already enqueued is still
+    handed out — an accepted job is never lost. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+type push_result =
+  | Enqueued of int  (** queue depth after the push, this job included *)
+  | Full
+  | Draining
+
+val push : 'a t -> 'a -> push_result
+
+val pop : 'a t -> 'a option
+(** Blocks until a job is available.  [None] means the queue is draining
+    {e and} empty — the consumer should exit; jobs pushed before
+    {!drain} are all delivered first. *)
+
+val drain : 'a t -> unit
+(** Refuse new pushes, wake every blocked consumer.  Idempotent. *)
+
+val draining : 'a t -> bool
+val depth : 'a t -> int

@@ -1,0 +1,725 @@
+module J = Obs.Json
+
+type workload =
+  | Table3 of int
+  | Mixed_phase of int
+  | Characterization
+  | Inline of string list
+
+let trace_of_workload = function
+  | Table3 n -> Core.Workloads.table3_trace ~n
+  | Mixed_phase n -> Core.Workloads.mixed_phase_trace ~n ()
+  | Characterization -> Core.Workloads.characterization_trace
+  | Inline lines -> Ec.Trace.of_lines lines
+
+type mode = [ `Serial | `Pipelined ]
+
+type run = {
+  workload : workload;
+  level : Core.Level.t;
+  mode : mode;
+  estimate : bool;
+  profile : bool;
+  compiled : bool;
+}
+
+type replay = {
+  workload : workload;
+  level : Core.Level.t;
+  mode : mode;
+  scales : float list;
+}
+
+type explore = {
+  applets : string list;
+  configs : string list;
+  level : Core.Level.t;
+  adaptive : bool;
+}
+
+type request =
+  | Run of run
+  | Explore of explore
+  | Replay of replay
+  | Stats
+  | Shutdown
+
+type error_code =
+  | Bad_frame
+  | Oversized
+  | Bad_json
+  | Bad_request
+  | Unknown_type
+  | Busy
+  | Draining
+  | Failed
+
+let error_code_to_string = function
+  | Bad_frame -> "bad_frame"
+  | Oversized -> "oversized"
+  | Bad_json -> "bad_json"
+  | Bad_request -> "bad_request"
+  | Unknown_type -> "unknown_type"
+  | Busy -> "busy"
+  | Draining -> "draining"
+  | Failed -> "failed"
+
+let error_code_of_string = function
+  | "bad_frame" -> Some Bad_frame
+  | "oversized" -> Some Oversized
+  | "bad_json" -> Some Bad_json
+  | "bad_request" -> Some Bad_request
+  | "unknown_type" -> Some Unknown_type
+  | "busy" -> Some Busy
+  | "draining" -> Some Draining
+  | "failed" -> Some Failed
+  | _ -> None
+
+type result_body = {
+  level : Core.Level.t;
+  cycles : int;
+  txns : int;
+  beats : int;
+  errors : int;
+  bus_pj : float;
+  component_pj : float;
+  transitions : int;
+  wall_seconds : float;
+}
+
+let result_body_of_runner (r : Core.Runner.result) =
+  {
+    level = r.Core.Runner.level;
+    cycles = r.Core.Runner.cycles;
+    txns = r.Core.Runner.txns;
+    beats = r.Core.Runner.beats;
+    errors = r.Core.Runner.errors;
+    bus_pj = r.Core.Runner.bus_pj;
+    component_pj = r.Core.Runner.component_pj;
+    transitions = r.Core.Runner.transitions;
+    wall_seconds = r.Core.Runner.wall_seconds;
+  }
+
+type row_body = {
+  config : string;
+  applet : string;
+  row_level : Core.Level.t;
+  row_cycles : int;
+  row_bus_pj : float;
+  transactions : int;
+  steps : int;
+  value : int option;
+  correct : bool;
+  switches : int option;
+  error_bound_pj : float option;
+}
+
+let row_body_of_exploration (r : Core.Exploration.row) =
+  {
+    config = r.Core.Exploration.config.Jcvm.Configs.name;
+    applet = r.Core.Exploration.applet;
+    row_level = r.Core.Exploration.level;
+    row_cycles = r.Core.Exploration.cycles;
+    row_bus_pj = r.Core.Exploration.bus_pj;
+    transactions = r.Core.Exploration.transactions;
+    steps = r.Core.Exploration.steps;
+    value = r.Core.Exploration.value;
+    correct = r.Core.Exploration.correct;
+    switches =
+      Option.map
+        (fun (s : Hier.Splice.t) -> s.Hier.Splice.switches)
+        r.Core.Exploration.provenance;
+    error_bound_pj =
+      Option.map
+        (fun (s : Hier.Splice.t) -> s.Hier.Splice.error_bound_pj)
+        r.Core.Exploration.provenance;
+  }
+
+type point_body = {
+  point_seq : int;
+  scale : float;
+  point_bus_pj : float;
+  point_cycles : int;
+  point_txns : int;
+  point_transitions : int;
+}
+
+type pool_stats = {
+  session_hits : int;
+  session_builds : int;
+  plan_hits : int;
+  plan_builds : int;
+}
+
+type worker_stat = { worker : int; jobs : int }
+
+type stats_body = {
+  queue_depth : int;
+  queue_capacity : int;
+  stats_draining : bool;
+  uptime_s : float;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  workers : worker_stat list;
+  pool : pool_stats;
+  rendered : string;
+}
+
+type error_body = {
+  code : error_code;
+  message : string;
+  retry_after_ms : int option;
+}
+
+type done_body = {
+  frames : int;
+  latency_ms : float;
+  done_worker : int;
+  done_pool : pool_stats;
+}
+
+type frame =
+  | Accepted of int
+  | Result of result_body
+  | Row of int * row_body
+  | Point of point_body
+  | Energy of int * string list
+  | Stats_reply of stats_body
+  | Error of error_body
+  | Done of done_body
+
+(* --- encoding --- *)
+
+let level_to_wire = function
+  | Core.Level.Rtl -> "rtl"
+  | Core.Level.L1 -> "l1"
+  | Core.Level.L2 -> "l2"
+
+let level_of_wire = function
+  | "rtl" -> Some Core.Level.Rtl
+  | "l1" -> Some Core.Level.L1
+  | "l2" -> Some Core.Level.L2
+  | _ -> None
+
+let mode_to_wire = function `Serial -> "serial" | `Pipelined -> "pipelined"
+
+let mode_of_wire = function
+  | "serial" -> Some `Serial
+  | "pipelined" -> Some `Pipelined
+  | _ -> None
+
+let workload_to_json = function
+  | Table3 n -> J.Obj [ ("kind", J.String "table3"); ("n", J.Int n) ]
+  | Mixed_phase n -> J.Obj [ ("kind", J.String "mixed"); ("n", J.Int n) ]
+  | Characterization -> J.Obj [ ("kind", J.String "characterization") ]
+  | Inline lines ->
+    J.Obj
+      [
+        ("kind", J.String "inline");
+        ("lines", J.List (List.map (fun l -> J.String l) lines));
+      ]
+
+let request_to_json ~id request =
+  let fields =
+    match request with
+    | Run r ->
+      [
+        ("type", J.String "run");
+        ("workload", workload_to_json r.workload);
+        ("level", J.String (level_to_wire r.level));
+        ("mode", J.String (mode_to_wire r.mode));
+        ("estimate", J.Bool r.estimate);
+        ("profile", J.Bool r.profile);
+        ("compiled", J.Bool r.compiled);
+      ]
+    | Explore e ->
+      [
+        ("type", J.String "explore");
+        ("applets", J.List (List.map (fun a -> J.String a) e.applets));
+        ("configs", J.List (List.map (fun c -> J.String c) e.configs));
+        ("level", J.String (level_to_wire e.level));
+        ("adaptive", J.Bool e.adaptive);
+      ]
+    | Replay r ->
+      [
+        ("type", J.String "replay");
+        ("workload", workload_to_json r.workload);
+        ("level", J.String (level_to_wire r.level));
+        ("mode", J.String (mode_to_wire r.mode));
+        ("scales", J.List (List.map (fun s -> J.Float s) r.scales));
+      ]
+    | Stats -> [ ("type", J.String "stats") ]
+    | Shutdown -> [ ("type", J.String "shutdown") ]
+  in
+  J.Obj (("id", id) :: fields)
+
+(* --- request decoding / validation --- *)
+
+let request_id json = Option.value (J.member "id" json) ~default:J.Null
+
+(* Validation accumulates through [result]: the first bad field wins and
+   its path is named in the message. *)
+let ( let* ) = Result.bind
+
+let bad fmt = Printf.ksprintf (fun m -> Result.Error (Bad_request, m)) fmt
+
+let field_string json name ~default =
+  match J.member name json with
+  | None -> Ok default
+  | Some (J.String s) -> Ok s
+  | Some _ -> bad "field %S must be a string" name
+
+let field_bool json name ~default =
+  match J.member name json with
+  | None -> Ok default
+  | Some (J.Bool b) -> Ok b
+  | Some _ -> bad "field %S must be a boolean" name
+
+let field_level json ~default =
+  let* s = field_string json "level" ~default:(level_to_wire default) in
+  match level_of_wire s with
+  | Some l -> Ok l
+  | None -> bad "unknown level %S (rtl|l1|l2)" s
+
+let field_mode json =
+  let* s = field_string json "mode" ~default:"serial" in
+  match mode_of_wire s with
+  | Some m -> Ok m
+  | None -> bad "unknown mode %S (serial|pipelined)" s
+
+let field_string_list json name =
+  match J.member name json with
+  | None -> Ok []
+  | Some (J.List items) ->
+    let rec decode acc = function
+      | [] -> Ok (List.rev acc)
+      | J.String s :: rest -> decode (s :: acc) rest
+      | _ :: _ -> bad "field %S must be a list of strings" name
+    in
+    decode [] items
+  | Some _ -> bad "field %S must be a list of strings" name
+
+let max_workload_txns = 1_000_000
+
+let field_workload json =
+  match J.member "workload" json with
+  | None -> bad "field \"workload\" is required"
+  | Some w -> (
+    let* kind = field_string w "kind" ~default:"" in
+    let txns name =
+      match J.member "n" w with
+      | Some n -> (
+        match J.int_opt n with
+        | Some n when n >= 1 && n <= max_workload_txns -> Ok n
+        | Some n -> bad "workload %s: n = %d out of range [1, %d]" name n
+                      max_workload_txns
+        | None -> bad "workload %s: field \"n\" must be an integer" name)
+      | None -> bad "workload %s: field \"n\" is required" name
+    in
+    match kind with
+    | "table3" ->
+      let* n = txns "table3" in
+      Ok (Table3 n)
+    | "mixed" ->
+      let* n = txns "mixed" in
+      Ok (Mixed_phase n)
+    | "characterization" -> Ok Characterization
+    | "inline" ->
+      let* lines = field_string_list w "lines" in
+      if lines = [] then bad "inline workload: field \"lines\" is required"
+      else (
+        (* Validate now so a malformed trace is a [bad_request], not a
+           mid-job failure. *)
+        match Ec.Trace.of_lines lines with
+        | _ -> Ok (Inline lines)
+        | exception Failure msg -> bad "inline workload: %s" msg)
+    | "" -> bad "workload: field \"kind\" is required"
+    | k -> bad "unknown workload kind %S" k)
+
+let request_of_json json =
+  match json with
+  | J.Obj _ -> (
+    let* ty =
+      match J.member "type" json with
+      | Some (J.String s) -> Ok s
+      | Some _ -> bad "field \"type\" must be a string"
+      | None -> bad "field \"type\" is required"
+    in
+    match ty with
+    | "run" ->
+      let* workload = field_workload json in
+      let* level = field_level json ~default:Core.Level.L1 in
+      let* mode = field_mode json in
+      let* estimate = field_bool json "estimate" ~default:true in
+      let* profile = field_bool json "profile" ~default:false in
+      let* compiled = field_bool json "compiled" ~default:false in
+      Ok (Run { workload; level; mode; estimate; profile; compiled })
+    | "explore" ->
+      let* applets = field_string_list json "applets" in
+      let* configs = field_string_list json "configs" in
+      let* level = field_level json ~default:Core.Level.L1 in
+      let* adaptive = field_bool json "adaptive" ~default:false in
+      let known_applets =
+        List.map (fun a -> a.Jcvm.Applets.name) Jcvm.Applets.all
+      in
+      let known_configs =
+        List.map (fun c -> c.Jcvm.Configs.name) Jcvm.Configs.standard
+      in
+      let* () =
+        match List.find_opt (fun a -> not (List.mem a known_applets)) applets with
+        | Some a -> bad "unknown applet %S" a
+        | None -> Ok ()
+      in
+      let* () =
+        match List.find_opt (fun c -> not (List.mem c known_configs)) configs with
+        | Some c -> bad "unknown config %S" c
+        | None -> Ok ()
+      in
+      Ok (Explore { applets; configs; level; adaptive })
+    | "replay" ->
+      let* workload = field_workload json in
+      let* level = field_level json ~default:Core.Level.L1 in
+      let* () =
+        match level with
+        | Core.Level.Rtl ->
+          bad "replay: the gate-level reference has no compiled plan"
+        | Core.Level.L1 | Core.Level.L2 -> Ok ()
+      in
+      let* mode = field_mode json in
+      let* scales =
+        match J.member "scales" json with
+        | None -> Ok [ 1.0 ]
+        | Some (J.List items) when items <> [] ->
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest -> (
+              match J.number_opt item with
+              | Some s when Float.is_finite s && s > 0.0 ->
+                decode (s :: acc) rest
+              | Some _ -> bad "field \"scales\" entries must be positive"
+              | None -> bad "field \"scales\" must be a list of numbers")
+          in
+          decode [] items
+        | Some _ -> bad "field \"scales\" must be a non-empty list of numbers"
+      in
+      Ok (Replay { workload; level; mode; scales })
+    | "stats" -> Ok Stats
+    | "shutdown" -> Ok Shutdown
+    | t -> Error (Unknown_type, Printf.sprintf "unknown request type %S" t))
+  | _ -> bad "request must be a JSON object"
+
+(* --- frame encoding --- *)
+
+let pool_stats_to_json p =
+  J.Obj
+    [
+      ("session_hits", J.Int p.session_hits);
+      ("session_builds", J.Int p.session_builds);
+      ("plan_hits", J.Int p.plan_hits);
+      ("plan_builds", J.Int p.plan_builds);
+    ]
+
+let result_body_to_json r =
+  J.Obj
+    [
+      ("level", J.String (level_to_wire r.level));
+      ("cycles", J.Int r.cycles);
+      ("txns", J.Int r.txns);
+      ("beats", J.Int r.beats);
+      ("errors", J.Int r.errors);
+      ("bus_pj", J.Float r.bus_pj);
+      ("component_pj", J.Float r.component_pj);
+      ("transitions", J.Int r.transitions);
+      ("wall_seconds", J.Float r.wall_seconds);
+    ]
+
+let row_body_to_json r =
+  let opt_int = function None -> J.Null | Some v -> J.Int v in
+  let opt_float = function None -> J.Null | Some v -> J.Float v in
+  J.Obj
+    [
+      ("config", J.String r.config);
+      ("applet", J.String r.applet);
+      ("level", J.String (level_to_wire r.row_level));
+      ("cycles", J.Int r.row_cycles);
+      ("bus_pj", J.Float r.row_bus_pj);
+      ("transactions", J.Int r.transactions);
+      ("steps", J.Int r.steps);
+      ("value", opt_int r.value);
+      ("correct", J.Bool r.correct);
+      ("switches", opt_int r.switches);
+      ("error_bound_pj", opt_float r.error_bound_pj);
+    ]
+
+let frame_to_json ~id frame =
+  let fields =
+    match frame with
+    | Accepted depth ->
+      [ ("frame", J.String "accepted"); ("queue_depth", J.Int depth) ]
+    | Result r ->
+      [ ("frame", J.String "result"); ("result", result_body_to_json r) ]
+    | Row (seq, row) ->
+      [
+        ("frame", J.String "row");
+        ("seq", J.Int seq);
+        ("row", row_body_to_json row);
+      ]
+    | Point p ->
+      [
+        ("frame", J.String "point");
+        ("seq", J.Int p.point_seq);
+        ("scale", J.Float p.scale);
+        ("bus_pj", J.Float p.point_bus_pj);
+        ("cycles", J.Int p.point_cycles);
+        ("txns", J.Int p.point_txns);
+        ("transitions", J.Int p.point_transitions);
+      ]
+    | Energy (seq, lines) ->
+      [
+        ("frame", J.String "energy");
+        ("seq", J.Int seq);
+        ("lines", J.List (List.map (fun l -> J.String l) lines));
+      ]
+    | Stats_reply s ->
+      [
+        ("frame", J.String "stats");
+        ("queue_depth", J.Int s.queue_depth);
+        ("queue_capacity", J.Int s.queue_capacity);
+        ("draining", J.Bool s.stats_draining);
+        ("uptime_s", J.Float s.uptime_s);
+        ("accepted", J.Int s.accepted);
+        ("rejected", J.Int s.rejected);
+        ("completed", J.Int s.completed);
+        ("failed", J.Int s.failed);
+        ( "workers",
+          J.List
+            (List.map
+               (fun w ->
+                 J.Obj [ ("worker", J.Int w.worker); ("jobs", J.Int w.jobs) ])
+               s.workers) );
+        ("pool", pool_stats_to_json s.pool);
+        ("rendered", J.String s.rendered);
+      ]
+    | Error e ->
+      [
+        ("frame", J.String "error");
+        ("code", J.String (error_code_to_string e.code));
+        ("message", J.String e.message);
+      ]
+      @ (match e.retry_after_ms with
+        | None -> []
+        | Some ms -> [ ("retry_after_ms", J.Int ms) ])
+    | Done d ->
+      [
+        ("frame", J.String "done");
+        ("frames", J.Int d.frames);
+        ("latency_ms", J.Float d.latency_ms);
+        ("worker", J.Int d.done_worker);
+        ("pool", pool_stats_to_json d.done_pool);
+      ]
+  in
+  J.Obj (("id", id) :: fields)
+
+(* --- frame decoding --- *)
+
+let need_int json name =
+  match Option.bind (J.member name json) J.int_opt with
+  | Some v -> Ok v
+  | None -> Result.Error (Printf.sprintf "frame field %S missing" name)
+
+let need_float json name =
+  match Option.bind (J.member name json) J.number_opt with
+  | Some v -> Ok v
+  | None -> Result.Error (Printf.sprintf "frame field %S missing" name)
+
+let need_bool json name =
+  match Option.bind (J.member name json) J.bool_opt with
+  | Some v -> Ok v
+  | None -> Result.Error (Printf.sprintf "frame field %S missing" name)
+
+let need_string json name =
+  match Option.bind (J.member name json) J.string_opt with
+  | Some v -> Ok v
+  | None -> Result.Error (Printf.sprintf "frame field %S missing" name)
+
+let need_level json name =
+  let* s = need_string json name in
+  match level_of_wire s with
+  | Some l -> Ok l
+  | None -> Result.Error (Printf.sprintf "bad level %S" s)
+
+let pool_stats_of_json json =
+  let* session_hits = need_int json "session_hits" in
+  let* session_builds = need_int json "session_builds" in
+  let* plan_hits = need_int json "plan_hits" in
+  let* plan_builds = need_int json "plan_builds" in
+  Ok { session_hits; session_builds; plan_hits; plan_builds }
+
+let result_body_of_json json =
+  let* level = need_level json "level" in
+  let* cycles = need_int json "cycles" in
+  let* txns = need_int json "txns" in
+  let* beats = need_int json "beats" in
+  let* errors = need_int json "errors" in
+  let* bus_pj = need_float json "bus_pj" in
+  let* component_pj = need_float json "component_pj" in
+  let* transitions = need_int json "transitions" in
+  let* wall_seconds = need_float json "wall_seconds" in
+  Ok
+    {
+      level;
+      cycles;
+      txns;
+      beats;
+      errors;
+      bus_pj;
+      component_pj;
+      transitions;
+      wall_seconds;
+    }
+
+let row_body_of_json json =
+  let* config = need_string json "config" in
+  let* applet = need_string json "applet" in
+  let* row_level = need_level json "level" in
+  let* row_cycles = need_int json "cycles" in
+  let* row_bus_pj = need_float json "bus_pj" in
+  let* transactions = need_int json "transactions" in
+  let* steps = need_int json "steps" in
+  let value = Option.bind (J.member "value" json) J.int_opt in
+  let* correct = need_bool json "correct" in
+  let switches = Option.bind (J.member "switches" json) J.int_opt in
+  let error_bound_pj =
+    Option.bind (J.member "error_bound_pj" json) J.number_opt
+  in
+  Ok
+    {
+      config;
+      applet;
+      row_level;
+      row_cycles;
+      row_bus_pj;
+      transactions;
+      steps;
+      value;
+      correct;
+      switches;
+      error_bound_pj;
+    }
+
+let frame_of_json json =
+  let id = request_id json in
+  let* kind = need_string json "frame" in
+  let* frame =
+    match kind with
+    | "accepted" ->
+      let* depth = need_int json "queue_depth" in
+      Ok (Accepted depth)
+    | "result" -> (
+      match J.member "result" json with
+      | Some r ->
+        let* body = result_body_of_json r in
+        Ok (Result body)
+      | None -> Result.Error "result frame without \"result\"")
+    | "row" -> (
+      let* seq = need_int json "seq" in
+      match J.member "row" json with
+      | Some r ->
+        let* body = row_body_of_json r in
+        Ok (Row (seq, body))
+      | None -> Result.Error "row frame without \"row\"")
+    | "point" ->
+      let* point_seq = need_int json "seq" in
+      let* scale = need_float json "scale" in
+      let* point_bus_pj = need_float json "bus_pj" in
+      let* point_cycles = need_int json "cycles" in
+      let* point_txns = need_int json "txns" in
+      let* point_transitions = need_int json "transitions" in
+      Ok
+        (Point
+           {
+             point_seq;
+             scale;
+             point_bus_pj;
+             point_cycles;
+             point_txns;
+             point_transitions;
+           })
+    | "energy" -> (
+      let* seq = need_int json "seq" in
+      match Option.bind (J.member "lines" json) J.to_list_opt with
+      | Some items ->
+        let lines = List.filter_map J.string_opt items in
+        if List.length lines = List.length items then Ok (Energy (seq, lines))
+        else Result.Error "energy frame lines must be strings"
+      | None -> Result.Error "energy frame without \"lines\"")
+    | "stats" ->
+      let* queue_depth = need_int json "queue_depth" in
+      let* queue_capacity = need_int json "queue_capacity" in
+      let* stats_draining = need_bool json "draining" in
+      let* uptime_s = need_float json "uptime_s" in
+      let* accepted = need_int json "accepted" in
+      let* rejected = need_int json "rejected" in
+      let* completed = need_int json "completed" in
+      let* failed = need_int json "failed" in
+      let* workers =
+        match Option.bind (J.member "workers" json) J.to_list_opt with
+        | Some items ->
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest ->
+              let* worker = need_int item "worker" in
+              let* jobs = need_int item "jobs" in
+              decode ({ worker; jobs } :: acc) rest
+          in
+          decode [] items
+        | None -> Result.Error "stats frame without \"workers\""
+      in
+      let* pool =
+        match J.member "pool" json with
+        | Some p -> pool_stats_of_json p
+        | None -> Result.Error "stats frame without \"pool\""
+      in
+      let* rendered = need_string json "rendered" in
+      Ok
+        (Stats_reply
+           {
+             queue_depth;
+             queue_capacity;
+             stats_draining;
+             uptime_s;
+             accepted;
+             rejected;
+             completed;
+             failed;
+             workers;
+             pool;
+             rendered;
+           })
+    | "error" ->
+      let* code_s = need_string json "code" in
+      let* code =
+        match error_code_of_string code_s with
+        | Some c -> Ok c
+        | None -> Result.Error (Printf.sprintf "unknown error code %S" code_s)
+      in
+      let* message = need_string json "message" in
+      let retry_after_ms =
+        Option.bind (J.member "retry_after_ms" json) J.int_opt
+      in
+      Ok (Error { code; message; retry_after_ms })
+    | "done" ->
+      let* frames = need_int json "frames" in
+      let* latency_ms = need_float json "latency_ms" in
+      let* done_worker = need_int json "worker" in
+      let* done_pool =
+        match J.member "pool" json with
+        | Some p -> pool_stats_of_json p
+        | None -> Result.Error "done frame without \"pool\""
+      in
+      Ok (Done { frames; latency_ms; done_worker; done_pool })
+    | k -> Result.Error (Printf.sprintf "unknown frame kind %S" k)
+  in
+  Ok (id, frame)

@@ -1,0 +1,180 @@
+(** Typed requests and response frames of the simulation service, with
+    their {!Obs.Json} codecs (DESIGN.md section 15).
+
+    A request is one JSON object per frame, carrying a client-chosen
+    [id]; every response frame for that request echoes the [id], and the
+    stream for one request always terminates with a [done] or [error]
+    frame.  Floats cross the wire through {!Obs.Json}'s printer, which
+    round-trips IEEE doubles exactly — a decoded energy figure is
+    bit-identical to the one the simulation produced. *)
+
+(** {1 Job descriptions} *)
+
+type workload =
+  | Table3 of int  (** {!Core.Workloads.table3_trace} with [n] transactions *)
+  | Mixed_phase of int  (** {!Core.Workloads.mixed_phase_trace} *)
+  | Characterization  (** the 2000-transaction training trace *)
+  | Inline of string list
+      (** an {!Ec.Trace.to_lines} serialization, shipped by the client *)
+
+val trace_of_workload : workload -> Ec.Trace.t
+(** Materializes the descriptor.  @raise Failure on malformed [Inline]
+    lines (the request validator turns this into a [bad_request]). *)
+
+type mode = [ `Serial | `Pipelined ]
+
+type run = {
+  workload : workload;
+  level : Core.Level.t;
+  mode : mode;
+  estimate : bool;  (** default [true] *)
+  profile : bool;  (** stream the per-cycle energy profile as jsonl chunks *)
+  compiled : bool;  (** evaluate off a memoized compiled plan (L1/L2) *)
+}
+
+type replay = {
+  workload : workload;
+  level : Core.Level.t;  (** [L1] or [L2]; [Rtl] is rejected *)
+  mode : mode;
+  scales : float list;
+      (** one evaluation point per entry: the default characterization
+          table scaled by the factor *)
+}
+
+type explore = {
+  applets : string list;  (** by name; empty = all sample applets *)
+  configs : string list;  (** by name; empty = the standard grid *)
+  level : Core.Level.t;
+  adaptive : bool;
+      (** run cells through the live adaptive engine
+          ({!Hier.Policy.for_exploration}); [level] is then ignored *)
+}
+
+type request =
+  | Run of run
+  | Explore of explore
+  | Replay of replay
+  | Stats
+  | Shutdown
+
+(** {1 Response frames} *)
+
+type error_code =
+  | Bad_frame  (** truncated stream inside a frame *)
+  | Oversized  (** announced payload above the frame limit *)
+  | Bad_json  (** payload is not one JSON document *)
+  | Bad_request  (** JSON is fine, the request shape is not *)
+  | Unknown_type
+  | Busy  (** queue full: retry after [retry_after_ms] *)
+  | Draining  (** server is shutting down, no new work *)
+  | Failed  (** the job raised while executing *)
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+type result_body = {
+  level : Core.Level.t;
+  cycles : int;
+  txns : int;
+  beats : int;
+  errors : int;
+  bus_pj : float;
+  component_pj : float;
+  transitions : int;
+  wall_seconds : float;
+}
+
+val result_body_of_runner : Core.Runner.result -> result_body
+
+type row_body = {
+  config : string;
+  applet : string;
+  row_level : Core.Level.t;
+  row_cycles : int;
+  row_bus_pj : float;
+  transactions : int;
+  steps : int;
+  value : int option;
+  correct : bool;
+  switches : int option;  (** adaptive rows: spliced provenance summary *)
+  error_bound_pj : float option;
+}
+
+val row_body_of_exploration : Core.Exploration.row -> row_body
+
+type point_body = {
+  point_seq : int;
+  scale : float;
+  point_bus_pj : float;
+  point_cycles : int;
+  point_txns : int;
+  point_transitions : int;
+}
+
+type pool_stats = {
+  session_hits : int;
+  session_builds : int;
+  plan_hits : int;
+  plan_builds : int;
+}
+
+type worker_stat = { worker : int; jobs : int }
+
+type stats_body = {
+  queue_depth : int;
+  queue_capacity : int;
+  stats_draining : bool;
+  uptime_s : float;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  workers : worker_stat list;
+  pool : pool_stats;
+  rendered : string;  (** {!Core.Report.pool_stats} of the server pool *)
+}
+
+type error_body = {
+  code : error_code;
+  message : string;
+  retry_after_ms : int option;  (** [Busy] rejections only *)
+}
+
+type done_body = {
+  frames : int;  (** response frames before this one, [accepted] included *)
+  latency_ms : float;  (** enqueue to completion *)
+  done_worker : int;  (** index of the worker domain that served the job *)
+  done_pool : pool_stats;  (** server pool counters after the job *)
+}
+
+type frame =
+  | Accepted of int  (** queue depth at enqueue, this job included *)
+  | Result of result_body
+  | Row of int * row_body  (** [seq], in grid order *)
+  | Point of point_body
+  | Energy of int * string list  (** [seq], jsonl lines of a profile chunk *)
+  | Stats_reply of stats_body
+  | Error of error_body
+  | Done of done_body
+
+(** {1 Codecs}
+
+    [id] is the request id the frame belongs to — echoed verbatim, so a
+    client that never sent an id gets [Null] back. *)
+
+val request_to_json : id:Obs.Json.t -> request -> Obs.Json.t
+
+val request_of_json :
+  Obs.Json.t -> (request, error_code * string) result
+(** Validation lives here: unknown ["type"] is [Unknown_type], any
+    missing or ill-typed field (including malformed inline trace lines
+    and an [Rtl] replay) is [Bad_request]. *)
+
+val frame_to_json : id:Obs.Json.t -> frame -> Obs.Json.t
+
+val frame_of_json : Obs.Json.t -> (Obs.Json.t * frame, string) result
+(** Returns the echoed id alongside the decoded frame. *)
+
+val request_id : Obs.Json.t -> Obs.Json.t
+(** The ["id"] member of a request document, [Null] when absent — what a
+    server echoes back even for requests it cannot decode. *)

@@ -1,0 +1,142 @@
+let energy_chunk_lines = 512
+
+(* Compiled plans are memoized per (domain, key) in the server pool.
+   The key fingerprints the pure-data job description — the workload
+   descriptor, not the materialized trace, so an inline trace keys by
+   its serialized lines.  [Runner.compile_trace]'s own memo cannot be
+   used here: serving always fills the memories ([fill_memories] is a
+   closure, which that memo refuses to fingerprint), so the plan memo
+   lives at this layer where the init function is known. *)
+let plan_kind : Compile.Plan.t Core.Pool.kind = Core.Pool.kind ()
+
+let workload_key (w : Protocol.workload) =
+  match w with
+  | Protocol.Table3 n -> ("table3", n, ([] : string list))
+  | Protocol.Mixed_phase n -> ("mixed", n, [])
+  | Protocol.Characterization -> ("characterization", 0, [])
+  | Protocol.Inline lines -> ("inline", 0, lines)
+
+let compiled_plan ~pool ~level ~mode workload =
+  let key =
+    Core.Pool.fingerprint
+      ( "serve-plan",
+        Core.Level.to_string level,
+        (match mode with `Serial -> "serial" | `Pipelined -> "pipelined"),
+        workload_key workload )
+  in
+  Core.Pool.memo pool plan_kind ~key (fun () ->
+      Core.Runner.compile_trace ~level ~mode ~init:Core.Runner.fill_memories
+        (Protocol.trace_of_workload workload))
+
+let send_profile ~send profile =
+  let rec chunks seq = function
+    | [] -> ()
+    | lines ->
+      let rec split n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | l :: rest -> split (n - 1) (l :: acc) rest
+      in
+      let chunk, rest = split energy_chunk_lines [] lines in
+      send (Protocol.Energy (seq, chunk));
+      chunks (seq + 1) rest
+  in
+  chunks 0 (Power.Profile.to_jsonl_lines profile)
+
+let execute_run ~pool ~send (r : Protocol.run) =
+  let result =
+    match r.Protocol.level with
+    | (Core.Level.L1 | Core.Level.L2) when r.Protocol.compiled ->
+      let plan =
+        compiled_plan ~pool ~level:r.Protocol.level ~mode:r.Protocol.mode
+          r.Protocol.workload
+      in
+      Core.Runner.replay_compiled ~estimate:r.Protocol.estimate
+        ~record_profile:r.Protocol.profile plan
+    | _ ->
+      Core.Runner.run_trace ~level:r.Protocol.level ~mode:r.Protocol.mode
+        ~estimate:r.Protocol.estimate ~record_profile:r.Protocol.profile
+        ~init:Core.Runner.fill_memories ~pool
+        (Protocol.trace_of_workload r.Protocol.workload)
+  in
+  (match result.Core.Runner.profile with
+  | Some p when r.Protocol.profile -> send_profile ~send p
+  | Some _ | None -> ());
+  send (Protocol.Result (Protocol.result_body_of_runner result))
+
+let execute_replay ~pool ~send (r : Protocol.replay) =
+  let plan =
+    compiled_plan ~pool ~level:r.Protocol.level ~mode:r.Protocol.mode
+      r.Protocol.workload
+  in
+  let points =
+    List.map
+      (fun scale ->
+        {
+          Compile.Eval.table =
+            Power.Characterization.scale Power.Characterization.default scale;
+          l2_params = None;
+        })
+      r.Protocol.scales
+  in
+  let results = Core.Runner.replay_multi ~points plan in
+  List.iteri
+    (fun seq (scale, (result : Core.Runner.result)) ->
+      send
+        (Protocol.Point
+           {
+             Protocol.point_seq = seq;
+             scale;
+             point_bus_pj = result.Core.Runner.bus_pj;
+             point_cycles = result.Core.Runner.cycles;
+             point_txns = result.Core.Runner.txns;
+             point_transitions = result.Core.Runner.transitions;
+           }))
+    (List.combine r.Protocol.scales results)
+
+let execute_explore ~pool ~send (e : Protocol.explore) =
+  let applets =
+    match e.Protocol.applets with
+    | [] -> Jcvm.Applets.all
+    | names ->
+      (* Validation checked the names; keep grid order by request order. *)
+      List.map
+        (fun n -> List.find (fun a -> a.Jcvm.Applets.name = n) Jcvm.Applets.all)
+        names
+  in
+  let configs =
+    match e.Protocol.configs with
+    | [] -> Jcvm.Configs.standard
+    | names ->
+      List.map
+        (fun n ->
+          List.find (fun c -> c.Jcvm.Configs.name = n) Jcvm.Configs.standard)
+        names
+  in
+  let seq = ref 0 in
+  List.iter
+    (fun applet ->
+      List.iter
+        (fun config ->
+          let row =
+            if e.Protocol.adaptive then
+              Core.Exploration.run_one
+                ~policy:(Hier.Policy.for_exploration ())
+                ~pool ~config applet
+            else
+              Core.Exploration.run_one ~level:e.Protocol.level ~pool ~config
+                applet
+          in
+          send (Protocol.Row (!seq, Protocol.row_body_of_exploration row));
+          incr seq)
+        configs)
+    applets
+
+let execute ~pool ~stats ~send (request : Protocol.request) =
+  match request with
+  | Protocol.Run r -> execute_run ~pool ~send r
+  | Protocol.Replay r -> execute_replay ~pool ~send r
+  | Protocol.Explore e -> execute_explore ~pool ~send e
+  | Protocol.Stats -> send (Protocol.Stats_reply (stats ()))
+  | Protocol.Shutdown ->
+    invalid_arg "Serve.Scheduler.execute: shutdown is a control request"

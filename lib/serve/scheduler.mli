@@ -1,0 +1,29 @@
+(** Job execution: one validated request against the simulation stack.
+
+    Every worker domain calls {!execute} with the {e same} {!Core.Pool.t};
+    the pool's [Domain.DLS] storage gives each worker a private free-list
+    of reset sessions and a private compiled-plan memo, so repeat queries
+    on a warm worker rebuild nothing and re-interpret nothing.  Response
+    frames stream through [send] as they are produced (per-row
+    exploration results, per-point replay results, energy-profile
+    chunks); the server appends the terminating [done] frame.
+
+    Results are bit-identical to the equivalent direct in-process
+    {!Core.Runner} / {!Core.Exploration} call: pooled sessions reproduce
+    fresh builds exactly (DESIGN.md section 13) and compiled plans
+    reproduce interpretation exactly (section 14). *)
+
+val energy_chunk_lines : int
+(** Profile jsonl lines per [energy] frame (512). *)
+
+val execute :
+  pool:Core.Pool.t ->
+  stats:(unit -> Protocol.stats_body) ->
+  send:(Protocol.frame -> unit) ->
+  Protocol.request ->
+  unit
+(** Runs a [Run]/[Explore]/[Replay]/[Stats] job.  [Shutdown] is a
+    control request the server never forwards here.
+    @raise Invalid_argument on [Shutdown].
+    Simulation exceptions propagate; the server turns them into a
+    [failed] error frame. *)

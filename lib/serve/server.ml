@@ -1,0 +1,475 @@
+(* The daemon's moving parts and their threads:
+
+     - one accept thread per listener (polls with a short select timeout
+       so drain never races a blocking accept);
+     - one reader thread per connection: framing, validation, enqueue,
+       error frames — and the accepted/busy/draining backpressure
+       answers;
+     - [domains] worker participants on a [Core.Parallel.with_pool]
+       domain set (the [serve] caller is worker 0): pop, execute via
+       [Scheduler], stream frames, append the [done] summary;
+     - one watcher thread on a self-pipe, so a signal handler only has
+       to write one byte to trigger the drain.
+
+   Writes to one connection are serialized by a per-connection mutex
+   (the reader's [accepted] frame must land before the worker's first
+   result frame, and two workers may serve one connection's requests
+   concurrently).  Connection file descriptors are closed exactly once:
+   early when the peer is gone, otherwise in the final cleanup after
+   every worker and reader has exited. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  write_mutex : Mutex.t;
+  mutable alive : bool;  (* fd open, writes allowed *)
+  mutable eof : bool;  (* reader saw EOF; close once pending hits 0 *)
+  pending : int Atomic.t;  (* accepted jobs not yet completed *)
+}
+
+type job = {
+  job_id : Obs.Json.t;
+  job_conn : conn;
+  request : Protocol.request;
+  enqueued_at : float;
+}
+
+type t = {
+  domains : int;
+  queue_depth : int;
+  max_frame : int;
+  handle_signals : bool;
+  unix_path : string option;
+  queue : job Jobq.t;
+  pool : Core.Pool.t;
+  started_at : float;
+  listeners : (Unix.file_descr * [ `Unix | `Tcp ]) list;
+  bound_tcp_port : int option;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  stopped : bool Atomic.t;  (* cleanup began: readers exit *)
+  accepted : int Atomic.t;
+  rejected : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+  jobs_per_worker : int array;
+  signal_r : Unix.file_descr;
+  signal_w : Unix.file_descr;
+  mutable served : bool;
+}
+
+let poll_interval = 0.05
+
+let pool t = t.pool
+let draining t = Jobq.draining t.queue
+let tcp_port t = t.bound_tcp_port
+
+let drain t = Jobq.drain t.queue
+
+(* --- listeners --- *)
+
+let bind_unix path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let bind_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, bound)
+
+let create ?unix_path ?tcp_port ?domains ?(queue_depth = 64)
+    ?(max_frame = Framing.default_max_frame) ?(handle_signals = false) () =
+  let domains =
+    match domains with Some d -> d | None -> Core.Parallel.default_domains ()
+  in
+  if domains < 1 then invalid_arg "Serve.Server.create: domains < 1";
+  if queue_depth < 1 then invalid_arg "Serve.Server.create: queue_depth < 1";
+  if unix_path = None && tcp_port = None then
+    invalid_arg "Serve.Server.create: no listener (need unix_path or tcp_port)";
+  (* A peer that disconnects mid-stream must surface as EPIPE on the
+     write, not as a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let unix_listener = Option.map bind_unix unix_path in
+  let tcp_listener =
+    try Option.map bind_tcp tcp_port
+    with e ->
+      Option.iter Unix.close unix_listener;
+      raise e
+  in
+  let listeners =
+    (match unix_listener with Some fd -> [ (fd, `Unix) ] | None -> [])
+    @ match tcp_listener with Some (fd, _) -> [ (fd, `Tcp) ] | None -> []
+  in
+  let signal_r, signal_w = Unix.pipe () in
+  {
+    domains;
+    queue_depth;
+    max_frame;
+    handle_signals;
+    unix_path;
+    queue = Jobq.create ~capacity:queue_depth;
+    pool = Core.Pool.create ();
+    started_at = Unix.gettimeofday ();
+    listeners;
+    bound_tcp_port = Option.map snd tcp_listener;
+    conns_mutex = Mutex.create ();
+    conns = [];
+    readers = [];
+    stopped = Atomic.make false;
+    accepted = Atomic.make 0;
+    rejected = Atomic.make 0;
+    completed = Atomic.make 0;
+    failed = Atomic.make 0;
+    jobs_per_worker = Array.make domains 0;
+    signal_r;
+    signal_w;
+    served = false;
+  }
+
+(* --- connection writes --- *)
+
+let close_conn conn =
+  Mutex.lock conn.write_mutex;
+  if conn.alive then begin
+    conn.alive <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock conn.write_mutex
+
+(* Best-effort frame write: a dead peer must not take a worker (or the
+   job it is running) down with it. *)
+let send_frame conn ~id frame =
+  Mutex.lock conn.write_mutex;
+  (if conn.alive then
+     try Framing.write_json conn.fd (Protocol.frame_to_json ~id frame)
+     with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false);
+  Mutex.unlock conn.write_mutex
+
+let job_finished conn =
+  if Atomic.fetch_and_add conn.pending (-1) = 1 && conn.eof then
+    close_conn conn
+
+(* --- stats --- *)
+
+let pool_snapshot pool =
+  {
+    Protocol.session_hits = Core.Pool.hits pool;
+    session_builds = Core.Pool.builds pool;
+    plan_hits = Core.Pool.memo_hits pool;
+    plan_builds = Core.Pool.memo_builds pool;
+  }
+
+let stats_body t =
+  {
+    Protocol.queue_depth = Jobq.depth t.queue;
+    queue_capacity = t.queue_depth;
+    stats_draining = Jobq.draining t.queue;
+    uptime_s = Unix.gettimeofday () -. t.started_at;
+    accepted = Atomic.get t.accepted;
+    rejected = Atomic.get t.rejected;
+    completed = Atomic.get t.completed;
+    failed = Atomic.get t.failed;
+    workers =
+      List.init (Array.length t.jobs_per_worker) (fun i ->
+          { Protocol.worker = i; jobs = t.jobs_per_worker.(i) });
+    pool = pool_snapshot t.pool;
+    rendered = Core.Report.pool_stats t.pool;
+  }
+
+(* --- backpressure --- *)
+
+(* The hint is deliberately coarse: long enough that a retry loop does
+   not hammer a saturated queue, short enough that a freed slot is found
+   promptly.  10 ms per queued job approximates the small-request
+   service time; heavyweight jobs simply cost one extra round. *)
+let retry_after_ms t = max 10 (10 * Jobq.depth t.queue)
+
+let error_frame code message ?retry_after_ms () =
+  Protocol.Error { Protocol.code; message; retry_after_ms }
+
+(* --- reader threads --- *)
+
+let handle_request t conn ~id request =
+  match request with
+  | Protocol.Shutdown ->
+    (* Control path: the drain flag flips before the ack goes out, so a
+       client that saw the ack may rely on the daemon refusing new work. *)
+    drain t;
+    send_frame conn ~id
+      (Protocol.Done
+         {
+           Protocol.frames = 0;
+           latency_ms = 0.0;
+           done_worker = -1;
+           done_pool = pool_snapshot t.pool;
+         })
+  | Protocol.Stats ->
+    (* Control path: served inline on the reader thread so a daemon
+       whose queue is saturated (or draining) stays observable. *)
+    send_frame conn ~id (Protocol.Stats_reply (stats_body t));
+    send_frame conn ~id
+      (Protocol.Done
+         {
+           Protocol.frames = 1;
+           latency_ms = 0.0;
+           done_worker = -1;
+           done_pool = pool_snapshot t.pool;
+         })
+  | Protocol.Run _ | Protocol.Explore _ | Protocol.Replay _ ->
+    let job =
+      {
+        job_id = id;
+        job_conn = conn;
+        request;
+        enqueued_at = Unix.gettimeofday ();
+      }
+    in
+    (* Holding the write mutex across push + accepted keeps the
+       [accepted] frame ahead of any result frame a fast worker might
+       produce; the queue lock nests inside the connection lock only
+       here, and workers never take them in the reverse order. *)
+    Mutex.lock conn.write_mutex;
+    let pushed = Jobq.push t.queue job in
+    (match pushed with
+    | Jobq.Enqueued depth ->
+      Atomic.incr t.accepted;
+      Atomic.incr conn.pending;
+      if conn.alive then (
+        try Framing.write_json conn.fd
+              (Protocol.frame_to_json ~id (Protocol.Accepted depth))
+        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+    | Jobq.Full | Jobq.Draining -> ());
+    Mutex.unlock conn.write_mutex;
+    (match pushed with
+    | Jobq.Enqueued _ -> ()
+    | Jobq.Full ->
+      Atomic.incr t.rejected;
+      send_frame conn ~id
+        (error_frame Protocol.Busy "queue full"
+           ~retry_after_ms:(retry_after_ms t) ())
+    | Jobq.Draining ->
+      Atomic.incr t.rejected;
+      send_frame conn ~id
+        (error_frame Protocol.Draining "server is draining" ()))
+
+let handle_payload t conn payload =
+  match Obs.Json.of_string payload with
+  | Error msg ->
+    send_frame conn ~id:Obs.Json.Null
+      (error_frame Protocol.Bad_json ("request is not JSON: " ^ msg) ())
+  | Ok json -> (
+    let id = Protocol.request_id json in
+    match Protocol.request_of_json json with
+    | Error (code, message) -> send_frame conn ~id (error_frame code message ())
+    | Ok request -> handle_request t conn ~id request)
+
+let reader_loop t conn =
+  let rec loop () =
+    if Atomic.get t.stopped || not conn.alive then ()
+    else
+      match Unix.select [ conn.fd ] [] [] poll_interval with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Framing.read ~max_frame:t.max_frame conn.fd with
+        | Framing.Frame payload ->
+          handle_payload t conn payload;
+          loop ()
+        | Framing.Closed ->
+          conn.eof <- true;
+          if Atomic.get conn.pending = 0 then close_conn conn
+        | Framing.Truncated ->
+          (* The stream cannot be resynchronized: answer, then close. *)
+          send_frame conn ~id:Obs.Json.Null
+            (error_frame Protocol.Bad_frame "truncated frame" ());
+          conn.eof <- true;
+          if Atomic.get conn.pending = 0 then close_conn conn
+        | Framing.Oversized len ->
+          if Framing.discard conn.fd len then begin
+            send_frame conn ~id:Obs.Json.Null
+              (error_frame Protocol.Oversized
+                 (Printf.sprintf "frame of %d bytes exceeds limit %d" len
+                    t.max_frame)
+                 ());
+            loop ()
+          end
+          else begin
+            send_frame conn ~id:Obs.Json.Null
+              (error_frame Protocol.Bad_frame "truncated frame" ());
+            conn.eof <- true;
+            if Atomic.get conn.pending = 0 then close_conn conn
+          end)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  in
+  loop ()
+
+(* --- accept threads --- *)
+
+let accept_loop t (lfd, kind) =
+  let rec loop () =
+    if Jobq.draining t.queue then ()
+    else
+      match Unix.select [ lfd ] [] [] poll_interval with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept lfd with
+        | fd, _ ->
+          if kind = `Tcp then
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+          let conn =
+            {
+              fd;
+              write_mutex = Mutex.create ();
+              alive = true;
+              eof = false;
+              pending = Atomic.make 0;
+            }
+          in
+          let reader = Thread.create (fun () -> reader_loop t conn) () in
+          Mutex.lock t.conns_mutex;
+          t.conns <- conn :: t.conns;
+          t.readers <- reader :: t.readers;
+          Mutex.unlock t.conns_mutex;
+          loop ()
+        | exception
+            Unix.Unix_error
+              ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED
+                | Unix.EINTR ),
+                _,
+                _ ) ->
+          loop ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  in
+  loop ()
+
+(* --- workers --- *)
+
+let run_job t ~worker job =
+  t.jobs_per_worker.(worker) <- t.jobs_per_worker.(worker) + 1;
+  let conn = job.job_conn in
+  let frames = ref 0 in
+  let send frame =
+    incr frames;
+    send_frame conn ~id:job.job_id frame
+  in
+  (try
+     Scheduler.execute ~pool:t.pool ~stats:(fun () -> stats_body t) ~send
+       job.request;
+     Atomic.incr t.completed
+   with e ->
+     Atomic.incr t.failed;
+     send
+       (error_frame Protocol.Failed
+          (Printf.sprintf "job failed: %s" (Printexc.to_string e))
+          ()));
+  send_frame conn ~id:job.job_id
+    (Protocol.Done
+       {
+         (* [accepted] counts toward the stream the client saw. *)
+         Protocol.frames = !frames + 1;
+         latency_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1000.0;
+         done_worker = worker;
+         done_pool = pool_snapshot t.pool;
+       });
+  job_finished conn
+
+let worker_loop t worker =
+  let rec loop () =
+    match Jobq.pop t.queue with
+    | None -> ()
+    | Some job ->
+      run_job t ~worker job;
+      loop ()
+  in
+  loop ()
+
+(* --- signals --- *)
+
+let install_signals t =
+  let handle signum =
+    (* One byte on the self-pipe; the watcher thread does the real work
+       in a normal context. *)
+    let previous =
+      Sys.signal signum
+        (Sys.Signal_handle
+           (fun _ ->
+             try ignore (Unix.write t.signal_w (Bytes.make 1 '!') 0 1)
+             with Unix.Unix_error _ -> ()))
+    in
+    (signum, previous)
+  in
+  [ handle Sys.sigint; handle Sys.sigterm ]
+
+let signal_watcher t =
+  let buf = Bytes.create 1 in
+  match Unix.read t.signal_r buf 0 1 with
+  | _ -> drain t (* a signal byte, or EOF when cleanup closes the pipe *)
+  | exception Unix.Unix_error _ -> ()
+
+(* --- the daemon --- *)
+
+let serve t =
+  if t.served then invalid_arg "Serve.Server.serve: already served";
+  t.served <- true;
+  let restore = if t.handle_signals then install_signals t else [] in
+  let watcher = Thread.create signal_watcher t in
+  let acceptors = List.map (fun l -> Thread.create (accept_loop t) l) t.listeners in
+  (* Worker 0 is this thread; the rest are pool domains.  [iter] returns
+     once every worker saw the queue drained and empty. *)
+  (if t.domains = 1 then worker_loop t 0
+   else
+     Core.Parallel.with_pool ~domains:t.domains (fun pool ->
+         Core.Parallel.iter ~pool
+           (fun worker -> worker_loop t worker)
+           (List.init t.domains Fun.id)));
+  (* Drained.  Tear down in dependency order: acceptors (no new
+     connections), readers (no new requests), then the descriptors. *)
+  Atomic.set t.stopped true;
+  List.iter Thread.join acceptors;
+  List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  (match t.unix_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
+  let readers =
+    Mutex.lock t.conns_mutex;
+    let r = t.readers in
+    t.readers <- [];
+    Mutex.unlock t.conns_mutex;
+    r
+  in
+  List.iter Thread.join readers;
+  Mutex.lock t.conns_mutex;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.conns_mutex;
+  List.iter close_conn conns;
+  (try Unix.close t.signal_w with Unix.Unix_error _ -> ());
+  Thread.join watcher;
+  (try Unix.close t.signal_r with Unix.Unix_error _ -> ());
+  List.iter (fun (signum, previous) -> Sys.set_signal signum previous) restore

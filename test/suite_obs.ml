@@ -63,6 +63,83 @@ let prop_event_ordering =
            trace);
       lifecycle_ordered (Obs.Sink.events sink))
 
+(* --- JSON print/parse round-trip --- *)
+
+(* Strings assembled from fragments that stress every escape path:
+   quotes, backslashes, the named escapes, raw control bytes, DEL,
+   non-ASCII bytes and the solidus. *)
+let gen_json_string =
+  Gen.(
+    map (String.concat "")
+      (list_size (int_bound 6)
+         (oneofl
+            [ "a"; "key"; " "; "\""; "\\"; "\\u"; "/"; "\n"; "\r"; "\t";
+              "\b"; "\012"; "\x00"; "\x01"; "\x1f"; "\x7f"; "\xc3\xa9";
+              "\xff"; "{}[]:,"; "0" ])))
+
+(* NaN/inf are deliberately excluded: the printer folds them to [null]
+   by design, which no round-trip can survive. *)
+let gen_json_float =
+  Gen.(
+    oneof
+      [
+        oneofl
+          [ 0.0; -0.0; 1.0; -1.0; 0.5; -2.5; 0.1; 1e-300; 5e-324;
+            max_float; -.max_float; min_float; epsilon_float;
+            (* the %.17g-prints-as-digits danger window *)
+            1e15; 1e15 -. 2.0; 1e15 +. 2.0; 2e15; 9007199254740992.0;
+            9007199254740993e1; 1e16; 1e16 +. 4.0; 1e17 -. 16.0; 1e17;
+            123456789012345.5; -2.5e15; 1e18; -3e16 ];
+        float_bound_exclusive 1.0;
+        map Float.round (float_bound_exclusive 1e17);
+        map (fun f -> -.f) (map Float.round (float_bound_exclusive 1e17));
+        map
+          (fun bits ->
+            let f = Int64.float_of_bits bits in
+            if Float.is_nan f || f = infinity || f = neg_infinity then 0.0
+            else f)
+          (map Int64.of_int int);
+      ])
+
+let rec gen_json_value depth =
+  let open Gen in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) (oneof [ int; oneofl [ max_int; min_int; 0; -1 ] ]);
+        map (fun f -> Obs.Json.Float f) gen_json_float;
+        map (fun s -> Obs.Json.String s) gen_json_string;
+      ]
+  in
+  if depth = 0 then scalar
+  else
+    frequency
+      [
+        (3, scalar);
+        ( 1,
+          map
+            (fun l -> Obs.Json.List l)
+            (list_size (int_bound 4) (gen_json_value (depth - 1))) );
+        ( 1,
+          map
+            (fun kvs -> Obs.Json.Obj kvs)
+            (list_size (int_bound 4)
+               (pair gen_json_string (gen_json_value (depth - 1)))) );
+      ]
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"Json print/parse round-trip (bit-exact)" ~count:2000
+    (QCheck.make (gen_json_value 3) ~print:Obs.Json.to_string)
+    (fun doc ->
+      match Obs.Json.of_string (Obs.Json.to_string doc) with
+      | Error e -> QCheck.Test.fail_reportf "does not parse back: %s" e
+      | Ok doc' ->
+        Obs.Json.equal doc doc'
+        || QCheck.Test.fail_reportf "parsed back as %s"
+             (Obs.Json.to_string doc'))
+
 (* --- metrics reconciliation --- *)
 
 let hist name (v : Obs.Metrics.view) =
@@ -358,6 +435,7 @@ let suite =
   [
     Alcotest.test_case "event ordering per level" `Quick test_event_ordering;
     QCheck_alcotest.to_alcotest prop_event_ordering;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
     Alcotest.test_case "metrics reconcile with the run" `Quick
       test_metrics_reconcile;
     Alcotest.test_case "metrics render (text and JSON)" `Quick

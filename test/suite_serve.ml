@@ -1,0 +1,728 @@
+(* The simulation service: framing, request validation, wire-level
+   bit-exactness against direct in-process runs, backpressure, and
+   graceful drain (DESIGN.md section 15).
+
+   Every server here listens on a throwaway Unix socket (and optionally
+   an ephemeral TCP port) and runs [serve] on a helper thread; the test
+   body plays client, then [drain] + join tears the daemon down. *)
+
+module P = Serve.Protocol
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let temp_socket () =
+  let path = Filename.temp_file "serve-test" ".sock" in
+  (* temp_file creates a regular file; the server only unlinks stale
+     *sockets*, so clear the way ourselves. *)
+  Unix.unlink path;
+  path
+
+let with_server ?(domains = 2) ?(queue_depth = 64) ?max_frame ?tcp_port
+    ?handle_signals f =
+  let path = temp_socket () in
+  let server =
+    Serve.Server.create ~unix_path:path ?tcp_port ~domains ~queue_depth
+      ?max_frame ?handle_signals ()
+  in
+  let thread = Thread.create Serve.Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.drain server;
+      Thread.join thread;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f server path)
+
+let with_client path f =
+  let c = Serve.Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let frames_exn = function
+  | Ok frames -> frames
+  | Error e -> Alcotest.failf "client stream error: %s" e
+
+let find_result frames =
+  List.find_map (function P.Result r -> Some r | _ -> None) frames
+
+let find_error frames =
+  List.find_map (function P.Error e -> Some e | _ -> None) frames
+
+let rows_of frames =
+  List.filter_map (function P.Row (s, r) -> Some (s, r) | _ -> None) frames
+
+let points_of frames =
+  List.filter_map (function P.Point p -> Some p | _ -> None) frames
+
+let has_done frames =
+  List.exists (function P.Done _ -> true | _ -> false) frames
+
+(* --- framing --- *)
+
+let test_framing_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      let payloads =
+        [ ""; "x"; "null"; String.make 4096 'j'; String.make 100_000 '\xff' ]
+      in
+      List.iter (fun p -> Serve.Framing.write a p) payloads;
+      List.iter
+        (fun expected ->
+          match Serve.Framing.read b with
+          | Serve.Framing.Frame got ->
+            check_bool "payload round-trips" true (String.equal expected got)
+          | _ -> Alcotest.fail "expected a frame")
+        payloads;
+      (* An oversized frame is rejected by announced length, and after a
+         discard the stream is usable again. *)
+      Serve.Framing.write a (String.make 2048 'z');
+      Serve.Framing.write a "after";
+      (match Serve.Framing.read ~max_frame:1024 b with
+      | Serve.Framing.Oversized n ->
+        check_int "announced length" 2048 n;
+        check_bool "resync discards the body" true (Serve.Framing.discard b 2048)
+      | _ -> Alcotest.fail "expected oversized");
+      (match Serve.Framing.read ~max_frame:1024 b with
+      | Serve.Framing.Frame got -> check_bool "next frame intact" true (got = "after")
+      | _ -> Alcotest.fail "expected the follow-up frame");
+      (* A header cut short is Truncated, a clean EOF is Closed. *)
+      let c, d = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      ignore (Unix.write_substring c "\000\000" 0 2);
+      Unix.close c;
+      (match Serve.Framing.read d with
+      | Serve.Framing.Truncated -> ()
+      | _ -> Alcotest.fail "expected truncated");
+      (match Serve.Framing.read d with
+      | Serve.Framing.Closed -> ()
+      | _ -> Alcotest.fail "expected closed");
+      Unix.close d)
+
+(* --- request codec --- *)
+
+let test_request_codec () =
+  let reqs =
+    [
+      P.Run
+        {
+          P.workload = P.Table3 48;
+          level = Core.Level.L2;
+          mode = `Pipelined;
+          estimate = true;
+          profile = true;
+          compiled = false;
+        };
+      P.Replay
+        {
+          P.workload = P.Mixed_phase 100;
+          level = Core.Level.L1;
+          mode = `Serial;
+          scales = [ 0.5; 1.0; 2.0 ];
+        };
+      P.Explore
+        {
+          P.applets = [ "fib" ];
+          configs = [ "w16-dedicated" ];
+          level = Core.Level.L1;
+          adaptive = false;
+        };
+      P.Stats;
+      P.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let doc = P.request_to_json ~id:(Obs.Json.Int 3) req in
+      match P.request_of_json doc with
+      | Ok req' -> check_bool "request round-trips" true (req = req')
+      | Error (_, msg) -> Alcotest.failf "decode failed: %s" msg)
+    reqs;
+  (* Validation rejects what the scheduler could not honour. *)
+  let rejects json =
+    match P.request_of_json json with
+    | Ok _ -> Alcotest.fail "expected a validation error"
+    | Error (code, _) -> code
+  in
+  let open Obs.Json in
+  check_bool "unknown type" true
+    (rejects (Obj [ ("type", String "frobnicate") ]) = P.Unknown_type);
+  check_bool "missing type" true
+    (rejects (Obj [ ("id", Int 1) ]) = P.Bad_request);
+  check_bool "rtl replay refused" true
+    (rejects
+       (Obj
+          [
+            ("type", String "replay");
+            ("workload", Obj [ ("kind", String "table3"); ("n", Int 8) ]);
+            ("level", String "rtl");
+          ])
+    = P.Bad_request);
+  check_bool "malformed inline trace" true
+    (rejects
+       (Obj
+          [
+            ("type", String "run");
+            ( "workload",
+              Obj
+                [
+                  ("kind", String "inline");
+                  ("lines", List [ String "not a transaction" ]);
+                ] );
+          ])
+    = P.Bad_request)
+
+(* --- malformed wire input --- *)
+
+let test_malformed_frames () =
+  with_server ~domains:1 ~max_frame:4096 (fun _server path ->
+      (* Not JSON at all: a structured error, id null, conn survives. *)
+      with_client path (fun c ->
+          Serve.Framing.write (Serve.Client.fd c) "{definitely not json";
+          (match Serve.Client.read_typed c with
+          | Ok (id, P.Error e) ->
+            check_bool "id is null" true (id = Obs.Json.Null);
+            check_bool "code bad_json" true (e.P.code = P.Bad_json)
+          | _ -> Alcotest.fail "expected a bad_json error frame");
+          (* Same connection still serves requests. *)
+          let frames = frames_exn (Serve.Client.request c P.Stats) in
+          check_bool "stats after bad json" true (has_done frames));
+      (* Unknown request type: error echoes the id. *)
+      with_client path (fun c ->
+          Serve.Client.send_json c
+            (Obs.Json.Obj
+               [ ("type", Obs.Json.String "frobnicate");
+                 ("id", Obs.Json.Int 7) ]);
+          match Serve.Client.read_typed c with
+          | Ok (id, P.Error e) ->
+            check_bool "id echoed" true (id = Obs.Json.Int 7);
+            check_bool "code unknown_type" true (e.P.code = P.Unknown_type)
+          | _ -> Alcotest.fail "expected an unknown_type error frame");
+      (* Oversized: rejected by announced length, conn survives. *)
+      with_client path (fun c ->
+          Serve.Framing.write (Serve.Client.fd c) (String.make 8192 ' ');
+          (match Serve.Client.read_typed c with
+          | Ok (_, P.Error e) ->
+            check_bool "code oversized" true (e.P.code = P.Oversized)
+          | _ -> Alcotest.fail "expected an oversized error frame");
+          let frames = frames_exn (Serve.Client.request c P.Stats) in
+          check_bool "stats after oversized" true (has_done frames));
+      (* Truncated: the stream dies mid-frame; the server answers with a
+         bad_frame error before closing its side. *)
+      with_client path (fun c ->
+          let fd = Serve.Client.fd c in
+          let header = Bytes.create 4 in
+          Bytes.set_int32_be header 0 100l;
+          ignore (Unix.write fd header 0 4);
+          ignore (Unix.write_substring fd "short" 0 5);
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          match Serve.Client.read_typed c with
+          | Ok (_, P.Error e) ->
+            check_bool "code bad_frame" true (e.P.code = P.Bad_frame)
+          | _ -> Alcotest.fail "expected a bad_frame error frame"))
+
+(* --- bit-exactness over the wire --- *)
+
+let direct_run ~level ~mode workload =
+  Core.Runner.run_trace ~level ~mode ~estimate:true
+    ~init:Core.Runner.fill_memories
+    (P.trace_of_workload workload)
+
+let check_result_matches name (direct : Core.Runner.result) (wire : P.result_body)
+    =
+  check_bool (name ^ ": level") true (wire.P.level = direct.Core.Runner.level);
+  check_int (name ^ ": cycles") direct.Core.Runner.cycles wire.P.cycles;
+  check_int (name ^ ": txns") direct.Core.Runner.txns wire.P.txns;
+  check_int (name ^ ": beats") direct.Core.Runner.beats wire.P.beats;
+  check_int (name ^ ": errors") direct.Core.Runner.errors wire.P.errors;
+  check_int (name ^ ": transitions") direct.Core.Runner.transitions
+    wire.P.transitions;
+  check_bool (name ^ ": bus_pj bit-identical") true
+    (wire.P.bus_pj = direct.Core.Runner.bus_pj);
+  check_bool (name ^ ": component_pj bit-identical") true
+    (wire.P.component_pj = direct.Core.Runner.component_pj)
+
+let test_run_bit_exact () =
+  with_server (fun _server path ->
+      with_client path (fun c ->
+          List.iter
+            (fun (level, mode, compiled, workload) ->
+              let frames =
+                frames_exn
+                  (Serve.Client.request c
+                     (P.Run
+                        { P.workload; level; mode; estimate = true;
+                          profile = false; compiled }))
+              in
+              match find_result frames with
+              | None -> Alcotest.fail "no result frame"
+              | Some wire ->
+                check_result_matches
+                  (Core.Level.to_string level)
+                  (direct_run ~level ~mode workload)
+                  wire)
+            [
+              (Core.Level.L1, `Pipelined, true, P.Table3 64);
+              (Core.Level.L2, `Serial, true, P.Mixed_phase 120);
+              (Core.Level.L1, `Serial, false, P.Table3 32);
+              (Core.Level.Rtl, `Serial, false, P.Table3 16);
+            ]))
+
+let test_profile_stream () =
+  with_server (fun _server path ->
+      with_client path (fun c ->
+          let frames =
+            frames_exn
+              (Serve.Client.request c
+                 (P.Run
+                    { P.workload = P.Table3 48; level = Core.Level.L1;
+                      mode = `Serial; estimate = true; profile = true;
+                      compiled = false }))
+          in
+          let chunks =
+            List.filter_map
+              (function P.Energy (s, lines) -> Some (s, lines) | _ -> None)
+              frames
+          in
+          check_bool "profile streamed" true (chunks <> []);
+          List.iteri
+            (fun i (seq, _) -> check_int "chunk sequence" i seq)
+            chunks;
+          let direct =
+            Core.Runner.run_trace ~level:Core.Level.L1 ~mode:`Serial
+              ~estimate:true ~record_profile:true
+              ~init:Core.Runner.fill_memories
+              (P.trace_of_workload (P.Table3 48))
+          in
+          let direct_lines =
+            match direct.Core.Runner.profile with
+            | Some p -> Power.Profile.to_jsonl_lines p
+            | None -> Alcotest.fail "direct run has no profile"
+          in
+          let wire_lines = List.concat_map snd chunks in
+          check_int "jsonl line count"
+            (List.length direct_lines)
+            (List.length wire_lines);
+          check_bool "jsonl lines identical" true
+            (List.for_all2 String.equal direct_lines wire_lines)))
+
+let test_replay_bit_exact () =
+  with_server (fun _server path ->
+      with_client path (fun c ->
+          let scales = [ 0.5; 1.0; 2.0 ] in
+          let workload = P.Table3 40 in
+          let level = Core.Level.L1 and mode = `Pipelined in
+          let frames =
+            frames_exn
+              (Serve.Client.request c (P.Replay { P.workload; level; mode; scales }))
+          in
+          let wire = points_of frames in
+          let plan =
+            Core.Runner.compile_trace ~level ~mode
+              ~init:Core.Runner.fill_memories
+              (P.trace_of_workload workload)
+          in
+          let points =
+            List.map
+              (fun s ->
+                {
+                  Compile.Eval.table =
+                    Power.Characterization.scale Power.Characterization.default
+                      s;
+                  l2_params = None;
+                })
+              scales
+          in
+          let direct = Core.Runner.replay_multi ~points plan in
+          check_int "one point per scale" (List.length scales)
+            (List.length wire);
+          List.iteri
+            (fun i ((scale, (d : Core.Runner.result)), (w : P.point_body)) ->
+              check_int "seq" i w.P.point_seq;
+              check_bool "scale" true (w.P.scale = scale);
+              check_int "cycles" d.Core.Runner.cycles w.P.point_cycles;
+              check_int "txns" d.Core.Runner.txns w.P.point_txns;
+              check_int "transitions" d.Core.Runner.transitions
+                w.P.point_transitions;
+              check_bool "bus_pj bit-identical" true
+                (w.P.point_bus_pj = d.Core.Runner.bus_pj))
+            (List.combine (List.combine scales direct) wire)))
+
+let test_explore_bit_exact () =
+  with_server (fun _server path ->
+      with_client path (fun c ->
+          let applet =
+            List.find (fun a -> a.Jcvm.Applets.name = "fib") Jcvm.Applets.all
+          in
+          (* Fixed level over the standard grid... *)
+          let frames =
+            frames_exn
+              (Serve.Client.request c
+                 (P.Explore
+                    { P.applets = [ "fib" ]; configs = [];
+                      level = Core.Level.L2; adaptive = false }))
+          in
+          let wire = rows_of frames in
+          check_int "one row per standard config"
+            (List.length Jcvm.Configs.standard)
+            (List.length wire);
+          List.iteri
+            (fun i (config, (seq, row)) ->
+              check_int "grid order" i seq;
+              let direct =
+                P.row_body_of_exploration
+                  (Core.Exploration.run_one ~level:Core.Level.L2 ~config applet)
+              in
+              check_bool
+                (Printf.sprintf "row %s bit-identical" config.Jcvm.Configs.name)
+                true (direct = row))
+            (List.combine Jcvm.Configs.standard wire);
+          (* ... and one adaptive cell, provenance included. *)
+          let frames =
+            frames_exn
+              (Serve.Client.request c
+                 (P.Explore
+                    { P.applets = [ "fib" ]; configs = [ "w16-dedicated" ];
+                      level = Core.Level.L1; adaptive = true }))
+          in
+          match rows_of frames with
+          | [ (_, row) ] ->
+            let config =
+              List.find
+                (fun c -> c.Jcvm.Configs.name = "w16-dedicated")
+                Jcvm.Configs.standard
+            in
+            let direct =
+              P.row_body_of_exploration
+                (Core.Exploration.run_one
+                   ~policy:(Hier.Policy.for_exploration ())
+                   ~config applet)
+            in
+            check_bool "adaptive row bit-identical" true (direct = row);
+            check_bool "adaptive row has provenance" true
+              (row.P.switches <> None && row.P.error_bound_pj <> None)
+          | rows -> Alcotest.failf "expected 1 adaptive row, got %d" (List.length rows)))
+
+(* --- stats and the plan memo --- *)
+
+let test_stats_and_plan_memo () =
+  with_server ~domains:1 (fun _server path ->
+      with_client path (fun c ->
+          let run () =
+            frames_exn
+              (Serve.Client.request c
+                 (P.Run
+                    { P.workload = P.Table3 64; level = Core.Level.L1;
+                      mode = `Serial; estimate = true; profile = false;
+                      compiled = true }))
+          in
+          ignore (run ());
+          ignore (run ());
+          let frames = frames_exn (Serve.Client.request c P.Stats) in
+          match
+            List.find_map
+              (function P.Stats_reply s -> Some s | _ -> None)
+              frames
+          with
+          | None -> Alcotest.fail "no stats frame"
+          | Some s ->
+            check_int "both jobs accepted" 2 s.P.accepted;
+            check_int "both jobs completed" 2 s.P.completed;
+            check_int "nothing rejected" 0 s.P.rejected;
+            check_int "nothing failed" 0 s.P.failed;
+            check_int "queue idle" 0 s.P.queue_depth;
+            check_bool "single worker served both" true
+              (List.exists (fun w -> w.P.jobs = 2) s.P.workers);
+            (* Same workload twice on one domain: the second run must hit
+               the serve-layer plan memo (satellite 6 wires
+               Core.Report.pool_stats through as the rendered table). *)
+            check_int "one plan build" 1 s.P.pool.P.plan_builds;
+            check_bool "plan memo hit" true (s.P.pool.P.plan_hits >= 1);
+            check_bool "rendered report present" true
+              (String.length s.P.rendered > 0
+              && String.length (Core.Report.pool_stats (Serve.Server.pool _server))
+                 > 0)))
+
+(* --- concurrency --- *)
+
+let test_concurrent_clients_bit_exact () =
+  with_server ~domains:4 ~tcp_port:0 (fun server path ->
+      let port =
+        match Serve.Server.tcp_port server with
+        | Some p -> p
+        | None -> Alcotest.fail "no tcp port bound"
+      in
+      let n = 8 in
+      let expected i =
+        match i mod 3 with
+        | 0 ->
+          let r = direct_run ~level:Core.Level.L1 ~mode:`Pipelined (P.Table3 (32 + i)) in
+          `Run r
+        | 1 ->
+          let level = Core.Level.L2 and mode = `Serial in
+          let plan =
+            Core.Runner.compile_trace ~level ~mode
+              ~init:Core.Runner.fill_memories
+              (P.trace_of_workload (P.Mixed_phase 80))
+          in
+          let points =
+            [
+              {
+                Compile.Eval.table =
+                  Power.Characterization.scale Power.Characterization.default
+                    (0.5 +. float_of_int i);
+                l2_params = None;
+              };
+            ]
+          in
+          `Replay (List.hd (Core.Runner.replay_multi ~points plan))
+        | _ ->
+          let applet =
+            List.find (fun a -> a.Jcvm.Applets.name = "fib") Jcvm.Applets.all
+          in
+          let config =
+            List.find
+              (fun c -> c.Jcvm.Configs.name = "w32-packed")
+              Jcvm.Configs.standard
+          in
+          `Explore
+            (P.row_body_of_exploration
+               (Core.Exploration.run_one ~level:Core.Level.L1 ~config applet))
+      in
+      let expectations = List.init n expected in
+      let results = Array.make n (Error "not run") in
+      let worker i =
+        try
+          (* Even clients on the Unix socket, odd ones over TCP. *)
+          let endpoint =
+            if i mod 2 = 0 then `Unix path else `Tcp ("127.0.0.1", port)
+          in
+          let c = Serve.Client.connect endpoint in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close c)
+            (fun () ->
+              let req =
+                match i mod 3 with
+                | 0 ->
+                  P.Run
+                    { P.workload = P.Table3 (32 + i); level = Core.Level.L1;
+                      mode = `Pipelined; estimate = true; profile = false;
+                      compiled = true }
+                | 1 ->
+                  P.Replay
+                    { P.workload = P.Mixed_phase 80; level = Core.Level.L2;
+                      mode = `Serial; scales = [ 0.5 +. float_of_int i ] }
+                | _ ->
+                  P.Explore
+                    { P.applets = [ "fib" ]; configs = [ "w32-packed" ];
+                      level = Core.Level.L1; adaptive = false }
+              in
+              results.(i) <- Serve.Client.request_retrying c req)
+        with e -> results.(i) <- Error (Printexc.to_string e)
+      in
+      let threads = List.init n (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      List.iteri
+        (fun i exp ->
+          let frames = frames_exn results.(i) in
+          check_bool (Printf.sprintf "client %d finished" i) true
+            (has_done frames);
+          match exp with
+          | `Run direct -> (
+            match find_result frames with
+            | Some wire ->
+              check_result_matches (Printf.sprintf "client %d" i) direct wire
+            | None -> Alcotest.failf "client %d: no result" i)
+          | `Replay (direct : Core.Runner.result) -> (
+            match points_of frames with
+            | [ w ] ->
+              check_bool
+                (Printf.sprintf "client %d: point bit-identical" i)
+                true
+                (w.P.point_bus_pj = direct.Core.Runner.bus_pj
+                && w.P.point_cycles = direct.Core.Runner.cycles)
+            | pts -> Alcotest.failf "client %d: %d points" i (List.length pts))
+          | `Explore direct -> (
+            match rows_of frames with
+            | [ (_, row) ] ->
+              check_bool
+                (Printf.sprintf "client %d: row bit-identical" i)
+                true (direct = row)
+            | rows -> Alcotest.failf "client %d: %d rows" i (List.length rows)))
+        expectations)
+
+(* --- backpressure --- *)
+
+let test_backpressure () =
+  (* One worker, queue of one: a slow gate-level job in flight plus one
+     queued job force busy rejections for a burst of pipelined sends. *)
+  with_server ~domains:1 ~queue_depth:1 (fun _server path ->
+      with_client path (fun c ->
+          let n = 8 in
+          let slow_run =
+            P.Run
+              { P.workload = P.Table3 400; level = Core.Level.Rtl;
+                mode = `Serial; estimate = true; profile = false;
+                compiled = false }
+          in
+          for id = 1 to n do
+            ignore (Serve.Client.send ~id c slow_run)
+          done;
+          (* Collect stream per id until every id has a terminator. *)
+          let accepted = Hashtbl.create 8 and finished = Hashtbl.create 8 in
+          let busy = ref 0 and terminated = ref 0 in
+          while !terminated < n do
+            match Serve.Client.read_typed c with
+            | Error e -> Alcotest.failf "stream error: %s" e
+            | Ok (id, frame) -> (
+              let id =
+                match Obs.Json.int_opt id with
+                | Some i -> i
+                | None -> Alcotest.fail "response without id"
+              in
+              match frame with
+              | P.Accepted _ -> Hashtbl.replace accepted id ()
+              | P.Done _ ->
+                Hashtbl.replace finished id ();
+                incr terminated
+              | P.Error e when e.P.code = P.Busy ->
+                incr busy;
+                incr terminated;
+                check_bool "busy carries retry_after_ms" true
+                  (match e.P.retry_after_ms with Some ms -> ms > 0 | None -> false)
+              | P.Error e ->
+                Alcotest.failf "unexpected error %s: %s"
+                  (P.error_code_to_string e.P.code)
+                  e.P.message
+              | _ -> ())
+          done;
+          check_bool "some jobs were rejected busy" true (!busy >= 1);
+          check_bool "some jobs were accepted" true
+            (Hashtbl.length accepted >= 1);
+          check_int "every accepted job completed (none lost)"
+            (Hashtbl.length accepted) (Hashtbl.length finished);
+          check_int "accepted + rejected = sent" n
+            (Hashtbl.length accepted + !busy)))
+
+(* --- graceful drain --- *)
+
+let test_shutdown_drains () =
+  with_server ~domains:1 (fun server path ->
+      let a = Serve.Client.connect (`Unix path) in
+      let witness = Serve.Client.connect (`Unix path) in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close a;
+          Serve.Client.close witness)
+        (fun () ->
+          (* A slow job keeps the single worker busy across the drain. *)
+          let slow_id =
+            Serve.Client.send a
+              (P.Run
+                 { P.workload = P.Table3 600; level = Core.Level.Rtl;
+                   mode = `Serial; estimate = true; profile = false;
+                   compiled = false })
+          in
+          (match Serve.Client.read_typed a with
+          | Ok (_, P.Accepted _) -> ()
+          | _ -> Alcotest.fail "slow job not accepted");
+          (* Shutdown acks, then the daemon refuses new work... *)
+          with_client path (fun b ->
+              let frames = frames_exn (Serve.Client.request b P.Shutdown) in
+              check_bool "shutdown acked" true (has_done frames));
+          check_bool "server reports draining" true (Serve.Server.draining server);
+          (* Stats stays observable while draining (control plane)... *)
+          (match Serve.Client.request witness P.Stats with
+          | Ok frames -> check_bool "stats while draining" true (has_done frames)
+          | Error e -> Alcotest.failf "witness stream error: %s" e);
+          (* ... but new jobs are refused. *)
+          (match
+             Serve.Client.request witness
+               (P.Run
+                  { P.workload = P.Table3 8; level = Core.Level.L1;
+                    mode = `Serial; estimate = true; profile = false;
+                    compiled = false })
+           with
+          | Ok frames -> (
+            match find_error frames with
+            | Some e ->
+              check_bool "new work refused as draining" true
+                (e.P.code = P.Draining)
+            | None -> Alcotest.fail "expected a draining error")
+          | Error e -> Alcotest.failf "witness stream error: %s" e);
+          (* ... but the accepted job still runs to completion. *)
+          let frames = frames_exn (Serve.Client.collect a) in
+          check_bool "in-flight job completed" true (has_done frames);
+          check_bool "in-flight job has its result" true
+            (find_result frames <> None);
+          ignore slow_id))
+
+let test_sigint_drains () =
+  let path = temp_socket () in
+  let server =
+    Serve.Server.create ~unix_path:path ~domains:1 ~handle_signals:true ()
+  in
+  let thread = Thread.create Serve.Server.serve server in
+  let c = Serve.Client.connect (`Unix path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Client.close c;
+      Serve.Server.drain server;
+      Thread.join thread;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      ignore
+        (Serve.Client.send c
+           (P.Run
+              { P.workload = P.Table3 300; level = Core.Level.Rtl;
+                mode = `Serial; estimate = true; profile = false;
+                compiled = false }));
+      (match Serve.Client.read_typed c with
+      | Ok (_, P.Accepted _) -> ()
+      | _ -> Alcotest.fail "job not accepted");
+      Unix.kill (Unix.getpid ()) Sys.sigint;
+      (* The signal initiates a drain: the accepted job finishes, serve
+         returns, and the socket file disappears. *)
+      let frames = frames_exn (Serve.Client.collect c) in
+      check_bool "job survived the signal" true (find_result frames <> None);
+      Thread.join thread;
+      check_bool "socket unlinked on exit" true (not (Sys.file_exists path)))
+
+(* --- jobq unit tests --- *)
+
+let test_jobq () =
+  let q = Serve.Jobq.create ~capacity:2 in
+  check_bool "push 1" true (Serve.Jobq.push q 1 = Serve.Jobq.Enqueued 1);
+  check_bool "push 2" true (Serve.Jobq.push q 2 = Serve.Jobq.Enqueued 2);
+  check_bool "push to full queue" true (Serve.Jobq.push q 3 = Serve.Jobq.Full);
+  check_bool "pop 1" true (Serve.Jobq.pop q = Some 1);
+  Serve.Jobq.drain q;
+  check_bool "push while draining" true (Serve.Jobq.push q 4 = Serve.Jobq.Draining);
+  (* Accepted items survive the drain... *)
+  check_bool "drained pop yields accepted item" true (Serve.Jobq.pop q = Some 2);
+  (* ... and only then does the queue report empty. *)
+  check_bool "then signals exhaustion" true (Serve.Jobq.pop q = None)
+
+let suite =
+  [
+    Alcotest.test_case "framing round-trip and resync" `Quick
+      test_framing_roundtrip;
+    Alcotest.test_case "request codec and validation" `Quick test_request_codec;
+    Alcotest.test_case "jobq bounded/drain semantics" `Quick test_jobq;
+    Alcotest.test_case "malformed frames get error frames" `Quick
+      test_malformed_frames;
+    Alcotest.test_case "run bit-exact over the wire" `Quick test_run_bit_exact;
+    Alcotest.test_case "profile streams as jsonl chunks" `Quick
+      test_profile_stream;
+    Alcotest.test_case "replay points bit-exact" `Quick test_replay_bit_exact;
+    Alcotest.test_case "explore rows bit-exact" `Quick test_explore_bit_exact;
+    Alcotest.test_case "stats and plan-memo hit" `Quick test_stats_and_plan_memo;
+    Alcotest.test_case "8 concurrent clients bit-exact" `Quick
+      test_concurrent_clients_bit_exact;
+    Alcotest.test_case "backpressure: busy with retry_after" `Quick
+      test_backpressure;
+    Alcotest.test_case "shutdown drains in-flight work" `Quick
+      test_shutdown_drains;
+    Alcotest.test_case "SIGINT drains gracefully" `Quick test_sigint_drains;
+  ]

@@ -17,5 +17,6 @@ let () =
       ("obs", Suite_obs.suite);
       ("integration", Suite_integration.suite);
       ("parallel", Suite_parallel.suite);
+      ("serve", Suite_serve.suite);
       ("properties", Suite_props.suite);
     ]
