@@ -62,6 +62,9 @@ let read_frame t =
   | Framing.Truncated -> Error "truncated response frame"
   | Framing.Oversized len ->
     Error (Printf.sprintf "oversized response frame (%d bytes)" len)
+  | Framing.Stopped ->
+    (* Unreachable: the client never arms a receive timeout. *)
+    Error "read interrupted"
 
 let read_typed t = Result.bind (read_frame t) Protocol.frame_of_json
 
@@ -72,7 +75,16 @@ let collect t =
     | Ok (_, frame) -> (
       let acc = frame :: acc in
       match frame with
-      | Protocol.Done _ | Protocol.Error _ -> Ok (List.rev acc)
+      | Protocol.Done _ -> Ok (List.rev acc)
+      | Protocol.Error { Protocol.code = Protocol.Failed; _ } ->
+        (* A failed job still gets its [done] summary; keep reading so
+           the unread terminator cannot desync the next request on this
+           connection. *)
+        loop acc
+      | Protocol.Error _ ->
+        (* Rejection-class errors (busy/draining/bad_*/unknown_type)
+           are the whole response: nothing follows. *)
+        Ok (List.rev acc)
       | _ -> loop acc)
   in
   loop []

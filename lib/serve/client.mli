@@ -33,8 +33,13 @@ val read_typed : t -> (Obs.Json.t * Protocol.frame, string) result
 (** {!read_frame} plus decoding: the echoed id and the typed frame. *)
 
 val collect : t -> (Protocol.frame list, string) result
-(** Reads typed frames until a [Done] or [Error] terminator and returns
-    the whole stream in order, terminator included. *)
+(** Reads typed frames until the stream's terminator and returns the
+    whole stream in order, terminator included.  The terminator is the
+    [done] summary, or a rejection-class [error] frame
+    ([busy]/[draining]/[bad_*]/[unknown_type]) which is a complete
+    response by itself; a [failed] error is {e not} terminal — the
+    server still sends the job's [done] summary after it, and collect
+    reads on so the connection stays aligned for the next request. *)
 
 val request : ?id:int -> t -> Protocol.request -> (Protocol.frame list, string) result
 (** [send] + [collect]. *)

@@ -5,10 +5,17 @@ type read_result =
   | Closed
   | Truncated
   | Oversized of int
+  | Stopped
+
+let no_stop () = false
 
 (* Reads exactly [len] bytes into [buf] starting at 0; [`Eof got] when
-   the stream ends first ([got] = bytes already read). *)
-let really_read fd buf len =
+   the stream ends first ([got] = bytes already read).  A receive
+   timeout on the fd surfaces as EAGAIN/EWOULDBLOCK: consult [stop] and
+   keep reading while it says false, abandon with [`Stop] once it turns
+   true — this is how a server reader stays cancellable even when a
+   peer stalls in the middle of a frame. *)
+let really_read ?(stop = no_stop) fd buf len =
   let rec loop off =
     if off >= len then `Ok
     else
@@ -16,14 +23,17 @@ let really_read fd buf len =
       | 0 -> `Eof off
       | n -> loop (off + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if stop () then `Stop else loop off
   in
   loop 0
 
-let read ?(max_frame = default_max_frame) fd =
+let read ?(max_frame = default_max_frame) ?stop fd =
   let header = Bytes.create 4 in
-  match really_read fd header 4 with
+  match really_read ?stop fd header 4 with
   | `Eof 0 -> Closed
   | `Eof _ -> Truncated
+  | `Stop -> Stopped
   | `Ok ->
     let len =
       (Char.code (Bytes.get header 0) lsl 24)
@@ -34,8 +44,9 @@ let read ?(max_frame = default_max_frame) fd =
     if len > max_frame then Oversized len
     else begin
       let payload = Bytes.create len in
-      match really_read fd payload len with
+      match really_read ?stop fd payload len with
       | `Eof _ -> Truncated
+      | `Stop -> Stopped
       | `Ok -> Frame (Bytes.unsafe_to_string payload)
     end
 
@@ -61,7 +72,7 @@ let write fd payload =
 
 let write_json fd json = write fd (Obs.Json.to_string json)
 
-let discard fd n =
+let discard ?(stop = no_stop) fd n =
   let chunk = Bytes.create 65536 in
   let rec loop remaining =
     if remaining <= 0 then true
@@ -70,5 +81,7 @@ let discard fd n =
       | 0 -> false
       | k -> loop (remaining - k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop remaining
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if stop () then false else loop remaining
   in
   loop n

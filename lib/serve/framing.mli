@@ -18,9 +18,17 @@ type read_result =
   | Oversized of int
       (** prefix announced this many bytes, above [max_frame]; the
           payload has {e not} been consumed — see {!discard} *)
+  | Stopped
+      (** [stop] said to give up during a receive timeout — only
+          reachable when the caller passed [stop] {e and} armed
+          [SO_RCVTIMEO] on the descriptor *)
 
-val read : ?max_frame:int -> Unix.file_descr -> read_result
-(** Blocking read of one frame. *)
+val read : ?max_frame:int -> ?stop:(unit -> bool) -> Unix.file_descr -> read_result
+(** Blocking read of one frame.  When the descriptor carries a receive
+    timeout ([SO_RCVTIMEO]), each expiry consults [stop] (default:
+    never stop): the read keeps waiting while it returns [false] and
+    answers {!Stopped} once it returns [true] — even in the middle of a
+    frame, so one stalled peer cannot pin a reader forever. *)
 
 val write : Unix.file_descr -> string -> unit
 (** Writes one frame (prefix + payload), looping over short writes.
@@ -30,7 +38,8 @@ val write : Unix.file_descr -> string -> unit
 val write_json : Unix.file_descr -> Obs.Json.t -> unit
 (** [write] of the document's canonical print. *)
 
-val discard : Unix.file_descr -> int -> bool
+val discard : ?stop:(unit -> bool) -> Unix.file_descr -> int -> bool
 (** Consumes and drops exactly [n] payload bytes, so a connection can
     survive an {!Oversized} frame and stay synchronized on the next
-    prefix.  [false] if EOF arrived first. *)
+    prefix.  [false] if EOF arrived first, or if a receive timeout
+    expired with [stop] returning [true]. *)

@@ -331,10 +331,15 @@ let field_workload json =
       if lines = [] then bad "inline workload: field \"lines\" is required"
       else (
         (* Validate now so a malformed trace is a [bad_request], not a
-           mid-job failure. *)
+           mid-job failure.  Any exception counts as malformed — the
+           parser signals [Failure], but e.g. a negative gap raises
+           [Invalid_argument], and none of them may escape into the
+           reader thread. *)
         match Ec.Trace.of_lines lines with
         | _ -> Ok (Inline lines)
-        | exception Failure msg -> bad "inline workload: %s" msg)
+        | exception Failure msg -> bad "inline workload: %s" msg
+        | exception Invalid_argument msg -> bad "inline workload: %s" msg
+        | exception e -> bad "inline workload: %s" (Printexc.to_string e))
     | "" -> bad "workload: field \"kind\" is required"
     | k -> bad "unknown workload kind %S" k)
 

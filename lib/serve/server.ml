@@ -1,10 +1,15 @@
 (* The daemon's moving parts and their threads:
 
      - one accept thread per listener (polls with a short select timeout
-       so drain never races a blocking accept);
+       so drain never races a blocking accept; listener fds are created
+       at startup so their numbers sit far below FD_SETSIZE, no matter
+       how many connections are live);
      - one reader thread per connection: framing, validation, enqueue,
        error frames — and the accepted/busy/draining backpressure
-       answers;
+       answers.  Readers block in [Framing.read] under a SO_RCVTIMEO
+       receive timeout and re-check the stop conditions on each expiry,
+       so they need no select (no FD_SETSIZE cap) and stay cancellable
+       even against a peer stalled in the middle of a frame;
      - [domains] worker participants on a [Core.Parallel.with_pool]
        domain set (the [serve] caller is worker 0): pop, execute via
        [Scheduler], stream frames, append the [done] summary;
@@ -14,15 +19,19 @@
    Writes to one connection are serialized by a per-connection mutex
    (the reader's [accepted] frame must land before the worker's first
    result frame, and two workers may serve one connection's requests
-   concurrently).  Connection file descriptors are closed exactly once:
-   early when the peer is gone, otherwise in the final cleanup after
-   every worker and reader has exited. *)
+   concurrently).  Connection file descriptors are closed exactly once
+   ([closed] under the write mutex): by the reader when it exits with
+   no job in flight, by the last finishing job otherwise, and in the
+   final cleanup for whatever survives until shutdown.  A reader that
+   exits outside of shutdown also unregisters its connection, so a
+   long-running daemon does not accumulate dead entries. *)
 
 type conn = {
   fd : Unix.file_descr;
   write_mutex : Mutex.t;
-  mutable alive : bool;  (* fd open, writes allowed *)
-  mutable eof : bool;  (* reader saw EOF; close once pending hits 0 *)
+  mutable alive : bool;  (* writes allowed *)
+  mutable closed : bool;  (* fd closed; never reset *)
+  mutable eof : bool;  (* no more requests; close once pending hits 0 *)
   pending : int Atomic.t;  (* accepted jobs not yet completed *)
 }
 
@@ -152,10 +161,20 @@ let create ?unix_path ?tcp_port ?domains ?(queue_depth = 64)
 
 let close_conn conn =
   Mutex.lock conn.write_mutex;
-  if conn.alive then begin
+  if not conn.closed then begin
+    conn.closed <- true;
     conn.alive <- false;
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end;
+  Mutex.unlock conn.write_mutex
+
+(* Wakes a reader blocked mid-frame without racing fd reuse: shutdown
+   makes its pending read return EOF but keeps the descriptor number
+   reserved until the one true close. *)
+let shutdown_conn conn =
+  Mutex.lock conn.write_mutex;
+  if not conn.closed then
+    (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   Mutex.unlock conn.write_mutex
 
 (* Best-effort frame write: a dead peer must not take a worker (or the
@@ -286,44 +305,59 @@ let handle_payload t conn payload =
     | Ok request -> handle_request t conn ~id request)
 
 let reader_loop t conn =
+  let stop () = Atomic.get t.stopped || not conn.alive in
   let rec loop () =
-    if Atomic.get t.stopped || not conn.alive then ()
+    if stop () then ()
     else
-      match Unix.select [ conn.fd ] [] [] poll_interval with
-      | [], _, _ -> loop ()
-      | _ -> (
-        match Framing.read ~max_frame:t.max_frame conn.fd with
-        | Framing.Frame payload ->
-          handle_payload t conn payload;
-          loop ()
-        | Framing.Closed ->
-          conn.eof <- true;
-          if Atomic.get conn.pending = 0 then close_conn conn
-        | Framing.Truncated ->
-          (* The stream cannot be resynchronized: answer, then close. *)
+      match Framing.read ~max_frame:t.max_frame ~stop conn.fd with
+      | Framing.Frame payload ->
+        (try handle_payload t conn payload
+         with e ->
+           (* Nothing reaching here may take the reader (and with it
+              the connection) down: answer and stay in sync instead.
+              [bad_request] rather than [failed] because nothing was
+              enqueued — the error frame is the whole response. *)
+           send_frame conn ~id:Obs.Json.Null
+             (error_frame Protocol.Bad_request
+                (Printf.sprintf "request handling failed: %s"
+                   (Printexc.to_string e))
+                ()));
+        loop ()
+      | Framing.Stopped -> ()
+      | Framing.Closed -> ()
+      | Framing.Truncated ->
+        (* The stream cannot be resynchronized: answer, then close. *)
+        send_frame conn ~id:Obs.Json.Null
+          (error_frame Protocol.Bad_frame "truncated frame" ())
+      | Framing.Oversized len ->
+        if Framing.discard ~stop conn.fd len then begin
           send_frame conn ~id:Obs.Json.Null
-            (error_frame Protocol.Bad_frame "truncated frame" ());
-          conn.eof <- true;
-          if Atomic.get conn.pending = 0 then close_conn conn
-        | Framing.Oversized len ->
-          if Framing.discard conn.fd len then begin
-            send_frame conn ~id:Obs.Json.Null
-              (error_frame Protocol.Oversized
-                 (Printf.sprintf "frame of %d bytes exceeds limit %d" len
-                    t.max_frame)
-                 ());
-            loop ()
-          end
-          else begin
-            send_frame conn ~id:Obs.Json.Null
-              (error_frame Protocol.Bad_frame "truncated frame" ());
-            conn.eof <- true;
-            if Atomic.get conn.pending = 0 then close_conn conn
-          end)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+            (error_frame Protocol.Oversized
+               (Printf.sprintf "frame of %d bytes exceeds limit %d" len
+                  t.max_frame)
+               ());
+          loop ()
+        end
+        else
+          send_frame conn ~id:Obs.Json.Null
+            (error_frame Protocol.Bad_frame "truncated frame" ())
+      | exception Unix.Unix_error _ -> ()
   in
-  loop ()
+  loop ();
+  (* The connection takes no more requests.  Mark it so the last
+     in-flight job closes the fd, close right away when nothing is
+     pending (both close paths are idempotent), and outside of global
+     shutdown unregister so dead connections do not pile up — during
+     shutdown [serve] owns the lists and the final close. *)
+  conn.eof <- true;
+  if Atomic.get conn.pending = 0 then close_conn conn;
+  if not (Atomic.get t.stopped) then begin
+    let self = Thread.id (Thread.self ()) in
+    Mutex.lock t.conns_mutex;
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    t.readers <- List.filter (fun th -> Thread.id th <> self) t.readers;
+    Mutex.unlock t.conns_mutex
+  end
 
 (* --- accept threads --- *)
 
@@ -339,11 +373,18 @@ let accept_loop t (lfd, kind) =
           if kind = `Tcp then
             (try Unix.setsockopt fd Unix.TCP_NODELAY true
              with Unix.Unix_error _ -> ());
+          (* The receive timeout is the reader's heartbeat: every
+             expiry re-checks the stop conditions inside
+             [Framing.read], which is what lets readers skip select
+             (and its FD_SETSIZE cap) entirely. *)
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO poll_interval
+           with Unix.Unix_error _ -> ());
           let conn =
             {
               fd;
               write_mutex = Mutex.create ();
               alive = true;
+              closed = false;
               eof = false;
               pending = Atomic.make 0;
             }
@@ -456,18 +497,20 @@ let serve t =
   (match t.unix_path with
   | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | None -> ());
-  let readers =
+  let conns, readers =
     Mutex.lock t.conns_mutex;
-    let r = t.readers in
+    let c = t.conns and r = t.readers in
+    t.conns <- [];
     t.readers <- [];
     Mutex.unlock t.conns_mutex;
-    r
+    (c, r)
   in
+  (* Kick readers out of any in-progress read before joining them: the
+     receive timeout alone would also get there, shutdown gets there
+     now — and a reader parked on a half-sent frame from a stalled peer
+     must not be able to park [serve] with it. *)
+  List.iter shutdown_conn conns;
   List.iter Thread.join readers;
-  Mutex.lock t.conns_mutex;
-  let conns = t.conns in
-  t.conns <- [];
-  Mutex.unlock t.conns_mutex;
   List.iter close_conn conns;
   (try Unix.close t.signal_w with Unix.Unix_error _ -> ());
   Thread.join watcher;

@@ -100,6 +100,39 @@ let test_framing_roundtrip () =
       | _ -> Alcotest.fail "expected closed");
       Unix.close d)
 
+let test_framing_stop () =
+  (* A receive timeout plus [stop] makes a read abandonable mid-frame:
+     this is what keeps one stalled peer from pinning a server reader
+     (and with it, graceful drain) forever. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      Unix.setsockopt_float b Unix.SO_RCVTIMEO 0.02;
+      (* Nothing sent at all: the idle read gives up on the first expiry. *)
+      (match Serve.Framing.read ~stop:(fun () -> true) b with
+      | Serve.Framing.Stopped -> ()
+      | _ -> Alcotest.fail "expected stopped on an idle read");
+      (* A half-sent frame: header promises 100 bytes, 5 arrive, the
+         peer stalls.  The read must still honour [stop]. *)
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 100l;
+      ignore (Unix.write a header 0 4);
+      ignore (Unix.write_substring a "stall" 0 5);
+      let polls = ref 0 in
+      (match
+         Serve.Framing.read
+           ~stop:(fun () ->
+             incr polls;
+             !polls >= 3)
+           b
+       with
+      | Serve.Framing.Stopped -> ()
+      | _ -> Alcotest.fail "expected stopped mid-frame");
+      check_bool "stop was consulted on expiries" true (!polls >= 3))
+
 (* --- request codec --- *)
 
 let test_request_codec () =
@@ -171,6 +204,22 @@ let test_request_codec () =
                   ("lines", List [ String "not a transaction" ]);
                 ] );
           ])
+    = P.Bad_request);
+  (* A negative gap parses field-by-field but raises Invalid_argument
+     (not Failure) in Ec.Trace.item — validation must catch that too,
+     not let it escape into the reader thread. *)
+  check_bool "negative-gap inline trace" true
+    (rejects
+       (Obj
+          [
+            ("type", String "run");
+            ( "workload",
+              Obj
+                [
+                  ("kind", String "inline");
+                  ("lines", List [ String "-1 RI 8 0x0 1" ]);
+                ] );
+          ])
     = P.Bad_request)
 
 (* --- malformed wire input --- *)
@@ -208,6 +257,31 @@ let test_malformed_frames () =
           | _ -> Alcotest.fail "expected an oversized error frame");
           let frames = frames_exn (Serve.Client.request c P.Stats) in
           check_bool "stats after oversized" true (has_done frames));
+      (* A trace line whose gap is negative blows up with
+         Invalid_argument, not Failure, inside validation: the reader
+         must answer bad_request and survive, not die with the
+         exception and orphan the connection. *)
+      with_client path (fun c ->
+          Serve.Client.send_json c
+            (Obs.Json.Obj
+               [
+                 ("type", Obs.Json.String "run");
+                 ("id", Obs.Json.Int 11);
+                 ( "workload",
+                   Obs.Json.Obj
+                     [
+                       ("kind", Obs.Json.String "inline");
+                       ( "lines",
+                         Obs.Json.List [ Obs.Json.String "-1 RI 8 0x0 1" ] );
+                     ] );
+               ]);
+          (match Serve.Client.read_typed c with
+          | Ok (id, P.Error e) ->
+            check_bool "id echoed" true (id = Obs.Json.Int 11);
+            check_bool "code bad_request" true (e.P.code = P.Bad_request)
+          | _ -> Alcotest.fail "expected a bad_request error frame");
+          let frames = frames_exn (Serve.Client.request c P.Stats) in
+          check_bool "stats after negative-gap trace" true (has_done frames));
       (* Truncated: the stream dies mid-frame; the server answers with a
          bad_frame error before closing its side. *)
       with_client path (fun c ->
@@ -221,6 +295,62 @@ let test_malformed_frames () =
           | Ok (_, P.Error e) ->
             check_bool "code bad_frame" true (e.P.code = P.Bad_frame)
           | _ -> Alcotest.fail "expected a bad_frame error frame"))
+
+(* --- stream alignment across a failed job --- *)
+
+let test_failed_error_keeps_stream_aligned () =
+  (* The server answers a job that raised with error{failed} AND the
+     job's done summary (run_job).  collect must treat only
+     rejection-class errors as terminal: if it stopped at the failed
+     error, the unread done would surface as the first frame of the
+     next response on the same connection, desyncing every request
+     after it.  A fake server pins the exact frame sequence. *)
+  let path = temp_socket () in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 1;
+  let client = Serve.Client.connect (`Unix path) in
+  let served, _ = Unix.accept listener in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Client.close client;
+      (try Unix.close served with Unix.Unix_error _ -> ());
+      Unix.close listener;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let send ~id frame =
+        Serve.Framing.write_json served
+          (P.frame_to_json ~id:(Obs.Json.Int id) frame)
+      in
+      let pool =
+        { P.session_hits = 0; session_builds = 0; plan_hits = 0;
+          plan_builds = 0 }
+      in
+      (* Response 1: a job that failed mid-execution... *)
+      send ~id:1 (P.Accepted 1);
+      send ~id:1
+        (P.Error { P.code = P.Failed; message = "boom"; retry_after_ms = None });
+      send ~id:1
+        (P.Done
+           { P.frames = 2; latency_ms = 1.0; done_worker = 0; done_pool = pool });
+      (* ... response 2: a plain rejection, terminal by itself. *)
+      send ~id:2
+        (P.Error
+           { P.code = P.Busy; message = "queue full"; retry_after_ms = Some 10 });
+      (match Serve.Client.collect client with
+      | Ok [ P.Accepted _; P.Error e; P.Done _ ] ->
+        check_bool "failed error inside the stream" true (e.P.code = P.Failed)
+      | Ok frames ->
+        Alcotest.failf "response 1: unexpected %d-frame stream"
+          (List.length frames)
+      | Error e -> Alcotest.failf "response 1: %s" e);
+      match Serve.Client.collect client with
+      | Ok [ P.Error e ] ->
+        check_bool "rejection terminal by itself" true (e.P.code = P.Busy)
+      | Ok frames ->
+        Alcotest.failf "response 2: %d frames — stream desynced"
+          (List.length frames)
+      | Error e -> Alcotest.failf "response 2: %s" e)
 
 (* --- bit-exactness over the wire --- *)
 
@@ -708,10 +838,14 @@ let suite =
   [
     Alcotest.test_case "framing round-trip and resync" `Quick
       test_framing_roundtrip;
+    Alcotest.test_case "framing read honours stop on receive timeout" `Quick
+      test_framing_stop;
     Alcotest.test_case "request codec and validation" `Quick test_request_codec;
     Alcotest.test_case "jobq bounded/drain semantics" `Quick test_jobq;
     Alcotest.test_case "malformed frames get error frames" `Quick
       test_malformed_frames;
+    Alcotest.test_case "failed error does not desync the stream" `Quick
+      test_failed_error_keeps_stream_aligned;
     Alcotest.test_case "run bit-exact over the wire" `Quick test_run_bit_exact;
     Alcotest.test_case "profile streams as jsonl chunks" `Quick
       test_profile_stream;
