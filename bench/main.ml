@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- micro       -- only the Bechamel runs
      dune exec bench/main.exe -- micro --json -- Bechamel estimates as JSON
      dune exec bench/main.exe -- adaptive    -- adaptive mixed-level comparison
+     dune exec bench/main.exe -- serve-soak  -- sustained multi-client daemon soak
      dune exec bench/main.exe -- ablations   -- only the sensitivity studies
      dune exec bench/main.exe -- smoke       -- reduced-size table pipeline
                                                 (wired into dune runtest) *)
@@ -327,9 +328,42 @@ let bench_serve =
     | Ok _ -> ()
     | Error e -> failwith ("serve stats failed: " ^ e)
   in
+  (* A live metrics subscription on its own connection, drained by a
+     background thread — the with-subscriber measurement of the same
+     round-trip, bounding the telemetry plane's overhead (<= 5%,
+     EXPERIMENTS.md).  Metrics only: snapshots are fixed-size per tick,
+     which is the plane's steady-state cost; a trace subscription does
+     work proportional to the request rate by design (every span ships),
+     and at bench rates on a shared core that measures the trace codec,
+     not the plane.  Leaked like the daemon itself. *)
+  let subscriber =
+    lazy
+      (let c = Serve.Client.connect (`Unix (Lazy.force serve_env)) in
+       match
+         Serve.Client.subscribe ~interval_ms:100 c ~streams:[ `Metrics ]
+       with
+       | Error e -> failwith ("serve bench subscribe failed: " ^ e)
+       | Ok _ ->
+         ignore
+           (Thread.create
+              (fun () ->
+                let rec drain () =
+                  match Serve.Client.read_frame c with
+                  | Ok _ -> drain ()
+                  | Error _ -> ()
+                in
+                drain ())
+              ()))
+  in
+  let roundtrip_subscribed () =
+    Lazy.force subscriber;
+    serve_run_request (Lazy.force conn)
+  in
   Test.make_grouped ~name:"serve/requests"
     [
       Test.make ~name:"run-16txn-roundtrip" (Staged.stage roundtrip);
+      Test.make ~name:"run-16txn-roundtrip-subscribed"
+        (Staged.stage roundtrip_subscribed);
       Test.make ~name:"stats-roundtrip" (Staged.stage stats);
     ]
 
@@ -391,6 +425,181 @@ let serve_latency_json () =
   in
   Printf.printf "{\"group\": \"serve/latency\", \"unit\": \"mixed\", \"estimates\": {%s}}\n"
     (String.concat ", " entries)
+
+(* --- sustained soak of the daemon (§16) --- *)
+
+(* N clients hammer one short-lived daemon with 16-txn compiled runs for
+   a wall-clock window; the harness reports the latency distribution,
+   throughput, busy-rejection count and the per-client fairness spread
+   the round-robin queue is supposed to bound, then reconciles the
+   client-observed completion count against the daemon's own telemetry
+   snapshot — the two ledgers must agree exactly. *)
+
+type soak_result = {
+  soak_clients : int;
+  soak_wall_s : float;
+  soak_completed : int;
+  soak_busy : int;
+  soak_p50_us : float;
+  soak_p99_us : float;
+  soak_max_us : float;
+  soak_rps : float;
+  soak_spread : float;  (* max/min per-client completed count *)
+  soak_reconciled : bool;
+}
+
+let percentile_of_sorted sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let run_serve_soak ~clients ~duration () =
+  let path = Filename.temp_file "serve-soak" ".sock" in
+  Unix.unlink path;
+  let server =
+    Serve.Server.create ~unix_path:path ~domains:2 ~queue_depth:64 ()
+  in
+  let thread = Thread.create Serve.Server.serve server in
+  let request =
+    Serve.Protocol.Run
+      {
+        Serve.Protocol.workload = Serve.Protocol.Table3 16;
+        level = Core.Level.L1;
+        mode = `Serial;
+        estimate = true;
+        profile = false;
+        compiled = true;
+      }
+  in
+  let deadline = Unix.gettimeofday () +. duration in
+  let completed = Array.make clients 0 in
+  let busy = Array.make clients 0 in
+  let lats = Array.make clients [] in
+  let worker i =
+    let c = Serve.Client.connect (`Unix path) in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        while Unix.gettimeofday () < deadline do
+          let t0 = Unix.gettimeofday () in
+          match Serve.Client.request c request with
+          | Error e -> failwith ("serve soak request failed: " ^ e)
+          | Ok frames ->
+            let is_busy =
+              List.exists
+                (function
+                  | Serve.Protocol.Error
+                      { Serve.Protocol.code = Serve.Protocol.Busy; _ } ->
+                    true
+                  | _ -> false)
+                frames
+            in
+            if is_busy then begin
+              busy.(i) <- busy.(i) + 1;
+              Thread.delay 0.002
+            end
+            else begin
+              completed.(i) <- completed.(i) + 1;
+              lats.(i) <- (Unix.gettimeofday () -. t0) :: lats.(i)
+            end
+        done)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* One last connection reads the daemon's own ledger before the drain:
+     its run-kind completed count must equal what the clients counted. *)
+  let daemon_run_completed =
+    let c = Serve.Client.connect (`Unix path) in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        match Serve.Client.request c Serve.Protocol.Metrics with
+        | Error e -> failwith ("serve soak metrics failed: " ^ e)
+        | Ok frames -> (
+          match
+            List.find_map
+              (function
+                | Serve.Protocol.Metrics_reply m -> Some m
+                | _ -> None)
+              frames
+          with
+          | None -> failwith "serve soak: no metrics frame"
+          | Some m -> (
+            match Obs.Json.member "requests" m.Serve.Protocol.snapshot with
+            | None -> 0
+            | Some reqs -> (
+              match Obs.Json.member "run" reqs with
+              | None -> 0
+              | Some kind ->
+                Option.value ~default:0
+                  (Option.bind
+                     (Obs.Json.member "completed" kind)
+                     Obs.Json.int_opt)))))
+  in
+  Serve.Server.drain server;
+  Thread.join thread;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let all =
+    Array.concat (List.map Array.of_list (Array.to_list lats))
+    |> Array.map (fun s -> s *. 1e6)
+  in
+  Array.sort compare all;
+  let total_completed = Array.fold_left ( + ) 0 completed in
+  let total_busy = Array.fold_left ( + ) 0 busy in
+  let spread =
+    let mn = Array.fold_left min max_int completed in
+    let mx = Array.fold_left max 0 completed in
+    if mn <= 0 then infinity else float_of_int mx /. float_of_int mn
+  in
+  {
+    soak_clients = clients;
+    soak_wall_s = wall;
+    soak_completed = total_completed;
+    soak_busy = total_busy;
+    soak_p50_us =
+      (if Array.length all = 0 then nan else percentile_of_sorted all 50.0);
+    soak_p99_us =
+      (if Array.length all = 0 then nan else percentile_of_sorted all 99.0);
+    soak_max_us =
+      (if Array.length all = 0 then nan else all.(Array.length all - 1));
+    soak_rps = float_of_int total_completed /. wall;
+    soak_spread = spread;
+    soak_reconciled = daemon_run_completed = total_completed;
+  }
+
+let print_serve_soak ?(clients = 8) ?(duration = 10.0) () =
+  section
+    (Printf.sprintf
+       "Serve soak (%d clients, %.0f s of 16-txn compiled runs over the \
+        Unix socket)"
+       clients duration);
+  let s = run_serve_soak ~clients ~duration () in
+  Printf.printf "  %d requests in %.1f s (%.0f req/s), %d busy rejections\n"
+    s.soak_completed s.soak_wall_s s.soak_rps s.soak_busy;
+  Printf.printf "  latency: p50 %.1f us   p99 %.1f us   max %.1f us\n"
+    s.soak_p50_us s.soak_p99_us s.soak_max_us;
+  Printf.printf "  per-client completed spread (max/min): %.2f\n"
+    s.soak_spread;
+  Printf.printf "  daemon telemetry reconciles with client counts: %s\n"
+    (if s.soak_reconciled then "yes" else "NO");
+  if not s.soak_reconciled then
+    failwith "serve soak: telemetry diverged from client-observed counts"
+
+let serve_soak_json ?(clients = 8) ?(duration = 10.0) () =
+  let s = run_serve_soak ~clients ~duration () in
+  Printf.printf
+    "{\"group\": \"serve/soak\", \"unit\": \"mixed\", \"estimates\": \
+     {\"clients\": %d, \"completed\": %d, \"busy\": %d, \"busy_rate\": \
+     %.4f, \"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, \
+     \"throughput_rps\": %.0f, \"client_spread\": %.2f, \"reconciled\": \
+     %d}}\n"
+    s.soak_clients s.soak_completed s.soak_busy
+    (float_of_int s.soak_busy
+    /. float_of_int (max 1 (s.soak_completed + s.soak_busy)))
+    s.soak_p50_us s.soak_p99_us s.soak_max_us s.soak_rps s.soak_spread
+    (if s.soak_reconciled then 1 else 0)
 
 (* Reduced end-to-end pass over the observability layer for the smoke
    alias: run instrumented, export Chrome JSON, parse it back. *)
@@ -611,7 +820,10 @@ let run_micro_json () =
         (json_escape group_name)
         (String.concat ", " entries))
     micro_groups;
-  serve_latency_json ()
+  serve_latency_json ();
+  (* A shortened soak keeps the trajectory line cheap; the full-length
+     run lives behind the dedicated serve-soak mode. *)
+  serve_soak_json ~duration:3.0 ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -629,8 +841,14 @@ let () =
     print_obs_smoke ();
     print_pool_smoke ();
     print_compiled_smoke ();
-    print_serve_smoke ()
+    print_serve_smoke ();
+    (* Kept light: the smoke alias runs alongside the test suites under
+       [dune runtest], and the integration perf checks are wall-clock
+       sensitive. *)
+    print_serve_soak ~clients:2 ~duration:0.5 ()
   | "micro" -> if json then run_micro_json () else run_micro ()
+  | "serve-soak" ->
+    if json then serve_soak_json () else print_serve_soak ()
   | "adaptive" -> print_adaptive ()
   | "ablations" -> print_ablations ()
   | "extensions" -> print_extensions ()

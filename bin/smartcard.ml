@@ -568,7 +568,17 @@ let serve_cmd =
             "Bound on the job queue; a push beyond it is rejected with a \
              busy frame carrying retry_after_ms.")
   in
-  let run socket port domains queue_depth =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE.json"
+          ~doc:
+            "After the daemon drains, write its whole telemetry timeline \
+             (worker lanes, request slices, queue-depth counter) as Chrome \
+             trace-event JSON to $(docv).")
+  in
+  let run socket port domains queue_depth trace_out =
     (* No endpoint given: serve on a conventional local socket path. *)
     let unix_path, tcp_port =
       match (socket, port) with
@@ -586,10 +596,18 @@ let serve_cmd =
     Printf.printf "%d worker domain(s), queue depth %d; SIGINT drains\n%!"
       domains queue_depth;
     Serve.Server.serve server;
-    print_endline "drained; all jobs finished"
+    print_endline "drained; all jobs finished";
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      let telemetry = Serve.Server.telemetry server in
+      Serve.Telemetry.write_chrome ~path telemetry;
+      Printf.printf "chrome trace written to %s (%d spans, %d dropped)\n" path
+        (Serve.Telemetry.spans_total telemetry)
+        (Serve.Telemetry.spans_dropped telemetry)
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ socket_arg $ port_arg $ domains $ queue_depth)
+    Term.(const run $ socket_arg $ port_arg $ domains $ queue_depth $ trace_out)
 
 let workload_conv =
   let parse s =
@@ -630,10 +648,185 @@ let workload_conv =
   in
   Arg.conv (parse, print)
 
+(* Pretty rendering of response frames (the default; --raw keeps the
+   faithful JSON-lines wire transcript).  Explore rows accumulate and
+   print as one table when the stream terminates. *)
+
+let render_result (r : Serve.Protocol.result_body) =
+  let open Serve.Protocol in
+  Printf.printf "level:       %s\n" (Core.Level.to_string r.level);
+  Printf.printf "cycles:      %d\n" r.cycles;
+  Printf.printf "bus txns:    %d (%d beats, %d errors)\n" r.txns r.beats
+    r.errors;
+  Printf.printf "bus energy:  %.1f pJ\n" r.bus_pj;
+  Printf.printf "peripherals: %.1f pJ\n" r.component_pj;
+  Printf.printf "wall time:   %.1f ms\n%!" (r.wall_seconds *. 1e3)
+
+let render_rows rows =
+  match List.rev rows with
+  | [] -> ()
+  | rows ->
+    let cells (r : Serve.Protocol.row_body) =
+      let open Serve.Protocol in
+      [ r.applet; r.config;
+        Core.Level.to_string r.row_level;
+        string_of_int r.row_cycles;
+        Printf.sprintf "%.1f" r.row_bus_pj;
+        string_of_int r.transactions;
+        (if r.correct then "ok" else "WRONG");
+        (match r.switches with Some s -> string_of_int s | None -> "-") ]
+    in
+    print_endline
+      (Core.Report.table
+         ~header:
+           [ "applet"; "config"; "level"; "cycles"; "bus pJ"; "txns";
+             "check"; "switches" ]
+         (List.map cells rows))
+
+let render_stats (s : Serve.Protocol.stats_body) =
+  let open Serve.Protocol in
+  Printf.printf "queue:         %d/%d%s\n" s.queue_depth s.queue_capacity
+    (if s.stats_draining then " (draining)" else "");
+  Printf.printf "uptime:        %.1f s\n" s.uptime_s;
+  Printf.printf
+    "requests:      %d accepted, %d completed, %d failed, %d rejected\n"
+    s.accepted s.completed s.failed s.rejected;
+  Printf.printf "spans dropped: %d\n" s.spans_dropped;
+  if s.workers <> [] then begin
+    print_newline ();
+    print_endline
+      (Core.Report.table ~header:[ "worker"; "jobs" ]
+         (List.map
+            (fun (w : worker_stat) ->
+              [ string_of_int w.worker; string_of_int w.jobs ])
+            s.workers))
+  end;
+  print_newline ();
+  print_endline s.rendered;
+  flush stdout
+
+let render_error (e : Serve.Protocol.error_body) =
+  let open Serve.Protocol in
+  Printf.eprintf "error [%s]: %s%s\n%!"
+    (error_code_to_string e.code)
+    e.message
+    (match e.retry_after_ms with
+    | Some ms -> Printf.sprintf " (retry after %d ms)" ms
+    | None -> "")
+
+let render_frame ~rows frame =
+  let open Serve.Protocol in
+  match frame with
+  | Accepted depth -> Printf.printf "accepted (queue depth %d)\n%!" depth
+  | Result r -> render_result r
+  | Row (_, r) -> rows := r :: !rows
+  | Point p ->
+    Printf.printf "point %d: scale %g -> %.1f pJ (%d cycles, %d txns)\n%!"
+      p.point_seq p.scale p.point_bus_pj p.point_cycles p.point_txns
+  | Energy (seq, lines) ->
+    Printf.printf "energy chunk %d (%d lines)\n%!" seq (List.length lines)
+  | Stats_reply s -> render_stats s
+  | Metrics_reply m -> print_endline m.metrics_rendered; flush stdout
+  | Trace_chunk tc ->
+    Printf.printf "trace chunk %d: %d events%s\n%!" tc.trace_seq
+      (List.length tc.trace_events)
+      (if tc.trace_missed = 0 then ""
+       else Printf.sprintf " (%d spans missed)" tc.trace_missed)
+  | Subscribed sb ->
+    Printf.printf "subscribed: %s every %d ms\n%!"
+      (String.concat "," (List.map stream_to_wire sb.sub_streams))
+      sb.sub_interval_ms
+  | Error e -> render_error e
+  | Done d ->
+    render_rows !rows;
+    rows := [];
+    Printf.printf "done: %d frames in %.2f ms (worker %d)\n%!" d.frames
+      d.latency_ms d.done_worker
+
+(* The watch loop behind [smartcard client watch]: subscribe, print
+   stream frames as they arrive, and on Ctrl-C (or --count) unsubscribe
+   so the connection ends aligned.  Trace chunks accumulate into one
+   Chrome document when --trace-out is given. *)
+let client_watch c ~raw ~interval_ms ~streams ~count ~trace_out =
+  let streams =
+    if trace_out <> None && not (List.mem `Trace streams) then
+      streams @ [ `Trace ]
+    else streams
+  in
+  Sys.catch_break true;
+  let events = ref [] and n_events = ref 0 and missed = ref 0 in
+  let seen = ref 0 in
+  let status = ref 0 in
+  (match Serve.Client.subscribe ~interval_ms c ~streams with
+  | Error e ->
+    prerr_endline e;
+    status := 1
+  | Ok _id ->
+    (try
+       while match count with None -> true | Some n -> !seen < n do
+         match Serve.Client.read_frame c with
+         | Error e ->
+           prerr_endline e;
+           status := 1;
+           raise Exit
+         | Ok doc -> (
+           if raw then print_endline (Obs.Json.to_string doc);
+           match Serve.Protocol.frame_of_json doc with
+           | Ok (_, Serve.Protocol.Metrics_reply m) ->
+             incr seen;
+             if not raw then
+               Printf.printf "--- metrics snapshot %d ---\n%s\n%!"
+                 m.Serve.Protocol.metrics_seq
+                 m.Serve.Protocol.metrics_rendered
+           | Ok (_, Serve.Protocol.Trace_chunk tc) ->
+             incr seen;
+             let n = List.length tc.Serve.Protocol.trace_events in
+             events := List.rev_append tc.Serve.Protocol.trace_events !events;
+             n_events := !n_events + n;
+             missed := !missed + tc.Serve.Protocol.trace_missed;
+             if not raw then
+               Printf.printf "trace chunk %d: %d events%s\n%!"
+                 tc.Serve.Protocol.trace_seq n
+                 (if tc.Serve.Protocol.trace_missed = 0 then ""
+                  else
+                    Printf.sprintf " (%d spans missed)"
+                      tc.Serve.Protocol.trace_missed)
+           | Ok (_, Serve.Protocol.Energy (seq, lines)) ->
+             incr seen;
+             if not raw then
+               Printf.printf "energy chunk %d (%d lines)\n%!" seq
+                 (List.length lines)
+           | Ok _ -> ()
+           | Error e -> prerr_endline e)
+       done
+     with Sys.Break | Exit -> ());
+    (* Best effort: a daemon that already went away is not an error. *)
+    (match
+       try Serve.Client.unsubscribe c
+       with Sys.Break | Unix.Unix_error _ -> Ok ()
+     with
+    | Ok () | Error _ -> ()));
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Obs.Json.Obj [ ("traceEvents", Obs.Json.List (List.rev !events)) ]
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Obs.Json.to_string doc);
+        output_char oc '\n');
+    Printf.printf "chrome trace written to %s (%d events%s)\n" path !n_events
+      (if !missed = 0 then ""
+       else Printf.sprintf ", %d spans missed" !missed));
+  !status
+
 let client_cmd =
   let doc =
-    "Send one request to a running daemon and print the response frames as \
-     JSON lines."
+    "Send one request to a running daemon and print the response, or watch \
+     its live telemetry streams."
   in
   let kind =
     Arg.(
@@ -642,9 +835,11 @@ let client_cmd =
           (some
              (enum
                 [ ("run", `Run); ("explore", `Explore); ("replay", `Replay);
-                  ("stats", `Stats); ("shutdown", `Shutdown) ]))
+                  ("stats", `Stats); ("metrics", `Metrics);
+                  ("watch", `Watch); ("shutdown", `Shutdown) ]))
           None
-      & info [] ~docv:"REQUEST" ~doc:"run|explore|replay|stats|shutdown")
+      & info [] ~docv:"REQUEST"
+          ~doc:"run|explore|replay|stats|metrics|watch|shutdown")
   in
   let host =
     Arg.(
@@ -698,58 +893,116 @@ let client_cmd =
       & info [ "adaptive" ]
           ~doc:"Explore through the live adaptive engine (--level ignored).")
   in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Print every response frame as one JSON line (the faithful wire \
+             transcript) instead of rendered tables.")
+  in
+  let interval =
+    Arg.(
+      value & opt int 500
+      & info [ "interval" ] ~docv:"MS"
+          ~doc:"Snapshot cadence of a watch subscription (10..60000 ms).")
+  in
+  let streams =
+    Arg.(
+      value
+      & opt
+          (list
+             (enum
+                [ ("metrics", `Metrics); ("trace", `Trace);
+                  ("energy", `Energy) ]))
+          [ `Metrics ]
+      & info [ "streams" ] ~docv:"S1,S2,.."
+          ~doc:"Streams of a watch subscription: metrics, trace, energy.")
+  in
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop watching after $(docv) stream frames (default: Ctrl-C).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE.json"
+          ~doc:
+            "Accumulate watched trace chunks and write them as one Chrome \
+             trace-event document on exit (implies the trace stream).")
+  in
   let run kind socket host port level workload serial profile compiled scales
-      applets configs adaptive =
+      applets configs adaptive raw interval_ms streams count trace_out =
     let endpoint =
       match (socket, port) with
       | Some path, _ -> `Unix path
       | None, Some port -> `Tcp (host, port)
       | None, None -> `Unix "smartcard.sock"
     in
-    let mode = if serial then `Serial else `Pipelined in
-    let request =
-      match kind with
-      | `Stats -> Serve.Protocol.Stats
-      | `Shutdown -> Serve.Protocol.Shutdown
-      | `Run ->
-        Serve.Protocol.Run
-          { Serve.Protocol.workload; level; mode; estimate = true; profile;
-            compiled }
-      | `Replay -> Serve.Protocol.Replay { Serve.Protocol.workload; level; mode; scales }
-      | `Explore ->
-        Serve.Protocol.Explore { Serve.Protocol.applets; configs; level; adaptive }
-    in
     let c = Serve.Client.connect endpoint in
     Fun.protect
       ~finally:(fun () -> Serve.Client.close c)
       (fun () ->
-        let _id = Serve.Client.send c request in
-        (* Print every frame raw, then let the typed decode spot the
-           terminator — the output stays a faithful wire transcript. *)
-        let rec loop () =
-          match Serve.Client.read_frame c with
-          | Error e ->
-            prerr_endline e;
-            1
-          | Ok doc -> (
-            print_endline (Obs.Json.to_string doc);
-            match Serve.Protocol.frame_of_json doc with
-            | Ok (_, Serve.Protocol.Done _) -> 0
-            | Ok (_, Serve.Protocol.Error _) -> 1
-            | Ok _ -> loop ()
+        match kind with
+        | `Watch ->
+          (* Sys_error is a closed stdout (e.g. | head): not our error. *)
+          exit
+            (try client_watch c ~raw ~interval_ms ~streams ~count ~trace_out
+             with Sys_error _ -> 0)
+        | (`Run | `Explore | `Replay | `Stats | `Metrics | `Shutdown) as kind
+          ->
+          let mode = if serial then `Serial else `Pipelined in
+          let request =
+            match kind with
+            | `Stats -> Serve.Protocol.Stats
+            | `Metrics -> Serve.Protocol.Metrics
+            | `Shutdown -> Serve.Protocol.Shutdown
+            | `Run ->
+              Serve.Protocol.Run
+                { Serve.Protocol.workload; level; mode; estimate = true;
+                  profile; compiled }
+            | `Replay ->
+              Serve.Protocol.Replay
+                { Serve.Protocol.workload; level; mode; scales }
+            | `Explore ->
+              Serve.Protocol.Explore
+                { Serve.Protocol.applets; configs; level; adaptive }
+          in
+          let _id = Serve.Client.send c request in
+          let rows = ref [] in
+          let rec loop () =
+            match Serve.Client.read_frame c with
             | Error e ->
               prerr_endline e;
-              1)
-        in
-        (* Sys_error here is a closed stdout (e.g. | head): not our error. *)
-        exit (try loop () with Sys_error _ -> 0))
+              1
+            | Ok doc -> (
+              if raw then print_endline (Obs.Json.to_string doc);
+              match Serve.Protocol.frame_of_json doc with
+              | Ok (_, frame) -> (
+                if not raw then render_frame ~rows frame;
+                match frame with
+                | Serve.Protocol.Done _ -> 0
+                | Serve.Protocol.Error _ -> 1
+                | _ -> loop ())
+              | Error e ->
+                prerr_endline e;
+                1)
+          in
+          (* Sys_error here is a closed stdout (e.g. | head): not our
+             error. *)
+          exit (try loop () with Sys_error _ -> 0))
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run $ kind $ socket_arg $ host $ port_arg $ level_arg $ workload
       $ serial $ profile
       $ compiled_flag ~default:true
-      $ scales $ applets $ configs $ adaptive)
+      $ scales $ applets $ configs $ adaptive $ raw $ interval $ streams
+      $ count $ trace_out)
 
 let () =
   let doc =

@@ -17,6 +17,30 @@
     Spans whose begin or end fell outside the ring (dropped events) are
     omitted, keeping B/E pairs balanced by construction. *)
 
+(** {1 Event constructors}
+
+    The raw trace-event builders, shared with other exporters (the
+    service telemetry plane builds its worker-lane trace from these). *)
+
+val ev :
+  ?args:(string * Json.t) list ->
+  name:string ->
+  ph:string ->
+  ts:int ->
+  tid:int ->
+  unit ->
+  Json.t
+(** One trace event: [ph] is the Chrome phase ("B"/"E"/"i"/...). *)
+
+val counter : name:string -> ts:int -> value:float -> Json.t
+(** A counter-track sample (ph "C", tid 0). *)
+
+val meta : name:string -> tid:int -> label:string -> Json.t
+(** A metadata event (ph "M"): [name] is ["process_name"] or
+    ["thread_name"], [label] the displayed name. *)
+
+(** {1 Sink export} *)
+
 val trace_json :
   ?profile:Power.Profile.t -> ?slave_names:string array -> Sink.t -> Json.t
 (** [slave_names.(i)] names slave track [i] (defaults to ["slave<i>"]). *)

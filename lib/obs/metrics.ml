@@ -56,6 +56,9 @@ type t = {
   mutable errored : int;
   mutable beats : int;
   mutable wait_stalls : int;
+  (* Events the sink could not retain because its ring was full.  A
+     truncated trace that does not say so is worse than no trace. *)
+  mutable dropped : int;
   wait_by_slave : int array;
   latency : hist;
   occupancy : hist;
@@ -76,6 +79,7 @@ let create () =
     errored = 0;
     beats = 0;
     wait_stalls = 0;
+    dropped = 0;
     wait_by_slave = Array.make max_slaves 0;
     latency = hist "txn-latency-cycles" latency_bounds;
     occupancy = hist "request-queue-depth" occupancy_bounds;
@@ -90,6 +94,7 @@ let reset t =
   t.errored <- 0;
   t.beats <- 0;
   t.wait_stalls <- 0;
+  t.dropped <- 0;
   Array.fill t.wait_by_slave 0 max_slaves 0;
   hist_reset t.latency;
   hist_reset t.occupancy;
@@ -101,6 +106,7 @@ let incr_rejected t = t.rejected <- t.rejected + 1
 let incr_finished t = t.finished <- t.finished + 1
 let incr_errored t = t.errored <- t.errored + 1
 let incr_beats t = t.beats <- t.beats + 1
+let incr_dropped t = t.dropped <- t.dropped + 1
 
 let add_wait_stall t ~slave =
   t.wait_stalls <- t.wait_stalls + 1;
@@ -118,6 +124,7 @@ let finished t = t.finished
 let errored t = t.errored
 let beats t = t.beats
 let wait_stalls t = t.wait_stalls
+let dropped t = t.dropped
 
 let wait_stalls_for_slave t i =
   if i >= 0 && i < max_slaves then t.wait_by_slave.(i) else 0
@@ -162,6 +169,7 @@ let view t =
         ("txns-errored", t.errored);
         ("beats", t.beats);
         ("wait-stalls", t.wait_stalls);
+        ("events-dropped", t.dropped);
       ]
       @ slave_counters;
     hists =
@@ -183,30 +191,52 @@ let bucket_label bounds i =
   else if i = n then Printf.sprintf ">%s" (num bounds.(n - 1))
   else Printf.sprintf "%s-%s" (num bounds.(i - 1)) (num bounds.(i))
 
+let hist_view_to_json (h : hist_view) =
+  Json.Obj
+    [
+      ("name", Json.String h.name);
+      ("total", Json.Int h.total);
+      ("sum", Json.Float h.sum);
+      ("mean", Json.Float h.mean);
+      ( "buckets",
+        Json.List
+          (List.init (Array.length h.counts) (fun i ->
+               Json.Obj
+                 [
+                   ("le", Json.String (bucket_label h.bounds i));
+                   ("count", Json.Int h.counts.(i));
+                 ])) );
+    ]
+
+(* Upper-bound estimate of the p-th percentile (p in 0..100): the bound
+   of the bucket where the cumulative count crosses the rank.  The
+   overflow bucket has no upper bound; report twice the last bound so
+   the estimate stays finite and visibly saturated. *)
+let percentile (h : hist_view) p =
+  if h.total = 0 then 0.0
+  else begin
+    let rank =
+      max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.total)))
+    in
+    let n = Array.length h.bounds in
+    let rec go i acc =
+      if i >= Array.length h.counts then h.bounds.(n - 1) *. 2.0
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then
+          if i < n then h.bounds.(i) else h.bounds.(n - 1) *. 2.0
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
 let to_json t =
   let v = view t in
-  let hist_json (h : hist_view) =
-    Json.Obj
-      [
-        ("name", Json.String h.name);
-        ("total", Json.Int h.total);
-        ("sum", Json.Float h.sum);
-        ("mean", Json.Float h.mean);
-        ( "buckets",
-          Json.List
-            (List.init (Array.length h.counts) (fun i ->
-                 Json.Obj
-                   [
-                     ("le", Json.String (bucket_label h.bounds i));
-                     ("count", Json.Int h.counts.(i));
-                   ])) );
-      ]
-  in
   Json.Obj
     [
       ( "counters",
         Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) v.counters) );
-      ("histograms", Json.List (List.map hist_json v.hists));
+      ("histograms", Json.List (List.map hist_view_to_json v.hists));
     ]
 
 let pp ppf t =

@@ -21,6 +21,10 @@ val incr_finished : t -> unit
 val incr_errored : t -> unit
 val incr_beats : t -> unit
 
+val incr_dropped : t -> unit
+(** An event the recording sink had to discard (ring full) — surfaced as
+    the ["events-dropped"] counter so truncated traces are detectable. *)
+
 val add_wait_stall : t -> slave:int -> unit
 (** One data- or address-phase stall cycle attributed to [slave]
     (out-of-range slave indices count only toward the total). *)
@@ -38,7 +42,24 @@ val finished : t -> int
 val errored : t -> int
 val beats : t -> int
 val wait_stalls : t -> int
+val dropped : t -> int
 val wait_stalls_for_slave : t -> int -> int
+
+(** {1 Standalone histograms}
+
+    The same preallocated fixed-bucket histogram the metrics record
+    uses, for callers that track their own quantities (e.g. the service
+    telemetry registry).  Recording never allocates. *)
+
+type hist
+
+val hist : string -> float array -> hist
+(** [hist name bounds]: [bounds] are inclusive upper bucket bounds in
+    ascending order; one overflow bucket is added past the last. *)
+
+val observe : hist -> float -> unit
+val observe_int : hist -> int -> unit
+val hist_reset : hist -> unit
 
 type hist_view = {
   name : string;
@@ -59,8 +80,19 @@ type view = {
 val view : t -> view
 (** Snapshot; independent of later recording. *)
 
+val hist_view : hist -> hist_view
+(** Snapshot of a standalone histogram. *)
+
 val bucket_label : float array -> int -> string
 (** Human label of bucket [i] of a {!hist_view} ("<=4", "4-8", ">1024"). *)
+
+val percentile : hist_view -> float -> float
+(** Upper-bound estimate of the [p]-th percentile (p in 0..100): the
+    bound of the bucket where the cumulative count crosses the rank; the
+    unbounded overflow bucket reports twice the last bound.  0 when
+    empty. *)
+
+val hist_view_to_json : hist_view -> Json.t
 
 val to_json : t -> Json.t
 

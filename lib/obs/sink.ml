@@ -49,7 +49,10 @@ let dropped t = t.dropped
 
 (* Inlined so the float [value] stays unboxed at the call sites. *)
 let[@inline] record t kind ~cycle ~id ~arg ~arg2 ~value =
-  if t.len = t.capacity then t.dropped <- t.dropped + 1
+  if t.len = t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    Metrics.incr_dropped t.metrics
+  end
   else begin
     let i = t.len in
     t.kinds.(i) <- Event.kind_code kind;

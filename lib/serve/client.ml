@@ -93,6 +93,30 @@ let request ?id t req =
   let _ = send ?id t req in
   collect t
 
+(* Open a telemetry subscription: returns the request id tagging every
+   stream frame once the daemon acks.  Stream frames are then read with
+   [read_typed] at the caller's pace. *)
+let subscribe ?id ?(interval_ms = 500) t ~streams =
+  let id = send ?id t (Protocol.Subscribe { Protocol.streams; interval_ms }) in
+  match read_typed t with
+  | Ok (_, Protocol.Subscribed _) -> Ok id
+  | Ok (_, Protocol.Error e) -> Error e.Protocol.message
+  | Ok _ -> Error "unexpected frame before subscribe ack"
+  | Error msg -> Error msg
+
+(* Close the subscription and drain any stream frames still in flight
+   ahead of the ack, so the connection is clean for the next request. *)
+let unsubscribe t =
+  let _ = send t Protocol.Unsubscribe in
+  let rec loop () =
+    match read_typed t with
+    | Ok (_, Protocol.Done _) -> Ok ()
+    | Ok (_, Protocol.Error e) -> Error e.Protocol.message
+    | Ok _ -> loop ()
+    | Error msg -> Error msg
+  in
+  loop ()
+
 let request_retrying ?id ?(attempts = 10) t req =
   let rec go n =
     match request ?id t req with

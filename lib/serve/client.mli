@@ -53,3 +53,20 @@ val request_retrying :
 (** Like {!request}, but a [busy] rejection sleeps the advertised
     [retry_after_ms] and resends, up to [attempts] (default 10) times —
     the polite client loop the backpressure design assumes. *)
+
+val subscribe :
+  ?id:int ->
+  ?interval_ms:int ->
+  t ->
+  streams:Protocol.stream list ->
+  (int, string) result
+(** Opens a telemetry subscription and waits for the [subscribed] ack;
+    returns the id tagging every stream frame.  The caller then reads
+    stream frames with {!read_typed} at its own pace — a subscriber that
+    stops reading eventually stalls the daemon's ticker thread (see
+    DESIGN.md section 16), never its workers. *)
+
+val unsubscribe : t -> (unit, string) result
+(** Ends the subscription and drains stream frames still in flight
+    ahead of the ack, leaving the connection aligned for the next
+    request. *)

@@ -1,7 +1,24 @@
+(* Bounded job queue with per-client round-robin dequeue.
+
+   A single FIFO lets one greedy pipelining client starve everyone
+   behind it: its requests occupy the head of the queue while other
+   clients' single requests wait at the tail.  Instead each client
+   (keyed by connection id) gets its own FIFO, and [pop] serves clients
+   in rotation — a client's own requests still execute in order, but no
+   client waits behind more than one request from each of its peers.
+
+   The capacity bound applies to the total number of queued jobs across
+   all clients, so backpressure semantics (Full / retry-after) are
+   unchanged from the single-FIFO queue. *)
+
 type 'a t = {
   mutex : Mutex.t;
   nonempty : Condition.t;  (* signalled on push and on drain *)
-  items : 'a Queue.t;
+  (* Per-client pending jobs.  Invariant: a client has an entry here iff
+     it appears exactly once in [rotation]; queues are never empty. *)
+  queues : (int, 'a Queue.t) Hashtbl.t;
+  mutable rotation : int list;  (* clients with pending jobs, next first *)
+  mutable size : int;  (* total jobs across all clients *)
   capacity : int;
   mutable draining : bool;
 }
@@ -11,22 +28,31 @@ let create ~capacity =
   {
     mutex = Mutex.create ();
     nonempty = Condition.create ();
-    items = Queue.create ();
+    queues = Hashtbl.create 16;
+    rotation = [];
+    size = 0;
     capacity;
     draining = false;
   }
 
 type push_result = Enqueued of int | Full | Draining
 
-let push t job =
+let push t ~client job =
   Mutex.lock t.mutex;
   let r =
     if t.draining then Draining
-    else if Queue.length t.items >= t.capacity then Full
+    else if t.size >= t.capacity then Full
     else begin
-      Queue.push job t.items;
+      (match Hashtbl.find_opt t.queues client with
+      | Some q -> Queue.push job q
+      | None ->
+        let q = Queue.create () in
+        Queue.push job q;
+        Hashtbl.add t.queues client q;
+        t.rotation <- t.rotation @ [ client ]);
+      t.size <- t.size + 1;
       Condition.signal t.nonempty;
-      Enqueued (Queue.length t.items)
+      Enqueued t.size
     end
   in
   Mutex.unlock t.mutex;
@@ -34,10 +60,23 @@ let push t job =
 
 let pop t =
   Mutex.lock t.mutex;
-  while Queue.is_empty t.items && not t.draining do
+  while t.size = 0 && not t.draining do
     Condition.wait t.nonempty t.mutex
   done;
-  let r = Queue.take_opt t.items in
+  let r =
+    match t.rotation with
+    | [] -> None
+    | client :: rest ->
+      let q = Hashtbl.find t.queues client in
+      let job = Queue.pop q in
+      t.size <- t.size - 1;
+      if Queue.is_empty q then begin
+        Hashtbl.remove t.queues client;
+        t.rotation <- rest
+      end
+      else t.rotation <- rest @ [ client ];
+      Some job
+  in
   Mutex.unlock t.mutex;
   r
 
@@ -57,6 +96,6 @@ let draining t =
 
 let depth t =
   Mutex.lock t.mutex;
-  let n = Queue.length t.items in
+  let n = t.size in
   Mutex.unlock t.mutex;
   n

@@ -1,11 +1,19 @@
-(** Bounded multi-producer multi-consumer job queue with backpressure.
+(** Bounded multi-producer multi-consumer job queue with backpressure
+    and per-client round-robin dequeue.
 
     Producers are connection reader threads; consumers are the worker
     domains of the {!Server}.  The queue never blocks a producer: when
     full it answers {!Full} immediately and the server turns that into a
     [busy] error frame carrying a retry hint.  Once {!drain} is called
     no new job is accepted, but everything already enqueued is still
-    handed out — an accepted job is never lost. *)
+    handed out — an accepted job is never lost.
+
+    Fairness: each [client] key gets its own FIFO and {!pop} serves
+    clients in rotation, so one client pipelining many requests cannot
+    starve its peers — a client's own requests still dequeue in order,
+    but it waits behind at most one request from each other client.  The
+    [capacity] bound covers the total across all clients, so
+    backpressure is unchanged from a single FIFO. *)
 
 type 'a t
 
@@ -13,11 +21,11 @@ val create : capacity:int -> 'a t
 (** @raise Invalid_argument if [capacity < 1]. *)
 
 type push_result =
-  | Enqueued of int  (** queue depth after the push, this job included *)
+  | Enqueued of int  (** total queue depth after the push, this job included *)
   | Full
   | Draining
 
-val push : 'a t -> 'a -> push_result
+val push : 'a t -> client:int -> 'a -> push_result
 
 val pop : 'a t -> 'a option
 (** Blocks until a job is available.  [None] means the queue is draining

@@ -37,11 +37,22 @@ type explore = {
   adaptive : bool;
 }
 
+(* Telemetry streams a client can subscribe to (DESIGN.md section 16):
+   periodic metrics snapshots, Chrome/Perfetto trace chunks cut from
+   server spans, and a live copy of every energy-jsonl chunk the daemon
+   streams to any client. *)
+type stream = [ `Metrics | `Trace | `Energy ]
+
+type subscribe = { streams : stream list; interval_ms : int }
+
 type request =
   | Run of run
   | Explore of explore
   | Replay of replay
   | Stats
+  | Metrics
+  | Subscribe of subscribe
+  | Unsubscribe
   | Shutdown
 
 type error_code =
@@ -162,10 +173,25 @@ type stats_body = {
   rejected : int;
   completed : int;
   failed : int;
+  spans_dropped : int;
   workers : worker_stat list;
   pool : pool_stats;
   rendered : string;
 }
+
+type metrics_body = {
+  metrics_seq : int;
+  snapshot : J.t;  (* Serve.Telemetry.snapshot document *)
+  metrics_rendered : string;
+}
+
+type trace_body = {
+  trace_seq : int;
+  trace_events : J.t list;  (* Chrome trace-event objects *)
+  trace_missed : int;  (* ring entries overwritten before this chunk *)
+}
+
+type subscribed_body = { sub_streams : stream list; sub_interval_ms : int }
 
 type error_body = {
   code : error_code;
@@ -187,6 +213,9 @@ type frame =
   | Point of point_body
   | Energy of int * string list
   | Stats_reply of stats_body
+  | Metrics_reply of metrics_body
+  | Trace_chunk of trace_body
+  | Subscribed of subscribed_body
   | Error of error_body
   | Done of done_body
 
@@ -209,6 +238,20 @@ let mode_of_wire = function
   | "serial" -> Some `Serial
   | "pipelined" -> Some `Pipelined
   | _ -> None
+
+let stream_to_wire = function
+  | `Metrics -> "metrics"
+  | `Trace -> "trace"
+  | `Energy -> "energy"
+
+let stream_of_wire = function
+  | "metrics" -> Some `Metrics
+  | "trace" -> Some `Trace
+  | "energy" -> Some `Energy
+  | _ -> None
+
+let streams_to_json streams =
+  J.List (List.map (fun s -> J.String (stream_to_wire s)) streams)
 
 let workload_to_json = function
   | Table3 n -> J.Obj [ ("kind", J.String "table3"); ("n", J.Int n) ]
@@ -251,6 +294,14 @@ let request_to_json ~id request =
         ("scales", J.List (List.map (fun s -> J.Float s) r.scales));
       ]
     | Stats -> [ ("type", J.String "stats") ]
+    | Metrics -> [ ("type", J.String "metrics") ]
+    | Subscribe s ->
+      [
+        ("type", J.String "subscribe");
+        ("streams", streams_to_json s.streams);
+        ("interval_ms", J.Int s.interval_ms);
+      ]
+    | Unsubscribe -> [ ("type", J.String "unsubscribe") ]
     | Shutdown -> [ ("type", J.String "shutdown") ]
   in
   J.Obj (("id", id) :: fields)
@@ -276,6 +327,14 @@ let field_bool json name ~default =
   | None -> Ok default
   | Some (J.Bool b) -> Ok b
   | Some _ -> bad "field %S must be a boolean" name
+
+let field_int json name ~default =
+  match J.member name json with
+  | None -> Ok default
+  | Some v -> (
+    match J.int_opt v with
+    | Some n -> Ok n
+    | None -> bad "field %S must be an integer" name)
 
 let field_level json ~default =
   let* s = field_string json "level" ~default:(level_to_wire default) in
@@ -411,6 +470,30 @@ let request_of_json json =
       in
       Ok (Replay { workload; level; mode; scales })
     | "stats" -> Ok Stats
+    | "metrics" -> Ok Metrics
+    | "subscribe" ->
+      let* names = field_string_list json "streams" in
+      let* streams =
+        if names = [] then
+          bad "subscribe: field \"streams\" is required (metrics|trace|energy)"
+        else
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | s :: rest -> (
+              match stream_of_wire s with
+              | Some v -> decode (v :: acc) rest
+              | None -> bad "unknown stream %S (metrics|trace|energy)" s)
+          in
+          decode [] names
+      in
+      let* interval_ms = field_int json "interval_ms" ~default:500 in
+      let* () =
+        if interval_ms < 10 || interval_ms > 60_000 then
+          bad "subscribe: interval_ms = %d out of range [10, 60000]" interval_ms
+        else Ok ()
+      in
+      Ok (Subscribe { streams; interval_ms })
+    | "unsubscribe" -> Ok Unsubscribe
     | "shutdown" -> Ok Shutdown
     | t -> Error (Unknown_type, Printf.sprintf "unknown request type %S" t))
   | _ -> bad "request must be a JSON object"
@@ -498,6 +581,7 @@ let frame_to_json ~id frame =
         ("rejected", J.Int s.rejected);
         ("completed", J.Int s.completed);
         ("failed", J.Int s.failed);
+        ("spans_dropped", J.Int s.spans_dropped);
         ( "workers",
           J.List
             (List.map
@@ -506,6 +590,26 @@ let frame_to_json ~id frame =
                s.workers) );
         ("pool", pool_stats_to_json s.pool);
         ("rendered", J.String s.rendered);
+      ]
+    | Metrics_reply m ->
+      [
+        ("frame", J.String "metrics");
+        ("seq", J.Int m.metrics_seq);
+        ("snapshot", m.snapshot);
+        ("rendered", J.String m.metrics_rendered);
+      ]
+    | Trace_chunk tc ->
+      [
+        ("frame", J.String "trace");
+        ("seq", J.Int tc.trace_seq);
+        ("events", J.List tc.trace_events);
+        ("missed", J.Int tc.trace_missed);
+      ]
+    | Subscribed s ->
+      [
+        ("frame", J.String "subscribed");
+        ("streams", streams_to_json s.sub_streams);
+        ("interval_ms", J.Int s.sub_interval_ms);
       ]
     | Error e ->
       [
@@ -669,6 +773,7 @@ let frame_of_json json =
       let* rejected = need_int json "rejected" in
       let* completed = need_int json "completed" in
       let* failed = need_int json "failed" in
+      let* spans_dropped = need_int json "spans_dropped" in
       let* workers =
         match Option.bind (J.member "workers" json) J.to_list_opt with
         | Some items ->
@@ -699,10 +804,45 @@ let frame_of_json json =
              rejected;
              completed;
              failed;
+             spans_dropped;
              workers;
              pool;
              rendered;
            })
+    | "metrics" -> (
+      let* metrics_seq = need_int json "seq" in
+      match J.member "snapshot" json with
+      | Some snapshot ->
+        let* metrics_rendered = need_string json "rendered" in
+        Ok (Metrics_reply { metrics_seq; snapshot; metrics_rendered })
+      | None -> Result.Error "metrics frame without \"snapshot\"")
+    | "trace" -> (
+      let* trace_seq = need_int json "seq" in
+      let* trace_missed = need_int json "missed" in
+      match Option.bind (J.member "events" json) J.to_list_opt with
+      | Some trace_events ->
+        Ok (Trace_chunk { trace_seq; trace_events; trace_missed })
+      | None -> Result.Error "trace frame without \"events\"")
+    | "subscribed" -> (
+      let* names =
+        match Option.bind (J.member "streams" json) J.to_list_opt with
+        | Some items ->
+          let names = List.filter_map J.string_opt items in
+          if List.length names = List.length items then Ok names
+          else Result.Error "subscribed frame streams must be strings"
+        | None -> Result.Error "subscribed frame without \"streams\""
+      in
+      let* sub_interval_ms = need_int json "interval_ms" in
+      let rec decode acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest -> (
+          match stream_of_wire s with
+          | Some v -> decode (v :: acc) rest
+          | None -> Result.Error (Printf.sprintf "unknown stream %S" s))
+      in
+      match decode [] names with
+      | Ok sub_streams -> Ok (Subscribed { sub_streams; sub_interval_ms })
+      | Error _ as e -> e)
     | "error" ->
       let* code_s = need_string json "code" in
       let* code =

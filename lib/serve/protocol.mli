@@ -50,11 +50,28 @@ type explore = {
           ({!Hier.Policy.for_exploration}); [level] is then ignored *)
 }
 
+(** {1 Telemetry subscriptions (DESIGN.md section 16)} *)
+
+type stream =
+  [ `Metrics  (** periodic {!Serve.Telemetry} snapshot + rendered tables *)
+  | `Trace  (** Chrome/Perfetto trace-event chunks cut from server spans *)
+  | `Energy  (** live copy of every energy-jsonl chunk the daemon streams *)
+  ]
+
+type subscribe = {
+  streams : stream list;  (** non-empty *)
+  interval_ms : int;  (** snapshot cadence, 10..60000; default 500 *)
+}
+
 type request =
   | Run of run
   | Explore of explore
   | Replay of replay
   | Stats
+  | Metrics
+      (** one-shot telemetry snapshot, served inline like [Stats] *)
+  | Subscribe of subscribe
+  | Unsubscribe
   | Shutdown
 
 (** {1 Response frames} *)
@@ -129,10 +146,29 @@ type stats_body = {
   rejected : int;
   completed : int;
   failed : int;
+  spans_dropped : int;
+      (** telemetry spans overwritten in the server ring before any
+          trace chunk could carry them *)
   workers : worker_stat list;
   pool : pool_stats;
   rendered : string;  (** {!Core.Report.pool_stats} of the server pool *)
 }
+
+type metrics_body = {
+  metrics_seq : int;  (** per-subscription snapshot counter, from 0 *)
+  snapshot : Obs.Json.t;  (** [Serve.Telemetry.snapshot] document *)
+  metrics_rendered : string;  (** [Serve.Telemetry.render] tables *)
+}
+
+type trace_body = {
+  trace_seq : int;  (** per-subscription chunk counter, from 0 *)
+  trace_events : Obs.Json.t list;  (** Chrome trace-event objects *)
+  trace_missed : int;
+      (** ring entries overwritten before this chunk was cut — nonzero
+          means the trace has a gap *)
+}
+
+type subscribed_body = { sub_streams : stream list; sub_interval_ms : int }
 
 type error_body = {
   code : error_code;
@@ -154,6 +190,11 @@ type frame =
   | Point of point_body
   | Energy of int * string list  (** [seq], jsonl lines of a profile chunk *)
   | Stats_reply of stats_body
+  | Metrics_reply of metrics_body
+  | Trace_chunk of trace_body
+  | Subscribed of subscribed_body
+      (** subscribe ack — terminates the subscribe request; the stream
+          frames that follow are tagged with the same id *)
   | Error of error_body
   | Done of done_body
 
@@ -178,3 +219,6 @@ val frame_of_json : Obs.Json.t -> (Obs.Json.t * frame, string) result
 val request_id : Obs.Json.t -> Obs.Json.t
 (** The ["id"] member of a request document, [Null] when absent — what a
     server echoes back even for requests it cannot decode. *)
+
+val stream_to_wire : stream -> string
+val stream_of_wire : string -> stream option

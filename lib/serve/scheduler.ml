@@ -138,5 +138,6 @@ let execute ~pool ~stats ~send (request : Protocol.request) =
   | Protocol.Replay r -> execute_replay ~pool ~send r
   | Protocol.Explore e -> execute_explore ~pool ~send e
   | Protocol.Stats -> send (Protocol.Stats_reply (stats ()))
+  | Protocol.Metrics | Protocol.Subscribe _ | Protocol.Unsubscribe
   | Protocol.Shutdown ->
-    invalid_arg "Serve.Scheduler.execute: shutdown is a control request"
+    invalid_arg "Serve.Scheduler.execute: control requests never reach workers"

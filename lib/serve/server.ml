@@ -27,6 +27,7 @@
    long-running daemon does not accumulate dead entries. *)
 
 type conn = {
+  conn_id : int;  (* client identity for fairness and telemetry *)
   fd : Unix.file_descr;
   write_mutex : Mutex.t;
   mutable alive : bool;  (* writes allowed *)
@@ -40,6 +41,22 @@ type job = {
   job_conn : conn;
   request : Protocol.request;
   enqueued_at : float;
+  span : Telemetry.span;
+}
+
+(* One live telemetry subscription (DESIGN.md section 16).  Owned by the
+   subscriptions list under [subs_mutex]; mutable cursors are only
+   touched by the ticker thread. *)
+type sub = {
+  sub_conn : conn;
+  sub_rid : Obs.Json.t;  (* subscribe request id, tags stream frames *)
+  sub_streams : Protocol.stream list;
+  sub_interval : float;  (* seconds *)
+  mutable sub_due : float;
+  mutable sub_metrics_seq : int;
+  mutable sub_trace_seq : int;
+  mutable sub_cursor : Telemetry.cursor;
+  mutable sub_meta_sent : bool;
 }
 
 type t = {
@@ -65,11 +82,21 @@ type t = {
   signal_r : Unix.file_descr;
   signal_w : Unix.file_descr;
   mutable served : bool;
+  telemetry : Telemetry.t;
+  next_conn_id : int Atomic.t;
+  subs_mutex : Mutex.t;
+  mutable subs : sub list;
 }
 
 let poll_interval = 0.05
 
+(* Ticker resolution for telemetry subscriptions: snapshots land within
+   one tick of their due time, so the minimum subscription interval the
+   protocol accepts (10 ms) is effectively rounded up to this. *)
+let tick_interval = 0.02
+
 let pool t = t.pool
+let telemetry t = t.telemetry
 let draining t = Jobq.draining t.queue
 let tcp_port t = t.bound_tcp_port
 
@@ -155,6 +182,10 @@ let create ?unix_path ?tcp_port ?domains ?(queue_depth = 64)
     signal_r;
     signal_w;
     served = false;
+    telemetry = Telemetry.create ();
+    next_conn_id = Atomic.make 0;
+    subs_mutex = Mutex.create ();
+    subs = [];
   }
 
 (* --- connection writes --- *)
@@ -210,6 +241,7 @@ let stats_body t =
     rejected = Atomic.get t.rejected;
     completed = Atomic.get t.completed;
     failed = Atomic.get t.failed;
+    spans_dropped = Telemetry.spans_dropped t.telemetry;
     workers =
       List.init (Array.length t.jobs_per_worker) (fun i ->
           { Protocol.worker = i; jobs = t.jobs_per_worker.(i) });
@@ -228,34 +260,163 @@ let retry_after_ms t = max 10 (10 * Jobq.depth t.queue)
 let error_frame code message ?retry_after_ms () =
   Protocol.Error { Protocol.code; message; retry_after_ms }
 
+(* --- telemetry subscriptions --- *)
+
+(* One subscription per connection: re-subscribing replaces the old
+   stream set and cadence instead of stacking a second stream. *)
+let register_sub t sub =
+  Mutex.lock t.subs_mutex;
+  t.subs <- sub :: List.filter (fun s -> s.sub_conn != sub.sub_conn) t.subs;
+  Mutex.unlock t.subs_mutex
+
+let remove_subs t conn =
+  Mutex.lock t.subs_mutex;
+  t.subs <- List.filter (fun s -> s.sub_conn != conn) t.subs;
+  Mutex.unlock t.subs_mutex
+
+let subs_snapshot t =
+  Mutex.lock t.subs_mutex;
+  let s = t.subs in
+  Mutex.unlock t.subs_mutex;
+  s
+
+(* Every energy-jsonl chunk a worker streams to its requester is also
+   forwarded to energy subscribers, tagged with their subscribe id. *)
+let broadcast_energy t frame =
+  List.iter
+    (fun sub ->
+      if List.mem `Energy sub.sub_streams then
+        send_frame sub.sub_conn ~id:sub.sub_rid frame)
+    (subs_snapshot t)
+
+let metrics_reply t ~seq =
+  Protocol.Metrics_reply
+    {
+      Protocol.metrics_seq = seq;
+      snapshot = Telemetry.snapshot t.telemetry;
+      metrics_rendered = Telemetry.render t.telemetry;
+    }
+
+(* The ticker serves all subscriptions from one thread with blocking
+   best-effort writes: a stalled subscriber can delay its peers'
+   snapshots (documented backpressure rule, DESIGN.md section 16) but
+   never a worker, and a dead one fails its write, loses [alive], and is
+   dropped on the next tick. *)
+let ticker_loop t =
+  while not (Atomic.get t.stopped) do
+    Thread.delay tick_interval;
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun sub ->
+        if not sub.sub_conn.alive then remove_subs t sub.sub_conn
+        else if now >= sub.sub_due then begin
+          sub.sub_due <- now +. sub.sub_interval;
+          if List.mem `Metrics sub.sub_streams then begin
+            let seq = sub.sub_metrics_seq in
+            sub.sub_metrics_seq <- seq + 1;
+            send_frame sub.sub_conn ~id:sub.sub_rid (metrics_reply t ~seq)
+          end;
+          if List.mem `Trace sub.sub_streams then begin
+            let events, cursor, missed =
+              Telemetry.chrome_chunk t.telemetry sub.sub_cursor
+            in
+            sub.sub_cursor <- cursor;
+            let events =
+              if sub.sub_meta_sent then events
+              else begin
+                sub.sub_meta_sent <- true;
+                Telemetry.chrome_metadata ~workers:t.domains () @ events
+              end
+            in
+            if events <> [] || missed > 0 then begin
+              let seq = sub.sub_trace_seq in
+              sub.sub_trace_seq <- seq + 1;
+              send_frame sub.sub_conn ~id:sub.sub_rid
+                (Protocol.Trace_chunk
+                   {
+                     Protocol.trace_seq = seq;
+                     trace_events = events;
+                     trace_missed = missed;
+                   })
+            end
+          end
+        end)
+      (subs_snapshot t)
+  done
+
 (* --- reader threads --- *)
 
+let kind_of_request = function
+  | Protocol.Run _ -> Telemetry.kind_run
+  | Protocol.Explore _ -> Telemetry.kind_explore
+  | Protocol.Replay _ -> Telemetry.kind_replay
+  | Protocol.Stats -> Telemetry.kind_stats
+  | Protocol.Metrics -> Telemetry.kind_metrics
+  | Protocol.Subscribe _ -> Telemetry.kind_subscribe
+  | Protocol.Unsubscribe -> Telemetry.kind_unsubscribe
+  | Protocol.Shutdown -> Telemetry.kind_shutdown
+
+let control_done t ~frames =
+  Protocol.Done
+    {
+      Protocol.frames;
+      latency_ms = 0.0;
+      done_worker = -1;
+      done_pool = pool_snapshot t.pool;
+    }
+
 let handle_request t conn ~id request =
+  let span =
+    Telemetry.span_accept t.telemetry ~conn:conn.conn_id
+      ~kind:(kind_of_request request)
+  in
   match request with
   | Protocol.Shutdown ->
     (* Control path: the drain flag flips before the ack goes out, so a
        client that saw the ack may rely on the daemon refusing new work. *)
     drain t;
-    send_frame conn ~id
-      (Protocol.Done
-         {
-           Protocol.frames = 0;
-           latency_ms = 0.0;
-           done_worker = -1;
-           done_pool = pool_snapshot t.pool;
-         })
+    Telemetry.finish_control t.telemetry span ~frames:1;
+    send_frame conn ~id (control_done t ~frames:0)
   | Protocol.Stats ->
     (* Control path: served inline on the reader thread so a daemon
-       whose queue is saturated (or draining) stays observable. *)
+       whose queue is saturated (or draining) stays observable.  Like
+       jobs, the span closes before the terminator ships. *)
     send_frame conn ~id (Protocol.Stats_reply (stats_body t));
+    Telemetry.finish_control t.telemetry span ~frames:2;
+    send_frame conn ~id (control_done t ~frames:1)
+  | Protocol.Metrics ->
+    send_frame conn ~id (metrics_reply t ~seq:0);
+    Telemetry.finish_control t.telemetry span ~frames:2;
+    send_frame conn ~id (control_done t ~frames:1)
+  | Protocol.Subscribe s ->
+    register_sub t
+      {
+        sub_conn = conn;
+        sub_rid = id;
+        sub_streams = s.Protocol.streams;
+        sub_interval = float_of_int s.Protocol.interval_ms /. 1000.0;
+        (* First snapshot lands on the next tick, not an interval out:
+           a subscriber sees data immediately. *)
+        sub_due = 0.0;
+        sub_metrics_seq = 0;
+        sub_trace_seq = 0;
+        sub_cursor = Telemetry.start_cursor;
+        sub_meta_sent = false;
+      };
+    (* The ack terminates the request; the stream itself is unsolicited
+       frames tagged with this request's id, ended by [unsubscribe] or
+       disconnect. *)
+    Telemetry.finish_control t.telemetry span ~frames:1;
     send_frame conn ~id
-      (Protocol.Done
+      (Protocol.Subscribed
          {
-           Protocol.frames = 1;
-           latency_ms = 0.0;
-           done_worker = -1;
-           done_pool = pool_snapshot t.pool;
+           Protocol.sub_streams = s.Protocol.streams;
+           sub_interval_ms = s.Protocol.interval_ms;
          })
+  | Protocol.Unsubscribe ->
+    remove_subs t conn;
+    Telemetry.finish_control t.telemetry span ~frames:1;
+    send_frame conn ~id (control_done t ~frames:0)
   | Protocol.Run _ | Protocol.Explore _ | Protocol.Replay _ ->
     let job =
       {
@@ -263,6 +424,7 @@ let handle_request t conn ~id request =
         job_conn = conn;
         request;
         enqueued_at = Unix.gettimeofday ();
+        span;
       }
     in
     (* Holding the write mutex across push + accepted keeps the
@@ -270,11 +432,12 @@ let handle_request t conn ~id request =
        produce; the queue lock nests inside the connection lock only
        here, and workers never take them in the reverse order. *)
     Mutex.lock conn.write_mutex;
-    let pushed = Jobq.push t.queue job in
+    let pushed = Jobq.push t.queue ~client:conn.conn_id job in
     (match pushed with
     | Jobq.Enqueued depth ->
       Atomic.incr t.accepted;
       Atomic.incr conn.pending;
+      Telemetry.span_enqueued t.telemetry span ~queue_depth:depth;
       if conn.alive then (
         try Framing.write_json conn.fd
               (Protocol.frame_to_json ~id (Protocol.Accepted depth))
@@ -285,11 +448,13 @@ let handle_request t conn ~id request =
     | Jobq.Enqueued _ -> ()
     | Jobq.Full ->
       Atomic.incr t.rejected;
+      Telemetry.span_rejected t.telemetry span;
       send_frame conn ~id
         (error_frame Protocol.Busy "queue full"
            ~retry_after_ms:(retry_after_ms t) ())
     | Jobq.Draining ->
       Atomic.incr t.rejected;
+      Telemetry.span_rejected t.telemetry span;
       send_frame conn ~id
         (error_frame Protocol.Draining "server is draining" ()))
 
@@ -350,6 +515,8 @@ let reader_loop t conn =
      shutdown unregister so dead connections do not pile up — during
      shutdown [serve] owns the lists and the final close. *)
   conn.eof <- true;
+  (* A disconnecting subscriber must stop costing ticker writes. *)
+  remove_subs t conn;
   if Atomic.get conn.pending = 0 then close_conn conn;
   if not (Atomic.get t.stopped) then begin
     let self = Thread.id (Thread.self ()) in
@@ -381,6 +548,7 @@ let accept_loop t (lfd, kind) =
            with Unix.Unix_error _ -> ());
           let conn =
             {
+              conn_id = Atomic.fetch_and_add t.next_conn_id 1;
               fd;
               write_mutex = Mutex.create ();
               alive = true;
@@ -416,18 +584,27 @@ let run_job t ~worker job =
   let frames = ref 0 in
   let send frame =
     incr frames;
+    (match frame with
+    | Protocol.Energy _ -> broadcast_energy t frame
+    | _ -> ());
     send_frame conn ~id:job.job_id frame
   in
   (try
      Scheduler.execute ~pool:t.pool ~stats:(fun () -> stats_body t) ~send
        job.request;
-     Atomic.incr t.completed
+     Atomic.incr t.completed;
+     Telemetry.span_executed t.telemetry job.span ~ok:true
    with e ->
      Atomic.incr t.failed;
+     Telemetry.span_executed t.telemetry job.span ~ok:false;
      send
        (error_frame Protocol.Failed
           (Printf.sprintf "job failed: %s" (Printexc.to_string e))
           ()));
+  (* The span closes BEFORE the done frame ships: a client that has seen
+     its [done] and immediately asks for a metrics snapshot must find
+     the job accounted — the reconciliation the soak harness checks. *)
+  Telemetry.span_done t.telemetry job.span ~frames:(!frames + 1);
   send_frame conn ~id:job.job_id
     (Protocol.Done
        {
@@ -444,6 +621,8 @@ let worker_loop t worker =
     match Jobq.pop t.queue with
     | None -> ()
     | Some job ->
+      Telemetry.span_dequeued t.telemetry job.span ~worker
+        ~queue_depth:(Jobq.depth t.queue);
       run_job t ~worker job;
       loop ()
   in
@@ -479,6 +658,7 @@ let serve t =
   t.served <- true;
   let restore = if t.handle_signals then install_signals t else [] in
   let watcher = Thread.create signal_watcher t in
+  let ticker = Thread.create ticker_loop t in
   let acceptors = List.map (fun l -> Thread.create (accept_loop t) l) t.listeners in
   (* Worker 0 is this thread; the rest are pool domains.  [iter] returns
      once every worker saw the queue drained and empty. *)
@@ -491,6 +671,10 @@ let serve t =
   (* Drained.  Tear down in dependency order: acceptors (no new
      connections), readers (no new requests), then the descriptors. *)
   Atomic.set t.stopped true;
+  Thread.join ticker;
+  Mutex.lock t.subs_mutex;
+  t.subs <- [];
+  Mutex.unlock t.subs_mutex;
   List.iter Thread.join acceptors;
   List.iter (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
     t.listeners;

@@ -58,3 +58,9 @@ val tcp_port : t -> int option
 val pool : t -> Core.Pool.t
 (** The server's session/plan pool — its counters feed the [stats]
     request and the [done] frames. *)
+
+val telemetry : t -> Telemetry.t
+(** The server's telemetry registry — per-request spans, per-kind and
+    per-client histograms, and the rings behind [metrics]/[trace]
+    subscription frames.  Useful after {!serve} returns to export a
+    whole-daemon trace ([smartcard serve --trace-out]). *)

@@ -162,6 +162,9 @@ let test_request_codec () =
           adaptive = false;
         };
       P.Stats;
+      P.Metrics;
+      P.Subscribe { P.streams = [ `Metrics; `Trace; `Energy ]; interval_ms = 50 };
+      P.Unsubscribe;
       P.Shutdown;
     ]
   in
@@ -823,16 +826,410 @@ let test_sigint_drains () =
 
 let test_jobq () =
   let q = Serve.Jobq.create ~capacity:2 in
-  check_bool "push 1" true (Serve.Jobq.push q 1 = Serve.Jobq.Enqueued 1);
-  check_bool "push 2" true (Serve.Jobq.push q 2 = Serve.Jobq.Enqueued 2);
-  check_bool "push to full queue" true (Serve.Jobq.push q 3 = Serve.Jobq.Full);
+  check_bool "push 1" true
+    (Serve.Jobq.push q ~client:1 1 = Serve.Jobq.Enqueued 1);
+  check_bool "push 2" true
+    (Serve.Jobq.push q ~client:1 2 = Serve.Jobq.Enqueued 2);
+  check_bool "push to full queue" true
+    (Serve.Jobq.push q ~client:2 3 = Serve.Jobq.Full);
   check_bool "pop 1" true (Serve.Jobq.pop q = Some 1);
   Serve.Jobq.drain q;
-  check_bool "push while draining" true (Serve.Jobq.push q 4 = Serve.Jobq.Draining);
+  check_bool "push while draining" true
+    (Serve.Jobq.push q ~client:1 4 = Serve.Jobq.Draining);
   (* Accepted items survive the drain... *)
   check_bool "drained pop yields accepted item" true (Serve.Jobq.pop q = Some 2);
   (* ... and only then does the queue report empty. *)
   check_bool "then signals exhaustion" true (Serve.Jobq.pop q = None)
+
+let test_jobq_round_robin () =
+  (* Client 10 piles up a backlog before clients 20 and 30 arrive with a
+     job each: dequeue must interleave the clients rather than drain
+     10's backlog first. *)
+  let q = Serve.Jobq.create ~capacity:16 in
+  let push client job =
+    match Serve.Jobq.push q ~client job with
+    | Serve.Jobq.Enqueued _ -> ()
+    | Serve.Jobq.Full | Serve.Jobq.Draining -> Alcotest.fail "push refused"
+  in
+  List.iter (push 10) [ "a1"; "a2"; "a3" ];
+  push 20 "b1";
+  push 30 "c1";
+  push 20 "b2";
+  let order =
+    List.init 6 (fun _ ->
+        match Serve.Jobq.pop q with
+        | Some j -> j
+        | None -> Alcotest.fail "queue exhausted early")
+  in
+  check_bool "round-robin interleaves clients" true
+    (order = [ "a1"; "b1"; "c1"; "a2"; "b2"; "a3" ]);
+  (* An emptied client leaves the rotation entirely and re-enters at the
+     tail on its next push. *)
+  push 10 "a4";
+  push 20 "b3";
+  check_bool "fresh rotation after exhaustion" true
+    (Serve.Jobq.pop q = Some "a4" && Serve.Jobq.pop q = Some "b3");
+  (* A pop on an idle queue blocks for more work by design; only a
+     draining queue reports exhaustion. *)
+  Serve.Jobq.drain q;
+  check_bool "exhausted once draining" true (Serve.Jobq.pop q = None)
+
+(* --- telemetry plane (DESIGN.md section 16) --- *)
+
+let quick_run ?(n = 8) () =
+  P.Run
+    { P.workload = P.Table3 n; level = Core.Level.L1; mode = `Serial;
+      estimate = true; profile = false; compiled = false }
+
+(* Reads [requests.<kind>.<field>] out of a telemetry snapshot. *)
+let snapshot_kind_count snapshot ~kind ~field =
+  match Obs.Json.member "requests" snapshot with
+  | None -> -1
+  | Some reqs -> (
+    match Obs.Json.member kind reqs with
+    | None -> 0
+    | Some k ->
+      Option.value ~default:(-1)
+        (Option.bind (Obs.Json.member field k) Obs.Json.int_opt))
+
+let find_metrics frames =
+  List.find_map (function P.Metrics_reply m -> Some m | _ -> None) frames
+
+let test_metrics_request () =
+  with_server ~domains:1 (fun server path ->
+      with_client path (fun c ->
+          ignore (frames_exn (Serve.Client.request c (quick_run ())));
+          let frames = frames_exn (Serve.Client.request c P.Metrics) in
+          check_bool "terminated with done" true (has_done frames);
+          match find_metrics frames with
+          | None -> Alcotest.fail "no metrics frame"
+          | Some m ->
+            check_int "one-shot snapshot has seq 0" 0 m.P.metrics_seq;
+            check_bool "rendered tables present" true
+              (String.length m.P.metrics_rendered > 0);
+            check_int "snapshot accounts the completed run" 1
+              (snapshot_kind_count m.P.snapshot ~kind:"run" ~field:"completed");
+            check_bool "span ring populated for post-drain export" true
+              (Serve.Telemetry.spans_total (Serve.Server.telemetry server)
+              >= 1)))
+
+(* B/E spans balance per (tid) lane and never close an unopened span —
+   the structural validity Perfetto demands of the streamed chunks. *)
+let check_chrome_events events =
+  let depth = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let ph =
+        Option.bind (Obs.Json.member "ph" ev) Obs.Json.string_opt
+        |> Option.value ~default:"?"
+      in
+      let tid =
+        Option.bind (Obs.Json.member "tid" ev) Obs.Json.int_opt
+        |> Option.value ~default:(-1)
+      in
+      let d = try Hashtbl.find depth tid with Not_found -> 0 in
+      match ph with
+      | "B" -> Hashtbl.replace depth tid (d + 1)
+      | "E" ->
+        check_bool "E only closes an open B" true (d > 0);
+        Hashtbl.replace depth tid (d - 1)
+      | _ -> ())
+    events;
+  Hashtbl.iter (fun _ d -> check_int "all spans closed" 0 d) depth
+
+let test_subscribe_lifecycle () =
+  with_server ~domains:2 (fun _server path ->
+      let sub = Serve.Client.connect (`Unix path) in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close sub)
+        (fun () ->
+          (match
+             Serve.Client.subscribe ~id:42 ~interval_ms:50 sub
+               ~streams:[ `Metrics; `Trace ]
+           with
+          | Ok id -> check_int "subscribe id echoed" 42 id
+          | Error e -> Alcotest.failf "subscribe failed: %s" e);
+          (* Work arrives on a second connection while subscribed. *)
+          with_client path (fun c ->
+              for _ = 1 to 3 do
+                ignore (frames_exn (Serve.Client.request c (quick_run ())))
+              done);
+          (* Snapshots tick until one accounts all three runs exactly —
+             the streamed ledger reconciling with the client-observed
+             count — and at least one chunk carries trace events. *)
+          let metrics = ref [] and events = ref [] in
+          let reconciled m =
+            snapshot_kind_count m.P.snapshot ~kind:"run" ~field:"completed"
+            = 3
+          in
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while
+            (not (List.exists reconciled !metrics))
+            || !events = []
+            || List.length !metrics < 2
+          do
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "subscription never reconciled";
+            match Serve.Client.read_typed sub with
+            | Ok (id, P.Metrics_reply m) ->
+              check_bool "stream frame tagged with subscribe id" true
+                (id = Obs.Json.Int 42);
+              metrics := m :: !metrics
+            | Ok (_, P.Trace_chunk tc) ->
+              check_int "no ring overwrites at this volume" 0
+                tc.P.trace_missed;
+              events := !events @ tc.P.trace_events
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "subscriber stream: %s" e
+          done;
+          (* Sequence numbers count up from 0 without gaps. *)
+          List.iteri
+            (fun i (m : P.metrics_body) -> check_int "metrics seq" i m.P.metrics_seq)
+            (List.rev !metrics);
+          check_bool "several snapshots at the 50 ms cadence" true
+            (List.length !metrics >= 2);
+          (* Chunked Chrome events concatenate into a valid document:
+             metadata first chunk, worker-lane B/E pairs balanced. *)
+          check_bool "metadata names the lanes" true
+            (List.exists
+               (fun ev ->
+                 Option.bind (Obs.Json.member "ph" ev) Obs.Json.string_opt
+                 = Some "M")
+               !events);
+          check_chrome_events !events;
+          (* Unsubscribe acks and the stream goes quiet: at most the one
+             tick already in flight may trail the ack. *)
+          (match Serve.Client.unsubscribe sub with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "unsubscribe failed: %s" e);
+          let rec drain_trailing n =
+            let readable, _, _ =
+              Unix.select [ Serve.Client.fd sub ] [] [] 0.15
+            in
+            if readable <> [] then begin
+              check_bool "bounded trailing frames" true (n < 3);
+              (match Serve.Client.read_typed sub with
+              | Ok (_, (P.Metrics_reply _ | P.Trace_chunk _)) -> ()
+              | Ok (_, _) -> Alcotest.fail "unexpected trailing frame"
+              | Error e -> Alcotest.failf "trailing read: %s" e);
+              drain_trailing (n + 1)
+            end
+          in
+          drain_trailing 0;
+          (* The connection stays aligned for ordinary requests. *)
+          let frames = frames_exn (Serve.Client.request sub P.Stats) in
+          check_bool "stats after unsubscribe" true (has_done frames)))
+
+let test_subscriber_disconnect () =
+  with_server ~domains:2 (fun _server path ->
+      (* A subscriber that vanishes cold (no unsubscribe, no handshake)
+         must cost the daemon nothing: the ticker drops it and the
+         workers never notice. *)
+      let sub = Serve.Client.connect (`Unix path) in
+      (match
+         Serve.Client.subscribe ~interval_ms:20 sub
+           ~streams:[ `Metrics; `Trace; `Energy ]
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "subscribe failed: %s" e);
+      (* Let at least one tick flow so the death happens mid-stream. *)
+      (match Serve.Client.read_typed sub with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "first stream frame: %s" e);
+      Serve.Client.close sub;
+      with_client path (fun c ->
+          for _ = 1 to 3 do
+            check_bool "request completes after subscriber death" true
+              (has_done (frames_exn (Serve.Client.request c (quick_run ()))))
+          done;
+          (* A couple of ticker periods later the daemon is still fully
+             responsive — the dead subscriber cost at most one failed
+             write. *)
+          Thread.delay 0.1;
+          let frames = frames_exn (Serve.Client.request c P.Stats) in
+          check_bool "stats after subscriber death" true (has_done frames)))
+
+let test_telemetry_reconciles_concurrent () =
+  (* 8 clients, 3 requests each, then one fresh connection reads the
+     daemon's ledger: every accepted job must be accounted completed,
+     and the per-client rows must sum to the same total. *)
+  with_server ~domains:4 (fun _server path ->
+      let n = 8 and per_client = 3 in
+      let errors = Array.make n None in
+      let worker i =
+        try
+          let c = Serve.Client.connect (`Unix path) in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close c)
+            (fun () ->
+              for _ = 1 to per_client do
+                let frames =
+                  frames_exn
+                    (Serve.Client.request_retrying c (quick_run ~n:(8 + i) ()))
+                in
+                if not (has_done frames) then failwith "no done frame"
+              done)
+        with e -> errors.(i) <- Some (Printexc.to_string e)
+      in
+      let threads = List.init n (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Array.iter
+        (function
+          | Some e -> Alcotest.failf "client thread failed: %s" e
+          | None -> ())
+        errors;
+      with_client path (fun c ->
+          let frames = frames_exn (Serve.Client.request c P.Metrics) in
+          match find_metrics frames with
+          | None -> Alcotest.fail "no metrics frame"
+          | Some m ->
+            check_int "every run accounted completed" (n * per_client)
+              (snapshot_kind_count m.P.snapshot ~kind:"run" ~field:"completed");
+            check_int "nothing failed" 0
+              (snapshot_kind_count m.P.snapshot ~kind:"run" ~field:"failed");
+            (* The per-client ledger sums to the same total. *)
+            let client_sum =
+              match Obs.Json.member "clients" m.P.snapshot with
+              | Some (Obs.Json.Obj clients) ->
+                List.fold_left
+                  (fun acc (_, cl) ->
+                    acc
+                    + Option.value ~default:0
+                        (Option.bind
+                           (Obs.Json.member "completed" cl)
+                           Obs.Json.int_opt))
+                  0 clients
+              | Some _ | None -> -1
+            in
+            check_int "per-client rows sum to the total" (n * per_client)
+              client_sum))
+
+let test_round_robin_wire_fairness () =
+  (* One worker: client A pipelines a backlog of slow gate-level jobs,
+     then client B sends a single quick one.  Per-client round-robin
+     must schedule B's job ahead of A's backlog, so B finishes while A
+     still has jobs queued. *)
+  with_server ~domains:1 ~queue_depth:32 (fun _server path ->
+      let a = Serve.Client.connect (`Unix path) in
+      let b = Serve.Client.connect (`Unix path) in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Client.close a;
+          Serve.Client.close b)
+        (fun () ->
+          let slow =
+            P.Run
+              { P.workload = P.Table3 200; level = Core.Level.Rtl;
+                mode = `Serial; estimate = true; profile = false;
+                compiled = false }
+          in
+          let n = 5 in
+          for id = 1 to n do
+            ignore (Serve.Client.send ~id a slow)
+          done;
+          let accepted = ref 0 and dones = ref 0 in
+          let a_err = ref None in
+          let a_last_done = ref 0.0 in
+          let a_thread =
+            Thread.create
+              (fun () ->
+                while !dones < n && !a_err = None do
+                  match Serve.Client.read_typed a with
+                  | Ok (_, P.Accepted _) -> incr accepted
+                  | Ok (_, P.Done _) ->
+                    incr dones;
+                    a_last_done := Unix.gettimeofday ()
+                  | Ok (_, P.Error e) -> a_err := Some e.P.message
+                  | Ok _ -> ()
+                  | Error e -> a_err := Some e
+                done)
+              ()
+          in
+          (* Wait until A's backlog is actually enqueued. *)
+          while !accepted < n && !a_err = None do
+            Thread.delay 0.001
+          done;
+          let frames = frames_exn (Serve.Client.request b (quick_run ())) in
+          let b_done = Unix.gettimeofday () in
+          check_bool "b finished" true (has_done frames);
+          Thread.join a_thread;
+          (match !a_err with
+          | Some e -> Alcotest.failf "client A stream: %s" e
+          | None -> ());
+          check_bool
+            "round-robin served the newcomer before the backlog drained"
+            true
+            (b_done < !a_last_done)))
+
+(* --- telemetry frame codecs (property) --- *)
+
+let gen_stream =
+  QCheck.Gen.oneofl ([ `Metrics; `Trace; `Energy ] : P.stream list)
+
+let gen_telemetry_frame =
+  let open QCheck.Gen in
+  let small = int_bound 10_000 in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let sane_float = map (fun i -> float_of_int i /. 16.0) small in
+  let flat_json =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun i -> Obs.Json.Int i) small;
+        map (fun f -> Obs.Json.Float f) sane_float;
+        map (fun s -> Obs.Json.String s) name;
+        map (fun kvs -> Obs.Json.Obj kvs) (list_size (int_bound 4) (pair name (map (fun i -> Obs.Json.Int i) small)));
+      ]
+  in
+  let trace_event =
+    map2
+      (fun n (ts, tid) ->
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.String n);
+            ("ph", Obs.Json.String "B");
+            ("ts", Obs.Json.Int ts);
+            ("pid", Obs.Json.Int 1);
+            ("tid", Obs.Json.Int tid);
+          ])
+      name (pair small small)
+  in
+  oneof
+    [
+      map2
+        (fun seq (snapshot, rendered) ->
+          P.Metrics_reply
+            { P.metrics_seq = seq; snapshot; metrics_rendered = rendered })
+        small
+        (pair flat_json name);
+      map2
+        (fun (seq, missed) events ->
+          P.Trace_chunk
+            { P.trace_seq = seq; trace_events = events; trace_missed = missed })
+        (pair small small)
+        (list_size (int_bound 5) trace_event);
+      map2
+        (fun streams interval ->
+          P.Subscribed
+            { P.sub_streams = streams; sub_interval_ms = 10 + interval })
+        (list_size (int_range 1 3) gen_stream)
+        small;
+    ]
+
+let prop_telemetry_frame_roundtrip =
+  QCheck.Test.make ~name:"telemetry frames round-trip the wire codec"
+    ~count:500
+    (QCheck.make gen_telemetry_frame)
+    (fun frame ->
+      let doc = P.frame_to_json ~id:(Obs.Json.Int 9) frame in
+      match P.frame_of_json doc with
+      | Ok (id, frame') ->
+        (id = Obs.Json.Int 9 && frame = frame')
+        || QCheck.Test.fail_reportf "decoded differently: %s"
+             (Obs.Json.to_string doc)
+      | Error e ->
+        QCheck.Test.fail_reportf "does not decode: %s (%s)" e
+          (Obs.Json.to_string doc))
 
 let suite =
   [
@@ -842,6 +1239,9 @@ let suite =
       test_framing_stop;
     Alcotest.test_case "request codec and validation" `Quick test_request_codec;
     Alcotest.test_case "jobq bounded/drain semantics" `Quick test_jobq;
+    Alcotest.test_case "jobq per-client round-robin" `Quick
+      test_jobq_round_robin;
+    QCheck_alcotest.to_alcotest prop_telemetry_frame_roundtrip;
     Alcotest.test_case "malformed frames get error frames" `Quick
       test_malformed_frames;
     Alcotest.test_case "failed error does not desync the stream" `Quick
@@ -859,4 +1259,13 @@ let suite =
     Alcotest.test_case "shutdown drains in-flight work" `Quick
       test_shutdown_drains;
     Alcotest.test_case "SIGINT drains gracefully" `Quick test_sigint_drains;
+    Alcotest.test_case "one-shot metrics request" `Quick test_metrics_request;
+    Alcotest.test_case "subscribe/unsubscribe lifecycle" `Quick
+      test_subscribe_lifecycle;
+    Alcotest.test_case "subscriber disconnect never stalls workers" `Quick
+      test_subscriber_disconnect;
+    Alcotest.test_case "telemetry reconciles under 8 clients" `Quick
+      test_telemetry_reconciles_concurrent;
+    Alcotest.test_case "round-robin fairness over the wire" `Quick
+      test_round_robin_wire_fairness;
   ]
