@@ -320,6 +320,39 @@ let serve_env =
      ignore (Thread.create Serve.Server.serve server);
      path)
 
+(* Multi-master fabric: the same stimulus pool replayed by 1, 2 or 3
+   arbitrated masters at every timed level, so the trajectory records
+   what contention costs per level and how the fabric overhead scales
+   with the master count. *)
+let bench_fabric =
+  let masters count =
+    match count with
+    | 1 -> [ (Core.Contention.Cpu, Core.Workloads.table3_trace ~n:128) ]
+    | n ->
+      List.filteri
+        (fun i _ -> i < n)
+        (Core.Contention.default_masters ~n:128 Core.Contention.Single)
+  in
+  let run level count () =
+    ignore (Core.Contention.run ~level ~mode:`Serial (masters count))
+  in
+  let tests =
+    List.concat_map
+      (fun (tag, level) ->
+        List.map
+          (fun count ->
+            Test.make
+              ~name:(Printf.sprintf "%s-%dm" tag count)
+              (Staged.stage (run level count)))
+          [ 1; 2; 3 ])
+      [
+        ("gate-level", Core.Level.Rtl);
+        ("tl-layer-1", Core.Level.L1);
+        ("tl-layer-2", Core.Level.L2);
+      ]
+  in
+  Test.make_grouped ~name:"fabric/contention" tests
+
 let bench_serve =
   let conn = lazy (Serve.Client.connect (`Unix (Lazy.force serve_env))) in
   let roundtrip () = serve_run_request (Lazy.force conn) in
@@ -679,6 +712,71 @@ let print_compiled_smoke () =
         failwith "compiled replay diverged from interpretation")
     [ Core.Level.L1; Core.Level.L2 ]
 
+(* Fabric smoke: at every timed level, (a) a single master behind the
+   arbitrated fabric reproduces the direct single-master run bit for
+   bit, and (b) with three contending masters the per-master energy
+   buckets sum exactly to the fabric total — so an attribution or
+   arbitration regression is visible in every runtest log. *)
+let print_fabric_smoke () =
+  section "Fabric smoke (degenerate = direct, attribution conserves)";
+  let trace = Core.Workloads.table3_trace ~n:64 in
+  List.iter
+    (fun level ->
+      let direct =
+        Core.Runner.run_trace ~level ~mode:`Serial ~estimate:true trace
+      in
+      let fab =
+        Core.Contention.run ~level ~mode:`Serial
+          [ (Core.Contention.Cpu, trace) ]
+      in
+      let row = List.hd fab.Core.Contention.rows in
+      (* The gate-level [total_pj] sums its two phase accumulators while
+         the fabric bucket replays the meter's own commit order — same
+         increments, different float association, so rtl is compared to
+         an ulp; the transaction levels are meter-backed on both sides
+         and must agree exactly (see DESIGN.md 17.3). *)
+      let energy_ok =
+        let a = direct.Core.Runner.bus_pj
+        and b = row.Core.Contention.energy_pj in
+        if level = Core.Level.Rtl then
+          Float.abs (a -. b) <= 1e-9 *. Float.max (Float.abs a) (Float.abs b)
+        else a = b
+      in
+      let exact =
+        energy_ok
+        && direct.Core.Runner.cycles = fab.Core.Contention.cycles
+        && direct.Core.Runner.txns = row.Core.Contention.txns
+      in
+      let three =
+        Core.Contention.run ~level ~mode:`Serial
+          (Core.Contention.default_masters ~n:64 Core.Contention.Single)
+      in
+      let sum =
+        List.fold_left
+          (fun acc (r : Core.Contention.master_row) ->
+            acc +. r.Core.Contention.energy_pj)
+          0.0 three.Core.Contention.rows
+      in
+      let conserved = sum = three.Core.Contention.fabric_pj in
+      Printf.printf
+        "%s: 1-master fabric %s direct (%d cycles, %.1f pJ); 3-master \
+         buckets %s total (%.1f pJ)\n"
+        (Core.Level.to_string level)
+        (if exact then "=" else "DIFFERS from")
+        fab.Core.Contention.cycles row.Core.Contention.energy_pj
+        (if conserved then "sum exactly to" else "DO NOT sum to")
+        three.Core.Contention.fabric_pj;
+      if not exact then
+        Printf.printf
+          "  direct: %d cycles %d txns %.6f pJ vs fabric: %d cycles %d txns \
+           %.6f pJ\n"
+          direct.Core.Runner.cycles direct.Core.Runner.txns
+          direct.Core.Runner.bus_pj fab.Core.Contention.cycles
+          row.Core.Contention.txns row.Core.Contention.energy_pj;
+      if not (exact && conserved) then
+        failwith "fabric smoke: attribution or degenerate equality broken")
+    Core.Level.timed
+
 (* Serve smoke: its own short-lived daemon (not the leaked benchmark
    one), one run request compared bit-for-bit against the direct
    in-process call, then a clean drain — so a wire or drain regression
@@ -783,6 +881,7 @@ let micro_groups =
     ("pool/sessions", bench_pool);
     ("compiled/replay", bench_compiled);
     ("serve/requests", bench_serve);
+    ("fabric/contention", bench_fabric);
   ]
 
 let run_micro () =
@@ -841,6 +940,7 @@ let () =
     print_obs_smoke ();
     print_pool_smoke ();
     print_compiled_smoke ();
+    print_fabric_smoke ();
     print_serve_smoke ();
     (* Kept light: the smoke alias runs alongside the test suites under
        [dune runtest], and the integration perf checks are wall-clock
@@ -849,6 +949,24 @@ let () =
   | "micro" -> if json then run_micro_json () else run_micro ()
   | "serve-soak" ->
     if json then serve_soak_json () else print_serve_soak ()
+  | "fabric" ->
+    (* Just the contention trajectory group (plus the study table when
+       human-readable): the quick loop for fabric work. *)
+    if json then
+      List.iter
+        (fun (name, ns) ->
+          Printf.printf "{\"group\": \"fabric/contention\", \"name\": \"%s\", \"ns_per_run\": %.1f}\n"
+            (json_escape name) ns)
+        (measure_group bench_fabric)
+    else begin
+      section "Fabric contention (wall time per run)";
+      List.iter
+        (fun (name, ns) ->
+          Printf.printf "  %-55s %12.1f us/run\n" name (ns /. 1000.0))
+        (measure_group bench_fabric);
+      print_newline ();
+      print_string (Core.Contention.render_study (Core.Contention.study ()))
+    end
   | "adaptive" -> print_adaptive ()
   | "ablations" -> print_ablations ()
   | "extensions" -> print_extensions ()

@@ -15,6 +15,7 @@ let level_conv =
     | "rtl" | "gate" | "gate-level" -> Ok Core.Level.Rtl
     | "l1" | "tl1" | "layer1" -> Ok Core.Level.L1
     | "l2" | "tl2" | "layer2" -> Ok Core.Level.L2
+    | "l3" | "tl3" | "layer3" -> Ok Core.Level.L3
     | s -> Error (`Msg (Printf.sprintf "unknown level %S (rtl|l1|l2)" s))
   in
   let print ppf l = Format.pp_print_string ppf (Core.Level.to_string l) in
@@ -281,6 +282,65 @@ let explore_cmd =
 
 (* --- run --- *)
 
+let arbiter_conv =
+  let parse s =
+    match Ec.Arbiter.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown arbiter %S (fixed|rr|wrr:w0,w1,..)" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Ec.Arbiter.policy_to_string p))
+
+let topology_conv =
+  let parse s =
+    match Core.Contention.topology_of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown topology %S (single|bridged)" s))
+  in
+  Arg.conv
+    (parse, fun fmt t -> Format.pp_print_string fmt (Core.Contention.topology_to_string t))
+
+let masters_conv =
+  let parse s =
+    match Core.Contention.kind_of_string s with
+    | Some Core.Contention.Cpu | None ->
+      Error (`Msg (Printf.sprintf "unknown master %S (dma|crypto)" s))
+    | Some k -> Ok k
+  in
+  Arg.conv
+    (parse, fun fmt k -> Format.pp_print_string fmt (Core.Contention.kind_to_string k))
+
+let render_contention (r : Core.Contention.result) =
+  Printf.printf "fabric:       %s arbiter, %s topology\n"
+    (Ec.Arbiter.policy_to_string r.Core.Contention.policy)
+    (Core.Contention.topology_to_string r.Core.Contention.topology);
+  Printf.printf "cycles:       %d\n" r.Core.Contention.cycles;
+  Printf.printf "fabric energy: %.1f pJ (bus models report %.1f; bridge %.1f over %d crossings)\n"
+    r.Core.Contention.fabric_pj r.Core.Contention.bus_pj
+    r.Core.Contention.bridge_pj r.Core.Contention.crossings;
+  let body =
+    List.map
+      (fun (row : Core.Contention.master_row) ->
+        [
+          Core.Contention.kind_to_string row.Core.Contention.kind;
+          string_of_int row.Core.Contention.txns;
+          string_of_int row.Core.Contention.beats;
+          string_of_int row.Core.Contention.errors;
+          string_of_int row.Core.Contention.grants;
+          Printf.sprintf "%.1f" row.Core.Contention.energy_pj;
+          (if r.Core.Contention.fabric_pj > 0.0 then
+             Printf.sprintf "%.1f%%"
+               (100.0 *. row.Core.Contention.energy_pj
+               /. r.Core.Contention.fabric_pj)
+           else "-");
+        ])
+      r.Core.Contention.rows
+  in
+  print_string
+    (Core.Report.table
+       ~header:[ "Master"; "Txns"; "Beats"; "Errors"; "Grants"; "pJ"; "Share" ]
+       body)
+
 let pp_fault = function
   | Soc.Cpu.Bus_error addr -> Printf.sprintf "bus error at %#x" addr
   | Soc.Cpu.Misaligned addr -> Printf.sprintf "misaligned access at %#x" addr
@@ -313,7 +373,50 @@ let run_cmd =
              --level (l1 or l2) — the microsecond-scale path a sweep over \
              this program's traffic would take.")
   in
-  let run level file profile_out vcd_out trace_out metrics pool compiled =
+  let masters_arg =
+    Arg.(
+      value & opt (list masters_conv) []
+      & info [ "masters" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated extra bus masters (dma, crypto) contending \
+             with the program's traffic through the arbitrated fabric. \
+             The program's captured bus trace drives master 0 (the CPU).")
+  in
+  let arbiter_arg =
+    Arg.(
+      value & opt arbiter_conv Ec.Arbiter.Round_robin
+      & info [ "arbiter" ] ~docv:"POLICY"
+          ~doc:"Fabric arbitration policy: fixed, rr or wrr:w0,w1,...")
+  in
+  let topology_arg =
+    Arg.(
+      value
+      & opt topology_conv Core.Contention.Single
+      & info [ "topology" ] ~docv:"TOPO"
+          ~doc:
+            "Bus topology for --masters runs: single (one shared bus) or \
+             bridged (DMA source behind a bridged far bus).")
+  in
+  let run level file profile_out vcd_out trace_out metrics pool compiled
+      masters arbiter topology =
+    if masters <> [] then begin
+      let program = Soc.Asm.assemble (read_file file) in
+      let cpu_trace = Core.Runner.capture_cpu_trace program in
+      let n = List.length masters + 1 in
+      let extra =
+        List.filter
+          (fun (k, _) -> List.mem k masters)
+          (Core.Contention.default_masters
+             ~n:(max 64 (Ec.Trace.total_txns cpu_trace))
+             topology)
+      in
+      Printf.printf "level:        %s (%d masters)\n"
+        (Core.Level.to_string level) n;
+      render_contention
+        (Core.Contention.run ~level ~policy:arbiter ~topology
+           ((Core.Contention.Cpu, cpu_trace) :: extra))
+    end
+    else begin
     let program = Soc.Asm.assemble (read_file file) in
     let record_profile = profile_out <> None || trace_out <> None in
     let sink = make_sink ~trace_out ~metrics in
@@ -361,7 +464,7 @@ let run_cmd =
     | Some _ | None -> ());
     if compiled then begin
       match level with
-      | Core.Level.Rtl ->
+      | Core.Level.Rtl | Core.Level.L3 ->
         prerr_endline "--compiled needs --level l1 or l2; skipping"
       | Core.Level.L1 | Core.Level.L2 ->
         let trace = Core.Runner.capture_cpu_trace program in
@@ -376,11 +479,40 @@ let run_cmd =
           cr.Core.Runner.cycles cr.Core.Runner.bus_pj
           (cr.Core.Runner.wall_seconds *. 1e6)
     end
+    end
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ level_arg $ file $ profile $ vcd $ trace_out_arg
-      $ metrics_arg $ pool_flag ~default:false $ compiled)
+      $ metrics_arg $ pool_flag ~default:false $ compiled $ masters_arg
+      $ arbiter_arg $ topology_arg)
+
+(* --- fabric --- *)
+
+let fabric_cmd =
+  let doc =
+    "Run the multi-master contention study: arbiter policy x topology x \
+     level over the standard CPU/DMA/crypto stimulus."
+  in
+  let n =
+    Arg.(
+      value & opt int 512
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Stimulus size: CPU transactions / DMA words (default 512).")
+  in
+  let level_opt =
+    Arg.(
+      value & opt (some level_conv) None
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Restrict the study to one abstraction level.")
+  in
+  let run n level =
+    let levels =
+      match level with Some l -> [ l ] | None -> Core.Level.timed
+    in
+    print_string (Core.Contention.render_study (Core.Contention.study ~n ~levels ()))
+  in
+  Cmd.v (Cmd.info "fabric" ~doc) Term.(const run $ n $ level_opt)
 
 (* --- trace --- *)
 
@@ -1012,6 +1144,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tables_cmd; explore_cmd; run_cmd; trace_cmd; characterize_cmd;
-            ablate_cmd; coding_cmd; cache_cmd; disasm_cmd; serve_cmd;
-            client_cmd ]))
+          [ tables_cmd; explore_cmd; run_cmd; fabric_cmd; trace_cmd;
+            characterize_cmd; ablate_cmd; coding_cmd; cache_cmd; disasm_cmd;
+            serve_cmd; client_cmd ]))

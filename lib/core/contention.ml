@@ -1,0 +1,271 @@
+type topology = Single | Bridged
+
+let topology_to_string = function Single -> "single" | Bridged -> "bridged"
+
+let topology_of_string = function
+  | "single" -> Some Single
+  | "bridged" -> Some Bridged
+  | _ -> None
+
+type kind = Cpu | Dma | Crypto
+
+let kind_to_string = function Cpu -> "cpu" | Dma -> "dma" | Crypto -> "crypto"
+
+let kind_of_string = function
+  | "cpu" -> Some Cpu
+  | "dma" -> Some Dma
+  | "crypto" -> Some Crypto
+  | _ -> None
+
+(* Well outside the Figure-1 map (which tops out below 16 MiB). *)
+let far_base = 0x400_0000
+let far_size = 0x1_0000
+let far_window = (far_base, far_base + far_size)
+
+type master_row = {
+  kind : kind;
+  txns : int;
+  beats : int;
+  errors : int;
+  grants : int;
+  energy_pj : float;
+}
+
+type result = {
+  level : Level.t;
+  policy : Ec.Arbiter.policy;
+  topology : topology;
+  cycles : int;
+  fabric_pj : float;
+  bus_pj : float;
+  bridge_pj : float;
+  crossings : int;
+  rows : master_row list;
+  wall_seconds : float;
+}
+
+let tap_of_meter = function
+  | None -> None
+  | Some m ->
+    Some
+      {
+        Ec.Fabric.cycles = (fun () -> Power.Meter.cycles m);
+        last_cycle_pj = (fun () -> Power.Meter.last_cycle_pj m);
+      }
+
+(* The far RAM: a plain word store with sub-word lane handling, enough to
+   give bridged traffic a real slave without a second platform. *)
+let far_slave () =
+  let store = Array.make (far_size / 4) 0 in
+  let word addr = (addr - far_base) lsr 2 in
+  let read ~addr ~width =
+    let w = store.(word addr) in
+    match width with
+    | Ec.Txn.W32 -> w
+    | Ec.Txn.W16 -> (w lsr (8 * (addr land 2))) land 0xFFFF
+    | Ec.Txn.W8 -> (w lsr (8 * (addr land 3))) land 0xFF
+  in
+  let write ~addr ~width ~value =
+    let i = word addr in
+    match width with
+    | Ec.Txn.W32 -> store.(i) <- value land 0xFFFF_FFFF
+    | Ec.Txn.W16 ->
+      let sh = 8 * (addr land 2) in
+      let mask = 0xFFFF lsl sh in
+      store.(i) <- store.(i) land lnot mask lor ((value land 0xFFFF) lsl sh)
+    | Ec.Txn.W8 ->
+      let sh = 8 * (addr land 3) in
+      let mask = 0xFF lsl sh in
+      store.(i) <- store.(i) land lnot mask lor ((value land 0xFF) lsl sh)
+  in
+  Ec.Slave.make
+    ~cfg:(Ec.Slave_cfg.make ~name:"far-ram" ~base:far_base ~size:far_size ())
+    ~read ~write
+
+(* A second bus of the same level on the same clock, decoding only the
+   far RAM.  Returns its port, a meter tap, and busy/energy probes. *)
+let build_far ~kernel ~level ~estimate ~table =
+  let decoder = Ec.Decoder.create [ far_slave () ] in
+  match level with
+  | Level.Rtl ->
+    let b = Rtl.Bus.create ~kernel ~decoder ~record_profile:false () in
+    let meter = Rtl.Diesel.meter (Rtl.Bus.diesel b) in
+    ( Rtl.Bus.port b,
+      tap_of_meter (Some meter),
+      (fun () -> Rtl.Bus.busy b),
+      fun () -> Power.Meter.total_pj meter )
+  | Level.L1 ->
+    let energy =
+      if estimate then Some (Tlm1.Energy.create ~record_profile:false table)
+      else None
+    in
+    let b = Tlm1.Bus.create ~kernel ~decoder ?energy () in
+    ( Tlm1.Bus.port b,
+      tap_of_meter (Option.map Tlm1.Energy.meter energy),
+      (fun () -> Tlm1.Bus.busy b),
+      fun () ->
+        match energy with Some e -> Tlm1.Energy.total_pj e | None -> 0.0 )
+  | Level.L2 ->
+    let energy =
+      if estimate then Some (Tlm2.Energy.create ~record_profile:false table)
+      else None
+    in
+    let b = Tlm2.Bus.create ~kernel ~decoder ?energy () in
+    ( Tlm2.Bus.port b,
+      tap_of_meter (Option.map Tlm2.Energy.meter energy),
+      (fun () -> Tlm2.Bus.busy b),
+      fun () ->
+        match energy with Some e -> Tlm2.Energy.total_pj e | None -> 0.0 )
+  | Level.L3 -> assert false
+
+let run ?(level = Level.L1) ?(policy = Ec.Arbiter.Round_robin)
+    ?(topology = Single) ?mode ?(estimate = true) ?(max_cycles = 4_000_000)
+    ?(bridge_latency = 2) ?(bridge_pj_per_beat = 1.5)
+    ?(table = Power.Characterization.default) masters =
+  if masters = [] then invalid_arg "Core.Contention.run: no masters";
+  if level = Level.L3 then
+    invalid_arg
+      "Core.Contention.run: fabric masters drive timed buses (rtl/l1/l2)";
+  let system = System.create ~level ~estimate ~table () in
+  let kernel = System.kernel system in
+  let far, far_busy, far_pj =
+    match topology with
+    | Single -> (None, (fun () -> false), fun () -> 0.0)
+    | Bridged ->
+      let far_port, far_tap, busy, pj =
+        build_far ~kernel ~level ~estimate ~table
+      in
+      ( Some
+          {
+            Ec.Fabric.far_port;
+            far_tap;
+            window = far_window;
+            latency = bridge_latency;
+            crossing_pj_per_beat = bridge_pj_per_beat;
+          },
+        busy,
+        pj )
+  in
+  let n = List.length masters in
+  let fabric =
+    Ec.Fabric.create ~masters:n ~policy ~bus:(System.port system)
+      ?tap:(tap_of_meter (System.meter system))
+      ?far ()
+  in
+  (* Registration order matters: the buses' own edge processes are
+     already in place (System/build_far), so the fabric's falling-edge
+     sampler sees each meter cycle after the energy models close it, and
+     matured bridge crossings are forwarded before the masters (created
+     below) submit new work. *)
+  Sim.Kernel.on_rising kernel ~name:"fabric" (fun _ ->
+      Ec.Fabric.on_rising fabric);
+  Sim.Kernel.on_falling kernel ~name:"fabric" (fun _ ->
+      Ec.Fabric.on_falling fabric);
+  let tms =
+    List.mapi
+      (fun m (k, trace) ->
+        Soc.Trace_master.create ~kernel
+          ~port:(Ec.Fabric.port fabric m)
+          ~name:(Printf.sprintf "master%d-%s" m (kind_to_string k))
+          ?mode trace)
+      masters
+  in
+  let t0 = Unix.gettimeofday () in
+  let cycles =
+    Sim.Kernel.run_until kernel ~max_cycles (fun () ->
+        List.for_all Soc.Trace_master.finished tms
+        && (not (Ec.Fabric.busy fabric))
+        && (not (System.bus_busy system))
+        && not (far_busy ()))
+  in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let rows =
+    List.mapi
+      (fun m (k, _) ->
+        {
+          kind = k;
+          txns = Ec.Fabric.master_txns fabric m;
+          beats = Ec.Fabric.master_beats fabric m;
+          errors = Ec.Fabric.master_errors fabric m;
+          grants = Ec.Fabric.master_grants fabric m;
+          energy_pj = Ec.Fabric.master_pj fabric m;
+        })
+      masters
+  in
+  {
+    level;
+    policy;
+    topology;
+    cycles;
+    fabric_pj = Ec.Fabric.total_pj fabric;
+    bus_pj = System.bus_energy_pj system +. far_pj ();
+    bridge_pj = Ec.Fabric.bridge_pj fabric;
+    crossings = Ec.Fabric.crossings fabric;
+    rows;
+    wall_seconds;
+  }
+
+let default_masters ?(n = 512) topology =
+  let src =
+    match topology with Bridged -> far_base | Single -> Soc.Platform.Map.flash_base
+  in
+  [
+    (Cpu, Workloads.table3_trace ~n);
+    (Dma, Workloads.dma_trace ~words:n ~src ());
+    (Crypto, Workloads.crypto_trace ~blocks:(max 1 (n / 8)) ());
+  ]
+
+let study ?(n = 512) ?(levels = Level.timed)
+    ?(policies =
+      [
+        Ec.Arbiter.Fixed_priority;
+        Ec.Arbiter.Round_robin;
+        Ec.Arbiter.Weighted [| 4; 2; 1 |];
+      ]) () =
+  List.concat_map
+    (fun level ->
+      List.concat_map
+        (fun policy ->
+          List.map
+            (fun topology ->
+              run ~level ~policy ~topology (default_masters ~n topology))
+            [ Single; Bridged ])
+        policies)
+    levels
+
+let render_study results =
+  let share row r =
+    if r.fabric_pj > 0.0 then
+      Printf.sprintf "%s (%.0f%%)" (Report.pj row.energy_pj)
+        (100.0 *. row.energy_pj /. r.fabric_pj)
+    else Report.pj row.energy_pj
+  in
+  let body =
+    List.map
+      (fun r ->
+        let cell k =
+          match List.find_opt (fun row -> row.kind = k) r.rows with
+          | Some row -> share row r
+          | None -> "-"
+        in
+        [
+          Level.to_string r.level;
+          Ec.Arbiter.policy_to_string r.policy;
+          topology_to_string r.topology;
+          string_of_int r.cycles;
+          Report.pj r.fabric_pj;
+          Report.pj r.bridge_pj;
+          cell Cpu;
+          cell Dma;
+          cell Crypto;
+        ])
+      results
+  in
+  "Contention study: per-master attributed bus energy\n"
+  ^ Report.table
+      ~header:
+        [
+          "Level"; "Arbiter"; "Topology"; "Cycles"; "Fabric"; "Bridge";
+          "CPU"; "DMA"; "Crypto";
+        ]
+      body

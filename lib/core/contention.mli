@@ -1,0 +1,102 @@
+(** Multi-master contention runs and the arbitration/topology study.
+
+    Builds a {!System} at a timed level, wraps its bus port in an
+    {!Ec.Fabric} (arbitration, per-master energy attribution, optional
+    bridged far bus) and drives one {!Soc.Trace_master} per master
+    through the fabric's ports.  This is the measurement harness behind
+    the contention tables in EXPERIMENTS.md and the
+    [smartcard run --masters] command line (DESIGN.md section 17). *)
+
+(** Bus topology under test. *)
+type topology =
+  | Single  (** every master shares the one platform bus *)
+  | Bridged
+      (** a second bus of the same level behind a bridge, holding a far
+          RAM at {!far_window}; traffic addressed there crosses over *)
+
+val topology_to_string : topology -> string
+
+val topology_of_string : string -> topology option
+(** Accepts ["single"] and ["bridged"]. *)
+
+(** Who a master models; purely a label for reports (any master may
+    replay any trace). *)
+type kind = Cpu | Dma | Crypto
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+val far_window : int * int
+(** Byte-address half-open range [\[lo, hi)] of the far RAM in bridged
+    topologies — outside the Figure-1 platform map, so single-bus runs
+    never touch it. *)
+
+(** Per-master outcome of a contention run. *)
+type master_row = {
+  kind : kind;
+  txns : int;  (** transactions completed through the fabric *)
+  beats : int;  (** data beats of successful transactions *)
+  errors : int;
+  grants : int;  (** arbitration grants won *)
+  energy_pj : float;  (** fabric-attributed share, see DESIGN.md 17.3 *)
+}
+
+type result = {
+  level : Level.t;
+  policy : Ec.Arbiter.policy;
+  topology : topology;
+  cycles : int;
+  fabric_pj : float;
+      (** total attributed energy — by construction the exact float sum
+          of the rows' [energy_pj] *)
+  bus_pj : float;
+      (** what the bus energy models themselves report (near plus far),
+          for cross-checking the attribution against the meters *)
+  bridge_pj : float;  (** crossing energy, included in [fabric_pj] *)
+  crossings : int;
+  rows : master_row list;
+  wall_seconds : float;
+}
+
+val run :
+  ?level:Level.t ->
+  ?policy:Ec.Arbiter.policy ->
+  ?topology:topology ->
+  ?mode:Soc.Trace_master.mode ->
+  ?estimate:bool ->
+  ?max_cycles:int ->
+  ?bridge_latency:int ->
+  ?bridge_pj_per_beat:float ->
+  ?table:Power.Characterization.t ->
+  (kind * Ec.Trace.t) list ->
+  result
+(** Replays each listed trace on its own fabric port until every master
+    drains.  Master 0 is highest priority under [Fixed_priority] and the
+    weight vector of a [Weighted] policy is in list order.
+
+    Defaults: [level = L1] (any timed level works), [policy =
+    Round_robin], [topology = Single], pipelined masters, estimation on,
+    bridge latency 2 cycles at 1.5 pJ/beat.
+
+    @raise Invalid_argument on an empty master list, on [level = L3]
+    (the message layer replays serially through a carrier — there is
+    nothing to arbitrate; see DESIGN.md 17.4), or on a [Weighted] vector
+    whose length differs from the master count. *)
+
+val default_masters : ?n:int -> topology -> (kind * Ec.Trace.t) list
+(** The standard three-master stimulus: a CPU replaying the Table-3 mix
+    ([n] transactions, default 512), a DMA block move ([n] words — from
+    the far window when [Bridged], FLASH otherwise) and a crypto driver
+    ([n/8] blocks). *)
+
+val study :
+  ?n:int -> ?levels:Level.t list -> ?policies:Ec.Arbiter.policy list -> unit ->
+  result list
+(** The full exploration grid: arbiter policy x topology x level (default
+    levels {!Level.timed}, default policies fixed / rr / wrr 4:2:1) over
+    {!default_masters}. *)
+
+val render_study : result list -> string
+(** Markdown-ish table of a {!study}, one row per run with per-master
+    energy shares — the source of the contention table in
+    EXPERIMENTS.md. *)

@@ -64,7 +64,7 @@ let render_table1 rows =
             (float_of_int r.cycles);
           (match r.level with
           | Level.Rtl -> "-"
-          | Level.L1 | Level.L2 -> Report.pct r.cycle_err_pct);
+          | Level.L1 | Level.L2 | Level.L3 -> Report.pct r.cycle_err_pct);
         ])
       rows
   in
@@ -82,7 +82,7 @@ let render_table2 rows =
           Report.ratio_pct ~reference r.energy_pj;
           (match r.level with
           | Level.Rtl -> "-"
-          | Level.L1 | Level.L2 -> Report.pct r.energy_err_pct);
+          | Level.L1 | Level.L2 | Level.L3 -> Report.pct r.energy_err_pct);
         ])
       rows
   in

@@ -119,7 +119,7 @@ let compile_cell ~level ~config applet =
             (match level with
             | Level.L1 -> `L1
             | Level.L2 -> `L2
-            | Level.Rtl -> assert false);
+            | Level.Rtl | Level.L3 -> assert false);
           cycles;
           txns = System.completed_txns system;
           beats = System.completed_beats system;

@@ -61,6 +61,9 @@ let compile_trace ?(level = Level.L1) ?(mode = `Pipelined) ?max_cycles ?init
     ?pool trace =
   if level = Level.Rtl then
     invalid_arg "Core.Runner.compile_trace: gate-level plans are not supported";
+  if level = Level.L3 then
+    invalid_arg
+      "Core.Runner.compile_trace: bridged layer-3 replay is interpreted";
   let build () =
     let system = System.create ~level ~estimate:true () in
     let finish =
@@ -95,7 +98,7 @@ let compile_trace ?(level = Level.L1) ?(mode = `Pipelined) ?max_cycles ?init
             (match level with
             | Level.L1 -> `L1
             | Level.L2 -> `L2
-            | Level.Rtl -> assert false);
+            | Level.Rtl | Level.L3 -> assert false);
           cycles;
           txns = System.completed_txns system;
           beats = System.completed_beats system;
@@ -164,16 +167,71 @@ let replay_multi ?(record_profile = false) ~points plan =
       })
     outs
 
+(* Message-layer replay (DESIGN.md section 17.4): the trace's
+   transactions pushed one by one through the Tlm3 bridge onto the
+   system's layer-2 carrier bus.  Gaps are honoured as idle cycles;
+   issue is inherently serial — the bridge blocks per message — which is
+   the layer-3 timing abstraction (no pipelining, no read/write
+   overlap).  Energy comes from the carrier's layer-2 model. *)
+let replay_bridged system ?max_cycles trace =
+  let kernel = System.kernel system in
+  let bridge = Tlm3.Bridge.create ~kernel ~port:(System.port system) in
+  let ids = Ec.Txn.Id_gen.create () in
+  let t0 = Sim.Kernel.now kernel in
+  let deadline = Option.map (fun m -> t0 + m) max_cycles in
+  List.iter
+    (fun item ->
+      (match deadline with
+      | Some d when Sim.Kernel.now kernel >= d ->
+        failwith "Core.Runner: bridged replay exceeded max_cycles"
+      | Some _ | None -> ());
+      let item = Ec.Trace.instantiate ids item in
+      Tlm3.Bridge.idle bridge ~cycles:item.Ec.Trace.gap;
+      ignore (Tlm3.Bridge.transact bridge item.Ec.Trace.txn))
+    trace;
+  Sim.Kernel.now kernel - t0
+
 let run_trace ?(level = Level.L1) ?(estimate = true) ?(record_profile = false)
     ?table ?rtl_params ?l2_params ?(mode = `Pipelined) ?max_cycles ?init ?sink
     ?pool ?(compiled = false) trace =
-  if compiled && level <> Level.Rtl && sink = None then
+  if compiled && level <> Level.Rtl && level <> Level.L3 && sink = None then
     (* Compiled route: resolve (or fetch) the plan, then evaluate the
        requested parameter point over it.  Gate-level runs and runs with
        a sink fall back to interpretation — the plan carries no event
        stream, and Diesel has no integer tap. *)
     let plan = compile_trace ~level ~mode ?max_cycles ?init ?pool trace in
     replay_compiled ~estimate ~record_profile ?table ?l2_params plan
+  else if level = Level.L3 then begin
+    (* Bridged replay needs no kernel-registered master, so a pooled L3
+       run reuses a bare carrier system and rebuilds the (stateless
+       beyond its counters) bridge per run. *)
+    let execute system =
+      (match init with Some f -> f system | None -> ());
+      let t0 = Unix.gettimeofday () in
+      let cycles = replay_bridged system ?max_cycles trace in
+      let wall_seconds = Unix.gettimeofday () -. t0 in
+      record_run_energy sink system ~cycles;
+      collect system ~cycles ~wall_seconds
+    in
+    match pool with
+    | Some p when sink = None ->
+      let key =
+        Printf.sprintf "trace:%s:%b:%b:%s" (Level.to_string level) estimate
+          record_profile
+          (Pool.fingerprint (table, rtl_params, l2_params))
+      in
+      Pool.with_session p system_kind ~key
+        ~build:(fun () ->
+          System.create ~level ~estimate ~record_profile ?table ?rtl_params
+            ?l2_params ())
+        ~reset:System.reset execute
+    | Some _ | None ->
+      let system =
+        System.create ~level ~estimate ~record_profile ?table ?rtl_params
+          ?l2_params ?sink ()
+      in
+      execute system
+  end
   else
   let execute system master =
     (match init with Some f -> f system | None -> ());
@@ -321,11 +379,18 @@ let run_adaptive ?estimate ?record_profile ?table ?rtl_params ?l2_params
       run_segment =
         (fun system seg ->
           let kernel = System.kernel system in
-          let master =
-            Soc.Trace_master.create ~kernel ~port:(System.port system) ~mode
-              ?sink seg
+          let cycles =
+            if System.level system = Level.L3 then
+              (* L3 window: message-layer replay through the Tlm3 bridge
+                 onto this window's layer-2 carrier bus. *)
+              replay_bridged system ?max_cycles seg
+            else
+              let master =
+                Soc.Trace_master.create ~kernel ~port:(System.port system)
+                  ~mode ?sink seg
+              in
+              Soc.Trace_master.run master ~kernel ?max_cycles ()
           in
-          let cycles = Soc.Trace_master.run master ~kernel ?max_cycles () in
           {
             Hier.Engine.cycles;
             txns = System.completed_txns system;
@@ -667,7 +732,7 @@ let live_adaptive ?(table = Power.Characterization.default) ?l2_params ?budget
         component_pj;
         profile = None;
       }
-    | Hier.Level.Rtl ->
+    | Hier.Level.Rtl | Hier.Level.L3 ->
       invalid_arg "Core.Runner.live_adaptive: live sessions switch L1/L2 only"
   in
   (* Hierarchical in-run calibration (DESIGN.md section 12): during
@@ -728,7 +793,7 @@ let live_adaptive ?(table = Power.Characterization.default) ?l2_params ?budget
     match level with
     | Hier.Level.L1 -> Tlm1.Bus.port b1
     | Hier.Level.L2 -> Tlm2.Bus.port (fst (Lazy.force l2))
-    | Hier.Level.Rtl -> assert false
+    | Hier.Level.Rtl | Hier.Level.L3 -> assert false
   in
   let active = ref (Tlm1.Bus.port b1) in
   let routed = ref None in
@@ -744,7 +809,7 @@ let live_adaptive ?(table = Power.Characterization.default) ?l2_params ?budget
       | Hier.Level.L2 ->
         Sim.Kernel.set_gated kernel ~name:"tlm1-bus" ~gated:true;
         Sim.Kernel.set_gated kernel ~name:"tlm2-bus" ~gated:false
-      | Hier.Level.Rtl -> ());
+      | Hier.Level.Rtl | Hier.Level.L3 -> ());
       routed := Some level;
       active := port_of level
     end

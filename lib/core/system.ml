@@ -30,7 +30,9 @@ let create ?(level = Level.L1) ?(estimate = true) ?(record_profile = false)
         else None
       in
       L1_bus (Tlm1.Bus.create ~kernel ~decoder ?energy ?sink ())
-    | Level.L2 ->
+    | Level.L2 | Level.L3 ->
+      (* Layer 3 has no bus model of its own: an L3 system is the layer-2
+         carrier bus driven through the Tlm3 bridge (DESIGN.md 17.4). *)
       let energy =
         if estimate then
           Some (Tlm2.Energy.create ~record_profile ?params:l2_params table)

@@ -58,6 +58,11 @@ val bus_transitions : t -> int
 val component_energy_pj : t -> float
 val total_energy_pj : t -> float
 
+val meter : t -> Power.Meter.t option
+(** The per-cycle accumulator behind this system's bus energy estimate
+    ([None] when estimation is off).  {!Ec.Fabric} taps it for sticky-owner
+    per-master attribution (DESIGN.md section 17.3). *)
+
 val profile : t -> Power.Profile.t option
 (** Per-cycle bus energy profile, when recording was requested. *)
 

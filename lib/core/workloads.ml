@@ -126,3 +126,9 @@ let mixed_phase_trace ?(phase = 256) ?(sensitive_every = 8) ~n () =
     Ec.Trace.item ~gap:0 (if sensitive then sensitive_txn i else table3_txn i)
   in
   List.init n make
+
+let dma_trace ~words ?(src = Map.flash_base) ?(dst = Map.ram_base) () =
+  Soc.Dma.descriptor_trace ~src ~dst ~words ()
+
+let crypto_trace ~blocks () =
+  Soc.Crypto.block_trace ~base:Map.crypto_base ~blocks ()

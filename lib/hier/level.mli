@@ -2,19 +2,35 @@
 
     [Rtl] is the register-transfer/gate-level reference ("layer 0", the
     role Diesel plays in the paper), [L1] the cycle-accurate transaction
-    level layer one, [L2] the timing-estimation layer two.
+    level layer one, [L2] the timing-estimation layer two, and [L3] the
+    untimed message layer (the OCP taxonomy's layer three), first-class
+    in adaptive runs: an [L3] window replays its transactions through the
+    {!Tlm3} bridge onto a timed carrier bus (DESIGN.md section 17.4).
 
     This is the home of the type; {!Core.Level} re-exports it so existing
     call sites keep working while the mixed-level machinery in [Hier] can
     name levels without depending on [Core]. *)
 
-type t = Rtl | L1 | L2
+type t = Rtl | L1 | L2 | L3
 
 val all : t list
+(** The three directly comparable estimation levels of the paper's
+    tables, [Rtl; L1; L2] — [L3] estimates through a carrier bus and is
+    deliberately excluded from table sweeps (use {!adaptive} for the
+    levels a policy may select). *)
+
+val timed : t list
+(** Levels with their own timed bus model: [Rtl; L1; L2]. *)
+
+val adaptive : t list
+(** Levels an adaptive policy may choose for a window: [L1; L2; L3]
+    ([Rtl] systems exist but policies refine {e towards} the reference,
+    they do not run it mid-sweep). *)
+
 val to_string : t -> string
 
 val to_code : t -> int
-(** Dense code (0/1/2) carried in {!Obs.Event} payload slots; renders
+(** Dense code (0/1/2/3) carried in {!Obs.Event} payload slots; renders
     back through [Obs.Event.level_name]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,4 @@
-type provenance = Cycle_accurate | Lumped
+type provenance = Cycle_accurate | Lumped | Bridged
 
 type seg = {
   level : Level.t;
@@ -46,14 +46,17 @@ let default_budget = function
   | Level.Rtl -> 0.0
   | Level.L1 -> 0.12
   | Level.L2 -> 0.25
+  | Level.L3 -> 0.35
 
 let provenance_of_level = function
   | Level.Rtl | Level.L1 -> Cycle_accurate
   | Level.L2 -> Lumped
+  | Level.L3 -> Bridged
 
 let provenance_string = function
   | Cycle_accurate -> "cycle-accurate"
   | Lumped -> "lumped"
+  | Bridged -> "bridged"
 
 let splice ?(budget = default_budget) segs =
   let _, windows_rev =

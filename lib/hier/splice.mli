@@ -13,6 +13,9 @@
 type provenance =
   | Cycle_accurate  (** per-cycle energies (gate level, layer 1) *)
   | Lumped  (** phase-lumped estimates spread over the window (layer 2) *)
+  | Bridged
+      (** message-layer replay priced through a timed carrier bus (layer
+          3 windows; DESIGN.md section 17.4) *)
 
 type seg = {
   level : Level.t;
@@ -53,8 +56,9 @@ type t = {
 }
 
 val default_budget : Level.t -> float
-(** Fractional error bound per level: 0 for the reference, 5% for layer 1,
-    20% for layer 2 — enveloping the Table 2 errors with margin. *)
+(** Fractional error bound per level: 0 for the reference, 12% for layer
+    1, 25% for layer 2 and 35% for the bridged layer 3 — enveloping the
+    Table 2 error bands with margin. *)
 
 val splice : ?budget:(Level.t -> float) -> seg list -> t
 (** Windows are laid out in list order; totals are exact sums of the

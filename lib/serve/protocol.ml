@@ -225,11 +225,13 @@ let level_to_wire = function
   | Core.Level.Rtl -> "rtl"
   | Core.Level.L1 -> "l1"
   | Core.Level.L2 -> "l2"
+  | Core.Level.L3 -> "l3"
 
 let level_of_wire = function
   | "rtl" -> Some Core.Level.Rtl
   | "l1" -> Some Core.Level.L1
   | "l2" -> Some Core.Level.L2
+  | "l3" -> Some Core.Level.L3
   | _ -> None
 
 let mode_to_wire = function `Serial -> "serial" | `Pipelined -> "pipelined"
@@ -449,6 +451,8 @@ let request_of_json json =
         match level with
         | Core.Level.Rtl ->
           bad "replay: the gate-level reference has no compiled plan"
+        | Core.Level.L3 ->
+          bad "replay: bridged layer-3 runs are interpreted, not compiled"
         | Core.Level.L1 | Core.Level.L2 -> Ok ()
       in
       let* mode = field_mode json in

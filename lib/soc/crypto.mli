@@ -45,3 +45,12 @@ val operations : t -> int
 val reset : t -> unit
 (** Reseeds the mask generator with the creation seed and clears all
     registers, state and counters. *)
+
+val block_trace : base:int -> blocks:int -> ?latency:int -> unit -> Ec.Trace.t
+(** The register rhythm of driving the coprocessor for [blocks]
+    operations, as a replayable trace: KEY once, then per block DIN,
+    CTRL-start, a [latency]-cycle gap (default 16, the engine default),
+    STATUS poll and DOUT read — all single-word register accesses with
+    breathing room, the opposite traffic shape to
+    {!Dma.descriptor_trace}.  Use it to model the driving CPU's bus
+    footprint on an {!Ec.Fabric} port. *)

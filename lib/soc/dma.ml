@@ -184,3 +184,25 @@ let reset t =
   t.words_copied <- 0;
   t.transfers_done <- 0;
   Power.Component.reset t.component
+
+let descriptor_trace ~src ~dst ~words ?(burst = true) () =
+  if words < 0 then invalid_arg "Soc.Dma.descriptor_trace: words < 0";
+  if src mod 4 <> 0 || dst mod 4 <> 0 then
+    invalid_arg "Soc.Dma.descriptor_trace: unaligned descriptor";
+  let rec go off left acc =
+    if left = 0 then List.rev acc
+    else if burst && left >= 4 then
+      let rd = Ec.Txn.burst_read ~id:0 (src + off) in
+      let wr =
+        Ec.Txn.burst_write ~id:0 (dst + off)
+          ~values:(Array.make 4 0xD0D0_D0D0)
+      in
+      go (off + 16) (left - 4)
+        (Ec.Trace.item ~gap:0 wr :: Ec.Trace.item ~gap:0 rd :: acc)
+    else
+      let rd = Ec.Txn.single_read ~id:0 (src + off) in
+      let wr = Ec.Txn.single_write ~id:0 (dst + off) ~value:0xD0D0_D0D0 in
+      go (off + 4) (left - 1)
+        (Ec.Trace.item ~gap:0 wr :: Ec.Trace.item ~gap:0 rd :: acc)
+  in
+  go 0 words []

@@ -42,3 +42,13 @@ val reset : t -> unit
 (** Registers, engine state, id supply and counters back to the freshly
     created state.  The bus connection made by {!connect} is kept: it is
     part of the session wiring, not of the run state. *)
+
+val descriptor_trace :
+  src:int -> dst:int -> words:int -> ?burst:bool -> unit -> Ec.Trace.t
+(** The bus traffic one copy descriptor generates, as a replayable trace:
+    read-from-[src] / write-to-[dst] pairs, four-word bursts when [burst]
+    (the default) with single-word transactions for the tail.  This is
+    the DMA engine as a {e trace-driven requester}: feed it to a
+    {!Trace_master} on an {!Ec.Fabric} port to model the engine
+    contending with other masters without instantiating the register
+    machinery. *)

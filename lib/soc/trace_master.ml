@@ -72,8 +72,8 @@ let step t _kernel =
   | `Pipelined -> try_submit t
   | `Serial -> if Ec.Id_store.is_empty t.outstanding then try_submit t
 
-let create ~kernel ~port ?(mode = `Pipelined) ?(keep_results = false) ?sink
-    trace =
+let create ~kernel ~port ?(name = "trace-master") ?(mode = `Pipelined)
+    ?(keep_results = false) ?sink trace =
   let t =
     {
       port;
@@ -93,7 +93,7 @@ let create ~kernel ~port ?(mode = `Pipelined) ?(keep_results = false) ?sink
     }
   in
   advance t;
-  Sim.Kernel.on_rising kernel ~name:"trace-master" (step t);
+  Sim.Kernel.on_rising kernel ~name (step t);
   t
 
 let issued t = t.issued

@@ -18,12 +18,16 @@ type t
 val create :
   kernel:Sim.Kernel.t ->
   port:Ec.Port.t ->
+  ?name:string ->
   ?mode:mode ->
   ?keep_results:bool ->
   ?sink:Obs.Sink.t ->
   Ec.Trace.t ->
   t
-(** [mode] defaults to [`Pipelined].  With [keep_results] the completed
+(** [name] labels the kernel process (default ["trace-master"]); give
+    each master a distinct name when several share one kernel, or
+    process gating will conflate them.
+    [mode] defaults to [`Pipelined].  With [keep_results] the completed
     transactions (with read data) are retained for inspection.  [sink]
     records the master-side outstanding-transaction occupancy on every
     accepted submission (the bus-side events come from the bus's own

@@ -7,6 +7,15 @@ type t = {
 
 let create ~kernel ~port = { kernel; port; ids = Ec.Txn.Id_gen.create (); transactions = 0 }
 
+let idle t ~cycles =
+  for _ = 1 to cycles do
+    Sim.Kernel.step t.kernel
+  done
+
+let reset t =
+  Ec.Txn.Id_gen.reset t.ids;
+  t.transactions <- 0
+
 let transact t txn =
   t.transactions <- t.transactions + 1;
   let accepted = ref (t.port.Ec.Port.try_submit txn) in

@@ -17,5 +17,23 @@ val read : t -> addr:int -> words:int -> Channel.outcome * int
 
 val write : t -> addr:int -> int array -> Channel.outcome * int
 
+val transact : t -> Ec.Txn.t -> Ec.Port.poll
+(** Blocking replay of one prepared EC transaction through the timed
+    port: retries submission until accepted, steps the clock to
+    completion, retires, and returns the outcome.  This is the primitive
+    behind first-class [L3] adaptive windows (DESIGN.md section 17.4):
+    a trace's transactions pushed one by one keep their widths, kinds
+    and bursts, but issue serially — the message layer has no
+    pipelining, which is exactly its timing abstraction. *)
+
+val idle : t -> cycles:int -> unit
+(** Steps the shared clock through an idle gap (trace-gap cycles between
+    replayed messages). *)
+
 val transactions : t -> int
 (** Timed bus transactions the bridge has issued. *)
+
+val reset : t -> unit
+(** Id supply and transaction counter back to creation state, so a
+    pooled carrier system can host a fresh replay.  The kernel and port
+    are wiring and stay. *)

@@ -1,0 +1,408 @@
+(* Multi-master fabric: arbitration policies, per-master energy
+   attribution, bridged topologies, and first-class layer-3 windows. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let check_pj msg a b =
+  Alcotest.check (Alcotest.float 0.0) msg a b (* exact float equality *)
+
+(* --- arbiter --- *)
+
+let test_fixed_priority () =
+  let a = Ec.Arbiter.create ~masters:3 ~policy:Ec.Arbiter.Fixed_priority in
+  check_bool "first attempt wins" true (Ec.Arbiter.attempt a 2);
+  Ec.Arbiter.commit a 2;
+  check_bool "one grant per cycle" false (Ec.Arbiter.attempt a 0);
+  check_bool "loser recorded waiting" true (Ec.Arbiter.waiting a 0);
+  Ec.Arbiter.new_cycle a;
+  (* Master 0 outranks the repeat attempt from 2 under fixed priority. *)
+  check_bool "low index outranks" false (Ec.Arbiter.attempt a 2);
+  check_bool "winner" true (Ec.Arbiter.attempt a 0);
+  Ec.Arbiter.commit a 0;
+  check_int "grants counted" 1 (Ec.Arbiter.grants a 2)
+
+let test_round_robin_rotates () =
+  let a = Ec.Arbiter.create ~masters:2 ~policy:Ec.Arbiter.Round_robin in
+  (* Both contend every cycle: grants must alternate. *)
+  let winners = ref [] in
+  for _ = 1 to 6 do
+    let w =
+      if Ec.Arbiter.attempt a 0 then 0
+      else begin
+        check_bool "someone wins" true (Ec.Arbiter.attempt a 1);
+        1
+      end
+    in
+    Ec.Arbiter.commit a w;
+    ignore (Ec.Arbiter.attempt a 0);
+    ignore (Ec.Arbiter.attempt a 1);
+    winners := w :: !winners;
+    Ec.Arbiter.new_cycle a
+  done;
+  Alcotest.(check (list int)) "alternating" [ 0; 1; 0; 1; 0; 1 ]
+    (List.rev !winners);
+  check_int "fair split" (Ec.Arbiter.grants a 0) (Ec.Arbiter.grants a 1)
+
+let test_weighted_bursts () =
+  let a =
+    Ec.Arbiter.create ~masters:2 ~policy:(Ec.Arbiter.Weighted [| 2; 1 |])
+  in
+  let winners = ref [] in
+  for _ = 1 to 6 do
+    let w =
+      if Ec.Arbiter.attempt a 0 then 0
+      else begin
+        check_bool "someone wins" true (Ec.Arbiter.attempt a 1);
+        1
+      end
+    in
+    Ec.Arbiter.commit a w;
+    ignore (Ec.Arbiter.attempt a 0);
+    ignore (Ec.Arbiter.attempt a 1);
+    winners := w :: !winners;
+    Ec.Arbiter.new_cycle a
+  done;
+  Alcotest.(check (list int)) "2:1 bursts" [ 0; 0; 1; 0; 0; 1 ]
+    (List.rev !winners)
+
+let test_refusal_keeps_pointer () =
+  let a = Ec.Arbiter.create ~masters:2 ~policy:Ec.Arbiter.Round_robin in
+  check_bool "granted" true (Ec.Arbiter.attempt a 0);
+  (* The bus refused: the grant must not count or rotate the pointer. *)
+  Ec.Arbiter.note_refused a 0;
+  Ec.Arbiter.new_cycle a;
+  check_bool "retry wins again" true (Ec.Arbiter.attempt a 0);
+  Ec.Arbiter.commit a 0;
+  check_int "only committed grants count" 1 (Ec.Arbiter.total_grants a)
+
+let test_policy_strings () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (Ec.Arbiter.policy_to_string p))
+        (Option.map Ec.Arbiter.policy_to_string
+           (Ec.Arbiter.policy_of_string (Ec.Arbiter.policy_to_string p))))
+    [
+      Ec.Arbiter.Fixed_priority;
+      Ec.Arbiter.Round_robin;
+      Ec.Arbiter.Weighted [| 4; 2; 1 |];
+    ];
+  Alcotest.(check (option string)) "unknown" None
+    (Option.map Ec.Arbiter.policy_to_string
+       (Ec.Arbiter.policy_of_string "lottery"))
+
+let test_arbiter_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "zero masters" true
+    (raises (fun () ->
+         Ec.Arbiter.create ~masters:0 ~policy:Ec.Arbiter.Round_robin));
+  check_bool "weight length" true
+    (raises (fun () ->
+         Ec.Arbiter.create ~masters:3
+           ~policy:(Ec.Arbiter.Weighted [| 1; 2 |])));
+  check_bool "zero weight" true
+    (raises (fun () ->
+         Ec.Arbiter.create ~masters:2 ~policy:(Ec.Arbiter.Weighted [| 1; 0 |])))
+
+(* --- degenerate single master: fabric == plain bus --- *)
+
+(* A one-master fabric over the system's meter, mirroring the wiring of
+   [Core.Contention.run], but keeping the meter in reach so the
+   attribution bucket can be compared against it bit for bit. *)
+let run_one_master level trace =
+  let system = Core.System.create ~level () in
+  let kernel = Core.System.kernel system in
+  let meter = Option.get (Core.System.meter system) in
+  let tap =
+    {
+      Ec.Fabric.cycles = (fun () -> Power.Meter.cycles meter);
+      last_cycle_pj = (fun () -> Power.Meter.last_cycle_pj meter);
+    }
+  in
+  let fabric =
+    Ec.Fabric.create ~masters:1 ~policy:Ec.Arbiter.Round_robin
+      ~bus:(Core.System.port system) ~tap ()
+  in
+  Sim.Kernel.on_rising kernel ~name:"fabric" (fun _ ->
+      Ec.Fabric.on_rising fabric);
+  Sim.Kernel.on_falling kernel ~name:"fabric" (fun _ ->
+      Ec.Fabric.on_falling fabric);
+  let tm =
+    Soc.Trace_master.create ~kernel ~port:(Ec.Fabric.port fabric 0)
+      ~mode:`Serial trace
+  in
+  let cycles = Soc.Trace_master.run tm ~kernel () in
+  (fabric, meter, cycles)
+
+let test_degenerate_bit_exact () =
+  let trace = Core.Workloads.table3_trace ~n:96 in
+  List.iter
+    (fun level ->
+      let fabric, meter, cycles = run_one_master level trace in
+      let direct = Core.Runner.run_trace ~level ~mode:`Serial trace in
+      check_int
+        (Core.Level.to_string level ^ " cycles")
+        direct.Core.Runner.cycles cycles;
+      check_int
+        (Core.Level.to_string level ^ " txns")
+        direct.Core.Runner.txns
+        (Ec.Fabric.master_txns fabric 0);
+      (* The bucket replays the meter's own per-cycle commits in order,
+         so it equals the meter total exactly — even at the gate level,
+         where [Diesel.total_pj] itself associates differently. *)
+      check_pj
+        (Core.Level.to_string level ^ " bucket = meter")
+        (Power.Meter.total_pj meter)
+        (Ec.Fabric.master_pj fabric 0);
+      if level <> Core.Level.Rtl then
+        check_pj
+          (Core.Level.to_string level ^ " bucket = direct bus_pj")
+          direct.Core.Runner.bus_pj
+          (Ec.Fabric.master_pj fabric 0))
+    Core.Level.timed
+
+(* Read data must come back through the fabric's remapped transactions. *)
+let test_read_data_roundtrip () =
+  let system = Core.System.create ~level:Core.Level.L1 () in
+  let kernel = Core.System.kernel system in
+  let fabric =
+    Ec.Fabric.create ~masters:1 ~policy:Ec.Arbiter.Fixed_priority
+      ~bus:(Core.System.port system) ()
+  in
+  Sim.Kernel.on_rising kernel ~name:"fabric" (fun _ ->
+      Ec.Fabric.on_rising fabric);
+  Sim.Kernel.on_falling kernel ~name:"fabric" (fun _ ->
+      Ec.Fabric.on_falling fabric);
+  let ram = Soc.Platform.Map.ram_base in
+  let trace =
+    [
+      Ec.Trace.item
+        (Ec.Txn.burst_write ~id:0 ram
+           ~values:[| 0xAA; 0xBB; 0xCC; 0xDD |]);
+      Ec.Trace.item (Ec.Txn.burst_read ~id:0 ram);
+      Ec.Trace.item (Ec.Txn.single_read ~id:0 (ram + 8));
+    ]
+  in
+  let tm =
+    Soc.Trace_master.create ~kernel ~port:(Ec.Fabric.port fabric 0)
+      ~mode:`Serial ~keep_results:true trace
+  in
+  ignore (Soc.Trace_master.run tm ~kernel ());
+  match
+    List.filter
+      (fun t -> t.Ec.Txn.dir = Ec.Txn.Read)
+      (Soc.Trace_master.results tm)
+  with
+  | [ burst; single ] ->
+    Alcotest.(check (array int))
+      "burst data" [| 0xAA; 0xBB; 0xCC; 0xDD |] burst.Ec.Txn.data;
+    check_int "single data" 0xCC single.Ec.Txn.data.(0)
+  | _ -> Alcotest.fail "expected two completed reads"
+
+(* --- contention and conservation --- *)
+
+let test_conservation_all_levels () =
+  List.iter
+    (fun level ->
+      List.iter
+        (fun topology ->
+          let r =
+            Core.Contention.run ~level ~topology
+              (Core.Contention.default_masters ~n:96 topology)
+          in
+          let sum =
+            List.fold_left
+              (fun acc (row : Core.Contention.master_row) ->
+                acc +. row.Core.Contention.energy_pj)
+              0.0 r.Core.Contention.rows
+          in
+          check_pj
+            (Printf.sprintf "%s/%s buckets sum to total"
+               (Core.Level.to_string level)
+               (Core.Contention.topology_to_string topology))
+            r.Core.Contention.fabric_pj sum;
+          List.iter
+            (fun (row : Core.Contention.master_row) ->
+              check_int
+                (Core.Contention.kind_to_string row.Core.Contention.kind
+                ^ " error-free")
+                0 row.Core.Contention.errors)
+            r.Core.Contention.rows)
+        [ Core.Contention.Single; Core.Contention.Bridged ])
+    Core.Level.timed
+
+let test_bridge_routing () =
+  let far_base = fst Core.Contention.far_window in
+  (* 16 words as 4-beat bursts: the read half crosses, the writes stay. *)
+  let masters =
+    [ (Core.Contention.Dma, Core.Workloads.dma_trace ~words:16 ~src:far_base ()) ]
+  in
+  let r =
+    Core.Contention.run ~level:Core.Level.L1 ~topology:Core.Contention.Bridged
+      ~bridge_pj_per_beat:1.5 masters
+  in
+  check_int "four crossings" 4 r.Core.Contention.crossings;
+  check_pj "crossing energy per beat" (1.5 *. 16.0) r.Core.Contention.bridge_pj;
+  let row = List.hd r.Core.Contention.rows in
+  check_int "all txns complete" 8 row.Core.Contention.txns;
+  check_int "no errors" 0 row.Core.Contention.errors;
+  (* Same traffic on a single bus (far window unmapped there would
+     error, so source from FLASH): nothing crosses. *)
+  let single =
+    Core.Contention.run ~level:Core.Level.L1
+      [ (Core.Contention.Dma, Core.Workloads.dma_trace ~words:16 ()) ]
+  in
+  check_int "single topology never crosses" 0 single.Core.Contention.crossings;
+  check_pj "no bridge energy" 0.0 single.Core.Contention.bridge_pj
+
+let test_contention_rejects_l3 () =
+  Alcotest.check_raises "L3 has nothing to arbitrate"
+    (Invalid_argument
+       "Core.Contention.run: fabric masters drive timed buses (rtl/l1/l2)")
+    (fun () ->
+      ignore
+        (Core.Contention.run ~level:Core.Level.L3
+           [ (Core.Contention.Cpu, Core.Workloads.table3_trace ~n:4) ]))
+
+(* --- layer-3 adaptive windows --- *)
+
+let test_l3_constant_equals_direct () =
+  let trace = Core.Workloads.table3_trace ~n:128 in
+  let direct = Core.Runner.run_trace ~level:Core.Level.L3 trace in
+  let adaptive =
+    Core.Runner.run_adaptive
+      ~policy:(Hier.Policy.constant Core.Level.L3)
+      trace
+  in
+  check_int "cycles" direct.Core.Runner.cycles adaptive.Core.Runner.cycles;
+  check_int "txns" direct.Core.Runner.txns adaptive.Core.Runner.txns;
+  check_pj "bus energy" direct.Core.Runner.bus_pj adaptive.Core.Runner.bus_pj
+
+let test_l3_window_provenance () =
+  let trace = Core.Workloads.table3_trace ~n:96 in
+  let adaptive =
+    Core.Runner.run_adaptive
+      ~policy:
+        (Hier.Policy.script
+           [ (32, Core.Level.L2); (32, Core.Level.L3); (32, Core.Level.L1) ])
+      trace
+  in
+  let splice = adaptive.Core.Runner.splice in
+  let windows = splice.Hier.Splice.windows in
+  check_int "three windows" 3 (List.length windows);
+  List.iter
+    (fun (w : Hier.Splice.window) ->
+      let expect =
+        match w.Hier.Splice.level with
+        | Core.Level.Rtl | Core.Level.L1 -> Hier.Splice.Cycle_accurate
+        | Core.Level.L2 -> Hier.Splice.Lumped
+        | Core.Level.L3 -> Hier.Splice.Bridged
+      in
+      check_bool
+        (Printf.sprintf "window %d provenance" w.Hier.Splice.index)
+        true
+        (w.Hier.Splice.provenance = expect);
+      if w.Hier.Splice.level = Core.Level.L3 then
+        check_pj "bridged error budget"
+          (0.35 *. w.Hier.Splice.bus_pj)
+          w.Hier.Splice.err_bound_pj)
+    windows;
+  check_bool "an L3 window ran" true
+    (List.exists
+       (fun (w : Hier.Splice.window) -> w.Hier.Splice.level = Core.Level.L3)
+       windows);
+  check_int "all transactions accounted" 96 splice.Hier.Splice.total_txns
+
+(* --- qcheck properties --- *)
+
+module Gen = QCheck.Gen
+
+let gen_policy n =
+  Gen.oneofl
+    [
+      Ec.Arbiter.Fixed_priority;
+      Ec.Arbiter.Round_robin;
+      Ec.Arbiter.Weighted (Array.init n (fun i -> 1 + ((i * 3) mod 4)));
+    ]
+
+let gen_level = Gen.oneofl Core.Level.timed
+
+let prop_no_starvation =
+  QCheck.Test.make ~name:"round-robin starves no master" ~count:20
+    QCheck.(make Gen.(pair (int_range 1 3) (int_bound 1000)))
+    (fun (masters, seed) ->
+      let rng = Sim.Rng.create ~seed in
+      let traces =
+        List.init masters (fun i ->
+            ( (match i with
+              | 0 -> Core.Contention.Cpu
+              | 1 -> Core.Contention.Dma
+              | _ -> Core.Contention.Crypto),
+              Core.Workloads.random_trace ~rng ~n:(16 + (8 * i)) () ))
+      in
+      let r =
+        Core.Contention.run ~level:Core.Level.L1
+          ~policy:Ec.Arbiter.Round_robin traces
+      in
+      List.for_all2
+        (fun (_, trace) (row : Core.Contention.master_row) ->
+          row.Core.Contention.txns = Ec.Trace.total_txns trace
+          && row.Core.Contention.grants >= Ec.Trace.total_txns trace)
+        traces r.Core.Contention.rows)
+
+let prop_conservation =
+  QCheck.Test.make ~name:"fabric energy = sum of master buckets" ~count:15
+    QCheck.(make Gen.(triple gen_level (gen_policy 3) bool))
+    (fun (level, policy, bridged) ->
+      let topology =
+        if bridged then Core.Contention.Bridged else Core.Contention.Single
+      in
+      let r =
+        Core.Contention.run ~level ~policy ~topology
+          (Core.Contention.default_masters ~n:48 topology)
+      in
+      let sum =
+        List.fold_left
+          (fun acc (row : Core.Contention.master_row) ->
+            acc +. row.Core.Contention.energy_pj)
+          0.0 r.Core.Contention.rows
+      in
+      sum = r.Core.Contention.fabric_pj)
+
+let prop_degenerate =
+  QCheck.Test.make ~name:"1-master fabric = plain bus, any level" ~count:12
+    QCheck.(make Gen.(pair gen_level (int_bound 1000)))
+    (fun (level, seed) ->
+      let rng = Sim.Rng.create ~seed in
+      let trace = Core.Workloads.random_trace ~rng ~n:40 () in
+      let fabric, meter, cycles = run_one_master level trace in
+      let direct = Core.Runner.run_trace ~level ~mode:`Serial trace in
+      direct.Core.Runner.cycles = cycles
+      && direct.Core.Runner.txns = Ec.Fabric.master_txns fabric 0
+      && Power.Meter.total_pj meter = Ec.Fabric.master_pj fabric 0)
+
+let suite =
+  [
+    Alcotest.test_case "fixed priority order" `Quick test_fixed_priority;
+    Alcotest.test_case "round robin rotates" `Quick test_round_robin_rotates;
+    Alcotest.test_case "weighted grant bursts" `Quick test_weighted_bursts;
+    Alcotest.test_case "bus refusal keeps pointer" `Quick
+      test_refusal_keeps_pointer;
+    Alcotest.test_case "policy string roundtrip" `Quick test_policy_strings;
+    Alcotest.test_case "arbiter validation" `Quick test_arbiter_validation;
+    Alcotest.test_case "degenerate fabric bit-exact" `Quick
+      test_degenerate_bit_exact;
+    Alcotest.test_case "read data roundtrip" `Quick test_read_data_roundtrip;
+    Alcotest.test_case "attribution conserves" `Quick
+      test_conservation_all_levels;
+    Alcotest.test_case "bridge routing and energy" `Quick test_bridge_routing;
+    Alcotest.test_case "contention rejects L3" `Quick test_contention_rejects_l3;
+    Alcotest.test_case "constant L3 = direct L3" `Quick
+      test_l3_constant_equals_direct;
+    Alcotest.test_case "L3 window provenance" `Quick test_l3_window_provenance;
+    QCheck_alcotest.to_alcotest prop_no_starvation;
+    QCheck_alcotest.to_alcotest prop_conservation;
+    QCheck_alcotest.to_alcotest prop_degenerate;
+  ]

@@ -13,6 +13,7 @@ let () =
       ("core", Suite_core.suite);
       ("iso7816", Suite_iso7816.suite);
       ("hier", Suite_hier.suite);
+      ("fabric", Suite_fabric.suite);
       ("explore", Suite_explore.suite);
       ("obs", Suite_obs.suite);
       ("integration", Suite_integration.suite);
