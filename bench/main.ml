@@ -353,6 +353,57 @@ let bench_fabric =
   in
   Test.make_grouped ~name:"fabric/contention" tests
 
+(* Compiled fabric replay (DESIGN.md section 18): the three-master
+   bridged contention cell interpreted versus evaluated off a
+   precompiled fabric plan, plus a 35-point sweep folded over the one
+   decode — the multi-master analogue of [compiled/replay].  The
+   single-cell pair is the >=4x acceptance target, the grid pair in the
+   smoke is the >=5x target (EXPERIMENTS.md). *)
+let bench_compiled_fabric =
+  let masters =
+    Core.Contention.default_masters ~n:128 Core.Contention.Bridged
+  in
+  let kinds = List.map fst masters in
+  let points =
+    List.init 35 (fun i ->
+        {
+          Compile.Eval.table =
+            Power.Characterization.scale Power.Characterization.default
+              (0.5 +. (0.05 *. float_of_int i));
+          l2_params = None;
+        })
+  in
+  let tests =
+    List.concat_map
+      (fun (tag, level) ->
+        let plan =
+          Core.Contention.compile ~level ~mode:`Serial
+            ~topology:Core.Contention.Bridged masters
+        in
+        let interpreted () =
+          ignore
+            (Core.Contention.run ~level ~mode:`Serial
+               ~topology:Core.Contention.Bridged masters)
+        in
+        let compiled () =
+          ignore
+            (Core.Contention.replay_plan ~level ~policy:Ec.Arbiter.Round_robin
+               ~topology:Core.Contention.Bridged ~kinds plan)
+        in
+        let compiled_35pt () =
+          ignore (Compile.Eval.eval_fabric_multi plan ~points)
+        in
+        [
+          Test.make ~name:(tag ^ "-3m-interpreted") (Staged.stage interpreted);
+          Test.make ~name:(tag ^ "-3m-compiled") (Staged.stage compiled);
+          Test.make
+            ~name:(tag ^ "-3m-compiled-35pt")
+            (Staged.stage compiled_35pt);
+        ])
+      [ ("tl-layer-1", Core.Level.L1); ("tl-layer-2", Core.Level.L2) ]
+  in
+  Test.make_grouped ~name:"compiled-fabric/replay" tests
+
 let bench_serve =
   let conn = lazy (Serve.Client.connect (`Unix (Lazy.force serve_env))) in
   let roundtrip () = serve_run_request (Lazy.force conn) in
@@ -777,6 +828,107 @@ let print_fabric_smoke () =
         failwith "fabric smoke: attribution or degenerate equality broken")
     Core.Level.timed
 
+(* Compiled-fabric smoke (DESIGN.md section 18): at both transaction
+   levels a bridged three-master cell evaluated off its fabric plan must
+   reproduce the interpreted run bit for bit with conserved buckets and
+   a >=4x single-cell speedup; the L1/L2 contention grid swept warm from
+   memoized plans must match the interpreted grid bit for bit at >=5x.
+   The bars are the PR acceptance floors, so a regression fails runtest
+   rather than just shifting a trajectory number. *)
+let print_compiled_fabric_smoke () =
+  section "Compiled-fabric smoke (plan evaluation = interpretation, bars)";
+  let strip (r : Core.Contention.result) =
+    ( r.Core.Contention.level, r.Core.Contention.policy,
+      r.Core.Contention.topology, r.Core.Contention.cycles,
+      r.Core.Contention.fabric_pj, r.Core.Contention.bus_pj,
+      r.Core.Contention.bridge_pj, r.Core.Contention.crossings,
+      r.Core.Contention.rows )
+  in
+  let best f =
+    (* Best of three keeps the wall-clock bars off scheduler noise. *)
+    let rec go n acc =
+      if n = 0 then acc
+      else begin
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        go (n - 1) (Float.min acc (Unix.gettimeofday () -. t0))
+      end
+    in
+    let v = f () in
+    (v, go 3 infinity)
+  in
+  let levels = [ Core.Level.L1; Core.Level.L2 ] in
+  List.iter
+    (fun level ->
+      let masters =
+        Core.Contention.default_masters ~n:256 Core.Contention.Bridged
+      in
+      let interp, interp_s =
+        best (fun () ->
+            Core.Contention.run ~level ~mode:`Serial
+              ~topology:Core.Contention.Bridged masters)
+      in
+      let plan =
+        Core.Contention.compile ~level ~mode:`Serial
+          ~topology:Core.Contention.Bridged masters
+      in
+      let compiled, compiled_s =
+        best (fun () ->
+            Core.Contention.replay_plan ~level ~policy:Ec.Arbiter.Round_robin
+              ~topology:Core.Contention.Bridged
+              ~kinds:(List.map fst masters) plan)
+      in
+      let sum =
+        List.fold_left
+          (fun acc (r : Core.Contention.master_row) ->
+            acc +. r.Core.Contention.energy_pj)
+          0.0 compiled.Core.Contention.rows
+      in
+      let identical = strip interp = strip compiled in
+      let conserved = sum = compiled.Core.Contention.fabric_pj in
+      let speedup = interp_s /. Float.max 1e-9 compiled_s in
+      Printf.printf
+        "%s 3-master bridged cell: interpreted %.1f us, plan eval %.1f us \
+         (%.0fx); results %s, buckets %s\n"
+        (Core.Level.to_string level) (interp_s *. 1e6) (compiled_s *. 1e6)
+        speedup
+        (if identical then "bit-identical" else "DIFFER")
+        (if conserved then "conserve" else "DO NOT conserve");
+      if not identical then
+        failwith "compiled fabric replay diverged from interpretation";
+      if not conserved then
+        failwith "compiled fabric buckets do not sum to the total";
+      if speedup < 4.0 then
+        failwith "compiled fabric single-cell speedup below the 4x bar")
+    levels;
+  let pool = Core.Pool.create () in
+  let interp_grid, interp_s =
+    best (fun () -> Core.Contention.study ~n:256 ~levels ~domains:1 ())
+  in
+  (* First compiled pass builds and memoizes the plans; the timed sweep
+     replays warm, which is the steady state of a parameter sweep. *)
+  ignore (Core.Contention.study ~n:256 ~levels ~compiled:true ~pool ~domains:1 ());
+  let compiled_grid, compiled_s =
+    best (fun () ->
+        Core.Contention.study ~n:256 ~levels ~compiled:true ~pool ~domains:1 ())
+  in
+  let identical =
+    List.length interp_grid = List.length compiled_grid
+    && List.for_all2
+         (fun a b -> strip a = strip b)
+         interp_grid compiled_grid
+  in
+  let speedup = interp_s /. Float.max 1e-9 compiled_s in
+  Printf.printf
+    "%d-cell contention grid: interpreted %.2f ms, compiled-warm %.2f ms \
+     (%.0fx); rows %s\n"
+    (List.length interp_grid) (interp_s *. 1e3) (compiled_s *. 1e3) speedup
+    (if identical then "bit-identical" else "DIFFER");
+  if not identical then
+    failwith "compiled contention grid diverged from interpretation";
+  if speedup < 5.0 then
+    failwith "compiled contention grid speedup below the 5x bar"
+
 (* Serve smoke: its own short-lived daemon (not the leaked benchmark
    one), one run request compared bit-for-bit against the direct
    in-process call, then a clean drain — so a wire or drain regression
@@ -882,6 +1034,7 @@ let micro_groups =
     ("compiled/replay", bench_compiled);
     ("serve/requests", bench_serve);
     ("fabric/contention", bench_fabric);
+    ("compiled-fabric/replay", bench_compiled_fabric);
   ]
 
 let run_micro () =
@@ -894,6 +1047,40 @@ let run_micro () =
         (measure_group group))
     micro_groups;
   print_serve_latency ()
+
+(* The contention-grid trajectory line: interpreted versus compiled-warm
+   wall time of the L1/L2 policy-by-topology sweep, one JSON object so
+   the grid speedup is tracked between PRs alongside the micro groups. *)
+let contention_grid_json () =
+  let levels = [ Core.Level.L1; Core.Level.L2 ] in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let pool = Core.Pool.create () in
+  let interp, interp_s =
+    timed (fun () -> Core.Contention.study ~n:256 ~levels ~domains:1 ())
+  in
+  ignore (Core.Contention.study ~n:256 ~levels ~compiled:true ~pool ~domains:1 ());
+  let compiled, compiled_s =
+    timed (fun () ->
+        Core.Contention.study ~n:256 ~levels ~compiled:true ~pool ~domains:1 ())
+  in
+  let identical =
+    List.for_all2
+      (fun (a : Core.Contention.result) (b : Core.Contention.result) ->
+        a.Core.Contention.cycles = b.Core.Contention.cycles
+        && a.Core.Contention.fabric_pj = b.Core.Contention.fabric_pj
+        && a.Core.Contention.rows = b.Core.Contention.rows)
+      interp compiled
+  in
+  Printf.printf
+    "{\"group\": \"fabric/grid\", \"cells\": %d, \"interpreted_s\": %.6f, \
+     \"compiled_warm_s\": %.6f, \"speedup\": %.1f, \"bit_identical\": %b}\n"
+    (List.length interp) interp_s compiled_s
+    (interp_s /. Float.max 1e-9 compiled_s)
+    identical
 
 (* One JSON object per benchmark group, one per line, nanoseconds per run:
    the machine-readable perf trajectory (BENCH_*.json) between PRs. *)
@@ -919,6 +1106,7 @@ let run_micro_json () =
         (json_escape group_name)
         (String.concat ", " entries))
     micro_groups;
+  contention_grid_json ();
   serve_latency_json ();
   (* A shortened soak keeps the trajectory line cheap; the full-length
      run lives behind the dedicated serve-soak mode. *)
@@ -941,6 +1129,7 @@ let () =
     print_pool_smoke ();
     print_compiled_smoke ();
     print_fabric_smoke ();
+    print_compiled_fabric_smoke ();
     print_serve_smoke ();
     (* Kept light: the smoke alias runs alongside the test suites under
        [dune runtest], and the integration perf checks are wall-clock

@@ -412,9 +412,16 @@ let run_cmd =
       in
       Printf.printf "level:        %s (%d masters)\n"
         (Core.Level.to_string level) n;
+      let spool = if pool then Some (Core.Pool.create ()) else None in
       render_contention
-        (Core.Contention.run ~level ~policy:arbiter ~topology
-           ((Core.Contention.Cpu, cpu_trace) :: extra))
+        (Core.Contention.run ~level ~policy:arbiter ~topology ~compiled
+           ?pool:spool
+           ((Core.Contention.Cpu, cpu_trace) :: extra));
+      match spool with
+      | Some p when metrics ->
+        print_newline ();
+        print_endline (Core.Report.pool_stats p)
+      | Some _ | None -> ()
     end
     else begin
     let program = Soc.Asm.assemble (read_file file) in
@@ -506,13 +513,89 @@ let fabric_cmd =
       & info [ "level" ] ~docv:"LEVEL"
           ~doc:"Restrict the study to one abstraction level.")
   in
-  let run n level =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object per grid cell (bench --json line \
+             conventions) with per-master energy buckets, instead of the \
+             rendered table.")
+  in
+  let domains_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Domains to map the grid across (default: all cores).")
+  in
+  let level_wire = function
+    | Core.Level.Rtl -> "rtl"
+    | Core.Level.L1 -> "l1"
+    | Core.Level.L2 -> "l2"
+    | Core.Level.L3 -> "l3"
+  in
+  let cell_json (r : Core.Contention.result) =
+    let module J = Obs.Json in
+    J.Obj
+      [
+        ("group", J.String "fabric/contention");
+        ( "name",
+          J.String
+            (Printf.sprintf "%s/%s/%s"
+               (level_wire r.Core.Contention.level)
+               (Ec.Arbiter.policy_to_string r.Core.Contention.policy)
+               (Core.Contention.topology_to_string r.Core.Contention.topology))
+        );
+        ("level", J.String (level_wire r.Core.Contention.level));
+        ( "policy",
+          J.String (Ec.Arbiter.policy_to_string r.Core.Contention.policy) );
+        ( "topology",
+          J.String
+            (Core.Contention.topology_to_string r.Core.Contention.topology) );
+        ("cycles", J.Int r.Core.Contention.cycles);
+        ("crossings", J.Int r.Core.Contention.crossings);
+        ("fabric_pj", J.Float r.Core.Contention.fabric_pj);
+        ("bus_pj", J.Float r.Core.Contention.bus_pj);
+        ("bridge_pj", J.Float r.Core.Contention.bridge_pj);
+        ("wall_seconds", J.Float r.Core.Contention.wall_seconds);
+        ( "masters",
+          J.List
+            (List.map
+               (fun (m : Core.Contention.master_row) ->
+                 J.Obj
+                   [
+                     ( "kind",
+                       J.String (Core.Contention.kind_to_string
+                                   m.Core.Contention.kind) );
+                     ("txns", J.Int m.Core.Contention.txns);
+                     ("beats", J.Int m.Core.Contention.beats);
+                     ("errors", J.Int m.Core.Contention.errors);
+                     ("grants", J.Int m.Core.Contention.grants);
+                     ("energy_pj", J.Float m.Core.Contention.energy_pj);
+                   ])
+               r.Core.Contention.rows) );
+      ]
+  in
+  let run n level json domains pooled compiled =
     let levels =
       match level with Some l -> [ l ] | None -> Core.Level.timed
     in
-    print_string (Core.Contention.render_study (Core.Contention.study ~n ~levels ()))
+    let pool = if pooled then Some (Core.Pool.create ()) else None in
+    let results =
+      Core.Contention.study ~n ~levels ~compiled ?pool ?domains ()
+    in
+    if json then
+      List.iter
+        (fun r -> print_endline (Obs.Json.to_string (cell_json r)))
+        results
+    else print_string (Core.Contention.render_study results)
   in
-  Cmd.v (Cmd.info "fabric" ~doc) Term.(const run $ n $ level_opt)
+  Cmd.v (Cmd.info "fabric" ~doc)
+    Term.(
+      const run $ n $ level_opt $ json_flag $ domains_opt
+      $ pool_flag ~default:true
+      $ compiled_flag ~default:true)
 
 (* --- trace --- *)
 
@@ -1099,7 +1182,7 @@ let client_cmd =
                   profile; compiled }
             | `Replay ->
               Serve.Protocol.Replay
-                { Serve.Protocol.workload; level; mode; scales }
+                { Serve.Protocol.workload; level; mode; scales; fabric = None }
             | `Explore ->
               Serve.Protocol.Explore
                 { Serve.Protocol.applets; configs; level; adaptive }

@@ -85,11 +85,17 @@ let finish totals profs l =
         Some p);
   }
 
-let eval_l1 (meta : Plan.meta) (d : Plan.l1_data) lanes ~record_profile =
+(* Both body evaluators share one shape: walk the plan once, fold each
+   lane's totals, and optionally keep the per-cycle energies in a dense
+   array (cycle index -> that cycle's pJ, 0.0 for elided quiet cycles).
+   The dense array doubles as the per-cycle profile and as the lookup
+   table fabric op streams sample from. *)
+
+let eval_l1 (meta : Plan.meta) (d : Plan.l1_data) lanes ~dense =
   let k = Array.length lanes in
   let totals = Array.make k 0.0 in
   let profs =
-    if record_profile then
+    if dense then
       Some (Array.init k (fun _ -> Array.make meta.Plan.cycles 0.0))
     else None
   in
@@ -132,13 +138,13 @@ let eval_l1 (meta : Plan.meta) (d : Plan.l1_data) lanes ~record_profile =
       match profs with Some ps -> ps.(l).(c) <- pj.(l) | None -> ()
     done
   done;
-  List.init k (finish totals profs)
+  (totals, profs)
 
-let eval_l2 (meta : Plan.meta) (d : Plan.l2_data) lanes ~record_profile =
+let eval_l2 (meta : Plan.meta) (d : Plan.l2_data) lanes ~dense =
   let k = Array.length lanes in
   let totals = Array.make k 0.0 in
   let profs =
-    if record_profile then
+    if dense then
       Some (Array.init k (fun _ -> Array.make meta.Plan.cycles 0.0))
     else None
   in
@@ -179,30 +185,107 @@ let eval_l2 (meta : Plan.meta) (d : Plan.l2_data) lanes ~record_profile =
       match profs with Some ps -> ps.(l).(c) <- cur.(l) | None -> ()
     done
   done;
-  List.init k (finish totals profs)
+  (totals, profs)
+
+(* One pass over a body plan: per-lane totals, plus the dense per-cycle
+   energies when asked for. *)
+let eval_raw plan ~points ~dense =
+  match plan.Plan.body with
+  | Plan.L1 d ->
+    let lanes =
+      Array.of_list (List.map (fun pt -> l1_lane pt.table) points)
+    in
+    eval_l1 plan.Plan.meta d lanes ~dense
+  | Plan.L2 d ->
+    let lanes =
+      Array.of_list
+        (List.map
+           (fun pt ->
+             l2_lane pt.table
+               (Option.value pt.l2_params
+                  ~default:Tlm2.Energy.default_params))
+           points)
+    in
+    eval_l2 plan.Plan.meta d lanes ~dense
 
 let eval_multi ?(record_profile = false) plan ~points =
   if points = [] then []
   else
-    match plan.Plan.body with
-    | Plan.L1 d ->
-      let lanes =
-        Array.of_list (List.map (fun pt -> l1_lane pt.table) points)
-      in
-      eval_l1 plan.Plan.meta d lanes ~record_profile
-    | Plan.L2 d ->
-      let lanes =
-        Array.of_list
-          (List.map
-             (fun pt ->
-               l2_lane pt.table
-                 (Option.value pt.l2_params
-                    ~default:Tlm2.Energy.default_params))
-             points)
-      in
-      eval_l2 plan.Plan.meta d lanes ~record_profile
+    let totals, profs = eval_raw plan ~points ~dense:record_profile in
+    List.init (List.length points) (finish totals profs)
 
 let eval ?(record_profile = false) ?l2_params ~table plan =
   match eval_multi ~record_profile plan ~points:[ { table; l2_params } ] with
+  | [ o ] -> o
+  | _ -> assert false
+
+(* --- fabric plans (DESIGN.md section 18) ------------------------------ *)
+
+type fabric_outcome = {
+  buckets : float array;
+  fabric_pj : float;
+  near_bus_pj : float;
+  far_bus_pj : float;
+  fabric_bridge_pj : float;
+}
+
+(* Per-master buckets replayed off the op streams.  Bit-exactness: each
+   op adds exactly the float the interpreted fabric added, in the same
+   per-master order — a crossing adds [cross_pj_per_beat *. burst], a
+   sample adds the dense per-cycle energy of the sampled bus cycle
+   (0.0 for a cycle the body elided, exactly what the interpreted tap
+   read from the meter).  The fabric total is the bucket sum in index
+   order and [bridge_pj] refolds the global crossing order, both as the
+   interpreted accessors compute them. *)
+let eval_fabric_multi (f : Plan.fabric) ~points =
+  if points = [] then []
+  else begin
+    let k = List.length points in
+    let m = f.Plan.f_meta in
+    let near_totals, near_dense =
+      eval_raw f.Plan.near ~points ~dense:true
+    in
+    let near_dense = Option.get near_dense in
+    let far_totals, far_dense =
+      match f.Plan.far_plan with
+      | Some p ->
+        let t, d = eval_raw p ~points ~dense:true in
+        (t, Option.get d)
+      | None -> (Array.make k 0.0, Array.make k [||])
+    in
+    let cross = m.Plan.f_cross_pj_per_beat in
+    let bridge_pj =
+      Array.fold_left
+        (fun acc burst -> acc +. (cross *. float_of_int burst))
+        0.0 f.Plan.cross_bursts
+    in
+    List.init k (fun l ->
+        let near_c = near_dense.(l) and far_c = far_dense.(l) in
+        let buckets = Array.make m.Plan.f_masters 0.0 in
+        for mi = 0 to m.Plan.f_masters - 1 do
+          let acc = ref 0.0 in
+          for i = f.Plan.op_off.(mi) to f.Plan.op_off.(mi + 1) - 1 do
+            let arg = Array.unsafe_get f.Plan.op_arg i in
+            let kind = Array.unsafe_get f.Plan.op_kind i in
+            if kind = Plan.op_near then
+              acc := !acc +. Array.unsafe_get near_c arg
+            else if kind = Plan.op_far then
+              acc := !acc +. Array.unsafe_get far_c arg
+            else acc := !acc +. (cross *. float_of_int arg)
+          done;
+          buckets.(mi) <- !acc
+        done;
+        let fabric_pj = Array.fold_left ( +. ) 0.0 buckets in
+        {
+          buckets;
+          fabric_pj;
+          near_bus_pj = near_totals.(l);
+          far_bus_pj = far_totals.(l);
+          fabric_bridge_pj = bridge_pj;
+        })
+  end
+
+let eval_fabric ?l2_params ~table f =
+  match eval_fabric_multi f ~points:[ { table; l2_params } ] with
   | [ o ] -> o
   | _ -> assert false

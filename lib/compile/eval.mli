@@ -33,3 +33,33 @@ val eval :
   Plan.t ->
   outcome
 (** Single-point convenience; identical to a one-element {!eval_multi}. *)
+
+(** {1 Fabric plans (DESIGN.md §18)} *)
+
+type fabric_outcome = {
+  buckets : float array;  (** per-master attributed energy, pJ *)
+  fabric_pj : float;
+      (** bucket sum in index order — the interpreted
+          {!Ec.Fabric.total_pj} *)
+  near_bus_pj : float;  (** the near bus meter's total *)
+  far_bus_pj : float;  (** the far bus meter's total; 0.0 unbridged *)
+  fabric_bridge_pj : float;
+      (** crossing energy in global acceptance order — the interpreted
+          {!Ec.Fabric.bridge_pj}; already inside the buckets *)
+}
+
+val eval_fabric_multi :
+  Plan.fabric -> points:point list -> fabric_outcome list
+(** One walk of the fabric plan per bus body, one outcome per point, in
+    order.  Each master's bucket replays that master's op stream — the
+    exact float-add order of the interpreted fabric — off dense per-cycle
+    energies evaluated from the shared decode, so buckets, totals and
+    bridge energy are bit-identical to an interpreted run at each
+    point. *)
+
+val eval_fabric :
+  ?l2_params:Tlm2.Energy.params ->
+  table:Power.Characterization.t ->
+  Plan.fabric ->
+  fabric_outcome
+(** Single-point convenience over {!eval_fabric_multi}. *)

@@ -168,3 +168,91 @@ let l2_finish r =
       ev_pop_off = Ivec.to_array r.e_pop_off;
       pops = Ivec.to_array r.e_pops;
     }
+
+(* --- fabric plans (DESIGN.md section 18) ------------------------------ *)
+
+(* The per-master bucket of an interpreted fabric run is an ordered float
+   fold over three kinds of add: bridge-crossing energy on acceptance,
+   one closed near-bus cycle per falling edge, one closed far-bus cycle.
+   The op stream records that fold per master as pure integers — a
+   crossing's burst, a sample's closed-cycle index into the bus body —
+   so evaluation replays the identical float sequence from any
+   characterization table. *)
+
+let op_near = 0
+let op_far = 1
+let op_cross = 2
+
+type fabric_meta = {
+  f_masters : int;
+  f_cycles : int;
+  f_txns : int array;
+  f_beats : int array;
+  f_errors : int array;
+  f_grants : int array;
+  f_crossings : int;
+  f_cross_pj_per_beat : float;
+  f_component_pj : float;
+}
+
+type fabric = {
+  f_meta : fabric_meta;
+  near : t;
+  far_plan : t option;
+  op_kind : int array;  (* per-master streams, concatenated *)
+  op_arg : int array;
+  op_off : int array;  (* masters + 1 offsets into op_kind/op_arg *)
+  cross_bursts : int array;  (* chronological, for the bridge_pj fold *)
+}
+
+type fabric_recorder = {
+  fo_kind : Ivec.t array;  (* one stream per master *)
+  fo_arg : Ivec.t array;
+  fo_cross : Ivec.t;
+}
+
+let fabric_recorder ~masters =
+  {
+    fo_kind = Array.init masters (fun _ -> Ivec.create ());
+    fo_arg = Array.init masters (fun _ -> Ivec.create ());
+    fo_cross = Ivec.create ();
+  }
+
+let fabric_observer r =
+  {
+    Ec.Fabric.obs_cross =
+      (fun ~master ~burst ->
+        Ivec.push r.fo_kind.(master) op_cross;
+        Ivec.push r.fo_arg.(master) burst;
+        Ivec.push r.fo_cross burst);
+    obs_near =
+      (fun ~owner ~cycle ->
+        Ivec.push r.fo_kind.(owner) op_near;
+        Ivec.push r.fo_arg.(owner) cycle);
+    obs_far =
+      (fun ~owner ~cycle ->
+        Ivec.push r.fo_kind.(owner) op_far;
+        Ivec.push r.fo_arg.(owner) cycle);
+  }
+
+let fabric_finish r ~meta ~near ~far_plan =
+  let masters = Array.length r.fo_kind in
+  let off = Array.make (masters + 1) 0 in
+  for m = 0 to masters - 1 do
+    off.(m + 1) <- off.(m) + r.fo_kind.(m).Ivec.n
+  done;
+  let op_kind = Array.make off.(masters) 0 in
+  let op_arg = Array.make off.(masters) 0 in
+  for m = 0 to masters - 1 do
+    Array.blit r.fo_kind.(m).Ivec.a 0 op_kind off.(m) r.fo_kind.(m).Ivec.n;
+    Array.blit r.fo_arg.(m).Ivec.a 0 op_arg off.(m) r.fo_arg.(m).Ivec.n
+  done;
+  {
+    f_meta = meta;
+    near;
+    far_plan;
+    op_kind;
+    op_arg;
+    op_off = off;
+    cross_bursts = Ivec.to_array r.fo_cross;
+  }

@@ -72,3 +72,60 @@ type l2_recorder
 val l2_recorder : unit -> l2_recorder
 val l2_observe : l2_recorder -> Tlm2.Energy.event -> unit
 val l2_finish : l2_recorder -> body
+
+(** {1 Fabric plans (DESIGN.md section 18)}
+
+    A fabric plan extends the single-bus plan with the
+    arbitration-resolved residue of a multi-master run: the near (and,
+    bridged, far) bus bodies recorded by the buses' own energy
+    observers, plus one integer {e op stream} per master replaying the
+    exact order of that master's bucket adds — bridge crossings (the
+    burst length) and sampled closed bus cycles (the cycle index into
+    the body).  The schedule is parameter-independent once the workload,
+    arbiter policy and topology are fixed, so one recording pass serves
+    every characterization table ({!Eval.eval_fabric_multi}). *)
+
+val op_near : int
+(** Op kinds of the stream: a sampled near-bus cycle (arg = closed cycle
+    index), a sampled far-bus cycle, an accepted bridge crossing (arg =
+    burst beats). *)
+
+val op_far : int
+val op_cross : int
+
+type fabric_meta = {
+  f_masters : int;
+  f_cycles : int;
+  f_txns : int array;  (** per master, as the fabric counters report *)
+  f_beats : int array;
+  f_errors : int array;
+  f_grants : int array;
+  f_crossings : int;
+  f_cross_pj_per_beat : float;
+      (** topology configuration captured at compile time — not a swept
+          parameter *)
+  f_component_pj : float;
+}
+
+type fabric = {
+  f_meta : fabric_meta;
+  near : t;
+  far_plan : t option;
+  op_kind : int array;  (** per-master streams, concatenated *)
+  op_arg : int array;
+  op_off : int array;  (** [f_masters + 1] offsets into the streams *)
+  cross_bursts : int array;
+      (** all crossings in global acceptance order — the fold behind the
+          interpreted [bridge_pj] total *)
+}
+
+type fabric_recorder
+
+val fabric_recorder : masters:int -> fabric_recorder
+
+val fabric_observer : fabric_recorder -> Ec.Fabric.observer
+(** The {!Ec.Fabric.set_observer} tap feeding the recorder; attach it
+    together with the bus energy observers for one interpreted pass. *)
+
+val fabric_finish :
+  fabric_recorder -> meta:fabric_meta -> near:t -> far_plan:t option -> fabric

@@ -54,7 +54,9 @@ let tap_of_meter = function
       }
 
 (* The far RAM: a plain word store with sub-word lane handling, enough to
-   give bridged traffic a real slave without a second platform. *)
+   give bridged traffic a real slave without a second platform.  The
+   store-reset closure is what lets a pooled fabric session wipe the far
+   memory back to creation state. *)
 let far_slave () =
   let store = Array.make (far_size / 4) 0 in
   let word addr = (addr - far_base) lsr 2 in
@@ -78,79 +80,120 @@ let far_slave () =
       let mask = 0xFF lsl sh in
       store.(i) <- store.(i) land lnot mask lor ((value land 0xFF) lsl sh)
   in
-  Ec.Slave.make
-    ~cfg:(Ec.Slave_cfg.make ~name:"far-ram" ~base:far_base ~size:far_size ())
-    ~read ~write
+  ( Ec.Slave.make
+      ~cfg:(Ec.Slave_cfg.make ~name:"far-ram" ~base:far_base ~size:far_size ())
+      ~read ~write,
+    fun () -> Array.fill store 0 (Array.length store) 0 )
 
-(* A second bus of the same level on the same clock, decoding only the
-   far RAM.  Returns its port, a meter tap, and busy/energy probes. *)
-let build_far ~kernel ~level ~estimate ~table =
-  let decoder = Ec.Decoder.create [ far_slave () ] in
-  match level with
-  | Level.Rtl ->
-    let b = Rtl.Bus.create ~kernel ~decoder ~record_profile:false () in
-    let meter = Rtl.Diesel.meter (Rtl.Bus.diesel b) in
-    ( Rtl.Bus.port b,
-      tap_of_meter (Some meter),
-      (fun () -> Rtl.Bus.busy b),
-      fun () -> Power.Meter.total_pj meter )
-  | Level.L1 ->
-    let energy =
-      if estimate then Some (Tlm1.Energy.create ~record_profile:false table)
-      else None
-    in
-    let b = Tlm1.Bus.create ~kernel ~decoder ?energy () in
-    ( Tlm1.Bus.port b,
-      tap_of_meter (Option.map Tlm1.Energy.meter energy),
-      (fun () -> Tlm1.Bus.busy b),
-      fun () ->
-        match energy with Some e -> Tlm1.Energy.total_pj e | None -> 0.0 )
-  | Level.L2 ->
-    let energy =
-      if estimate then Some (Tlm2.Energy.create ~record_profile:false table)
-      else None
-    in
-    let b = Tlm2.Bus.create ~kernel ~decoder ?energy () in
-    ( Tlm2.Bus.port b,
-      tap_of_meter (Option.map Tlm2.Energy.meter energy),
-      (fun () -> Tlm2.Bus.busy b),
-      fun () ->
-        match energy with Some e -> Tlm2.Energy.total_pj e | None -> 0.0 )
-  | Level.L3 -> assert false
+(* The far side of a bridged topology: a second bus of the same level on
+   the same clock, decoding only the far RAM. *)
+type far_side = {
+  far_attach : Ec.Fabric.far;
+  far_bus : System.bus;  (* for plan recorders and counters *)
+  far_busy : unit -> bool;
+  far_pj : unit -> float;
+  far_reset : unit -> unit;  (* bus, energy model and RAM store *)
+}
 
-let run ?(level = Level.L1) ?(policy = Ec.Arbiter.Round_robin)
-    ?(topology = Single) ?mode ?(estimate = true) ?(max_cycles = 4_000_000)
-    ?(bridge_latency = 2) ?(bridge_pj_per_beat = 1.5)
-    ?(table = Power.Characterization.default) masters =
+let build_far ~kernel ~level ~estimate ~table ~bridge_latency
+    ~bridge_pj_per_beat =
+  let slave, reset_store = far_slave () in
+  let decoder = Ec.Decoder.create [ slave ] in
+  let far_port, far_tap, far_bus, far_busy, far_pj, reset_bus =
+    match level with
+    | Level.Rtl ->
+      let b = Rtl.Bus.create ~kernel ~decoder ~record_profile:false () in
+      let meter = Rtl.Diesel.meter (Rtl.Bus.diesel b) in
+      ( Rtl.Bus.port b,
+        tap_of_meter (Some meter),
+        System.Rtl_bus b,
+        (fun () -> Rtl.Bus.busy b),
+        (fun () -> Power.Meter.total_pj meter),
+        fun () -> Rtl.Bus.reset b )
+    | Level.L1 ->
+      let energy =
+        if estimate then Some (Tlm1.Energy.create ~record_profile:false table)
+        else None
+      in
+      let b = Tlm1.Bus.create ~kernel ~decoder ?energy () in
+      ( Tlm1.Bus.port b,
+        tap_of_meter (Option.map Tlm1.Energy.meter energy),
+        System.L1_bus b,
+        (fun () -> Tlm1.Bus.busy b),
+        (fun () ->
+          match energy with Some e -> Tlm1.Energy.total_pj e | None -> 0.0),
+        fun () -> Tlm1.Bus.reset b )
+    | Level.L2 ->
+      let energy =
+        if estimate then Some (Tlm2.Energy.create ~record_profile:false table)
+        else None
+      in
+      let b = Tlm2.Bus.create ~kernel ~decoder ?energy () in
+      ( Tlm2.Bus.port b,
+        tap_of_meter (Option.map Tlm2.Energy.meter energy),
+        System.L2_bus b,
+        (fun () -> Tlm2.Bus.busy b),
+        (fun () ->
+          match energy with Some e -> Tlm2.Energy.total_pj e | None -> 0.0),
+        fun () -> Tlm2.Bus.reset b )
+    | Level.L3 -> assert false
+  in
+  {
+    far_attach =
+      {
+        Ec.Fabric.far_port;
+        far_tap;
+        window = far_window;
+        latency = bridge_latency;
+        crossing_pj_per_beat = bridge_pj_per_beat;
+      };
+    far_bus;
+    far_busy;
+    far_pj;
+    far_reset =
+      (fun () ->
+        reset_bus ();
+        reset_store ());
+  }
+
+(* A fabric session: the durable hardware of one contention
+   configuration — near system, optional far side, fabric, and one trace
+   master per port.  Pooled checkouts reset all of it and re-arm the
+   masters with the caller's traces (DESIGN.md section 18). *)
+type session = {
+  s_system : System.t;
+  s_fabric : Ec.Fabric.t;
+  s_masters : Soc.Trace_master.t array;
+  s_far : far_side option;
+}
+
+let session_kind : session Pool.kind = Pool.kind ()
+let fabric_plan_kind : Compile.Plan.fabric Pool.kind = Pool.kind ()
+
+let validate ~level masters =
   if masters = [] then invalid_arg "Core.Contention.run: no masters";
   if level = Level.L3 then
     invalid_arg
-      "Core.Contention.run: fabric masters drive timed buses (rtl/l1/l2)";
+      "Core.Contention.run: fabric masters drive timed buses (rtl/l1/l2)"
+
+let build_session ~level ~policy ~topology ?mode ~estimate ~table
+    ~bridge_latency ~bridge_pj_per_beat masters =
   let system = System.create ~level ~estimate ~table () in
   let kernel = System.kernel system in
-  let far, far_busy, far_pj =
+  let far =
     match topology with
-    | Single -> (None, (fun () -> false), fun () -> 0.0)
+    | Single -> None
     | Bridged ->
-      let far_port, far_tap, busy, pj =
-        build_far ~kernel ~level ~estimate ~table
-      in
-      ( Some
-          {
-            Ec.Fabric.far_port;
-            far_tap;
-            window = far_window;
-            latency = bridge_latency;
-            crossing_pj_per_beat = bridge_pj_per_beat;
-          },
-        busy,
-        pj )
+      Some
+        (build_far ~kernel ~level ~estimate ~table ~bridge_latency
+           ~bridge_pj_per_beat)
   in
   let n = List.length masters in
   let fabric =
     Ec.Fabric.create ~masters:n ~policy ~bus:(System.port system)
       ?tap:(tap_of_meter (System.meter system))
-      ?far ()
+      ?far:(Option.map (fun f -> f.far_attach) far)
+      ()
   in
   (* Registration order matters: the buses' own edge processes are
      already in place (System/build_far), so the fabric's falling-edge
@@ -170,15 +213,28 @@ let run ?(level = Level.L1) ?(policy = Ec.Arbiter.Round_robin)
           ?mode trace)
       masters
   in
+  { s_system = system; s_fabric = fabric; s_masters = Array.of_list tms; s_far = far }
+
+let reset_session ?mode s masters =
+  System.reset s.s_system;
+  (match s.s_far with Some f -> f.far_reset () | None -> ());
+  Ec.Fabric.reset s.s_fabric;
+  List.iteri
+    (fun m (_, trace) -> Soc.Trace_master.reset ?mode s.s_masters.(m) trace)
+    masters
+
+let drained s () =
+  Array.for_all Soc.Trace_master.finished s.s_masters
+  && (not (Ec.Fabric.busy s.s_fabric))
+  && (not (System.bus_busy s.s_system))
+  && match s.s_far with Some f -> not (f.far_busy ()) | None -> true
+
+let execute ~level ~policy ~topology ~max_cycles s masters =
+  let kernel = System.kernel s.s_system in
   let t0 = Unix.gettimeofday () in
-  let cycles =
-    Sim.Kernel.run_until kernel ~max_cycles (fun () ->
-        List.for_all Soc.Trace_master.finished tms
-        && (not (Ec.Fabric.busy fabric))
-        && (not (System.bus_busy system))
-        && not (far_busy ()))
-  in
+  let cycles = Sim.Kernel.run_until kernel ~max_cycles (drained s) in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  let fabric = s.s_fabric in
   let rows =
     List.mapi
       (fun m (k, _) ->
@@ -198,12 +254,250 @@ let run ?(level = Level.L1) ?(policy = Ec.Arbiter.Round_robin)
     topology;
     cycles;
     fabric_pj = Ec.Fabric.total_pj fabric;
-    bus_pj = System.bus_energy_pj system +. far_pj ();
+    bus_pj =
+      (System.bus_energy_pj s.s_system
+      +. match s.s_far with Some f -> f.far_pj () | None -> 0.0);
     bridge_pj = Ec.Fabric.bridge_pj fabric;
     crossings = Ec.Fabric.crossings fabric;
     rows;
     wall_seconds;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled fabric plans (DESIGN.md section 18)                        *)
+
+(* Attach a body recorder to one bus's energy model; returns the
+   detach-and-finish closure, exactly as Runner.compile_trace does. *)
+let attach_body = function
+  | System.L1_bus b ->
+    let e = Option.get (Tlm1.Bus.energy b) in
+    let r = Compile.Plan.l1_recorder () in
+    Tlm1.Energy.set_observer e (Compile.Plan.l1_observe r);
+    fun () ->
+      Tlm1.Energy.clear_observer e;
+      Compile.Plan.l1_finish r
+  | System.L2_bus b ->
+    let e = Option.get (Tlm2.Bus.energy b) in
+    let r = Compile.Plan.l2_recorder () in
+    Tlm2.Energy.set_observer e (Compile.Plan.l2_observe r);
+    fun () ->
+      Tlm2.Energy.clear_observer e;
+      Compile.Plan.l2_finish r
+  | System.Rtl_bus _ -> assert false
+
+let bus_counters = function
+  | System.L1_bus b ->
+    ( Tlm1.Bus.completed_txns b,
+      Tlm1.Bus.completed_beats b,
+      Tlm1.Bus.error_txns b,
+      match Tlm1.Bus.energy b with
+      | Some e -> Tlm1.Energy.transitions_total e
+      | None -> 0 )
+  | System.L2_bus b ->
+    (Tlm2.Bus.completed_txns b, Tlm2.Bus.completed_beats b, Tlm2.Bus.error_txns b, 0)
+  | System.Rtl_bus _ -> assert false
+
+let plan_level = function
+  | Level.L1 -> `L1
+  | Level.L2 -> `L2
+  | Level.Rtl | Level.L3 -> assert false
+
+(* One instrumented interpreted pass: the bus energy observers record
+   the near (and far) bodies while the fabric observer records each
+   master's bucket-add order as pure integers.  The grant schedule is
+   parameter-independent once workload, policy and topology are fixed,
+   which the replay cross-check below asserts: evaluating the fresh plan
+   at the capture table must reproduce the interpreted buckets bit for
+   bit. *)
+let compile ?(level = Level.L1) ?(policy = Ec.Arbiter.Round_robin)
+    ?(topology = Single) ?mode ?(max_cycles = 4_000_000)
+    ?(bridge_latency = 2) ?(bridge_pj_per_beat = 1.5) ?pool masters =
+  validate ~level masters;
+  if level = Level.Rtl then
+    invalid_arg "Core.Contention.compile: gate-level fabric plans are not supported";
+  let build () =
+    let table = Power.Characterization.default in
+    let s =
+      build_session ~level ~policy ~topology ?mode ~estimate:true ~table
+        ~bridge_latency ~bridge_pj_per_beat masters
+    in
+    let n = Array.length s.s_masters in
+    let near_finish = attach_body (System.bus s.s_system) in
+    let far_finish = Option.map (fun f -> attach_body f.far_bus) s.s_far in
+    let rec_ = Compile.Plan.fabric_recorder ~masters:n in
+    Ec.Fabric.set_observer s.s_fabric (Compile.Plan.fabric_observer rec_);
+    let kernel = System.kernel s.s_system in
+    let cycles = Sim.Kernel.run_until kernel ~max_cycles (drained s) in
+    Ec.Fabric.clear_observer s.s_fabric;
+    let near =
+      Compile.Plan.make
+        ~meta:
+          {
+            Compile.Plan.level = plan_level level;
+            cycles;
+            txns = System.completed_txns s.s_system;
+            beats = System.completed_beats s.s_system;
+            errors = System.error_txns s.s_system;
+            transitions = System.bus_transitions s.s_system;
+            component_pj = System.component_energy_pj s.s_system;
+          }
+        ~body:(near_finish ())
+    in
+    let far_plan =
+      match (s.s_far, far_finish) with
+      | Some f, Some finish ->
+        let txns, beats, errors, transitions = bus_counters f.far_bus in
+        Some
+          (Compile.Plan.make
+             ~meta:
+               {
+                 Compile.Plan.level = plan_level level;
+                 cycles;
+                 txns;
+                 beats;
+                 errors;
+                 transitions;
+                 component_pj = 0.0;
+               }
+             ~body:(finish ()))
+      | _ -> None
+    in
+    let fabric = s.s_fabric in
+    let plan =
+      Compile.Plan.fabric_finish rec_
+        ~meta:
+          {
+            Compile.Plan.f_masters = n;
+            f_cycles = cycles;
+            f_txns = Array.init n (Ec.Fabric.master_txns fabric);
+            f_beats = Array.init n (Ec.Fabric.master_beats fabric);
+            f_errors = Array.init n (Ec.Fabric.master_errors fabric);
+            f_grants = Array.init n (Ec.Fabric.master_grants fabric);
+            f_crossings = Ec.Fabric.crossings fabric;
+            f_cross_pj_per_beat =
+              (match topology with
+              | Bridged -> bridge_pj_per_beat
+              | Single -> 0.0);
+            f_component_pj = System.component_energy_pj s.s_system;
+          }
+        ~near ~far_plan
+    in
+    (* Replay cross-check: the compiled schedule replayed at the capture
+       table must be bit-identical to the interpreted pass it was
+       recorded from. *)
+    let o = Compile.Eval.eval_fabric ~table plan in
+    for m = 0 to n - 1 do
+      if o.Compile.Eval.buckets.(m) <> Ec.Fabric.master_pj fabric m then
+        failwith
+          (Printf.sprintf
+             "Core.Contention.compile: replay cross-check failed \
+              (master %d: compiled %.17g pJ, interpreted %.17g pJ)"
+             m
+             o.Compile.Eval.buckets.(m)
+             (Ec.Fabric.master_pj fabric m))
+    done;
+    if
+      o.Compile.Eval.fabric_pj <> Ec.Fabric.total_pj fabric
+      || o.Compile.Eval.fabric_bridge_pj <> Ec.Fabric.bridge_pj fabric
+    then failwith "Core.Contention.compile: replay cross-check failed (totals)";
+    plan
+  in
+  match pool with
+  | Some p ->
+    let key =
+      "fabric-plan:"
+      ^ Pool.fingerprint
+          ( level,
+            policy,
+            topology,
+            mode,
+            max_cycles,
+            bridge_latency,
+            bridge_pj_per_beat,
+            masters )
+    in
+    Pool.memo p fabric_plan_kind ~tag:"fabric" ~key build
+  | None -> build ()
+
+let replay_plan ?(table = Power.Characterization.default) ~level ~policy
+    ~topology ~kinds (plan : Compile.Plan.fabric) =
+  let t0 = Unix.gettimeofday () in
+  let o = Compile.Eval.eval_fabric ~table plan in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let m = plan.Compile.Plan.f_meta in
+  let rows =
+    List.mapi
+      (fun i k ->
+        {
+          kind = k;
+          txns = m.Compile.Plan.f_txns.(i);
+          beats = m.Compile.Plan.f_beats.(i);
+          errors = m.Compile.Plan.f_errors.(i);
+          grants = m.Compile.Plan.f_grants.(i);
+          energy_pj = o.Compile.Eval.buckets.(i);
+        })
+      kinds
+  in
+  {
+    level;
+    policy;
+    topology;
+    cycles = m.Compile.Plan.f_cycles;
+    fabric_pj = o.Compile.Eval.fabric_pj;
+    bus_pj = o.Compile.Eval.near_bus_pj +. o.Compile.Eval.far_bus_pj;
+    bridge_pj = o.Compile.Eval.fabric_bridge_pj;
+    crossings = m.Compile.Plan.f_crossings;
+    rows;
+    wall_seconds;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(level = Level.L1) ?(policy = Ec.Arbiter.Round_robin)
+    ?(topology = Single) ?mode ?(estimate = true) ?(max_cycles = 4_000_000)
+    ?(bridge_latency = 2) ?(bridge_pj_per_beat = 1.5)
+    ?(table = Power.Characterization.default) ?(compiled = false) ?pool
+    masters =
+  validate ~level masters;
+  if compiled && estimate && (level = Level.L1 || level = Level.L2) then
+    (* Compiled route: resolve (or fetch) the fabric plan, then evaluate
+       the requested table over it.  Gate-level cells stay interpreted —
+       Diesel has no integer tap. *)
+    let plan =
+      compile ~level ~policy ~topology ?mode ~max_cycles ~bridge_latency
+        ~bridge_pj_per_beat ?pool masters
+    in
+    replay_plan ~table ~level ~policy ~topology ~kinds:(List.map fst masters)
+      plan
+  else
+    match pool with
+    | Some p ->
+      (* The key is the session's wiring: everything reset does not undo.
+         Traces and issue mode are re-armed per checkout. *)
+      let key =
+        "fabric:"
+        ^ Pool.fingerprint
+            ( level,
+              estimate,
+              table,
+              policy,
+              topology,
+              bridge_latency,
+              bridge_pj_per_beat,
+              List.map fst masters )
+      in
+      Pool.with_session p session_kind ~key
+        ~build:(fun () ->
+          build_session ~level ~policy ~topology ?mode ~estimate ~table
+            ~bridge_latency ~bridge_pj_per_beat masters)
+        ~reset:(fun s -> reset_session ?mode s masters)
+        (fun s -> execute ~level ~policy ~topology ~max_cycles s masters)
+    | None ->
+      let s =
+        build_session ~level ~policy ~topology ?mode ~estimate ~table
+          ~bridge_latency ~bridge_pj_per_beat masters
+      in
+      execute ~level ~policy ~topology ~max_cycles s masters
 
 let default_masters ?(n = 512) topology =
   let src =
@@ -215,23 +509,30 @@ let default_masters ?(n = 512) topology =
     (Crypto, Workloads.crypto_trace ~blocks:(max 1 (n / 8)) ());
   ]
 
+let study_cells ~levels ~policies =
+  List.concat_map
+    (fun level ->
+      List.concat_map
+        (fun policy ->
+          List.map (fun topology -> (level, policy, topology)) [ Single; Bridged ])
+        policies)
+    levels
+
 let study ?(n = 512) ?(levels = Level.timed)
     ?(policies =
       [
         Ec.Arbiter.Fixed_priority;
         Ec.Arbiter.Round_robin;
         Ec.Arbiter.Weighted [| 4; 2; 1 |];
-      ]) () =
-  List.concat_map
-    (fun level ->
-      List.concat_map
-        (fun policy ->
-          List.map
-            (fun topology ->
-              run ~level ~policy ~topology (default_masters ~n topology))
-            [ Single; Bridged ])
-        policies)
-    levels
+      ]) ?(compiled = false) ?pool ?domains () =
+  (* Grid cells are fully independent simulations, so the sweep maps
+     across domains; with a pool, plans and sessions persist in each
+     domain's cache, so a second sweep replays from memoized plans. *)
+  Parallel.map ?domains
+    (fun (level, policy, topology) ->
+      run ~level ~policy ~topology ~compiled ?pool
+        (default_masters ~n topology))
+    (study_cells ~levels ~policies)
 
 let render_study results =
   let share row r =

@@ -68,6 +68,8 @@ val run :
   ?bridge_latency:int ->
   ?bridge_pj_per_beat:float ->
   ?table:Power.Characterization.t ->
+  ?compiled:bool ->
+  ?pool:Pool.t ->
   (kind * Ec.Trace.t) list ->
   result
 (** Replays each listed trace on its own fabric port until every master
@@ -78,10 +80,57 @@ val run :
     Round_robin], [topology = Single], pipelined masters, estimation on,
     bridge latency 2 cycles at 1.5 pJ/beat.
 
+    [~compiled:true] routes layer-1/2 estimation runs through a fabric
+    plan ({!compile}) and evaluates [table] over it — bit-identical to
+    the interpreted run, orders of magnitude faster once the plan is
+    memoized; gate-level and estimation-off runs fall back to
+    interpretation.  With [?pool], interpreted runs check out a pooled
+    fabric session (keyed by level, policy, topology, bridge parameters
+    and master kinds; traces and issue mode re-arm per checkout) and
+    compiled runs memoize their plans in the pool under the ["fabric"]
+    plan tag.
+
     @raise Invalid_argument on an empty master list, on [level = L3]
     (the message layer replays serially through a carrier — there is
     nothing to arbitrate; see DESIGN.md 17.4), or on a [Weighted] vector
     whose length differs from the master count. *)
+
+val compile :
+  ?level:Level.t ->
+  ?policy:Ec.Arbiter.policy ->
+  ?topology:topology ->
+  ?mode:Soc.Trace_master.mode ->
+  ?max_cycles:int ->
+  ?bridge_latency:int ->
+  ?bridge_pj_per_beat:float ->
+  ?pool:Pool.t ->
+  (kind * Ec.Trace.t) list ->
+  Compile.Plan.fabric
+(** One instrumented interpreted pass (DESIGN.md section 18): the bus
+    energy observers record the near/far bodies, the fabric's integer
+    observer records the arbitration-resolved per-master bucket-add
+    order, and the result is a {!Compile.Plan.fabric} replayable under
+    any characterization table.  Asserts the schedule's
+    parameter-independence with a replay cross-check — the fresh plan
+    evaluated at the capture table must reproduce the interpreted
+    buckets bit for bit.  With [?pool] the plan is memoized under the
+    ["fabric"] tag.
+
+    @raise Invalid_argument on [level = Rtl] (Diesel has no integer tap)
+    or [level = L3], and as {!run} otherwise.
+    @raise Failure if the cross-check diverges. *)
+
+val replay_plan :
+  ?table:Power.Characterization.t ->
+  level:Level.t ->
+  policy:Ec.Arbiter.policy ->
+  topology:topology ->
+  kinds:kind list ->
+  Compile.Plan.fabric ->
+  result
+(** Evaluates one parameter point over a compiled fabric plan and shapes
+    it as a {!result} (wall time is the evaluation only).  [kinds]
+    labels the rows, in master-index order. *)
 
 val default_masters : ?n:int -> topology -> (kind * Ec.Trace.t) list
 (** The standard three-master stimulus: a CPU replaying the Table-3 mix
@@ -90,11 +139,20 @@ val default_masters : ?n:int -> topology -> (kind * Ec.Trace.t) list
     ([n/8] blocks). *)
 
 val study :
-  ?n:int -> ?levels:Level.t list -> ?policies:Ec.Arbiter.policy list -> unit ->
+  ?n:int ->
+  ?levels:Level.t list ->
+  ?policies:Ec.Arbiter.policy list ->
+  ?compiled:bool ->
+  ?pool:Pool.t ->
+  ?domains:int ->
+  unit ->
   result list
 (** The full exploration grid: arbiter policy x topology x level (default
     levels {!Level.timed}, default policies fixed / rr / wrr 4:2:1) over
-    {!default_masters}. *)
+    {!default_masters}.  Cells are independent simulations mapped across
+    [?domains] {!Parallel} domains; [?compiled] and [?pool] forward to
+    {!run}, so a pooled compiled sweep replays its grid from memoized
+    plans on the second pass. *)
 
 val render_study : result list -> string
 (** Markdown-ish table of a {!study}, one row per run with per-master

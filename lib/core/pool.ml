@@ -18,6 +18,12 @@ type t = {
   builds : int Atomic.t;
   memo_hits : int Atomic.t;
   memo_builds : int Atomic.t;
+  (* Per-kind breakout of the memo counters (trace plans vs fabric
+     plans, see Report.pool_stats).  The table only ever grows by a
+     handful of tags, so a mutex around the lookup is cheap; the
+     counters themselves are atomics, bumped lock-free once found. *)
+  memo_tags : (string, int Atomic.t * int Atomic.t) Hashtbl.t;
+  memo_tags_lock : Mutex.t;
 }
 
 (* Sessions are arbitrary, session-kind-specific records.  They are
@@ -53,6 +59,8 @@ let create ?(capacity = 4) () =
     builds = Atomic.make 0;
     memo_hits = Atomic.make 0;
     memo_builds = Atomic.make 0;
+    memo_tags = Hashtbl.create 4;
+    memo_tags_lock = Mutex.create ();
   }
 
 (* Domain-local store: pool id -> key -> free entries.  One flat
@@ -117,7 +125,20 @@ let builds t = Atomic.get t.builds
    the entry lives for the pool's lifetime — no capacity bound.  The
    namespace byte keeps memo keys from ever colliding with free-list
    keys. *)
-let memo t kind ~key build =
+let tag_counters t tag =
+  Mutex.lock t.memo_tags_lock;
+  let c =
+    match Hashtbl.find_opt t.memo_tags tag with
+    | Some c -> c
+    | None ->
+      let c = (Atomic.make 0, Atomic.make 0) in
+      Hashtbl.add t.memo_tags tag c;
+      c
+  in
+  Mutex.unlock t.memo_tags_lock;
+  c
+
+let memo t kind ?tag ~key build =
   let r = slot t ~key:("memo\x00" ^ key) in
   let rec find = function
     | [] -> None
@@ -126,18 +147,35 @@ let memo t kind ~key build =
       | Some v -> Some v
       | None -> find rest)
   in
+  let bump sel =
+    match tag with
+    | None -> ()
+    | Some tag -> Atomic.incr (sel (tag_counters t tag))
+  in
   match find !r with
   | Some v ->
     Atomic.incr t.memo_hits;
+    bump fst;
     v
   | None ->
     Atomic.incr t.memo_builds;
+    bump snd;
     let v = build () in
     r := { kind_id = kind.kind_id; value = kind.inj v } :: !r;
     v
 
 let memo_hits t = Atomic.get t.memo_hits
 let memo_builds t = Atomic.get t.memo_builds
+
+let memo_tag_stats t =
+  Mutex.lock t.memo_tags_lock;
+  let rows =
+    Hashtbl.fold
+      (fun tag (h, b) acc -> (tag, Atomic.get h, Atomic.get b) :: acc)
+      t.memo_tags []
+  in
+  Mutex.unlock t.memo_tags_lock;
+  List.sort compare rows
 
 (* Pool keys fingerprint configuration values (characterization tables,
    electrical parameter records, interface configurations) — pure data,

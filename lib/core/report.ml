@@ -71,12 +71,19 @@ let pool_stats p =
   in
   let sh = Pool.hits p and sb = Pool.builds p in
   let mh = Pool.memo_hits p and mb = Pool.memo_builds p in
+  let tag_rows =
+    List.map
+      (fun (tag, h, b) ->
+        [ "plans:" ^ tag; string_of_int h; string_of_int b; rate h b ])
+      (Pool.memo_tag_stats p)
+  in
   table
     ~header:[ "pool"; "hits"; "builds"; "hit rate" ]
-    [
-      [ "sessions"; string_of_int sh; string_of_int sb; rate sh sb ];
-      [ "plans"; string_of_int mh; string_of_int mb; rate mh mb ];
-    ]
+    ([
+       [ "sessions"; string_of_int sh; string_of_int sb; rate sh sb ];
+       [ "plans"; string_of_int mh; string_of_int mb; rate mh mb ];
+     ]
+    @ tag_rows)
 
 let pct v = Printf.sprintf "%+.1f%%" v
 let ratio_pct ~reference v =

@@ -17,7 +17,9 @@ val pool_stats : Pool.t -> string
 (** Session and compiled-plan cache effectiveness of a {!Pool}: hits,
     builds and hit rate for the resettable-session free-lists
     ({!Pool.hits}/{!Pool.builds}) and for the plan memo
-    ({!Pool.memo_hits}/{!Pool.memo_builds}). *)
+    ({!Pool.memo_hits}/{!Pool.memo_builds}), followed by one
+    ["plans:<tag>"] row per plan kind that passed a tag to {!Pool.memo}
+    (trace vs fabric plans, {!Pool.memo_tag_stats}). *)
 
 val pct : float -> string
 (** Signed percentage with one decimal ("+14.7%", "-7.8%", "0.0%"). *)

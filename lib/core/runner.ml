@@ -119,7 +119,7 @@ let compile_trace ?(level = Level.L1) ?(mode = `Pipelined) ?max_cycles ?init
         (match mode with `Serial -> "serial" | `Pipelined -> "pipelined")
         (Pool.fingerprint (max_cycles, trace))
     in
-    Pool.memo p plan_kind ~key build
+    Pool.memo p plan_kind ~tag:"trace" ~key build
   | _ -> build ()
 
 let replay_compiled ?(estimate = true) ?(record_profile = false) ?table

@@ -1,5 +1,17 @@
 type tap = { cycles : unit -> int; last_cycle_pj : unit -> float }
 
+(* Integer observer for compiled fabric plans (DESIGN.md section 18):
+   fires at exactly the points where the float buckets accumulate, with
+   the integers that determine each add — never touching the float path,
+   so an observed run is bit-identical to an unobserved one. *)
+type observer = {
+  obs_cross : master:int -> burst:int -> unit;
+      (* a bridge crossing accepted: the crossing-energy add *)
+  obs_near : owner:int -> cycle:int -> unit;
+      (* a closed near-bus cycle sampled into [owner]'s bucket *)
+  obs_far : owner:int -> cycle:int -> unit;
+}
+
 type far = {
   far_port : Port.t;
   far_tap : tap option;
@@ -40,6 +52,7 @@ type t = {
   mutable far_seen : int;
   mutable crossings : int;
   mutable bridge_pj : float;
+  mutable observer : observer option;
 }
 
 let dummy_entry =
@@ -79,10 +92,13 @@ let create ~masters ~policy ~bus ?tap ?far () =
     far_seen = 0;
     crossings = 0;
     bridge_pj = 0.0;
+    observer = None;
   }
 
 let arbiter t = t.arbiter
 let masters t = t.masters
+let set_observer t o = t.observer <- Some o
+let clear_observer t = t.observer <- None
 
 let remap t txn =
   let open Txn in
@@ -122,6 +138,9 @@ let try_submit t m txn =
       let cost = f.crossing_pj_per_beat *. float_of_int txn.Txn.burst in
       t.buckets.(m) <- t.buckets.(m) +. cost;
       t.bridge_pj <- t.bridge_pj +. cost;
+      (match t.observer with
+      | Some o -> o.obs_cross ~master:m ~burst:txn.Txn.burst
+      | None -> ());
       Arbiter.commit t.arbiter m;
       true
     end
@@ -206,19 +225,27 @@ let on_rising t =
       else continue := false
     done
 
-let sample t tap owner seen =
+let sample t tap owner seen notify =
   let c = tap.cycles () in
-  if c > seen then
+  if c > seen then begin
     t.buckets.(owner) <- t.buckets.(owner) +. tap.last_cycle_pj ();
+    (* The just-closed meter cycle has index [c - 1] in the energy
+       observers' numbering — what a compiled plan keys the sample by. *)
+    match t.observer with
+    | Some o -> notify o ~owner ~cycle:(c - 1)
+    | None -> ()
+  end;
   c
 
 let on_falling t =
   (match t.tap with
-  | Some tap -> t.near_seen <- sample t tap t.sticky_near t.near_seen
+  | Some tap ->
+    t.near_seen <-
+      sample t tap t.sticky_near t.near_seen (fun o -> o.obs_near)
   | None -> ());
   (match t.far with
   | Some { far_tap = Some tap; _ } ->
-    t.far_seen <- sample t tap t.sticky_far t.far_seen
+    t.far_seen <- sample t tap t.sticky_far t.far_seen (fun o -> o.obs_far)
   | Some { far_tap = None; _ } | None -> ());
   Arbiter.new_cycle t.arbiter
 
@@ -256,4 +283,5 @@ let reset t =
   t.near_seen <- 0;
   t.far_seen <- 0;
   t.crossings <- 0;
-  t.bridge_pj <- 0.0
+  t.bridge_pj <- 0.0;
+  t.observer <- None

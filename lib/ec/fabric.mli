@@ -79,6 +79,29 @@ val port : t -> int -> Port.t
 val arbiter : t -> Arbiter.t
 val masters : t -> int
 
+(** {1 Integer observer (compiled fabric plans)}
+
+    Mirrors the {!Tlm1.Energy}/{!Tlm2.Energy} observer hooks: a pure
+    integer tap at each point where a float lands in a master bucket,
+    carrying exactly the integers that determine the add.  The float
+    path itself is untouched, so an observed run is bit-identical to an
+    unobserved one (DESIGN.md section 18). *)
+type observer = {
+  obs_cross : master:int -> burst:int -> unit;
+      (** a bridge crossing accepted by the fabric — the
+          [crossing_pj_per_beat *. burst] add to [master]'s bucket, in
+          the order the bucket receives it *)
+  obs_near : owner:int -> cycle:int -> unit;
+      (** the near tap advanced: closed meter cycle [cycle] (0-based in
+          the energy observers' numbering) sampled into [owner]'s
+          bucket *)
+  obs_far : owner:int -> cycle:int -> unit;
+      (** same, for the far (bridged) bus tap *)
+}
+
+val set_observer : t -> observer -> unit
+val clear_observer : t -> unit
+
 val on_rising : t -> unit
 (** Clock hook, before the masters' processes: decrements crossing
     countdowns and forwards matured bridge transactions to the far bus
@@ -123,4 +146,5 @@ val bridge_pj : t -> float
 val reset : t -> unit
 (** Buckets, counters, id maps, crossing queue, sticky owners, tap
     positions and the arbiter back to the freshly created state.  The
-    ports and taps are wiring and stay. *)
+    ports and taps are wiring and stay; a set observer is cleared, as
+    the energy-model resets do. *)

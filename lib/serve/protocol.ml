@@ -23,11 +23,17 @@ type run = {
   compiled : bool;
 }
 
+type fabric_spec = {
+  fab_policy : Ec.Arbiter.policy;
+  fab_topology : Core.Contention.topology;
+}
+
 type replay = {
   workload : workload;
   level : Core.Level.t;
   mode : mode;
   scales : float list;
+  fabric : fabric_spec option;
 }
 
 type explore = {
@@ -153,6 +159,7 @@ type point_body = {
   point_cycles : int;
   point_txns : int;
   point_transitions : int;
+  point_buckets : float list option;
 }
 
 type pool_stats = {
@@ -295,6 +302,20 @@ let request_to_json ~id request =
         ("mode", J.String (mode_to_wire r.mode));
         ("scales", J.List (List.map (fun s -> J.Float s) r.scales));
       ]
+      @ (match r.fabric with
+        | None -> []
+        | Some f ->
+          [
+            ( "fabric",
+              J.Obj
+                [
+                  ( "policy",
+                    J.String (Ec.Arbiter.policy_to_string f.fab_policy) );
+                  ( "topology",
+                    J.String
+                      (Core.Contention.topology_to_string f.fab_topology) );
+                ] );
+          ])
     | Stats -> [ ("type", J.String "stats") ]
     | Metrics -> [ ("type", J.String "metrics") ]
     | Subscribe s ->
@@ -472,7 +493,26 @@ let request_of_json json =
           decode [] items
         | Some _ -> bad "field \"scales\" must be a non-empty list of numbers"
       in
-      Ok (Replay { workload; level; mode; scales })
+      let* fabric =
+        match J.member "fabric" json with
+        | None -> Ok None
+        | Some (J.Obj _ as f) ->
+          let* ps = field_string f "policy" ~default:"rr" in
+          let* fab_policy =
+            match Ec.Arbiter.policy_of_string ps with
+            | Some p -> Ok p
+            | None -> bad "unknown arbiter policy %S (fixed|rr|wrr:w,...)" ps
+          in
+          let* ts = field_string f "topology" ~default:"single" in
+          let* fab_topology =
+            match Core.Contention.topology_of_string ts with
+            | Some t -> Ok t
+            | None -> bad "unknown topology %S (single|bridged)" ts
+          in
+          Ok (Some { fab_policy; fab_topology })
+        | Some _ -> bad "field \"fabric\" must be an object"
+      in
+      Ok (Replay { workload; level; mode; scales; fabric })
     | "stats" -> Ok Stats
     | "metrics" -> Ok Metrics
     | "subscribe" ->
@@ -568,6 +608,10 @@ let frame_to_json ~id frame =
         ("txns", J.Int p.point_txns);
         ("transitions", J.Int p.point_transitions);
       ]
+      @ (match p.point_buckets with
+        | None -> []
+        | Some bs ->
+          [ ("buckets", J.List (List.map (fun b -> J.Float b) bs)) ])
     | Energy (seq, lines) ->
       [
         ("frame", J.String "energy");
@@ -750,6 +794,15 @@ let frame_of_json json =
       let* point_cycles = need_int json "cycles" in
       let* point_txns = need_int json "txns" in
       let* point_transitions = need_int json "transitions" in
+      let* point_buckets =
+        match J.member "buckets" json with
+        | None -> Ok None
+        | Some (J.List items) ->
+          let bs = List.filter_map J.number_opt items in
+          if List.length bs = List.length items then Ok (Some bs)
+          else Result.Error "point frame buckets must be numbers"
+        | Some _ -> Result.Error "point frame buckets must be a list"
+      in
       Ok
         (Point
            {
@@ -759,6 +812,7 @@ let frame_of_json json =
              point_cycles;
              point_txns;
              point_transitions;
+             point_buckets;
            })
     | "energy" -> (
       let* seq = need_int json "seq" in

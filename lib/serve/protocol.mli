@@ -32,6 +32,15 @@ type run = {
   compiled : bool;  (** evaluate off a memoized compiled plan (L1/L2) *)
 }
 
+(** Multi-master replay target: the workload trace drives the CPU
+    master, with the standard DMA and crypto companions appended
+    ({!Core.Contention.default_masters}); points evaluate off a memoized
+    compiled fabric plan with per-master buckets on each frame. *)
+type fabric_spec = {
+  fab_policy : Ec.Arbiter.policy;  (** wire: ["fixed"|"rr"|"wrr:w,..."] *)
+  fab_topology : Core.Contention.topology;
+}
+
 type replay = {
   workload : workload;
   level : Core.Level.t;  (** [L1] or [L2]; [Rtl] is rejected *)
@@ -39,6 +48,8 @@ type replay = {
   scales : float list;
       (** one evaluation point per entry: the default characterization
           table scaled by the factor *)
+  fabric : fabric_spec option;
+      (** [None] replays the single-master trace plan, as before *)
 }
 
 type explore = {
@@ -126,6 +137,10 @@ type point_body = {
   point_cycles : int;
   point_txns : int;
   point_transitions : int;
+  point_buckets : float list option;
+      (** fabric replays only: per-master attributed energy in master
+          order; the wire member is omitted when absent, so
+          single-master frames are unchanged *)
 }
 
 type pool_stats = {

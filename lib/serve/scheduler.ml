@@ -24,7 +24,7 @@ let compiled_plan ~pool ~level ~mode workload =
         (match mode with `Serial -> "serial" | `Pipelined -> "pipelined"),
         workload_key workload )
   in
-  Core.Pool.memo pool plan_kind ~key (fun () ->
+  Core.Pool.memo pool plan_kind ~tag:"trace" ~key (fun () ->
       Core.Runner.compile_trace ~level ~mode ~init:Core.Runner.fill_memories
         (Protocol.trace_of_workload workload))
 
@@ -64,35 +64,88 @@ let execute_run ~pool ~send (r : Protocol.run) =
   | Some _ | None -> ());
   send (Protocol.Result (Protocol.result_body_of_runner result))
 
-let execute_replay ~pool ~send (r : Protocol.replay) =
+let replay_points scales =
+  List.map
+    (fun scale ->
+      {
+        Compile.Eval.table =
+          Power.Characterization.scale Power.Characterization.default scale;
+        l2_params = None;
+      })
+    scales
+
+(* Multi-master replay: the workload trace drives the CPU master with
+   the standard DMA/crypto companions alongside, exactly the wiring of
+   [smartcard run --masters].  The fabric plan memoizes in the server
+   pool (the ["fabric"] tag), so repeated replays of one configuration
+   pay only the multi-point evaluation. *)
+let execute_fabric_replay ~pool ~send (r : Protocol.replay)
+    (f : Protocol.fabric_spec) =
+  let trace = Protocol.trace_of_workload r.Protocol.workload in
+  let masters =
+    (Core.Contention.Cpu, trace)
+    :: List.filter
+         (fun (k, _) -> k <> Core.Contention.Cpu)
+         (Core.Contention.default_masters
+            ~n:(max 64 (Ec.Trace.total_txns trace))
+            f.Protocol.fab_topology)
+  in
   let plan =
-    compiled_plan ~pool ~level:r.Protocol.level ~mode:r.Protocol.mode
-      r.Protocol.workload
+    Core.Contention.compile ~level:r.Protocol.level
+      ~policy:f.Protocol.fab_policy ~topology:f.Protocol.fab_topology
+      ~mode:r.Protocol.mode ~pool masters
   in
-  let points =
-    List.map
-      (fun scale ->
-        {
-          Compile.Eval.table =
-            Power.Characterization.scale Power.Characterization.default scale;
-          l2_params = None;
-        })
-      r.Protocol.scales
+  let outcomes =
+    Compile.Eval.eval_fabric_multi plan ~points:(replay_points r.Protocol.scales)
   in
-  let results = Core.Runner.replay_multi ~points plan in
+  let m = plan.Compile.Plan.f_meta in
+  let txns = Array.fold_left ( + ) 0 m.Compile.Plan.f_txns in
+  let transitions =
+    plan.Compile.Plan.near.Compile.Plan.meta.Compile.Plan.transitions
+    + match plan.Compile.Plan.far_plan with
+      | Some p -> p.Compile.Plan.meta.Compile.Plan.transitions
+      | None -> 0
+  in
   List.iteri
-    (fun seq (scale, (result : Core.Runner.result)) ->
+    (fun seq (scale, (o : Compile.Eval.fabric_outcome)) ->
       send
         (Protocol.Point
            {
              Protocol.point_seq = seq;
              scale;
-             point_bus_pj = result.Core.Runner.bus_pj;
-             point_cycles = result.Core.Runner.cycles;
-             point_txns = result.Core.Runner.txns;
-             point_transitions = result.Core.Runner.transitions;
+             point_bus_pj = o.Compile.Eval.fabric_pj;
+             point_cycles = m.Compile.Plan.f_cycles;
+             point_txns = txns;
+             point_transitions = transitions;
+             point_buckets = Some (Array.to_list o.Compile.Eval.buckets);
            }))
-    (List.combine r.Protocol.scales results)
+    (List.combine r.Protocol.scales outcomes)
+
+let execute_replay ~pool ~send (r : Protocol.replay) =
+  match r.Protocol.fabric with
+  | Some f -> execute_fabric_replay ~pool ~send r f
+  | None ->
+    let plan =
+      compiled_plan ~pool ~level:r.Protocol.level ~mode:r.Protocol.mode
+        r.Protocol.workload
+    in
+    let results =
+      Core.Runner.replay_multi ~points:(replay_points r.Protocol.scales) plan
+    in
+    List.iteri
+      (fun seq (scale, (result : Core.Runner.result)) ->
+        send
+          (Protocol.Point
+             {
+               Protocol.point_seq = seq;
+               scale;
+               point_bus_pj = result.Core.Runner.bus_pj;
+               point_cycles = result.Core.Runner.cycles;
+               point_txns = result.Core.Runner.txns;
+               point_transitions = result.Core.Runner.transitions;
+               point_buckets = None;
+             }))
+      (List.combine r.Protocol.scales results)
 
 let execute_explore ~pool ~send (e : Protocol.explore) =
   let applets =

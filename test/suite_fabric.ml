@@ -315,6 +315,160 @@ let test_l3_window_provenance () =
        windows);
   check_int "all transactions accounted" 96 splice.Hier.Splice.total_txns
 
+(* --- compiled fabric plans (DESIGN.md section 18) --- *)
+
+let check_result_bit_exact msg (a : Core.Contention.result)
+    (b : Core.Contention.result) =
+  check_int (msg ^ " cycles") a.Core.Contention.cycles b.Core.Contention.cycles;
+  check_int (msg ^ " crossings") a.Core.Contention.crossings
+    b.Core.Contention.crossings;
+  check_pj (msg ^ " fabric total") a.Core.Contention.fabric_pj
+    b.Core.Contention.fabric_pj;
+  check_pj (msg ^ " bus total") a.Core.Contention.bus_pj
+    b.Core.Contention.bus_pj;
+  check_pj (msg ^ " bridge") a.Core.Contention.bridge_pj
+    b.Core.Contention.bridge_pj;
+  List.iter2
+    (fun (x : Core.Contention.master_row) (y : Core.Contention.master_row) ->
+      let who = msg ^ " " ^ Core.Contention.kind_to_string x.Core.Contention.kind in
+      check_int (who ^ " txns") x.Core.Contention.txns y.Core.Contention.txns;
+      check_int (who ^ " beats") x.Core.Contention.beats y.Core.Contention.beats;
+      check_int (who ^ " grants") x.Core.Contention.grants
+        y.Core.Contention.grants;
+      check_pj (who ^ " bucket") x.Core.Contention.energy_pj
+        y.Core.Contention.energy_pj)
+    a.Core.Contention.rows b.Core.Contention.rows
+
+(* The whole compilable grid: compiled replay must be bit-identical to
+   the interpreted fabric, buckets included, at every policy x topology
+   x timed TLM level. *)
+let test_compiled_grid_bit_exact () =
+  List.iter
+    (fun level ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun topology ->
+              let masters = Core.Contention.default_masters ~n:48 topology in
+              let interp =
+                Core.Contention.run ~level ~policy ~topology masters
+              in
+              let comp =
+                Core.Contention.run ~level ~policy ~topology ~compiled:true
+                  masters
+              in
+              check_result_bit_exact
+                (Printf.sprintf "%s/%s/%s" (Core.Level.to_string level)
+                   (Ec.Arbiter.policy_to_string policy)
+                   (Core.Contention.topology_to_string topology))
+                interp comp)
+            [ Core.Contention.Single; Core.Contention.Bridged ])
+        [
+          Ec.Arbiter.Fixed_priority;
+          Ec.Arbiter.Round_robin;
+          Ec.Arbiter.Weighted [| 4; 2; 1 |];
+        ])
+    [ Core.Level.L1; Core.Level.L2 ]
+
+(* Multi-point evaluation must equal N single-point evaluations. *)
+let test_fabric_multipoint () =
+  let masters =
+    Core.Contention.default_masters ~n:48 Core.Contention.Bridged
+  in
+  List.iter
+    (fun level ->
+      let plan =
+        Core.Contention.compile ~level ~topology:Core.Contention.Bridged
+          masters
+      in
+      let points =
+        List.map
+          (fun s ->
+            {
+              Compile.Eval.table =
+                Power.Characterization.scale Power.Characterization.default s;
+              l2_params = None;
+            })
+          [ 0.5; 1.0; 2.0 ]
+      in
+      let multi = Compile.Eval.eval_fabric_multi plan ~points in
+      List.iter2
+        (fun (pt : Compile.Eval.point) (o : Compile.Eval.fabric_outcome) ->
+          let single = Compile.Eval.eval_fabric ~table:pt.Compile.Eval.table plan in
+          check_pj "multi total = single" single.Compile.Eval.fabric_pj
+            o.Compile.Eval.fabric_pj;
+          check_pj "multi bridge = single" single.Compile.Eval.fabric_bridge_pj
+            o.Compile.Eval.fabric_bridge_pj;
+          check_pj "multi near = single" single.Compile.Eval.near_bus_pj
+            o.Compile.Eval.near_bus_pj;
+          check_pj "multi far = single" single.Compile.Eval.far_bus_pj
+            o.Compile.Eval.far_bus_pj;
+          Array.iteri
+            (fun m b ->
+              check_pj
+                (Printf.sprintf "multi bucket %d = single" m)
+                single.Compile.Eval.buckets.(m) b)
+            o.Compile.Eval.buckets)
+        points multi)
+    [ Core.Level.L1; Core.Level.L2 ]
+
+(* A pooled fabric session, reset and re-armed, replays bit-identically
+   to a fresh build — including the bridged far RAM, whose store reset
+   is part of the session protocol. *)
+let test_pooled_fabric_session () =
+  let pool = Core.Pool.create () in
+  List.iter
+    (fun topology ->
+      let masters = Core.Contention.default_masters ~n:48 topology in
+      let fresh = Core.Contention.run ~level:Core.Level.L1 ~topology masters in
+      let first =
+        Core.Contention.run ~level:Core.Level.L1 ~topology ~pool masters
+      in
+      let reused =
+        Core.Contention.run ~level:Core.Level.L1 ~topology ~pool masters
+      in
+      let msg =
+        "pooled/" ^ Core.Contention.topology_to_string topology
+      in
+      check_result_bit_exact (msg ^ " first") fresh first;
+      check_result_bit_exact (msg ^ " reused") fresh reused)
+    [ Core.Contention.Single; Core.Contention.Bridged ]
+
+(* Degenerate single-master fabric plan: the near body is exactly the
+   trace plan's body — same integer residue, same energies. *)
+let test_degenerate_plan_equals_trace_plan () =
+  let trace = Core.Workloads.table3_trace ~n:64 in
+  List.iter
+    (fun level ->
+      let fplan =
+        Core.Contention.compile ~level ~mode:`Serial
+          [ (Core.Contention.Cpu, trace) ]
+      in
+      let tplan = Core.Runner.compile_trace ~level ~mode:`Serial trace in
+      let near = fplan.Compile.Plan.near in
+      check_bool
+        (Core.Level.to_string level ^ " bodies equal")
+        true
+        (near.Compile.Plan.body = tplan.Compile.Plan.body);
+      let nm = near.Compile.Plan.meta and tm = tplan.Compile.Plan.meta in
+      check_int
+        (Core.Level.to_string level ^ " txns")
+        tm.Compile.Plan.txns nm.Compile.Plan.txns;
+      check_int
+        (Core.Level.to_string level ^ " beats")
+        tm.Compile.Plan.beats nm.Compile.Plan.beats;
+      let table = Power.Characterization.default in
+      let fo = Compile.Eval.eval_fabric ~table fplan in
+      let to_ = Compile.Eval.eval ~table tplan in
+      check_pj
+        (Core.Level.to_string level ^ " bucket = trace plan energy")
+        to_.Compile.Eval.bus_pj
+        fo.Compile.Eval.buckets.(0);
+      check_pj
+        (Core.Level.to_string level ^ " near total = trace plan energy")
+        to_.Compile.Eval.bus_pj fo.Compile.Eval.near_bus_pj)
+    [ Core.Level.L1; Core.Level.L2 ]
+
 (* --- qcheck properties --- *)
 
 module Gen = QCheck.Gen
@@ -383,6 +537,70 @@ let prop_degenerate =
       && direct.Core.Runner.txns = Ec.Fabric.master_txns fabric 0
       && Power.Meter.total_pj meter = Ec.Fabric.master_pj fabric 0)
 
+let prop_compiled_bit_exact =
+  QCheck.Test.make ~name:"compiled fabric replay bit-exact (random mix)"
+    ~count:10
+    QCheck.(
+      make
+        Gen.(
+          quad (oneofl [ Core.Level.L1; Core.Level.L2 ]) (gen_policy 3) bool
+            (int_bound 1000)))
+    (fun (level, policy, bridged, seed) ->
+      let topology =
+        if bridged then Core.Contention.Bridged else Core.Contention.Single
+      in
+      let rng = Sim.Rng.create ~seed in
+      let masters =
+        (Core.Contention.Cpu, Core.Workloads.random_trace ~rng ~n:32 ())
+        :: List.tl (Core.Contention.default_masters ~n:32 topology)
+      in
+      let interp = Core.Contention.run ~level ~policy ~topology masters in
+      let comp =
+        Core.Contention.run ~level ~policy ~topology ~compiled:true masters
+      in
+      interp.Core.Contention.cycles = comp.Core.Contention.cycles
+      && interp.Core.Contention.fabric_pj = comp.Core.Contention.fabric_pj
+      && interp.Core.Contention.bridge_pj = comp.Core.Contention.bridge_pj
+      && List.for_all2
+           (fun (a : Core.Contention.master_row)
+                (b : Core.Contention.master_row) ->
+             a.Core.Contention.energy_pj = b.Core.Contention.energy_pj
+             && a.Core.Contention.grants = b.Core.Contention.grants)
+           interp.Core.Contention.rows comp.Core.Contention.rows)
+
+let prop_pooled_session_bit_exact =
+  QCheck.Test.make ~name:"pooled fabric session bit-exact after reset"
+    ~count:8
+    QCheck.(make Gen.(triple (gen_policy 3) bool (int_bound 1000)))
+    (fun (policy, bridged, seed) ->
+      let topology =
+        if bridged then Core.Contention.Bridged else Core.Contention.Single
+      in
+      let rng = Sim.Rng.create ~seed in
+      let masters =
+        (Core.Contention.Cpu, Core.Workloads.random_trace ~rng ~n:24 ())
+        :: List.tl (Core.Contention.default_masters ~n:24 topology)
+      in
+      let pool = Core.Pool.create () in
+      let fresh =
+        Core.Contention.run ~level:Core.Level.L1 ~policy ~topology masters
+      in
+      let _first =
+        Core.Contention.run ~level:Core.Level.L1 ~policy ~topology ~pool
+          masters
+      in
+      let reused =
+        Core.Contention.run ~level:Core.Level.L1 ~policy ~topology ~pool
+          masters
+      in
+      fresh.Core.Contention.cycles = reused.Core.Contention.cycles
+      && fresh.Core.Contention.fabric_pj = reused.Core.Contention.fabric_pj
+      && List.for_all2
+           (fun (a : Core.Contention.master_row)
+                (b : Core.Contention.master_row) ->
+             a.Core.Contention.energy_pj = b.Core.Contention.energy_pj)
+           fresh.Core.Contention.rows reused.Core.Contention.rows)
+
 let suite =
   [
     Alcotest.test_case "fixed priority order" `Quick test_fixed_priority;
@@ -402,7 +620,17 @@ let suite =
     Alcotest.test_case "constant L3 = direct L3" `Quick
       test_l3_constant_equals_direct;
     Alcotest.test_case "L3 window provenance" `Quick test_l3_window_provenance;
+    Alcotest.test_case "compiled grid bit-exact" `Quick
+      test_compiled_grid_bit_exact;
+    Alcotest.test_case "fabric multi-point = N single points" `Quick
+      test_fabric_multipoint;
+    Alcotest.test_case "pooled fabric session replays" `Quick
+      test_pooled_fabric_session;
+    Alcotest.test_case "degenerate fabric plan = trace plan" `Quick
+      test_degenerate_plan_equals_trace_plan;
     QCheck_alcotest.to_alcotest prop_no_starvation;
     QCheck_alcotest.to_alcotest prop_conservation;
     QCheck_alcotest.to_alcotest prop_degenerate;
+    QCheck_alcotest.to_alcotest prop_compiled_bit_exact;
+    QCheck_alcotest.to_alcotest prop_pooled_session_bit_exact;
   ]

@@ -41,14 +41,21 @@ let test_table2_bands () =
     && l2.Core.Experiments.energy_err_pct <= 25.0)
 
 (* Table 3 shape: estimation costs speed; layer 2 is faster than layer 1;
-   the gate-level reference is far slower than both. *)
+   the gate-level reference is far slower than both.  Throughput is wall
+   clock, so each row takes the best of two measurement passes: a
+   scheduler stall in one pass (common on 1-core boxes under load)
+   otherwise undershoots a row and flips a shape comparison. *)
 let test_table3_shape () =
   let rows = Core.Experiments.run_performance ~txns:4000 () in
+  let rows' = Core.Experiments.run_performance ~txns:4000 () in
   let find label =
-    (List.find
-       (fun (r : Core.Experiments.perf_row) -> r.Core.Experiments.label = label)
-       rows)
-      .Core.Experiments.kilo_txns_per_s
+    let kts (rs : Core.Experiments.perf_row list) =
+      (List.find
+         (fun (r : Core.Experiments.perf_row) -> r.Core.Experiments.label = label)
+         rs)
+        .Core.Experiments.kilo_txns_per_s
+    in
+    Float.max (kts rows) (kts rows')
   in
   let l1_est = find "TL layer 1, with estimation" in
   let l1_raw = find "TL layer 1, without estimation" in

@@ -153,6 +153,20 @@ let test_request_codec () =
           level = Core.Level.L1;
           mode = `Serial;
           scales = [ 0.5; 1.0; 2.0 ];
+          fabric = None;
+        };
+      P.Replay
+        {
+          P.workload = P.Table3 48;
+          level = Core.Level.L2;
+          mode = `Pipelined;
+          scales = [ 1.0; 1.5 ];
+          fabric =
+            Some
+              {
+                P.fab_policy = Ec.Arbiter.Weighted [| 4; 2; 1 |];
+                fab_topology = Core.Contention.Bridged;
+              };
         };
       P.Explore
         {
@@ -448,7 +462,8 @@ let test_replay_bit_exact () =
           let level = Core.Level.L1 and mode = `Pipelined in
           let frames =
             frames_exn
-              (Serve.Client.request c (P.Replay { P.workload; level; mode; scales }))
+              (Serve.Client.request c
+                 (P.Replay { P.workload; level; mode; scales; fabric = None }))
           in
           let wire = points_of frames in
           let plan =
@@ -480,6 +495,75 @@ let test_replay_bit_exact () =
                 w.P.point_transitions;
               check_bool "bus_pj bit-identical" true
                 (w.P.point_bus_pj = d.Core.Runner.bus_pj))
+            (List.combine (List.combine scales direct) wire)))
+
+let test_fabric_replay_bit_exact () =
+  with_server (fun _server path ->
+      with_client path (fun c ->
+          let scales = [ 0.5; 1.0; 2.0 ] in
+          let workload = P.Table3 40 in
+          let level = Core.Level.L2 and mode = `Pipelined in
+          let policy = Ec.Arbiter.Round_robin
+          and topology = Core.Contention.Bridged in
+          let frames =
+            frames_exn
+              (Serve.Client.request c
+                 (P.Replay
+                    { P.workload; level; mode; scales;
+                      fabric =
+                        Some { P.fab_policy = policy; fab_topology = topology }
+                    }))
+          in
+          let wire = points_of frames in
+          let trace = P.trace_of_workload workload in
+          let masters =
+            (Core.Contention.Cpu, trace)
+            :: List.filter
+                 (fun (k, _) -> k <> Core.Contention.Cpu)
+                 (Core.Contention.default_masters
+                    ~n:(max 64 (Ec.Trace.total_txns trace))
+                    topology)
+          in
+          let plan =
+            Core.Contention.compile ~level ~policy ~topology ~mode masters
+          in
+          let points =
+            List.map
+              (fun s ->
+                {
+                  Compile.Eval.table =
+                    Power.Characterization.scale Power.Characterization.default
+                      s;
+                  l2_params = None;
+                })
+              scales
+          in
+          let direct = Compile.Eval.eval_fabric_multi plan ~points in
+          check_int "one point per scale" (List.length scales)
+            (List.length wire);
+          List.iteri
+            (fun i
+                 ( (scale, (d : Compile.Eval.fabric_outcome)),
+                   (w : P.point_body) ) ->
+              check_int "seq" i w.P.point_seq;
+              check_bool "scale" true (w.P.scale = scale);
+              check_int "cycles" plan.Compile.Plan.f_meta.Compile.Plan.f_cycles
+                w.P.point_cycles;
+              check_bool "fabric_pj bit-identical" true
+                (w.P.point_bus_pj = d.Compile.Eval.fabric_pj);
+              match w.P.point_buckets with
+              | None -> Alcotest.fail "fabric point frame without buckets"
+              | Some buckets ->
+                check_int "one bucket per master"
+                  plan.Compile.Plan.f_meta.Compile.Plan.f_masters
+                  (List.length buckets);
+                check_bool "buckets bit-identical" true
+                  (List.for_all2
+                     (fun (a : float) b -> a = b)
+                     buckets
+                     (Array.to_list d.Compile.Eval.buckets));
+                check_bool "buckets sum to the frame energy" true
+                  (List.fold_left ( +. ) 0.0 buckets = w.P.point_bus_pj))
             (List.combine (List.combine scales direct) wire)))
 
 let test_explore_bit_exact () =
@@ -645,7 +729,8 @@ let test_concurrent_clients_bit_exact () =
                 | 1 ->
                   P.Replay
                     { P.workload = P.Mixed_phase 80; level = Core.Level.L2;
-                      mode = `Serial; scales = [ 0.5 +. float_of_int i ] }
+                      mode = `Serial; scales = [ 0.5 +. float_of_int i ];
+                      fabric = None }
                 | _ ->
                   P.Explore
                     { P.applets = [ "fib" ]; configs = [ "w32-packed" ];
@@ -1250,6 +1335,8 @@ let suite =
     Alcotest.test_case "profile streams as jsonl chunks" `Quick
       test_profile_stream;
     Alcotest.test_case "replay points bit-exact" `Quick test_replay_bit_exact;
+    Alcotest.test_case "fabric replay buckets bit-exact" `Quick
+      test_fabric_replay_bit_exact;
     Alcotest.test_case "explore rows bit-exact" `Quick test_explore_bit_exact;
     Alcotest.test_case "stats and plan-memo hit" `Quick test_stats_and_plan_memo;
     Alcotest.test_case "8 concurrent clients bit-exact" `Quick
